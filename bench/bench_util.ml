@@ -1,0 +1,88 @@
+(* Shared plumbing for the experiment harness: ratio measurement loops,
+   reference bounds, table shorthands. *)
+
+module Task = Core.Task
+module Path = Core.Path
+
+let section title =
+  Printf.printf "\n==============================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==============================================================\n%!"
+
+let subsection title = Printf.printf "\n--- %s ---\n%!" title
+
+(* The reference value an algorithm is compared against.  [Exact] is the
+   brute-force SAP optimum (tiny instances only); [Lp] is the UFPP LP
+   optimum, a true upper bound on OPT_SAP at any size (so LP ratios
+   overstate the real approximation ratio — stated in every table). *)
+type reference = Exact_opt | Lp_bound | Dp_opt | Ufpp_exact
+
+let reference_value ref_kind path tasks =
+  match ref_kind with
+  | Exact_opt -> Exact.Sap_brute.value path tasks
+  | Lp_bound -> Lp.Ufpp_lp.upper_bound path tasks
+  | Dp_opt ->
+      (* Exact SAP via the Elevator DP (uncapped band): valid whenever the
+         DP reports exactness, else fall back to the LP upper bound. *)
+      let r = Sap.Elevator.optimal_band ~cap:(Core.Path.max_capacity path) path tasks in
+      if r.Sap.Elevator.exact then Core.Solution.sap_weight r.Sap.Elevator.solution
+      else Lp.Ufpp_lp.upper_bound path tasks
+  | Ufpp_exact ->
+      (* Exact UFPP optimum: a bound on OPT_SAP tighter than the LP. *)
+      let r = Ufpp.Band_dp.solve path tasks in
+      if r.Ufpp.Band_dp.exact then Core.Task.weight_of r.Ufpp.Band_dp.solution
+      else Lp.Ufpp_lp.upper_bound path tasks
+
+let ref_name = function
+  | Exact_opt -> "exact OPT"
+  | Lp_bound -> "LP bound"
+  | Dp_opt -> "DP-exact OPT"
+  | Ufpp_exact -> "exact UFPP"
+
+(* Measure [algo] on [instances]; returns the list of (ratio, weight,
+   reference) per instance, skipping trivial (zero-reference) draws.
+   Instances are independent, so they fan out across domains. *)
+let measure ?jobs ~ref_kind ~algo instances =
+  Util.Parallel.map ?jobs
+    (fun (path, tasks) ->
+      let reference = reference_value ref_kind path tasks in
+      if reference <= 1e-9 then None
+      else begin
+        let sol = algo path tasks in
+        (match Core.Checker.sap_feasible path sol with
+        | Ok () -> ()
+        | Error m -> failwith ("bench: infeasible solution: " ^ m));
+        let w = Core.Solution.sap_weight sol in
+        let ratio = if w <= 1e-9 then Float.infinity else reference /. w in
+        Some (ratio, w, reference)
+      end)
+    instances
+  |> List.filter_map Fun.id
+
+let ratio_row ~name ~bound measurements =
+  let ratios = List.map (fun (r, _, _) -> r) measurements in
+  match ratios with
+  | [] -> [ name; "-"; "-"; "-"; "-"; bound ]
+  | _ ->
+      let s = Util.Stats.summarize ratios in
+      [
+        name;
+        string_of_int s.Util.Stats.count;
+        Util.Table.float_cell (Util.Stats.geometric_mean ratios);
+        Util.Table.float_cell s.Util.Stats.median;
+        Util.Table.float_cell s.Util.Stats.max;
+        bound;
+      ]
+
+let ratio_header = [ "algorithm"; "n"; "geo-mean"; "median"; "worst"; "paper bound" ]
+
+let timed f =
+  let t0 = Unix.gettimeofday () in
+  let y = f () in
+  (y, Unix.gettimeofday () -. t0)
+
+(* Deterministic instance batches. *)
+
+let seeds ~base ~count = List.init count (fun i -> base + (7919 * i))
+
+let batch ~count ~base make = List.map make (seeds ~base ~count)

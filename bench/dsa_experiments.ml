@@ -1,0 +1,66 @@
+(* DSA — the substrate behind Lemma 4: how close do our packers come to
+   the LOAD lower bound on classic dynamic-storage-allocation workloads?
+   (Gergov guarantees makespan <= 3*LOAD; Buchsbaum et al. (1+o(1))*LOAD
+   for small demands.  Our substituted packers are heuristics; this
+   experiment measures where they actually land.) *)
+
+module Task = Core.Task
+module Path = Core.Path
+
+let makespan_over_load ~pack path tasks =
+  (* Pack everything with no ceiling and compare makespan to LOAD. *)
+  let placed, dropped = pack path tasks in
+  assert (dropped = []);
+  let load = Core.Instance.max_load path tasks in
+  float_of_int (Core.Solution.max_makespan path placed) /. float_of_int load
+
+let run () =
+  Bench_util.section
+    "DSA  makespan / LOAD of the packers (Lemma 4's substrate; lower is better)";
+  let workload name gen =
+    let ratios engine =
+      Bench_util.seeds ~base:3000 ~count:12
+      |> List.map (fun seed ->
+             let path, tasks = gen seed in
+             (* Unbounded strip: capacities far above any packing. *)
+             let tall =
+               Path.uniform ~edges:(Path.num_edges path)
+                 ~capacity:(max 1 (Core.Instance.max_load path tasks) * 10)
+             in
+             makespan_over_load ~pack:engine tall tasks)
+    in
+    let ff = ratios (fun p ts -> Dsa.First_fit.pack p ts) in
+    let bd = ratios (fun p ts -> Dsa.Buddy.pack p ts) in
+    let cell l =
+      let s = Util.Stats.summarize l in
+      Printf.sprintf "%s (max %s)"
+        (Util.Table.float_cell (Util.Stats.geometric_mean l))
+        (Util.Table.float_cell s.Util.Stats.max)
+    in
+    [ name; cell ff; cell bd ]
+  in
+  let small_tasks seed =
+    let g = Util.Prng.create seed in
+    let path = Path.uniform ~edges:12 ~capacity:64 in
+    (path, Gen.Workloads.small_tasks ~prng:g ~path ~n:50 ~delta:0.15 ())
+  in
+  let mixed_tasks seed =
+    let g = Util.Prng.create seed in
+    let path = Path.uniform ~edges:12 ~capacity:64 in
+    (path, Gen.Workloads.mixed_tasks ~prng:g ~path ~n:30 ())
+  in
+  let memory_tasks seed =
+    let g = Util.Prng.create seed in
+    Gen.Traces.memory_trace ~prng:g ~time_slots:24 ~memory:64 ~n:60 ~max_lifetime:8
+      ~max_object:16
+  in
+  Util.Table.print
+    ~header:[ "workload"; "first fit: geo-mean"; "buddy: geo-mean" ]
+    [
+      workload "delta-small (0.15)" small_tasks;
+      workload "mixed ratios" mixed_tasks;
+      workload "memory trace" memory_tasks;
+    ];
+  print_endline
+    "  (Gergov's bound is 3x; first fit stays well under it on these workloads,\n\
+    \   which is the slack the Lemma 4 substitution exploits)"

@@ -1,0 +1,24 @@
+(* Capacity profiles shared by the T experiments. *)
+
+let medium_path g =
+  match Util.Prng.int g 3 with
+  | 0 ->
+      Gen.Profiles.uniform
+        ~edges:(3 + Util.Prng.int g 4)
+        ~capacity:(12 + Util.Prng.int g 12)
+  | 1 ->
+      Gen.Profiles.valley
+        ~edges:(4 + Util.Prng.int g 4)
+        ~high:24
+        ~low:(8 + Util.Prng.int g 8)
+  | _ ->
+      Gen.Profiles.random_walk ~prng:g
+        ~edges:(4 + Util.Prng.int g 4)
+        ~start:(16 + Util.Prng.int g 8)
+        ~max_step:4 ~min_cap:8
+
+let big_path g =
+  match Util.Prng.int g 3 with
+  | 0 -> Gen.Profiles.staircase ~edges:18 ~steps:3 ~base:16
+  | 1 -> Gen.Profiles.valley ~edges:18 ~high:64 ~low:16
+  | _ -> Gen.Profiles.random_walk ~prng:g ~edges:18 ~start:48 ~max_step:6 ~min_cap:16

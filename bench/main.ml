@@ -1,0 +1,23 @@
+(* The experiment harness: regenerates every figure (F1-F8) and every
+   theorem's empirical ratio table (T1-T5, A1, L3, S2, RHO), then the
+   bechamel runtime suite (S1).  EXPERIMENTS.md records the output of a
+   reference run next to the paper's claims.
+
+   Run with:  dune exec bench/main.exe
+   Pass "quick" to skip the bechamel timing section. *)
+
+let () =
+  let quick = Array.exists (( = ) "quick") Sys.argv in
+  let t0 = Unix.gettimeofday () in
+  print_endline "SAP reproduction — experiment harness";
+  print_endline "paper: Bar-Yehuda, Beder, Rawitz — A Constant Factor Approximation";
+  print_endline "       Algorithm for the Storage Allocation Problem (SPAA'13 / Algorithmica'16)";
+  F_experiments.run_all ();
+  T_experiments.run_all ();
+  Abl_experiments.run_all ();
+  Dsa_experiments.run ();
+  Ufpp_experiments.run ();
+  Worst_experiments.run ();
+  Scale_experiments.run ();
+  if not quick then Timing.run ();
+  Printf.printf "\nall experiments completed in %.1fs\n" (Unix.gettimeofday () -. t0)

@@ -1,0 +1,47 @@
+(* SCALE — wall-clock growth on larger instances (single-shot timing; the
+   statistically careful micro-benchmarks are in Timing/S1).  Demonstrates
+   that the polynomial pieces behave polynomially and records where the
+   exact-DP pieces stop being practical. *)
+
+module Path = Core.Path
+
+let instance ~n ~edges seed =
+  let g = Util.Prng.create seed in
+  let path = Gen.Profiles.staircase ~edges ~steps:4 ~base:16 in
+  (path, Gen.Workloads.mixed_tasks ~prng:g ~path ~n ())
+
+let run () =
+  Bench_util.section "SCALE  wall-clock growth (one run per cell, seconds)";
+  let sizes = [ (50, 16); (100, 24); (200, 32); (400, 48) ] in
+  let algos =
+    [
+      ("first fit", fun path ts -> ignore (Dsa.First_fit.pack path ts));
+      ( "strip-pack (LR)",
+        fun path ts ->
+          ignore
+            (Sap.Small.strip_pack ~rounding:`Local_ratio
+               ~prng:(Util.Prng.create 3) path
+               (List.filter (Core.Classify.is_small path ~delta:0.25) ts)) );
+      ("rect MWIS (large)", fun path ts ->
+          ignore (Sap.Large.solve path (List.filter (Core.Classify.is_large path ~frac:0.5) ts)));
+      ("UFPP LP", fun path ts -> ignore (Lp.Ufpp_lp.solve path ts));
+      ("combine (Thm 4)", fun path ts -> ignore (Sap.Combine.solve path ts));
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, f) ->
+        name
+        :: List.map
+             (fun (n, edges) ->
+               let path, tasks = instance ~n ~edges (1000 + n) in
+               let (), dt = Bench_util.timed (fun () -> f path tasks) in
+               Util.Table.float_cell dt)
+             sizes)
+      algos
+  in
+  Util.Table.print
+    ~header:
+      ("algorithm"
+      :: List.map (fun (n, m) -> Printf.sprintf "n=%d,m=%d" n m) sizes)
+    rows

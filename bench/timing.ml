@@ -1,0 +1,83 @@
+(* S1 — wall-clock micro-benchmarks (bechamel): one Test.make per
+   algorithm, run over pre-generated instances of two sizes.  Estimates are
+   OLS nanoseconds per run against the monotonic clock. *)
+
+open Bechamel
+open Bechamel.Toolkit
+
+module Path = Core.Path
+
+let instance_of ~n ~edges seed =
+  let g = Util.Prng.create seed in
+  let path = Gen.Profiles.valley ~edges ~high:64 ~low:16 in
+  let tasks = Gen.Workloads.mixed_tasks ~prng:g ~path ~n () in
+  (path, tasks)
+
+let medium_instance_of ~n ~edges seed =
+  let g = Util.Prng.create seed in
+  let path = Gen.Profiles.valley ~edges ~high:64 ~low:16 in
+  let tasks = Gen.Workloads.ratio_tasks ~prng:g ~path ~n ~lo:0.25 ~hi:0.5 () in
+  (path, tasks)
+
+let tests () =
+  let small = instance_of ~n:30 ~edges:10 1 in
+  let large = instance_of ~n:80 ~edges:20 2 in
+  let medium_small = medium_instance_of ~n:30 ~edges:10 1 in
+  let medium_large = medium_instance_of ~n:80 ~edges:20 2 in
+  let mk ?(inputs = (small, large)) name f =
+    let lo, hi = inputs in
+    [
+      Test.make ~name:(name ^ " (n=30,m=10)") (Staged.stage (fun () -> f lo));
+      Test.make ~name:(name ^ " (n=80,m=20)") (Staged.stage (fun () -> f hi));
+    ]
+  in
+  let mk_medium = mk ~inputs:(medium_small, medium_large) in
+  let combine (path, ts) = ignore (Sap.Combine.solve path ts) in
+  let strip (path, ts) =
+    ignore
+      (Sap.Small.strip_pack ~rounding:`Local_ratio ~prng:(Util.Prng.create 7) path ts)
+  in
+  let medium (path, ts) = ignore (Sap.Almost_uniform.run ~ell:2 ~q:2 path ts) in
+  let large_solve (path, ts) = ignore (Sap.Large.solve path ts) in
+  let lp (path, ts) = ignore (Lp.Ufpp_lp.solve path ts) in
+  let first_fit (path, ts) = ignore (Dsa.First_fit.pack path ts) in
+  Test.make_grouped ~name:"sap" ~fmt:"%s %s"
+    (List.concat
+       [
+         mk "combine" combine;
+         mk "strip-pack" strip;
+         mk_medium "almost-uniform" medium;
+         mk "rect-mwis" large_solve;
+         mk "ufpp-lp" lp;
+         mk "first-fit" first_fit;
+       ])
+
+let run () =
+  Bench_util.section "S1  Runtime (bechamel, ns per run, OLS estimate)";
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] (tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name v ->
+      let ns =
+        match Analyze.OLS.estimates v with Some (x :: _) -> x | _ -> Float.nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  let rows =
+    List.sort (fun (a, _) (b, _) -> compare a b) !rows
+    |> List.map (fun (name, ns) ->
+           [
+             name;
+             (if Float.is_nan ns then "-" else Util.Table.float_cell ~digits:0 ns);
+             (if Float.is_nan ns then "-"
+              else Util.Table.float_cell ~digits:3 (ns /. 1e6));
+           ])
+  in
+  Util.Table.print ~header:[ "benchmark"; "ns/run"; "ms/run" ] rows

@@ -1,0 +1,245 @@
+(* sap-cli: generate, solve, check and display SAP instances.
+
+   The subcommands compose through the text format of [Sap_io.Instance_io]:
+
+     sap_cli gen --profile staircase --edges 12 --tasks 30 -o inst.sap
+     sap_cli solve -i inst.sap --algorithm combine -o sol.sap
+     sap_cli check -i inst.sap -s sol.sap
+     sap_cli show -i inst.sap -s sol.sap *)
+
+module Task = Core.Task
+module Path = Core.Path
+
+let read_instance file =
+  match Sap_io.Instance_io.instance_of_string (Sap_io.Instance_io.read_file file) with
+  | Ok v -> v
+  | Error m ->
+      Printf.eprintf "error: %s: %s\n" file m;
+      exit 2
+
+let read_solution ~tasks file =
+  match Sap_io.Instance_io.solution_of_string ~tasks (Sap_io.Instance_io.read_file file) with
+  | Ok v -> v
+  | Error m ->
+      Printf.eprintf "error: %s: %s\n" file m;
+      exit 2
+
+let output_string_to dest s =
+  match dest with
+  | None -> print_string s
+  | Some file -> Sap_io.Instance_io.write_file file s
+
+(* ---------- gen ---------- *)
+
+let make_path ~profile ~edges ~capacity ~prng =
+  match profile with
+  | "uniform" -> Gen.Profiles.uniform ~edges ~capacity
+  | "valley" -> Gen.Profiles.valley ~edges ~high:capacity ~low:(max 1 (capacity / 4))
+  | "mountain" -> Gen.Profiles.mountain ~edges ~low:(max 1 (capacity / 4)) ~high:capacity
+  | "staircase" -> Gen.Profiles.staircase ~edges ~steps:3 ~base:(max 1 (capacity / 4))
+  | "walk" ->
+      Gen.Profiles.random_walk ~prng ~edges ~start:capacity
+        ~max_step:(max 1 (capacity / 8))
+        ~min_cap:(max 1 (capacity / 4))
+  | other ->
+      Printf.eprintf "error: unknown profile %S\n" other;
+      exit 2
+
+let make_tasks ~kind ~prng ~path ~n =
+  match kind with
+  | "mixed" -> Gen.Workloads.mixed_tasks ~prng ~path ~n ()
+  | "small" -> Gen.Workloads.small_tasks ~prng ~path ~n ~delta:0.25 ()
+  | "medium" -> Gen.Workloads.ratio_tasks ~prng ~path ~n ~lo:0.25 ~hi:0.5 ()
+  | "large" -> Gen.Workloads.ratio_tasks ~prng ~path ~n ~lo:0.5 ~hi:1.0 ()
+  | "memory" ->
+      let _, ts =
+        Gen.Traces.memory_trace ~prng ~time_slots:(Path.num_edges path)
+          ~memory:(Path.min_capacity path) ~n ~max_lifetime:6
+          ~max_object:(max 1 (Path.min_capacity path / 4))
+      in
+      ts
+  | other ->
+      Printf.eprintf "error: unknown workload kind %S\n" other;
+      exit 2
+
+let gen_cmd profile edges capacity kind n seed output =
+  let prng = Util.Prng.create seed in
+  let path = make_path ~profile ~edges ~capacity ~prng in
+  let tasks = make_tasks ~kind ~prng ~path ~n in
+  output_string_to output (Sap_io.Instance_io.instance_to_string path tasks);
+  0
+
+(* ---------- solve ---------- *)
+
+let algorithms =
+  [
+    ("combine", fun path ts -> Sap.Combine.solve path ts);
+    ("small", fun path ts ->
+        Sap.Small.strip_pack ~rounding:(`Lp 16) ~prng:(Util.Prng.create 42) path ts);
+    ("medium", fun path ts ->
+        (Sap.Almost_uniform.run ~ell:2 ~q:2 path ts).Sap.Almost_uniform.solution);
+    ("large", fun path ts -> Sap.Large.solve path ts);
+    ("sapu", fun path ts -> Sap.Sap_u.solve path ts);
+    ("firstfit", fun path ts -> fst (Dsa.First_fit.pack path ts));
+    ("exact", fun path ts -> Exact.Sap_brute.solve path ts);
+  ]
+
+let solve_cmd input algorithm output quiet =
+  let path, tasks = read_instance input in
+  let solve =
+    match List.assoc_opt algorithm algorithms with
+    | Some f -> f
+    | None ->
+        Printf.eprintf "error: unknown algorithm %S (have: %s)\n" algorithm
+          (String.concat ", " (List.map fst algorithms));
+        exit 2
+  in
+  let t0 = Unix.gettimeofday () in
+  let sol = solve path tasks in
+  let dt = Unix.gettimeofday () -. t0 in
+  (match Core.Checker.sap_feasible path sol with
+  | Ok () -> ()
+  | Error m ->
+      Printf.eprintf "internal error: infeasible solution: %s\n" m;
+      exit 3);
+  if not quiet then begin
+    Printf.printf "tasks            %d\n" (List.length tasks);
+    Printf.printf "scheduled        %d\n" (List.length sol);
+    Printf.printf "weight           %.3f\n" (Core.Solution.sap_weight sol);
+    Printf.printf "total weight     %.3f\n" (Task.weight_of tasks);
+    Printf.printf "lp upper bound   %.3f\n" (Lp.Ufpp_lp.upper_bound path tasks);
+    Printf.printf "time             %.3fs\n" dt
+  end;
+  (match output with
+  | None -> ()
+  | Some file -> Sap_io.Instance_io.write_file file (Sap_io.Instance_io.solution_to_string sol));
+  0
+
+(* ---------- check ---------- *)
+
+let check_cmd input solution_file =
+  let path, tasks = read_instance input in
+  let sol = read_solution ~tasks solution_file in
+  match Core.Checker.sap_feasible path sol with
+  | Ok () ->
+      Printf.printf "feasible: %d tasks, weight %.3f\n" (List.length sol)
+        (Core.Solution.sap_weight sol);
+      0
+  | Error m ->
+      Printf.printf "INFEASIBLE: %s\n" m;
+      1
+
+(* ---------- show ---------- *)
+
+let show_cmd input solution_file max_height svg =
+  let path, tasks = read_instance input in
+  let sol =
+    match solution_file with
+    | None -> None
+    | Some file -> Some (read_solution ~tasks file)
+  in
+  (match svg with
+  | Some file ->
+      let doc =
+        match sol with
+        | Some s -> Viz.Svg.solution_svg path s
+        | None -> Viz.Svg.profile_svg path
+      in
+      Sap_io.Instance_io.write_file file doc;
+      Printf.printf "wrote %s\n" file
+  | None -> (
+      match sol with
+      | None ->
+          print_string (Viz.Ascii.render_loads path tasks);
+          print_string (Viz.Ascii.render_profile ?max_height path)
+      | Some s -> print_string (Viz.Ascii.render_solution ?max_height path s)));
+  0
+
+(* ---------- stats ---------- *)
+
+let stats_cmd input =
+  let path, tasks = read_instance input in
+  let s = Core.Instance_stats.compute path tasks in
+  Format.printf "%a@." Core.Instance_stats.pp s;
+  0
+
+(* ---------- cmdliner plumbing ---------- *)
+
+open Cmdliner
+
+let input_arg =
+  Arg.(required & opt (some file) None & info [ "i"; "input" ] ~doc:"Instance file.")
+
+let gen_term =
+  let profile =
+    Arg.(value & opt string "uniform"
+         & info [ "profile" ] ~doc:"uniform | valley | mountain | staircase | walk")
+  in
+  let edges = Arg.(value & opt int 12 & info [ "edges" ] ~doc:"Number of edges.") in
+  let capacity =
+    Arg.(value & opt int 32 & info [ "capacity" ] ~doc:"Capacity scale of the profile.")
+  in
+  let kind =
+    Arg.(value & opt string "mixed"
+         & info [ "kind" ] ~doc:"mixed | small | medium | large | memory")
+  in
+  let n = Arg.(value & opt int 30 & info [ "tasks" ] ~doc:"Number of tasks.") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file.")
+  in
+  Term.(const gen_cmd $ profile $ edges $ capacity $ kind $ n $ seed $ output)
+
+let solve_term =
+  let algorithm =
+    Arg.(value & opt string "combine"
+         & info [ "algorithm"; "a" ]
+             ~doc:"combine | small | medium | large | sapu | firstfit | exact")
+  in
+  let output =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Solution file.")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No stats on stdout.") in
+  Term.(const solve_cmd $ input_arg $ algorithm $ output $ quiet)
+
+let check_term =
+  let sol = Arg.(required & opt (some file) None & info [ "s"; "solution" ] ~doc:"Solution file.") in
+  Term.(const check_cmd $ input_arg $ sol)
+
+let show_term =
+  let sol = Arg.(value & opt (some file) None & info [ "s"; "solution" ] ~doc:"Solution file.") in
+  let max_height =
+    Arg.(value & opt (some int) None & info [ "max-height" ] ~doc:"Clip rendering height.")
+  in
+  let svg =
+    Arg.(value & opt (some string) None & info [ "svg" ] ~doc:"Write an SVG to this file instead of ASCII.")
+  in
+  Term.(const show_cmd $ input_arg $ sol $ max_height $ svg)
+
+let stats_term = Term.(const stats_cmd $ input_arg)
+
+let cmds =
+  [
+    Cmd.v (Cmd.info "gen" ~doc:"Generate a random instance") gen_term;
+    Cmd.v (Cmd.info "solve" ~doc:"Solve an instance") solve_term;
+    Cmd.v (Cmd.info "check" ~doc:"Verify a solution") check_term;
+    Cmd.v (Cmd.info "show" ~doc:"Render an instance or solution") show_term;
+    Cmd.v (Cmd.info "stats" ~doc:"Describe an instance") stats_term;
+  ]
+
+let () =
+  let info =
+    Cmd.info "sap_cli" ~version:"1.0"
+      ~doc:"Storage allocation problem toolkit (Bar-Yehuda-Beder-Rawitz reproduction)"
+  in
+  match Cmd.eval' (Cmd.group info cmds) with
+  | code -> exit code
+  | exception Invalid_argument m ->
+      Printf.eprintf "error: %s\n" m;
+      exit 2
+  | exception Failure m ->
+      Printf.eprintf "error: %s\n" m;
+      exit 2
+  | exception Sys_error m ->
+      Printf.eprintf "error: %s\n" m;
+      exit 2

@@ -1,0 +1,105 @@
+let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e
+
+let no_duplicates ids =
+  let tbl = Hashtbl.create 64 in
+  let rec go = function
+    | [] -> Ok ()
+    | id :: rest ->
+        if Hashtbl.mem tbl id then
+          Error (Printf.sprintf "duplicate task id %d" id)
+        else begin
+          Hashtbl.add tbl id ();
+          go rest
+        end
+  in
+  go ids
+
+let within_path path (j : Task.t) =
+  if j.Task.last_edge >= Path.num_edges path then
+    Error (Printf.sprintf "task %d leaves the path" j.Task.id)
+  else Ok ()
+
+let ufpp_feasible path ts =
+  let* () = no_duplicates (List.map (fun (j : Task.t) -> j.Task.id) ts) in
+  let rec check_tasks = function
+    | [] -> Ok ()
+    | j :: rest ->
+        let* () = within_path path j in
+        check_tasks rest
+  in
+  let* () = check_tasks ts in
+  let load = Instance.load_profile path ts in
+  let m = Path.num_edges path in
+  let rec scan e =
+    if e = m then Ok ()
+    else if load.(e) > Path.capacity path e then
+      Error
+        (Printf.sprintf "edge %d overloaded: load %d > capacity %d" e load.(e)
+           (Path.capacity path e))
+    else scan (e + 1)
+  in
+  scan 0
+
+let sap_geometry path sol ~bound =
+  (* Per edge, the vertical segments [h, h+d) of tasks using the edge must be
+     pairwise disjoint and end at or below min(capacity, bound). *)
+  let m = Path.num_edges path in
+  let per_edge = Array.make m [] in
+  List.iter
+    (fun ((j : Task.t), h) ->
+      for e = j.Task.first_edge to j.Task.last_edge do
+        per_edge.(e) <- (h, h + j.Task.demand, j.Task.id) :: per_edge.(e)
+      done)
+    sol;
+  let rec scan e =
+    if e = m then Ok ()
+    else
+      let limit = min (Path.capacity path e) bound in
+      let segs = List.sort compare per_edge.(e) in
+      let rec walk prev_top prev_id = function
+        | [] -> scan (e + 1)
+        | (lo, hi, id) :: rest ->
+            if lo < prev_top then
+              Error
+                (Printf.sprintf "edge %d: tasks %d and %d overlap vertically"
+                   e prev_id id)
+            else if hi > limit then
+              Error
+                (Printf.sprintf
+                   "edge %d: task %d tops out at %d above limit %d" e id hi
+                   limit)
+            else walk hi id rest
+      in
+      walk 0 (-1) segs
+  in
+  scan 0
+
+let sap_feasible_gen path ~bound sol =
+  let* () = no_duplicates (List.map (fun ((j : Task.t), _) -> j.Task.id) sol) in
+  let rec basics = function
+    | [] -> Ok ()
+    | ((j : Task.t), h) :: rest ->
+        let* () = within_path path j in
+        if h < 0 then Error (Printf.sprintf "task %d below ground" j.Task.id)
+        else basics rest
+  in
+  let* () = basics sol in
+  sap_geometry path sol ~bound
+
+let sap_feasible path sol = sap_feasible_gen path ~bound:max_int sol
+
+let sap_feasible_within path ~bound sol = sap_feasible_gen path ~bound sol
+
+let expect_ok = function
+  | Ok () -> ()
+  | Error msg -> failwith ("Checker: " ^ msg)
+
+let subset_of sol all =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (j : Task.t) -> Hashtbl.replace tbl j.Task.id j) all;
+  List.for_all
+    (fun (j : Task.t) ->
+      match Hashtbl.find_opt tbl j.Task.id with
+      | Some j' -> j = j'
+      | None -> false)
+    sol

@@ -1,0 +1,27 @@
+(** Machine checking of solution feasibility.
+
+    Every algorithm in this repository has its output run through these
+    checkers in the tests and the bench harness; no feasibility claim is
+    ever taken on faith.  Errors carry a human-readable reason. *)
+
+val ufpp_feasible : Path.t -> Task.t list -> (unit, string) result
+(** Checks (a) no duplicate task ids, (b) every task fits on its path,
+    (c) [d(S(e)) <= c_e] for every edge. *)
+
+val sap_feasible : Path.t -> Solution.sap -> (unit, string) result
+(** Checks (a) no duplicate task ids, (b) heights are non-negative,
+    (c) [h(j) + d_j <= c_e] on every edge of [I_j] (condition (i)),
+    (d) tasks sharing an edge occupy disjoint vertical ranges
+    (condition (ii)). *)
+
+val sap_feasible_within : Path.t -> bound:int -> Solution.sap -> (unit, string) result
+(** [sap_feasible] strengthened with [B]-packability: every task top must
+    stay at or below [bound] as well as below the capacities. *)
+
+val expect_ok : (unit, string) result -> unit
+(** Raises [Failure] with the carried reason; assertion helper. *)
+
+val subset_of : Task.t list -> Task.t list -> bool
+(** [subset_of sol all] — every solution task is (by id) one of the
+    instance's tasks and identical to it.  Guards against algorithms
+    inventing or mutating tasks. *)

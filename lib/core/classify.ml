@@ -1,0 +1,58 @@
+type split = {
+  small : Task.t list;
+  medium : Task.t list;
+  large : Task.t list;
+}
+
+let is_small path ~delta (j : Task.t) =
+  float_of_int j.Task.demand <= delta *. float_of_int (Path.bottleneck_of path j)
+
+let is_large path ~frac (j : Task.t) =
+  float_of_int j.Task.demand > frac *. float_of_int (Path.bottleneck_of path j)
+
+let split3 path ~delta ~large_frac ts =
+  if not (0.0 < delta && delta <= large_frac) then
+    invalid_arg "Classify.split3: need 0 < delta <= large_frac";
+  let small, rest = List.partition (is_small path ~delta) ts in
+  let large, medium = List.partition (is_large path ~frac:large_frac) rest in
+  { small; medium; large }
+
+let floor_log2 n =
+  if n < 1 then invalid_arg "Classify.floor_log2";
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let group_sorted pairs =
+  (* pairs : (band, task) list -> (band, tasks) list grouped, band ascending *)
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> Int.compare a b) pairs
+  in
+  let rec go acc current = function
+    | [] -> ( match current with None -> List.rev acc | Some g -> List.rev (g :: acc))
+    | (k, j) :: rest -> (
+        match current with
+        | Some (k', js) when k' = k -> go acc (Some (k', j :: js)) rest
+        | Some g -> go (g :: acc) (Some (k, [ j ])) rest
+        | None -> go acc (Some (k, [ j ])) rest)
+  in
+  go [] None sorted
+  |> List.map (fun (k, js) -> (k, List.rev js))
+
+let strip_bands path ts =
+  let pairs =
+    List.map (fun j -> (floor_log2 (Path.bottleneck_of path j), j)) ts
+  in
+  group_sorted pairs
+
+let power_bands path ~ell ts =
+  if ell < 1 then invalid_arg "Classify.power_bands: ell >= 1";
+  let pairs =
+    List.concat_map
+      (fun j ->
+        let t = floor_log2 (Path.bottleneck_of path j) in
+        List.init ell (fun i -> (t - i, j)))
+      ts
+  in
+  group_sorted pairs
+
+let residual path (j : Task.t) = Path.bottleneck_of path j - j.Task.demand

@@ -1,0 +1,39 @@
+(** Task classification by demand-to-bottleneck ratio and bottleneck bands.
+
+    The paper's pipeline hinges on three partitions of the task set:
+    - small / medium / large by [d_j] relative to [b(j)] (Theorem 4);
+    - the Strip-Pack bands [J_t = { j : 2^t <= b(j) < 2^{t+1} }] (Sect. 4.2);
+    - the AlmostUniform bands [J^{k,l} = { j : 2^k <= b(j) < 2^{k+l} }]
+      (Sect. 5.1), where every task falls in exactly [l] bands. *)
+
+type split = {
+  small : Task.t list;  (** [d_j <= delta * b(j)] *)
+  medium : Task.t list; (** [delta * b(j) < d_j <= large_frac * b(j)] *)
+  large : Task.t list;  (** [d_j > large_frac * b(j)] *)
+}
+
+val is_small : Path.t -> delta:float -> Task.t -> bool
+(** [d_j <= delta * b(j)]. *)
+
+val is_large : Path.t -> frac:float -> Task.t -> bool
+(** [d_j > frac * b(j)]. *)
+
+val split3 : Path.t -> delta:float -> large_frac:float -> Task.t list -> split
+(** Requires [0 < delta <= large_frac].  The theorem-4 configuration is
+    [delta] small-vs-medium and [large_frac = 1/2] (i.e. [k = 2],
+    [beta = 1/4]). *)
+
+val floor_log2 : int -> int
+(** [floor(log2 n)] for [n >= 1]. *)
+
+val strip_bands : Path.t -> Task.t list -> (int * Task.t list) list
+(** [strip_bands p ts] groups tasks by [t = floor(log2 b(j))]; the band
+    list is sorted by [t] ascending and contains only non-empty bands. *)
+
+val power_bands : Path.t -> ell:int -> Task.t list -> (int * Task.t list) list
+(** [power_bands p ~ell ts] returns [(k, J^{k,ell})] for every [k] with a
+    non-empty band; a task with [floor(log2 b(j)) = t] belongs to bands
+    [k = t - ell + 1 .. t].  Sorted by [k]. *)
+
+val residual : Path.t -> Task.t -> int
+(** The residual capacity [l(j) = b(j) - d_j] (Sect. 6). *)

@@ -1,0 +1,63 @@
+(* A height [p] is free for task [j] against a placed set iff for every
+   placed task [i] overlapping [j], the vertical ranges [p, p+d_j) and
+   [h_i, h_i+d_i) are disjoint, and p + d_j <= b(j). *)
+
+let conflicts (j : Task.t) p ((i : Task.t), hi) =
+  Task.overlaps j i && p < hi + i.Task.demand && hi < p + j.Task.demand
+
+let fits path placed (j : Task.t) p =
+  p >= 0
+  && p + j.Task.demand <= Path.bottleneck_of path j
+  && not (List.exists (conflicts j p) placed)
+
+let lowest_free_position path placed (j : Task.t) =
+  let candidates =
+    0
+    :: List.filter_map
+         (fun ((i : Task.t), hi) ->
+           if Task.overlaps j i then Some (hi + i.Task.demand) else None)
+         placed
+  in
+  let candidates = List.sort_uniq Int.compare candidates in
+  List.find_opt (fits path placed j) candidates
+
+let settle path sol =
+  (* One pass: visit tasks in increasing current height and re-place each at
+     its lowest free position w.r.t. all *other* tasks (at their current
+     heights).  Iterate passes until no height changes.  Heights only
+     decrease, and strictly on any changing pass, so this terminates. *)
+  let pass sol =
+    let order =
+      List.sort (fun (_, h1) (_, h2) -> Int.compare h1 h2) sol
+    in
+    let changed = ref false in
+    let rec go done_ = function
+      | [] -> List.rev done_
+      | (j, h) :: rest ->
+          let others = List.rev_append done_ rest in
+          let h' =
+            match lowest_free_position path others j with
+            | Some p when p < h -> p
+            | _ -> h
+          in
+          if h' <> h then changed := true;
+          go ((j, h') :: done_) rest
+    in
+    let sol' = go [] order in
+    (sol', !changed)
+  in
+  let rec fix sol =
+    let sol', changed = pass sol in
+    if changed then fix sol' else sol'
+  in
+  fix sol
+
+let is_settled _path sol =
+  let rests_on (j, h) =
+    h = 0
+    || List.exists
+         (fun ((i : Task.t), hi) ->
+           i.Task.id <> j.Task.id && Task.overlaps j i && hi + i.Task.demand = h)
+         sol
+  in
+  List.for_all rests_on sol

@@ -1,0 +1,23 @@
+(** The "gravity" normalisation of Observation 11.
+
+    Any feasible SAP solution can be transformed, without losing tasks or
+    feasibility, into one where every task either rests on the ground
+    ([h(j) = 0]) or exactly on top of another task it overlaps
+    ([h(j) = h(i) + d_i]).  The transformation repeatedly drops each task to
+    the lowest currently free position at or below its current height; the
+    sum of heights strictly decreases, so it terminates. *)
+
+val settle : Path.t -> Solution.sap -> Solution.sap
+(** [settle p sol] applies gravity until fixpoint.  Requires a feasible
+    input (checked lazily: positions considered are conflict-free, so the
+    output is feasible whenever the input is).  Heights never increase. *)
+
+val is_settled : Path.t -> Solution.sap -> bool
+(** Every task is at height 0 or exactly on top of an overlapping task. *)
+
+val lowest_free_position : Path.t -> Solution.sap -> Task.t -> int option
+(** [lowest_free_position p placed j] is the smallest height at which [j]
+    can be added to [placed] without violating capacities or overlapping a
+    placed task — [None] if no such height exists.  Candidate positions are
+    0 and the tops of placed tasks overlapping [j] (sufficient by the
+    gravity argument).  Shared helper of the DSA packers. *)

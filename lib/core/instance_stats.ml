@@ -1,0 +1,71 @@
+type t = {
+  num_edges : int;
+  num_tasks : int;
+  min_capacity : int;
+  max_capacity : int;
+  total_weight : float;
+  total_demand : int;
+  max_load : int;
+  max_load_over_min_cap : float;
+  mean_span : float;
+  mean_demand_ratio : float;
+  small_fraction : float;
+  medium_fraction : float;
+  large_fraction : float;
+  bottleneck_bands : (int * int) list;
+  unfit_tasks : int;
+}
+
+let compute ?(delta = 0.25) ?(large_frac = 0.5) path tasks =
+  let n = List.length tasks in
+  let nf = Float.max 1.0 (float_of_int n) in
+  let fit, unfit =
+    List.partition
+      (fun (j : Task.t) -> j.Task.demand <= Path.bottleneck_of path j)
+      tasks
+  in
+  let split = Classify.split3 path ~delta ~large_frac fit in
+  let bands =
+    Classify.strip_bands path fit |> List.map (fun (t, js) -> (t, List.length js))
+  in
+  let mean f = List.fold_left (fun acc j -> acc +. f j) 0.0 tasks /. nf in
+  {
+    num_edges = Path.num_edges path;
+    num_tasks = n;
+    min_capacity = Path.min_capacity path;
+    max_capacity = Path.max_capacity path;
+    total_weight = Task.weight_of tasks;
+    total_demand = Task.demand_of tasks;
+    max_load = Instance.max_load path tasks;
+    max_load_over_min_cap =
+      float_of_int (Instance.max_load path tasks)
+      /. float_of_int (Path.min_capacity path);
+    mean_span = mean (fun j -> float_of_int (Task.span j));
+    mean_demand_ratio =
+      mean (fun (j : Task.t) ->
+          float_of_int j.Task.demand /. float_of_int (Path.bottleneck_of path j));
+    small_fraction = float_of_int (List.length split.Classify.small) /. nf;
+    medium_fraction = float_of_int (List.length split.Classify.medium) /. nf;
+    large_fraction = float_of_int (List.length split.Classify.large) /. nf;
+    bottleneck_bands = bands;
+    unfit_tasks = List.length unfit;
+  }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>edges: %d  capacities: [%d, %d]@,\
+     tasks: %d (unfit: %d)  total weight: %.1f  total demand: %d@,\
+     LOAD(J): %d  (%.2fx the min capacity)@,\
+     mean span: %.1f  mean d/b: %.3f@,\
+     split (delta=1/4, large=1/2): %.0f%% small / %.0f%% medium / %.0f%% large@,\
+     bottleneck bands (t -> #tasks): %a@]"
+    s.num_edges s.min_capacity s.max_capacity s.num_tasks s.unfit_tasks
+    s.total_weight s.total_demand s.max_load s.max_load_over_min_cap s.mean_span
+    s.mean_demand_ratio
+    (100.0 *. s.small_fraction)
+    (100.0 *. s.medium_fraction)
+    (100.0 *. s.large_fraction)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (t, c) -> Format.fprintf ppf "%d->%d" t c))
+    s.bottleneck_bands

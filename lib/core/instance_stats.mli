@@ -1,0 +1,27 @@
+(** Descriptive statistics of an instance — what a user inspects before
+    choosing parameters (delta, engines) for the solvers.  Backs the CLI's
+    [stats] subcommand and the examples' preambles. *)
+
+type t = {
+  num_edges : int;
+  num_tasks : int;
+  min_capacity : int;
+  max_capacity : int;
+  total_weight : float;
+  total_demand : int;
+  max_load : int;            (** the paper's LOAD(J) *)
+  max_load_over_min_cap : float;  (** congestion indicator *)
+  mean_span : float;
+  mean_demand_ratio : float; (** mean of d_j / b(j) *)
+  small_fraction : float;    (** at delta *)
+  medium_fraction : float;
+  large_fraction : float;
+  bottleneck_bands : (int * int) list;  (** (t, #tasks with 2^t <= b < 2^t+1) *)
+  unfit_tasks : int;         (** d_j > b(j): can never be scheduled *)
+}
+
+val compute : ?delta:float -> ?large_frac:float -> Path.t -> Task.t list -> t
+(** [delta] defaults to 1/4, [large_frac] to 1/2 (the Theorem 4 split). *)
+
+val pp : Format.formatter -> t -> unit
+(** Multi-line human-readable report. *)

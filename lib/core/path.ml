@@ -1,0 +1,37 @@
+type t = { caps : int array; rmq : Util.Range_min.t }
+
+let create caps =
+  if Array.length caps = 0 then invalid_arg "Path.create: no edges";
+  Array.iter
+    (fun c -> if c <= 0 then invalid_arg "Path.create: non-positive capacity")
+    caps;
+  let caps = Array.copy caps in
+  { caps; rmq = Util.Range_min.build caps }
+
+let uniform ~edges ~capacity = create (Array.make edges capacity)
+
+let num_edges p = Array.length p.caps
+
+let capacity p e = p.caps.(e)
+
+let capacities p = Array.copy p.caps
+
+let bottleneck p ~first ~last = Util.Range_min.query p.rmq first last
+
+let bottleneck_edge p ~first ~last = Util.Range_min.query_arg p.rmq first last
+
+let bottleneck_of p (j : Task.t) =
+  bottleneck p ~first:j.Task.first_edge ~last:j.Task.last_edge
+
+let min_capacity p = bottleneck p ~first:0 ~last:(num_edges p - 1)
+
+let max_capacity p = Array.fold_left max p.caps.(0) p.caps
+
+let clip p c = create (Array.map (fun x -> min x c) p.caps)
+
+let pp ppf p =
+  Format.fprintf ppf "path[%d edges: %a]" (num_edges p)
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       Format.pp_print_int)
+    (Array.to_list p.caps)

@@ -1,0 +1,39 @@
+(** The resource: a path whose edges carry integer capacities.
+
+    Bottleneck queries [b(j) = min_{e in I_j} c_e] are O(1) via a sparse
+    table built once at construction. *)
+
+type t
+
+val create : int array -> t
+(** [create caps] — [caps.(e)] is the capacity of edge [e].  Capacities must
+    be positive and the array non-empty.  The array is copied. *)
+
+val uniform : edges:int -> capacity:int -> t
+
+val num_edges : t -> int
+
+val capacity : t -> int -> int
+
+val capacities : t -> int array
+(** Fresh copy of the capacity vector. *)
+
+val bottleneck : t -> first:int -> last:int -> int
+(** Minimum capacity over the inclusive edge range. *)
+
+val bottleneck_edge : t -> first:int -> last:int -> int
+(** An edge achieving the bottleneck. *)
+
+val bottleneck_of : t -> Task.t -> int
+(** [b(j)] for a task. *)
+
+val min_capacity : t -> int
+
+val max_capacity : t -> int
+
+val clip : t -> int -> t
+(** [clip p c] replaces every capacity by [min c_e c].  Observation 2/7 of
+    the paper: from the viewpoint of tasks with bottleneck [< c] this loses
+    nothing. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+type sap = (Task.t * int) list
+
+let sap_weight sol =
+  List.fold_left (fun acc ((j : Task.t), _) -> acc +. j.Task.weight) 0.0 sol
+
+let sap_tasks sol = List.map fst sol
+
+let sap_height sol j =
+  let _, h = List.find (fun ((i : Task.t), _) -> i.Task.id = j.Task.id) sol in
+  h
+
+let lift sol dh = List.map (fun (j, h) -> (j, h + dh)) sol
+
+let union a b =
+  let module S = Set.Make (Int) in
+  let ids =
+    List.fold_left (fun s ((j : Task.t), _) -> S.add j.Task.id s) S.empty a
+  in
+  List.iter
+    (fun ((j : Task.t), _) ->
+      if S.mem j.Task.id ids then
+        invalid_arg "Solution.union: task sets not disjoint")
+    b;
+  a @ b
+
+let makespan path sol =
+  let m = Path.num_edges path in
+  let top = Array.make m 0 in
+  List.iter
+    (fun ((j : Task.t), h) ->
+      for e = j.Task.first_edge to j.Task.last_edge do
+        top.(e) <- max top.(e) (h + j.Task.demand)
+      done)
+    sol;
+  top
+
+let max_makespan path sol = Array.fold_left max 0 (makespan path sol)
+
+let is_packable path ~bound sol = max_makespan path sol <= bound
+
+let ufpp_is_packable path ~bound ts =
+  Instance.max_load path ts <= bound
+
+let sort_by_id sol =
+  List.sort (fun ((a : Task.t), _) (b, _) -> Int.compare a.Task.id b.Task.id) sol
+
+let pp ppf sol =
+  let pp_one ppf (j, h) = Format.fprintf ppf "%a@@h=%d" Task.pp j h in
+  Format.fprintf ppf "@[<v>%a@]" (Format.pp_print_list pp_one) (sort_by_id sol)

@@ -1,0 +1,38 @@
+(** Solution representations.
+
+    A UFPP solution is a task list; a SAP solution pairs each chosen task
+    with its integer height [h(j)].  Feasibility is checked by {!Checker},
+    never assumed. *)
+
+type sap = (Task.t * int) list
+(** The pair [(S, h)] of the paper, fused. *)
+
+val sap_weight : sap -> float
+
+val sap_tasks : sap -> Task.t list
+
+val sap_height : sap -> Task.t -> int
+(** @raise Not_found if the task is not in the solution. *)
+
+val lift : sap -> int -> sap
+(** [lift sol dh] adds [dh] to every height (Algorithm Strip-Pack, line 3). *)
+
+val union : sap -> sap -> sap
+(** [h1 ∪ h2] of the paper — concatenation; callers guarantee disjoint task
+    sets (checked: raises [Invalid_argument] on a duplicate task id). *)
+
+val makespan : Path.t -> sap -> int array
+(** Per-edge makespan [mu_h(S(e)) = max h(j) + d_j] over tasks using the
+    edge (0 on unused edges). *)
+
+val max_makespan : Path.t -> sap -> int
+
+val is_packable : Path.t -> bound:int -> sap -> bool
+(** [B]-packability: every edge's makespan is at most [bound]. *)
+
+val ufpp_is_packable : Path.t -> bound:int -> Task.t list -> bool
+(** The UFPP analogue: every edge's load is at most [bound]. *)
+
+val sort_by_id : sap -> sap
+
+val pp : Format.formatter -> sap -> unit

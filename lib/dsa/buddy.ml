@@ -1,0 +1,47 @@
+module Task = Core.Task
+module Path = Core.Path
+
+let round_up_pow2 n =
+  if n < 1 then invalid_arg "Buddy.round_up_pow2";
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+(* Reservations: (task, height, rounded) — conflict test uses the rounded
+   vertical extent. *)
+let reservation_conflicts (j : Task.t) dj p (i, hi, di) =
+  Task.overlaps j i && p < hi + di && hi < p + dj
+
+let lowest_aligned_position path ~height_limit reserved (j : Task.t) dj =
+  let ceiling = min (Path.bottleneck_of path j) height_limit in
+  let overlapping =
+    List.filter (fun (i, _, _) -> Task.overlaps j i) reserved
+  in
+  let rec try_at p =
+    if p + dj > ceiling then None
+    else if List.exists (reservation_conflicts j dj p) overlapping then
+      try_at (p + dj)
+    else Some p
+  in
+  try_at 0
+
+let pack path ?(height_limit = max_int) ts =
+  let order =
+    List.sort
+      (fun (a : Task.t) (b : Task.t) ->
+        match Int.compare (round_up_pow2 b.Task.demand) (round_up_pow2 a.Task.demand) with
+        | 0 -> (
+            match Int.compare a.Task.first_edge b.Task.first_edge with
+            | 0 -> Int.compare a.Task.id b.Task.id
+            | c -> c)
+        | c -> c)
+      ts
+  in
+  let rec go reserved placed dropped = function
+    | [] -> (List.rev placed, List.rev dropped)
+    | j :: rest -> (
+        let dj = round_up_pow2 j.Task.demand in
+        match lowest_aligned_position path ~height_limit reserved j dj with
+        | Some p -> go ((j, p, dj) :: reserved) ((j, p) :: placed) dropped rest
+        | None -> go reserved placed (j :: dropped) rest)
+  in
+  go [] [] [] order

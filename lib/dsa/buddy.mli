@@ -1,0 +1,22 @@
+(** Buddy (power-of-two) contiguous allocation.
+
+    Demands are rounded up to powers of two and placed only at heights that
+    are multiples of their rounded size, which eliminates fragmentation
+    *within* a size class at the cost of a factor-2 demand inflation.  This
+    is the classical memory-allocator discipline and serves as the second
+    DSA baseline (the ablation bench compares it with plain first fit as the
+    engine of the strip transform). *)
+
+val round_up_pow2 : int -> int
+(** Smallest power of two [>= n], for [n >= 1]. *)
+
+val pack :
+  Core.Path.t ->
+  ?height_limit:int ->
+  Core.Task.t list ->
+  Core.Solution.sap * Core.Task.t list
+(** [(placed, dropped)].  Each placed task reserves the vertical range
+    [h, h + pow2(d)) but the returned solution records the true demand, so
+    feasibility is implied by reservation-disjointness.  Processing order:
+    decreasing rounded size, then left endpoint (large blocks first keeps
+    alignment tight). *)

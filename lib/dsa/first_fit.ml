@@ -1,0 +1,40 @@
+module Task = Core.Task
+module Path = Core.Path
+
+let conflicts (j : Task.t) p ((i : Task.t), hi) =
+  Task.overlaps j i && p < hi + i.Task.demand && hi < p + j.Task.demand
+
+let lowest_position path ~height_limit placed (j : Task.t) =
+  let ceiling = min (Path.bottleneck_of path j) height_limit in
+  let overlapping = List.filter (fun (i, _) -> Task.overlaps j i) placed in
+  let candidates =
+    0 :: List.map (fun ((i : Task.t), hi) -> hi + i.Task.demand) overlapping
+  in
+  let candidates = List.sort_uniq Int.compare candidates in
+  List.find_opt
+    (fun p -> p + j.Task.demand <= ceiling && not (List.exists (conflicts j p) overlapping))
+    candidates
+
+let pack_in_order path ?(height_limit = max_int) ts =
+  let rec go placed dropped = function
+    | [] -> (List.rev placed, List.rev dropped)
+    | j :: rest -> (
+        match lowest_position path ~height_limit placed j with
+        | Some p -> go ((j, p) :: placed) dropped rest
+        | None -> go placed (j :: dropped) rest)
+  in
+  go [] [] ts
+
+let left_endpoint_order ts =
+  List.sort
+    (fun (a : Task.t) (b : Task.t) ->
+      match Int.compare a.Task.first_edge b.Task.first_edge with
+      | 0 -> (
+          match Int.compare b.Task.last_edge a.Task.last_edge with
+          | 0 -> Int.compare a.Task.id b.Task.id
+          | c -> c)
+      | c -> c)
+    ts
+
+let pack path ?height_limit ts =
+  pack_in_order path ?height_limit (left_endpoint_order ts)

@@ -1,0 +1,23 @@
+(** First-fit contiguous allocation (the classical DSA heuristic).
+
+    Tasks are processed in order of left endpoint (ties: longer first, then
+    id) and placed at the lowest height that conflicts with no already
+    placed task and respects every capacity on the task's path, optionally
+    clipped by a uniform [height_limit].  Tasks with no feasible position
+    are returned unplaced. *)
+
+val pack :
+  Core.Path.t ->
+  ?height_limit:int ->
+  Core.Task.t list ->
+  Core.Solution.sap * Core.Task.t list
+(** [(placed, dropped)].  [placed] is always feasible (and within
+    [height_limit] if given); the checker-verified invariant of the tests. *)
+
+val pack_in_order :
+  Core.Path.t ->
+  ?height_limit:int ->
+  Core.Task.t list ->
+  Core.Solution.sap * Core.Task.t list
+(** Same, but respects the given list order (used by the retry passes of
+    {!Strip_transform}, which order by weight). *)

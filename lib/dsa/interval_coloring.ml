@@ -1,0 +1,53 @@
+module Task = Core.Task
+
+let color ts =
+  (match ts with
+  | [] -> ()
+  | j :: rest ->
+      let d = j.Task.demand in
+      if List.exists (fun (i : Task.t) -> i.Task.demand <> d) rest then
+        invalid_arg "Interval_coloring.color: demands not uniform");
+  let by_start =
+    List.sort
+      (fun (a : Task.t) b ->
+        match Int.compare a.Task.first_edge b.Task.first_edge with
+        | 0 -> Int.compare a.Task.id b.Task.id
+        | c -> c)
+      ts
+  in
+  (* active: tasks not yet expired, keyed by last_edge; free: recycled
+     colors. *)
+  let active = Util.Heap.create ~cmp:(fun (e1, _) (e2, _) -> Int.compare e1 e2) in
+  let free = Util.Heap.create ~cmp:Int.compare in
+  let next_fresh = ref 0 in
+  let expire edge =
+    let rec go () =
+      match Util.Heap.peek active with
+      | Some (last, c) when last < edge ->
+          ignore (Util.Heap.pop active);
+          Util.Heap.push free c;
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  List.map
+    (fun (j : Task.t) ->
+      expire j.Task.first_edge;
+      let c =
+        match Util.Heap.pop free with
+        | Some c -> c
+        | None ->
+            let c = !next_fresh in
+            incr next_fresh;
+            c
+      in
+      Util.Heap.push active (j.Task.last_edge, c);
+      (j, c))
+    by_start
+
+let to_sap ts =
+  List.map (fun ((j : Task.t), c) -> (j, c * j.Task.demand)) (color ts)
+
+let colors_used colored =
+  List.fold_left (fun acc (_, c) -> max acc (c + 1)) 0 colored

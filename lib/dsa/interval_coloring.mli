@@ -1,0 +1,16 @@
+(** Optimal DSA for uniform demands = interval graph coloring.
+
+    When all demands are equal, SAP height assignment degenerates to
+    coloring the interval graph of the tasks' paths; the greedy
+    left-endpoint sweep with color recycling is optimal (uses exactly
+    clique-number = max-load/d colors).  This is both a DSA baseline and the
+    special case the paper's related work (Sect. 1.1) starts from. *)
+
+val color : Core.Task.t list -> (Core.Task.t * int) list
+(** Requires all demands equal (raises [Invalid_argument] otherwise).
+    Returns each task with its color in [0 .. chi-1]. *)
+
+val to_sap : Core.Task.t list -> Core.Solution.sap
+(** Heights [color * d]; makespan equals the max load, i.e. optimal. *)
+
+val colors_used : (Core.Task.t * int) list -> int

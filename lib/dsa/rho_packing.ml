@@ -1,0 +1,65 @@
+module Task = Core.Task
+module Path = Core.Path
+
+type result = {
+  rho : float;
+  lower_bound : float;
+  solution : Core.Solution.sap;
+}
+
+type engine = First_fit | Buddy
+
+let load_lower_bound path ts =
+  let load = Core.Instance.load_profile path ts in
+  let best = ref 0.0 in
+  Array.iteri
+    (fun e l ->
+      let r = float_of_int l /. float_of_int (Path.capacity path e) in
+      if r > !best then best := r)
+    load;
+  !best
+
+let scaled_path path rho =
+  let caps =
+    Array.map
+      (fun c -> max 1 (int_of_float (Float.floor (rho *. float_of_int c))))
+      (Path.capacities path)
+  in
+  Path.create caps
+
+let try_pack ~engine path rho ts =
+  let p = scaled_path path rho in
+  let placed, dropped =
+    match engine with
+    | First_fit -> First_fit.pack p ts
+    | Buddy -> Buddy.pack p ts
+  in
+  if dropped = [] then Some (p, placed) else None
+
+let solve ?(engine = First_fit) ?(iterations = 20) path ts =
+  match ts with
+  | [] -> { rho = 0.0; lower_bound = 0.0; solution = [] }
+  | _ ->
+      let lower_bound = load_lower_bound path ts in
+      (* Bracket: double from the lower bound until the packer succeeds. *)
+      let rec bracket rho tries =
+        if tries > 40 then invalid_arg "Rho_packing.solve: cannot bracket";
+        match try_pack ~engine path rho ts with
+        | Some packed -> (rho, packed)
+        | None -> bracket (2.0 *. rho) (tries + 1)
+      in
+      let hi0, packed0 = bracket (Float.max lower_bound 1e-9) 0 in
+      let rec bisect lo hi best steps =
+        if steps = 0 then (hi, best)
+        else
+          let mid = 0.5 *. (lo +. hi) in
+          match try_pack ~engine path mid ts with
+          | Some packed -> bisect lo mid packed (steps - 1)
+          | None -> bisect mid hi best (steps - 1)
+      in
+      let lo0 = if hi0 > lower_bound then Float.max lower_bound (hi0 /. 2.0) else hi0 in
+      let rho, (p, solution) = bisect lo0 hi0 packed0 iterations in
+      (match Core.Checker.sap_feasible p solution with
+      | Ok () -> ()
+      | Error m -> failwith ("Rho_packing: packer produced infeasible result: " ^ m));
+      { rho; lower_bound; solution }

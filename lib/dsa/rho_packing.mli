@@ -1,0 +1,33 @@
+(** The extended DSA problem posed in the paper's conclusion (Sect. 8):
+    given a path with a non-uniform capacity vector [c] and a set of
+    (small) tasks, find the minimum coefficient [rho] such that *all*
+    tasks pack within the capacity vector [rho * c].
+
+    The paper leaves the problem open; we ship the practical solver a
+    downstream user would want: binary search on [rho] over a first-fit /
+    buddy packing oracle, bracketed below by the load lower bound
+    [rho >= max_e load(e) / c_e] (no algorithm can beat it) and above by a
+    doubling search.  The result is a certificate pair (the achieved [rho]
+    and a checker-verified packing); the gap to the lower bound is what the
+    ablation bench measures. *)
+
+type result = {
+  rho : float;            (** achieved coefficient (capacities scaled by it) *)
+  lower_bound : float;    (** load bound: max_e load(e) / c_e *)
+  solution : Core.Solution.sap;  (** packs every task under [rho * c] *)
+}
+
+type engine = First_fit | Buddy
+
+val load_lower_bound : Core.Path.t -> Core.Task.t list -> float
+
+val solve :
+  ?engine:engine ->
+  ?iterations:int ->
+  Core.Path.t ->
+  Core.Task.t list ->
+  result
+(** [iterations] bisection steps (default 20, giving ~1e-6 relative
+    precision).  The returned solution is feasible for the path whose
+    capacities are [floor(rho * c_e)] — verified before returning
+    (assertion failure would indicate a packer bug). *)

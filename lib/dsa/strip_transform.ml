@@ -1,0 +1,46 @@
+module Task = Core.Task
+module Path = Core.Path
+
+type result = {
+  packed : Core.Solution.sap;
+  dropped : Core.Task.t list;
+  retained_weight : float;
+  input_weight : float;
+}
+
+let by_weight_desc ts =
+  List.sort (fun (a : Task.t) b -> Float.compare b.Task.weight a.Task.weight) ts
+
+let transform ?(engine = `First_fit) ~height ~edges ts =
+  let input_weight = Task.weight_of ts in
+  let strip = Path.uniform ~edges ~capacity:height in
+  (* Pass 1: pack in left-endpoint order with the selected engine. *)
+  let placed, overflow =
+    match engine with
+    | `First_fit -> First_fit.pack strip ts
+    | `Buddy -> Buddy.pack strip ts
+  in
+  (* Pass 2: settle (gravity compacts fragmentation), then retry the
+     overflow heaviest-first into the compacted arrangement. *)
+  let placed = Core.Gravity.settle strip placed in
+  let rec retry placed still_out = function
+    | [] -> (placed, List.rev still_out)
+    | j :: rest -> (
+        match Core.Gravity.lowest_free_position strip placed j with
+        | Some p -> retry ((j, p) :: placed) still_out rest
+        | None -> retry placed (j :: still_out) rest)
+  in
+  let placed, overflow = retry placed [] (by_weight_desc overflow) in
+  (* Pass 3: one more settle + retry round; after it, give up on the rest. *)
+  let placed = Core.Gravity.settle strip placed in
+  let placed, dropped = retry placed [] overflow in
+  {
+    packed = placed;
+    dropped;
+    retained_weight = Core.Solution.sap_weight placed;
+    input_weight;
+  }
+
+let loss_fraction r =
+  if r.input_weight <= 0.0 then 0.0
+  else 1.0 -. (r.retained_weight /. r.input_weight)

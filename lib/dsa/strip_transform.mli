@@ -1,0 +1,36 @@
+(** UFPP-solution-in-a-strip → SAP-solution-in-the-same-strip (role of
+    Lemma 4 / Buchsbaum et al. [12]).
+
+    Input: a task list whose per-edge load is at most [height] (a
+    [B]-packable UFPP solution of small tasks) over a path whose capacities
+    are ignored — only the strip ceiling matters.  Output: a height
+    assignment inside [0, height) for a high-weight subset, plus the dropped
+    tasks.  The paper's Lemma 4 guarantees a loss of at most a [4*delta]
+    weight fraction for [delta]-small inputs; our packer is a documented
+    substitution (DESIGN.md §3.2): three passes of first fit (left-endpoint
+    order, then dropped tasks by weight, then once more after a gravity
+    settle), machine-checked for feasibility, with the realized loss
+    reported by the bench harness. *)
+
+type result = {
+  packed : Core.Solution.sap;       (** heights in [0, height) *)
+  dropped : Core.Task.t list;
+  retained_weight : float;
+  input_weight : float;
+}
+
+val transform :
+  ?engine:[ `First_fit | `Buddy ] ->
+  height:int ->
+  edges:int ->
+  Core.Task.t list ->
+  result
+(** [transform ~height ~edges ts].  [edges] is the path length (tasks must
+    fit on it).  The strip is uniform: every edge has ceiling [height].
+    [engine] selects the first-pass packer (default [`First_fit]; [`Buddy]
+    trades fragmentation for power-of-two internal waste — the ABL bench
+    measures the retention difference); the retry passes always use
+    gravity + first fit. *)
+
+val loss_fraction : result -> float
+(** [1 - retained/input]; 0 on empty input. *)

@@ -1,0 +1,56 @@
+module Ring = Core.Ring
+
+let solve (r : Ring.t) =
+  let m = Ring.num_edges r in
+  let caps = r.Ring.capacities in
+  let tasks = Array.copy r.Ring.tasks in
+  Array.sort
+    (fun (a : Ring.task) b -> Float.compare b.Ring.weight a.Ring.weight)
+    tasks;
+  let n = Array.length tasks in
+  let suffix = Array.make (n + 1) 0.0 in
+  for i = n - 1 downto 0 do
+    suffix.(i) <- suffix.(i + 1) +. tasks.(i).Ring.weight
+  done;
+  let bound = Array.fold_left max 0 caps in
+  let demands = Array.to_list tasks |> List.map (fun (t : Ring.task) -> t.Ring.demand) in
+  let candidates = Util.Subset_sum.distinct_sums ~bound demands in
+  (* Placed tasks carry their edge list; conflict = shared edge with
+     overlapping vertical extent. *)
+  let conflicts (edges : int list) p d (edges', p', d') =
+    p < p' + d' && p' < p + d
+    && List.exists (fun e -> List.mem e edges') edges
+  in
+  let placeable edges p d placed =
+    List.for_all (fun e -> p + d <= caps.(e)) edges
+    && not (List.exists (conflicts edges p d) placed)
+  in
+  let best = ref [] in
+  let best_w = ref 0.0 in
+  let rec branch i placed sol w =
+    if w > !best_w then begin
+      best_w := w;
+      best := sol
+    end;
+    if i < n && w +. suffix.(i) > !best_w +. 1e-12 then begin
+      let tk = tasks.(i) in
+      let try_route dir =
+        let edges = Ring.edges_of_route ~m ~src:tk.Ring.src ~dst:tk.Ring.dst dir in
+        List.iter
+          (fun p ->
+            if placeable edges p tk.Ring.demand placed then
+              branch (i + 1)
+                ((edges, p, tk.Ring.demand) :: placed)
+                ((tk, p, dir) :: sol)
+                (w +. tk.Ring.weight))
+          candidates
+      in
+      try_route Ring.Cw;
+      try_route Ring.Ccw;
+      branch (i + 1) placed sol w
+    end
+  in
+  branch 0 [] [] 0.0;
+  !best
+
+let value r = Ring.solution_weight (solve r)

@@ -1,0 +1,11 @@
+(** Exact SAP on rings by exhaustive search over (subset, routing, heights).
+
+    Each task branches three ways — skipped, routed clockwise or
+    counter-clockwise — with heights drawn from the bounded subset sums of
+    all demands, exactly as in {!Sap_brute}.  Exponential with base 3;
+    oracle for the Theorem 5 experiments on rings of up to ~8 tasks. *)
+
+val solve : Core.Ring.t -> Core.Ring.solution
+(** A maximum-weight feasible ring solution. *)
+
+val value : Core.Ring.t -> float

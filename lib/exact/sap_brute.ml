@@ -1,0 +1,67 @@
+module Task = Core.Task
+module Path = Core.Path
+
+let height_candidates path ts =
+  let bound = Path.max_capacity path in
+  let demands = List.map (fun (j : Task.t) -> j.Task.demand) ts in
+  Util.Subset_sum.distinct_sums ~bound demands
+
+let conflicts (j : Task.t) p ((i : Task.t), hi) =
+  Task.overlaps j i && p < hi + i.Task.demand && hi < p + j.Task.demand
+
+let placeable path placed j p =
+  p + (j : Task.t).Task.demand <= Path.bottleneck_of path j
+  && not (List.exists (conflicts j p) placed)
+
+let solve path ts =
+  let a = Array.of_list ts in
+  Array.sort (fun (x : Task.t) y -> Float.compare y.Task.weight x.Task.weight) a;
+  let n = Array.length a in
+  let suffix = Array.make (n + 1) 0.0 in
+  for i = n - 1 downto 0 do
+    suffix.(i) <- suffix.(i + 1) +. a.(i).Task.weight
+  done;
+  let candidates = height_candidates path ts in
+  let best = ref [] in
+  let best_w = ref 0.0 in
+  let rec branch i placed w =
+    if w > !best_w then begin
+      best_w := w;
+      best := placed
+    end;
+    if i < n && w +. suffix.(i) > !best_w +. 1e-12 then begin
+      let j = a.(i) in
+      List.iter
+        (fun p ->
+          if placeable path placed j p then
+            branch (i + 1) ((j, p) :: placed) (w +. j.Task.weight))
+        candidates;
+      branch (i + 1) placed w
+    end
+  in
+  branch 0 [] 0.0;
+  !best
+
+let value path ts = Core.Solution.sap_weight (solve path ts)
+
+exception Found of Core.Solution.sap
+
+let realizable path ts =
+  (* Place every task or fail; first full placement wins.  Tasks in
+     decreasing demand order — big rectangles constrain most. *)
+  let a = Array.of_list ts in
+  Array.sort (fun (x : Task.t) y -> Int.compare y.Task.demand x.Task.demand) a;
+  let n = Array.length a in
+  let candidates = height_candidates path ts in
+  let rec branch i placed =
+    if i = n then raise (Found placed)
+    else
+      let j = a.(i) in
+      List.iter
+        (fun p -> if placeable path placed j p then branch (i + 1) ((j, p) :: placed))
+        candidates
+  in
+  try
+    branch 0 [];
+    None
+  with Found sol -> Some sol

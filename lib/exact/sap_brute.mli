@@ -1,0 +1,18 @@
+(** Exact SAP by exhaustive search — the test oracle.
+
+    Justified by the gravity argument (Observation 11): some optimal
+    solution has every height equal to a sum of task demands, so searching
+    heights over the distinct bounded subset sums of all demands is
+    complete.  The search branches per task on "skip" or "place at h" for
+    each non-conflicting candidate height, with residual-weight pruning.
+    Exponential: intended for instances of at most a dozen-odd tasks. *)
+
+val solve : Core.Path.t -> Core.Task.t list -> Core.Solution.sap
+(** A maximum-weight feasible SAP solution. *)
+
+val value : Core.Path.t -> Core.Task.t list -> float
+
+val realizable : Core.Path.t -> Core.Task.t list -> Core.Solution.sap option
+(** [realizable p ts] — a height assignment scheduling *all* of [ts], if
+    one exists.  Drives the Fig. 1 experiment (UFPP-feasible task sets with
+    no SAP realisation). *)

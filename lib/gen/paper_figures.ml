@@ -1,0 +1,121 @@
+module Task = Core.Task
+module Path = Core.Path
+
+let fig1a =
+  let path = Path.create [| 1; 2; 1 |] in
+  let tasks =
+    [
+      Task.make ~id:0 ~first_edge:0 ~last_edge:1 ~demand:1 ~weight:1.0;
+      Task.make ~id:1 ~first_edge:1 ~last_edge:2 ~demand:1 ~weight:1.0;
+    ]
+  in
+  (path, tasks)
+
+(* Greedily sample a UFPP-feasible task set (loads kept within capacity by
+   construction), then ask the exact oracle whether any height assignment
+   schedules all of it. *)
+let random_ufpp_feasible_set prng path ~n ~demands =
+  let m = Path.num_edges path in
+  let load = Array.make m 0 in
+  let tasks = ref [] in
+  let id = ref 0 in
+  for _ = 1 to n do
+    let span = Util.Prng.int_in prng 1 m in
+    let first = Util.Prng.int prng (m - span + 1) in
+    let last = first + span - 1 in
+    let d = Util.Prng.choose prng demands in
+    let rec fits e = e > last || (load.(e) + d <= Path.capacity path e && fits (e + 1)) in
+    if fits first then begin
+      for e = first to last do
+        load.(e) <- load.(e) + d
+      done;
+      tasks :=
+        Task.make ~id:!id ~first_edge:first ~last_edge:last ~demand:d ~weight:1.0
+        :: !tasks;
+      incr id
+    end
+  done;
+  List.rev !tasks
+
+let fig1b ~seed =
+  let prng = Util.Prng.create seed in
+  let rec search attempt =
+    if attempt > 2_000_000 then
+      failwith "Paper_figures.fig1b: no gap instance found (raise the budget)";
+    let edges = Util.Prng.int_in prng 4 9 in
+    let path = Path.uniform ~edges ~capacity:4 in
+    let tasks = random_ufpp_feasible_set prng path ~n:24 ~demands:[| 1; 2; 3 |] in
+    if List.length tasks >= 4 && List.length tasks <= 12 then
+      match Exact.Sap_brute.realizable path tasks with
+      | None -> (path, tasks)
+      | Some _ -> search (attempt + 1)
+    else search (attempt + 1)
+  in
+  search 0
+
+let fig2_uniform =
+  let path = Path.uniform ~edges:6 ~capacity:16 in
+  let mk id first last d =
+    Task.make ~id ~first_edge:first ~last_edge:last ~demand:d ~weight:1.0
+  in
+  (path, [ mk 0 0 2 2; mk 1 1 4 1; mk 2 2 5 2; mk 3 0 5 1; mk 4 3 4 2 ])
+
+let fig2_valley =
+  let path = Path.create [| 16; 12; 8; 8; 12; 16 |] in
+  let mk id first last d =
+    Task.make ~id ~first_edge:first ~last_edge:last ~demand:d ~weight:1.0
+  in
+  (* Bottlenecks differ per span: the same demand can be delta-small for a
+     short outer task and not for a valley-crossing one. *)
+  (path, [ mk 0 0 1 1; mk 1 1 4 1; mk 2 2 3 1; mk 3 0 5 1; mk 4 4 5 2 ])
+
+(* Fig. 8: five 1/2-large tasks admitting a full SAP schedule whose
+   rectangle graph is a chordless 5-cycle.  Found by deterministic search
+   (seed below) and validated structurally here and in the tests. *)
+
+let is_c5 rects =
+  let a = Array.of_list rects in
+  let n = Array.length a in
+  n = 5
+  &&
+  let adj i j = Rects.Rect.intersects a.(i) a.(j) in
+  let degree v =
+    let d = ref 0 in
+    for u = 0 to n - 1 do
+      if u <> v && adj v u then incr d
+    done;
+    !d
+  in
+  let rec all_deg2 v = v = n || (degree v = 2 && all_deg2 (v + 1)) in
+  all_deg2 0
+  &&
+  (* A connected 2-regular graph on 5 vertices is C5. *)
+  let visited = Array.make n false in
+  let rec dfs v =
+    visited.(v) <- true;
+    for u = 0 to n - 1 do
+      if u <> v && adj v u && not visited.(u) then dfs u
+    done
+  in
+  dfs 0;
+  Array.for_all Fun.id visited
+
+(* Explicit construction.  Bottlenecks: b_A = 15 (edges 0-1), b_B = 29
+   (edges 2-3), b_C = 57 (edges 4-6), b_D = 29 (edge 7), b_E = 8 (edge 8).
+   Rectangles: A (7,15], B (14,29], C (28,57], D (7,29], E (3,8] — pairwise
+   intersections are exactly the cycle A-B-C-D-E-A (the chords A-C, A-D,
+   B-D die on disjoint x-spans; B-E, C-E on disjoint y-spans).  The height
+   assignment E@0, A@5, B@13, D@5, C@28 schedules all five. *)
+let fig8_instance =
+  let path = Path.create [| 15; 15; 29; 29; 57; 57; 57; 29; 8 |] in
+  let mk id first last d =
+    Task.make ~id ~first_edge:first ~last_edge:last ~demand:d ~weight:1.0
+  in
+  let a = mk 0 0 2 8 in
+  let b = mk 1 2 4 15 in
+  let c = mk 2 4 6 29 in
+  let d = mk 3 5 7 22 in
+  let e = mk 4 0 8 5 in
+  (path, [ (a, 5); (b, 13); (c, 28); (d, 5); (e, 0) ])
+
+let fig8 = lazy fig8_instance

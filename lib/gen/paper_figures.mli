@@ -1,0 +1,39 @@
+(** The paper's hand-built example instances (all integer-scaled).
+
+    Fig. 1 shows task sets that are UFPP-feasible but admit no SAP height
+    assignment; Fig. 8 shows a 1/2-large SAP solution whose rectangle graph
+    is a 5-cycle (witnessing tightness of Lemma 17 for k = 2).  Every
+    construction here is verified by the exact oracle in the tests: the
+    claims are machine-checked, not transcribed. *)
+
+val fig1a : Core.Path.t * Core.Task.t list
+(** Capacities (1, 2, 1) — the paper's (0.5, 1, 0.5) scaled by 2 — and two
+    unit-demand tasks [\[0,1\]] and [\[1,2\]].  Loads fit everywhere, but at
+    the shared edge both tasks are pinned to height 0 by their outer
+    bottlenecks: UFPP-feasible, SAP-infeasible. *)
+
+val fig1b : seed:int -> Core.Path.t * Core.Task.t list
+(** The uniform-capacity gap phenomenon of Fig. 1(b) (due to Chen et al.
+    [18]).  The paper does not give machine-readable coordinates for the
+    figure, so we *search*: deterministic sampling (from [seed]) of
+    UFPP-feasible task sets with uniform capacity 4 and demands in
+    [{1, 2, 3}] until the exact oracle certifies SAP-infeasibility.
+    Returns the first witness (same phenomenon, searched geometry). *)
+
+val fig2_uniform : Core.Path.t * Core.Task.t list
+(** Fig. 2(a): delta-small tasks under uniform capacities. *)
+
+val fig2_valley : Core.Path.t * Core.Task.t list
+(** Fig. 2(b): delta-small tasks under a valley profile. *)
+
+val is_c5 : Rects.Rect.t list -> bool
+(** Is the intersection graph of exactly five rectangles a chordless
+    5-cycle? *)
+
+val fig8 : (Core.Path.t * Core.Solution.sap) lazy_t
+(** Five 1/2-large tasks with a feasible height assignment whose rectangles
+    [R(j)] form a chordless 5-cycle — the Lemma 17 tightness witness for
+    [k = 2].  Explicit construction (the paper's figure coordinates are not
+    machine-readable; this instance realises the same structure); the tests
+    assert feasibility, the cycle structure, and that the greedy coloring
+    needs 3 = 2k-1 colors. *)

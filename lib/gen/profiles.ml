@@ -1,0 +1,41 @@
+module Path = Core.Path
+
+let uniform ~edges ~capacity = Path.uniform ~edges ~capacity
+
+let valley ~edges ~high ~low =
+  if low > high then invalid_arg "Profiles.valley: low > high";
+  let mid = (edges - 1) / 2 in
+  let cap e =
+    let dist = abs (e - mid) in
+    let span = max mid (edges - 1 - mid) in
+    if span = 0 then low else low + ((high - low) * dist / span)
+  in
+  Path.create (Array.init edges cap)
+
+let mountain ~edges ~low ~high =
+  if low > high then invalid_arg "Profiles.mountain: low > high";
+  let mid = (edges - 1) / 2 in
+  let cap e =
+    let dist = abs (e - mid) in
+    let span = max mid (edges - 1 - mid) in
+    if span = 0 then high else high - ((high - low) * dist / span)
+  in
+  Path.create (Array.init edges cap)
+
+let staircase ~edges ~steps ~base =
+  if steps < 1 then invalid_arg "Profiles.staircase: steps >= 1";
+  let per = max 1 (edges / steps) in
+  let cap e =
+    let s = min (steps - 1) (e / per) in
+    base * (1 lsl s)
+  in
+  Path.create (Array.init edges cap)
+
+let random_walk ~prng ~edges ~start ~max_step ~min_cap =
+  let current = ref start in
+  let cap _ =
+    let step = Util.Prng.int_in prng (-max_step) max_step in
+    current := max min_cap (!current + step);
+    !current
+  in
+  Path.create (Array.init edges cap)

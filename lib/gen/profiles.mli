@@ -1,0 +1,23 @@
+(** Capacity profile generators.
+
+    The paper's algorithms are sensitive to the *shape* of the capacity
+    vector (bottleneck bands, almost-uniform windows), so the experiments
+    sweep several canonical shapes. *)
+
+val uniform : edges:int -> capacity:int -> Core.Path.t
+
+val valley : edges:int -> high:int -> low:int -> Core.Path.t
+(** High at both ends, single minimum in the middle, linear slopes —
+    the shape of Fig. 2(b). *)
+
+val mountain : edges:int -> low:int -> high:int -> Core.Path.t
+(** Inverse of {!valley}. *)
+
+val staircase : edges:int -> steps:int -> base:int -> Core.Path.t
+(** [steps] plateaus, capacity doubling per plateau ([base * 2^s]): puts
+    every plateau in its own bottleneck band, exercising Strip-Pack and
+    AlmostUniform band logic. *)
+
+val random_walk :
+  prng:Util.Prng.t -> edges:int -> start:int -> max_step:int -> min_cap:int -> Core.Path.t
+(** Bounded random walk, clamped below at [min_cap]. *)

@@ -1,0 +1,30 @@
+module Ring = Core.Ring
+
+let route_bottleneck caps edges =
+  List.fold_left (fun acc e -> min acc caps.(e)) max_int edges
+
+let random ~prng ~edges ~n ~cap_lo ~cap_hi ~ratio_lo ~ratio_hi =
+  if edges < 3 then invalid_arg "Ring_gen.random: edges >= 3";
+  let caps = Array.init edges (fun _ -> Util.Prng.int_in prng cap_lo cap_hi) in
+  let rec task id tries =
+    if tries > 1000 then invalid_arg "Ring_gen.random: cannot fit a task";
+    let src = Util.Prng.int prng edges in
+    let dst = Util.Prng.int prng edges in
+    if src = dst then task id (tries + 1)
+    else begin
+      let cw = Ring.edges_of_route ~m:edges ~src ~dst Ring.Cw in
+      let ccw = Ring.edges_of_route ~m:edges ~src ~dst Ring.Ccw in
+      let b = max (route_bottleneck caps cw) (route_bottleneck caps ccw) in
+      let bf = float_of_int b in
+      let d_min = max 1 (1 + int_of_float (Float.floor (ratio_lo *. bf))) in
+      let d_max = int_of_float (Float.floor (ratio_hi *. bf)) in
+      if d_max < d_min then task id (tries + 1)
+      else
+        let d = Util.Prng.int_in prng d_min d_max in
+        Ring.make_task ~id ~src ~dst ~demand:d
+          ~weight:(1.0 +. Util.Prng.float prng 99.0)
+          ~t_edges:edges
+    end
+  in
+  let tasks = List.init n (fun id -> task id 0) in
+  Ring.create caps tasks

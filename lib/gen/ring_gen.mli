@@ -1,0 +1,15 @@
+(** Random ring instances for the Theorem 5 experiments. *)
+
+val random :
+  prng:Util.Prng.t ->
+  edges:int ->
+  n:int ->
+  cap_lo:int ->
+  cap_hi:int ->
+  ratio_lo:float ->
+  ratio_hi:float ->
+  Core.Ring.t
+(** [n] tasks with uniformly random distinct terminal pairs; each task's
+    demand is drawn so that its ratio to the *smaller* of its two route
+    bottlenecks lies in [(ratio_lo, ratio_hi]] — every task is routable at
+    least one way.  Weights uniform in [\[1, 100\]]. *)

@@ -1,0 +1,35 @@
+module Task = Core.Task
+module Path = Core.Path
+
+let memory_trace ~prng ~time_slots ~memory ~n ~max_lifetime ~max_object =
+  if max_object > memory then invalid_arg "Traces.memory_trace: object > memory";
+  let path = Path.uniform ~edges:time_slots ~capacity:memory in
+  let task id =
+    let arrival = Util.Prng.int prng time_slots in
+    let lifetime = Util.Prng.int_in prng 1 max_lifetime in
+    let last = min (time_slots - 1) (arrival + lifetime - 1) in
+    let size = Util.Prng.int_in prng 1 max_object in
+    let weight = float_of_int (size * (last - arrival + 1)) in
+    Task.make ~id ~first_edge:arrival ~last_edge:last ~demand:size ~weight
+  in
+  (path, List.init n task)
+
+let spectrum_trace ~prng ~links ~n =
+  let path = Profiles.valley ~edges:links ~high:64 ~low:16 in
+  let task id =
+    let rec attempt tries =
+      if tries > 1000 then invalid_arg "Traces.spectrum_trace: cannot fit";
+      let first = Util.Prng.int prng links in
+      let last = Util.Prng.int_in prng first (links - 1) in
+      let b = Path.bottleneck path ~first ~last in
+      (* Channel demands cluster at small values with an occasional big
+         flow: 1 + geometric-ish tail. *)
+      let d = 1 + (Util.Prng.int prng 4 * Util.Prng.int_in prng 1 4) in
+      if d > b then attempt (tries + 1)
+      else
+        let revenue = float_of_int d *. (5.0 +. Util.Prng.float prng 15.0) in
+        Task.make ~id ~first_edge:first ~last_edge:last ~demand:d ~weight:revenue
+    in
+    attempt 0
+  in
+  (path, List.init n task)

@@ -1,0 +1,30 @@
+(** Scenario workloads for the examples: SAP instances derived from
+    simulated application traces rather than abstract ratio bands.
+
+    The paper motivates SAP with (i) memory allocation — objects needing a
+    contiguous address range for a time interval — and (ii) contiguous
+    bandwidth/frequency allocation.  These generators produce exactly those
+    shapes. *)
+
+val memory_trace :
+  prng:Util.Prng.t ->
+  time_slots:int ->
+  memory:int ->
+  n:int ->
+  max_lifetime:int ->
+  max_object:int ->
+  Core.Path.t * Core.Task.t list
+(** Objects arrive at a uniform time slot, live for a uniform lifetime
+    (clamped to the horizon), and request a uniform size in
+    [\[1, max_object\]]; the path is the time axis with uniform capacity
+    [memory]; weight = size * lifetime (bytes-seconds saved by admitting
+    the object). *)
+
+val spectrum_trace :
+  prng:Util.Prng.t ->
+  links:int ->
+  n:int ->
+  Core.Path.t * Core.Task.t list
+(** A backhaul path whose per-link spectrum shrinks toward the middle
+    (valley profile, 64 down to 16 channels); [n] connection requests with
+    geometric-ish channel demands and revenue-per-channel weights. *)

@@ -1,0 +1,59 @@
+module Task = Core.Task
+module Path = Core.Path
+
+type weight_model =
+  | Uniform_weight of float * float
+  | Area_weight of float
+
+let default_weights = Uniform_weight (1.0, 100.0)
+
+let draw_weight prng model (d : int) (span : int) =
+  match model with
+  | Uniform_weight (lo, hi) -> lo +. Util.Prng.float prng (hi -. lo)
+  | Area_weight factor ->
+      let noise = 0.5 +. Util.Prng.float prng 1.0 in
+      factor *. float_of_int (d * span) *. noise
+
+let random_span ~prng ~edges ~max_span =
+  let span = Util.Prng.int_in prng 1 (min max_span edges) in
+  let first = Util.Prng.int prng (edges - span + 1) in
+  (first, first + span - 1)
+
+(* A task with demand-to-bottleneck ratio strictly above [lo] and at most
+   [hi]: d is uniform over the integers in (lo*b, hi*b], resampling the
+   span when that range is empty.  Integer bounds keep the classification
+   exact: [d <= hi*b] and [d > lo*b] hold verbatim. *)
+let task_in_ratio_band ~prng ~path ~max_span ~weights ~id ~lo ~hi =
+  let edges = Path.num_edges path in
+  let rec attempt tries =
+    if tries > 1000 then
+      invalid_arg "Workloads: cannot fit a task (capacities too small?)";
+    let first, last = random_span ~prng ~edges ~max_span in
+    let b = float_of_int (Path.bottleneck path ~first ~last) in
+    let d_min = max 1 (1 + int_of_float (Float.floor (lo *. b))) in
+    let d_max = int_of_float (Float.floor (hi *. b)) in
+    if d_max < d_min then attempt (tries + 1)
+    else
+      let d = Util.Prng.int_in prng d_min d_max in
+      let span = last - first + 1 in
+      Task.make ~id ~first_edge:first ~last_edge:last ~demand:d
+        ~weight:(draw_weight prng weights d span)
+  in
+  attempt 0
+
+let generate ~prng ~path ~n ~max_span ~weights ~lo ~hi =
+  List.init n (fun id ->
+      task_in_ratio_band ~prng ~path ~max_span ~weights ~id ~lo ~hi)
+
+let small_tasks ~prng ~path ~n ~delta ?max_span ?(weights = default_weights) () =
+  let max_span = match max_span with Some s -> s | None -> Path.num_edges path in
+  generate ~prng ~path ~n ~max_span ~weights ~lo:0.0 ~hi:delta
+
+let ratio_tasks ~prng ~path ~n ~lo ~hi ?max_span ?(weights = default_weights) () =
+  if not (0.0 <= lo && lo <= hi && hi <= 1.0) then
+    invalid_arg "Workloads.ratio_tasks: need 0 <= lo <= hi <= 1";
+  let max_span = match max_span with Some s -> s | None -> Path.num_edges path in
+  generate ~prng ~path ~n ~max_span ~weights ~lo ~hi
+
+let mixed_tasks ~prng ~path ~n ?max_span ?weights () =
+  ratio_tasks ~prng ~path ~n ~lo:0.0 ~hi:1.0 ?max_span ?weights ()

@@ -1,0 +1,54 @@
+(** Random task-set generators, parameterised by the demand regime.
+
+    Every generator is driven by an explicit {!Util.Prng.t}; identical
+    seeds reproduce identical workloads.  Tasks that could never be
+    scheduled ([d > b(j)]) are regenerated, so the output is always
+    individually feasible. *)
+
+type weight_model =
+  | Uniform_weight of float * float  (** iid uniform in a range *)
+  | Area_weight of float  (** [w = factor * d * span * (1 + noise)] — heavy
+                              tasks are worth more, making the packing
+                              trade-offs non-trivial *)
+
+val random_span :
+  prng:Util.Prng.t -> edges:int -> max_span:int -> int * int
+(** Uniform random [(first_edge, last_edge)] with span in
+    [\[1, max_span\]]. *)
+
+val small_tasks :
+  prng:Util.Prng.t ->
+  path:Core.Path.t ->
+  n:int ->
+  delta:float ->
+  ?max_span:int ->
+  ?weights:weight_model ->
+  unit ->
+  Core.Task.t list
+(** Demands uniform in [\[1, delta * b(j)\]] (at least 1; spans resampled
+    until [delta * b >= 1]). *)
+
+val ratio_tasks :
+  prng:Util.Prng.t ->
+  path:Core.Path.t ->
+  n:int ->
+  lo:float ->
+  hi:float ->
+  ?max_span:int ->
+  ?weights:weight_model ->
+  unit ->
+  Core.Task.t list
+(** Demand-to-bottleneck ratio uniform in [\[lo, hi\]] — [lo, hi] = (1/2, 1]
+    gives 1/2-large instances, (0.25, 0.5] gives Theorem 4's medium band,
+    etc. *)
+
+val mixed_tasks :
+  prng:Util.Prng.t ->
+  path:Core.Path.t ->
+  n:int ->
+  ?max_span:int ->
+  ?weights:weight_model ->
+  unit ->
+  Core.Task.t list
+(** Demand ratio uniform over (0, 1]: the general-SAP workload of
+    experiment T4. *)

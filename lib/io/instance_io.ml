@@ -1,0 +1,129 @@
+module Task = Core.Task
+module Path = Core.Path
+
+let instance_to_string path tasks =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "sap-instance v1\n";
+  Buffer.add_string buf "capacities";
+  Array.iter (fun c -> Buffer.add_string buf (" " ^ string_of_int c)) (Path.capacities path);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun (j : Task.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "task %d %d %d %d %.17g\n" j.Task.id j.Task.first_edge
+           j.Task.last_edge j.Task.demand j.Task.weight))
+    tasks;
+  Buffer.contents buf
+
+let solution_to_string sol =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "sap-solution v1\n";
+  List.iter
+    (fun ((j : Task.t), h) ->
+      Buffer.add_string buf (Printf.sprintf "place %d %d\n" j.Task.id h))
+    (Core.Solution.sort_by_id sol);
+  Buffer.contents buf
+
+let meaningful_lines s =
+  String.split_on_char '\n' s
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+
+let ( let* ) = Result.bind
+
+let parse_int what s =
+  match int_of_string_opt s with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "expected integer for %s, got %S" what s)
+
+let parse_float what s =
+  match float_of_string_opt s with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "expected number for %s, got %S" what s)
+
+let rec map_result f = function
+  | [] -> Ok []
+  | x :: rest ->
+      let* y = f x in
+      let* ys = map_result f rest in
+      Ok (y :: ys)
+
+let instance_of_string s =
+  match meaningful_lines s with
+  | [] -> Error "empty input"
+  | header :: rest ->
+      let* () =
+        if String.trim header = "sap-instance v1" then Ok ()
+        else Error (Printf.sprintf "bad header %S" header)
+      in
+      let* caps_line, task_lines =
+        match rest with
+        | caps :: tasks -> Ok (caps, tasks)
+        | [] -> Error "missing capacities line"
+      in
+      let* caps =
+        match String.split_on_char ' ' caps_line |> List.filter (( <> ) "") with
+        | "capacities" :: values when values <> [] ->
+            map_result (parse_int "capacity") values
+        | _ -> Error "malformed capacities line"
+      in
+      let* path =
+        try Ok (Path.create (Array.of_list caps))
+        with Invalid_argument m -> Error m
+      in
+      let parse_task line =
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "task"; id; first; last; demand; weight ] ->
+            let* id = parse_int "id" id in
+            let* first_edge = parse_int "first_edge" first in
+            let* last_edge = parse_int "last_edge" last in
+            let* demand = parse_int "demand" demand in
+            let* weight = parse_float "weight" weight in
+            (try Ok (Task.make ~id ~first_edge ~last_edge ~demand ~weight)
+             with Invalid_argument m -> Error m)
+        | _ -> Error (Printf.sprintf "malformed task line %S" line)
+      in
+      let* tasks = map_result parse_task task_lines in
+      let* () =
+        if List.for_all (fun (j : Task.t) -> j.Task.last_edge < Path.num_edges path) tasks
+        then Ok ()
+        else Error "task leaves the path"
+      in
+      Ok (path, tasks)
+
+let solution_of_string ~tasks s =
+  let by_id = Hashtbl.create 32 in
+  List.iter (fun (j : Task.t) -> Hashtbl.replace by_id j.Task.id j) tasks;
+  match meaningful_lines s with
+  | [] -> Error "empty input"
+  | header :: rest ->
+      let* () =
+        if String.trim header = "sap-solution v1" then Ok ()
+        else Error (Printf.sprintf "bad header %S" header)
+      in
+      let parse_place line =
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "place"; id; h ] ->
+            let* id = parse_int "task id" id in
+            let* h = parse_int "height" h in
+            let* j =
+              match Hashtbl.find_opt by_id id with
+              | Some j -> Ok j
+              | None -> Error (Printf.sprintf "unknown task id %d" id)
+            in
+            Ok (j, h)
+        | _ -> Error (Printf.sprintf "malformed place line %S" line)
+      in
+      map_result parse_place rest
+
+let write_file path contents =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc contents)
+
+let read_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))

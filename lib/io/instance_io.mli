@@ -1,0 +1,35 @@
+(** Plain-text serialization of instances and solutions.
+
+    Format (line oriented, [#] comments, blank lines ignored):
+
+    {v
+    sap-instance v1
+    capacities 5 10 10 5
+    task <id> <first_edge> <last_edge> <demand> <weight>
+    ...
+    v}
+
+    Solutions append height lines to the same carrier:
+
+    {v
+    sap-solution v1
+    place <task_id> <height>
+    ...
+    v}
+
+    The CLI uses these for [gen | solve | check] pipelines; round-tripping
+    is property-tested. *)
+
+val instance_to_string : Core.Path.t -> Core.Task.t list -> string
+
+val instance_of_string : string -> (Core.Path.t * Core.Task.t list, string) result
+
+val solution_to_string : Core.Solution.sap -> string
+
+val solution_of_string :
+  tasks:Core.Task.t list -> string -> (Core.Solution.sap, string) result
+(** Resolves task ids against [tasks]; unknown ids are an error. *)
+
+val write_file : string -> string -> unit
+
+val read_file : string -> string

@@ -1,0 +1,88 @@
+type item = { index : int; size : int; profit : float }
+
+let make_item ~index ~size ~profit =
+  if size <= 0 then invalid_arg "Knapsack.make_item: size must be positive";
+  if profit < 0.0 then invalid_arg "Knapsack.make_item: negative profit";
+  { index; size; profit }
+
+let total_profit items = List.fold_left (fun acc i -> acc +. i.profit) 0.0 items
+
+let total_size items = List.fold_left (fun acc i -> acc + i.size) 0 items
+
+let solve_exact_by_size ~capacity items =
+  if capacity < 0 then invalid_arg "Knapsack: negative capacity";
+  let items = Array.of_list items in
+  let n = Array.length items in
+  (* best.(c) = max profit using a prefix of items within size c;
+     keep.(i).(c) = was item i taken at state c? (bytes, row per item) *)
+  let best = Array.make (capacity + 1) 0.0 in
+  let keep = Array.init n (fun _ -> Bytes.make (capacity + 1) '\000') in
+  for i = 0 to n - 1 do
+    let { size; profit; _ } = items.(i) in
+    for c = capacity downto size do
+      let candidate = best.(c - size) +. profit in
+      if candidate > best.(c) then begin
+        best.(c) <- candidate;
+        Bytes.set keep.(i) c '\001'
+      end
+    done
+  done;
+  let rec backtrack i c acc =
+    if i < 0 then acc
+    else if c >= items.(i).size && Bytes.get keep.(i) c = '\001' then
+      backtrack (i - 1) (c - items.(i).size) (items.(i) :: acc)
+    else backtrack (i - 1) c acc
+  in
+  backtrack (n - 1) capacity []
+
+let solve_exact_by_profit ~capacity ~scaled_profits items =
+  let items = Array.of_list items in
+  let n = Array.length items in
+  if Array.length scaled_profits <> n then
+    invalid_arg "Knapsack.solve_exact_by_profit: arity";
+  let pmax_total = Array.fold_left ( + ) 0 scaled_profits in
+  (* min_size.(p) = minimum total size achieving scaled profit exactly p. *)
+  let inf = max_int / 2 in
+  let min_size = Array.make (pmax_total + 1) inf in
+  min_size.(0) <- 0;
+  let keep = Array.init n (fun _ -> Bytes.make (pmax_total + 1) '\000') in
+  for i = 0 to n - 1 do
+    let p_i = scaled_profits.(i) in
+    let s_i = items.(i).size in
+    for p = pmax_total downto p_i do
+      if min_size.(p - p_i) + s_i < min_size.(p) then begin
+        min_size.(p) <- min_size.(p - p_i) + s_i;
+        Bytes.set keep.(i) p '\001'
+      end
+    done
+  done;
+  let best_p = ref 0 in
+  for p = 0 to pmax_total do
+    if min_size.(p) <= capacity then best_p := p
+  done;
+  let rec backtrack i p acc =
+    if i < 0 then acc
+    else if p >= scaled_profits.(i) && Bytes.get keep.(i) p = '\001' then
+      backtrack (i - 1) (p - scaled_profits.(i)) (items.(i) :: acc)
+    else backtrack (i - 1) p acc
+  in
+  backtrack (n - 1) !best_p []
+
+let solve_fptas ~eps ~capacity items =
+  if eps <= 0.0 then invalid_arg "Knapsack.solve_fptas: eps must be positive";
+  let items = List.filter (fun i -> i.size <= capacity) items in
+  match items with
+  | [] -> []
+  | _ ->
+      let n = List.length items in
+      let pmax = List.fold_left (fun acc i -> Float.max acc i.profit) 0.0 items in
+      if pmax <= 0.0 then []
+      else begin
+        let k = eps *. pmax /. float_of_int n in
+        let scaled_profits =
+          items
+          |> List.map (fun i -> int_of_float (Float.floor (i.profit /. k)))
+          |> Array.of_list
+        in
+        solve_exact_by_profit ~capacity ~scaled_profits items
+      end

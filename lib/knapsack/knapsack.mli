@@ -1,0 +1,29 @@
+(** 0/1 knapsack: exact dynamic programs and the classical FPTAS.
+
+    The ring algorithm (Lemma 18) needs a [(1+eps)]-approximation for the
+    knapsack instance formed by all tasks routed through the cut edge; this
+    module supplies it, plus the exact solvers the tests compare against. *)
+
+type item = { index : int; size : int; profit : float }
+(** [index] is caller-defined (here: the task id). *)
+
+val make_item : index:int -> size:int -> profit:float -> item
+(** Validates [size > 0], [profit >= 0]. *)
+
+val solve_exact_by_size : capacity:int -> item list -> item list
+(** O(n * capacity) DP over sizes.  Exact.  Suitable when [capacity] is
+    moderate (it is, for our integer capacities). *)
+
+val solve_exact_by_profit : capacity:int -> scaled_profits:int array -> item list -> item list
+(** O(n * sum of scaled profits) DP over integer profits; the building
+    block of the FPTAS.  [scaled_profits.(i)] is the integer profit of the
+    i-th item of the list. *)
+
+val solve_fptas : eps:float -> capacity:int -> item list -> item list
+(** The classical FPTAS: scale profits by [n / (eps * pmax)], run the
+    profit DP, unscale.  Guarantee: profit >= (1 - eps) * OPT.
+    Requires [eps > 0]. *)
+
+val total_profit : item list -> float
+
+val total_size : item list -> int

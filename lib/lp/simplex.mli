@@ -1,0 +1,25 @@
+(** A dense primal simplex solver for packing linear programs.
+
+    Solves [maximize c.x  s.t.  A x <= b, x >= 0] with [b >= 0], which is
+    exactly the shape of the UFPP relaxation (1) in the paper (capacity rows
+    plus the [x_j <= 1] box rows).  With [b >= 0] the all-slack basis is
+    feasible, so no phase-one is needed.  Dantzig pricing with a switch to
+    Bland's rule after a degeneracy streak guards against cycling. *)
+
+type problem = {
+  objective : float array;       (** [c], length n *)
+  rows : (float array * float) list;  (** [(a_i, b_i)] with [b_i >= 0] *)
+}
+
+type outcome =
+  | Optimal of { value : float; solution : float array; iterations : int }
+  | Unbounded
+
+val maximize : ?eps:float -> ?max_iterations:int -> problem -> outcome
+(** [eps] is the pivoting tolerance (default 1e-9).  Raises
+    [Invalid_argument] on negative right-hand sides or ragged rows, and
+    [Failure] if [max_iterations] (default [50 * (n + #rows)]) is hit —
+    which for these packing LPs indicates a bug, not hard input. *)
+
+val box_row : n:int -> int -> float -> float array * float
+(** [box_row ~n j ub] is the row encoding [x_j <= ub]. *)

@@ -1,0 +1,61 @@
+type t = {
+  tasks : Core.Task.t array;
+  value : float;
+  solution : float array;
+}
+
+let solve_scaled path ~scale ts =
+  let tasks = Array.of_list ts in
+  let n_all = Array.length tasks in
+  let cap e = scale *. float_of_int (Core.Path.capacity path e) in
+  (* Columns: only tasks that fit alone under the scaled capacities. *)
+  let fits (j : Core.Task.t) =
+    float_of_int j.Core.Task.demand <= scale *. float_of_int (Core.Path.bottleneck_of path j)
+  in
+  let cols = Array.to_list tasks |> List.filter fits |> Array.of_list in
+  let n = Array.length cols in
+  if n = 0 then { tasks; value = 0.0; solution = Array.make n_all 0.0 }
+  else begin
+    let objective = Array.map (fun (j : Core.Task.t) -> j.Core.Task.weight) cols in
+    let m = Core.Path.num_edges path in
+    let used = Array.make m false in
+    Array.iter
+      (fun (j : Core.Task.t) ->
+        for e = j.Core.Task.first_edge to j.Core.Task.last_edge do
+          used.(e) <- true
+        done)
+      cols;
+    let capacity_rows = ref [] in
+    for e = m - 1 downto 0 do
+      if used.(e) then begin
+        let a = Array.make n 0.0 in
+        Array.iteri
+          (fun c (j : Core.Task.t) ->
+            if Core.Task.uses j e then a.(c) <- float_of_int j.Core.Task.demand)
+          cols;
+        capacity_rows := (a, cap e) :: !capacity_rows
+      end
+    done;
+    let box_rows = List.init n (fun c -> Simplex.box_row ~n c 1.0) in
+    let problem =
+      { Simplex.objective; rows = !capacity_rows @ box_rows }
+    in
+    match Simplex.maximize problem with
+    | Simplex.Unbounded -> assert false (* box rows bound every variable *)
+    | Simplex.Optimal { value; solution = x; iterations = _ } ->
+        (* Scatter column values back to input-task order. *)
+        let solution = Array.make n_all 0.0 in
+        let by_id = Hashtbl.create n in
+        Array.iteri (fun c (j : Core.Task.t) -> Hashtbl.replace by_id j.Core.Task.id c) cols;
+        Array.iteri
+          (fun i (j : Core.Task.t) ->
+            match Hashtbl.find_opt by_id j.Core.Task.id with
+            | Some c -> solution.(i) <- x.(c)
+            | None -> ())
+          tasks;
+        { tasks; value; solution }
+  end
+
+let solve path ts = solve_scaled path ~scale:1.0 ts
+
+let upper_bound path ts = (solve path ts).value

@@ -1,0 +1,28 @@
+(** The natural UFPP packing LP — relaxation of program (1) in the paper.
+
+    [maximize  sum_j w_j x_j
+     s.t.      sum_{j : e in I_j} d_j x_j <= c_e   for every edge e
+               0 <= x_j <= 1]
+
+    Used (a) inside the LP-rounding algorithm for small tasks (Sect. 4.1)
+    and (b) as an upper bound on [OPT_SAP] for empirical ratio measurement,
+    since every SAP solution induces a UFPP solution which is LP-feasible. *)
+
+type t = {
+  tasks : Core.Task.t array;     (** column [j] is [tasks.(j)] *)
+  value : float;            (** optimal LP objective *)
+  solution : float array;   (** optimal fractional [x] *)
+}
+
+val solve : Core.Path.t -> Core.Task.t list -> t
+(** Builds and solves the relaxation.  Edges used by no task contribute no
+    row; tasks that do not fit alone ([d_j > b(j)]) have their variable
+    fixed to 0 (they can never appear in an integral solution, and leaving
+    them fractional would inflate the bound). *)
+
+val solve_scaled : Core.Path.t -> scale:float -> Core.Task.t list -> t
+(** Like {!solve} but with every capacity multiplied by [scale] (used to
+    express "load at most B/2" targets as an LP over the same tasks). *)
+
+val upper_bound : Core.Path.t -> Core.Task.t list -> float
+(** The LP optimum: an upper bound on both [OPT_UFPP] and [OPT_SAP]. *)

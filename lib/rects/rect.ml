@@ -1,0 +1,24 @@
+module Task = Core.Task
+module Path = Core.Path
+
+type t = {
+  task : Task.t;
+  y_low : int;
+  y_high : int;
+}
+
+let of_task path (j : Task.t) =
+  let b = Path.bottleneck_of path j in
+  if j.Task.demand > b then
+    invalid_arg "Rect.of_task: task does not fit its bottleneck";
+  { task = j; y_low = b - j.Task.demand; y_high = b }
+
+let of_tasks path ts = List.map (of_task path) ts
+
+let intersects a b =
+  Task.overlaps a.task b.task && a.y_low < b.y_high && b.y_low < a.y_high
+
+let to_sap_placement r = (r.task, r.y_low)
+
+let pp ppf r =
+  Format.fprintf ppf "R(%a) y=[%d,%d)" Task.pp r.task r.y_low r.y_high

@@ -1,0 +1,29 @@
+(** The task → rectangle reduction of Section 6.
+
+    A task [j] with bottleneck [b(j)] and residual [l(j) = b(j) - d_j] is
+    associated with the rectangle [R(j) = I_j x [l(j), b(j))]: the position
+    [j] occupies when drawn at its highest feasible height.  Horizontal
+    extent is the inclusive edge range; vertical extent is half-open, so two
+    rectangles intersect iff their edge ranges share an edge and their
+    vertical ranges overlap. *)
+
+type t = private {
+  task : Core.Task.t;
+  y_low : int;   (** the residual capacity [l(j)] *)
+  y_high : int;  (** the bottleneck [b(j)] *)
+}
+
+val of_task : Core.Path.t -> Core.Task.t -> t
+
+val of_tasks : Core.Path.t -> Core.Task.t list -> t list
+
+val intersects : t -> t -> bool
+
+val to_sap_placement : t -> Core.Task.t * int
+(** The SAP placement a chosen rectangle induces: height [l(j)].  A
+    pairwise non-intersecting rectangle family yields a feasible SAP
+    solution this way (tops are below every capacity by definition of
+    [b(j)]; vertical disjointness on shared edges is rectangle
+    disjointness). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,83 @@
+type t = {
+  rects : Rect.t array;
+  adj : int list array;
+  adj_set : (int * int, unit) Hashtbl.t;
+}
+
+let build rs =
+  let rects = Array.of_list rs in
+  let n = Array.length rects in
+  let adj = Array.make n [] in
+  let adj_set = Hashtbl.create (4 * n) in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Rect.intersects rects.(i) rects.(j) then begin
+        adj.(i) <- j :: adj.(i);
+        adj.(j) <- i :: adj.(j);
+        Hashtbl.replace adj_set (i, j) ();
+        Hashtbl.replace adj_set (j, i) ()
+      end
+    done
+  done;
+  { rects; adj; adj_set }
+
+let size g = Array.length g.rects
+
+let rect g i = g.rects.(i)
+
+let degree g i = List.length g.adj.(i)
+
+let adjacent g i j = Hashtbl.mem g.adj_set (i, j)
+
+let neighbors g i = g.adj.(i)
+
+let degeneracy_order g =
+  let n = size g in
+  let deg = Array.init n (degree g) in
+  let removed = Array.make n false in
+  let order = ref [] in
+  let degeneracy = ref 0 in
+  (* O(n^2) smallest-last peeling; ample for the sizes the large-task
+     pipeline sees (cliques bound independent sets, so inputs stay small). *)
+  for _ = 1 to n do
+    let best = ref (-1) in
+    for v = 0 to n - 1 do
+      if (not removed.(v)) && (!best < 0 || deg.(v) < deg.(!best)) then best := v
+    done;
+    let v = !best in
+    degeneracy := max !degeneracy deg.(v);
+    removed.(v) <- true;
+    order := v :: !order;
+    List.iter (fun u -> if not removed.(u) then deg.(u) <- deg.(u) - 1) g.adj.(v)
+  done;
+  (List.rev !order, !degeneracy)
+
+let greedy_color g =
+  let n = size g in
+  let order, degeneracy = degeneracy_order g in
+  let colors = Array.make n (-1) in
+  let used = ref 0 in
+  (* Reverse elimination order: each vertex sees at most [degeneracy]
+     already-colored neighbors. *)
+  List.iter
+    (fun v ->
+      let taken = Array.make (degeneracy + 2) false in
+      List.iter
+        (fun u -> if colors.(u) >= 0 && colors.(u) <= degeneracy + 1 then taken.(colors.(u)) <- true)
+        g.adj.(v);
+      let rec first c = if taken.(c) then first (c + 1) else c in
+      let c = first 0 in
+      colors.(v) <- c;
+      used := max !used (c + 1))
+    (List.rev order);
+  (colors, !used)
+
+let color_classes g =
+  let colors, used = greedy_color g in
+  let classes = Array.make used [] in
+  Array.iteri (fun v c -> classes.(c) <- g.rects.(v) :: classes.(c)) colors;
+  let weight rs =
+    List.fold_left (fun acc (r : Rect.t) -> acc +. r.Rect.task.Core.Task.weight) 0.0 rs
+  in
+  Array.to_list classes
+  |> List.sort (fun a b -> Float.compare (weight b) (weight a))

@@ -1,0 +1,34 @@
+(** Intersection graph of a rectangle family, degeneracy machinery and the
+    smallest-last greedy coloring of Matula–Beck [27].
+
+    Lemma 17 of the paper: for a [1/k]-large SAP solution the graph is
+    [(2k-2)]-degenerate, so the smallest-last order colors it with at most
+    [2k-1] colors; one color class carries a [1/(2k-1)] weight fraction. *)
+
+type t
+
+val build : Rect.t list -> t
+
+val size : t -> int
+
+val rect : t -> int -> Rect.t
+
+val degree : t -> int -> int
+
+val adjacent : t -> int -> int -> bool
+
+val neighbors : t -> int -> int list
+
+val degeneracy_order : t -> int list * int
+(** [(order, degeneracy)]: the smallest-last elimination order (first
+    element eliminated first) and the graph degeneracy = max degree at
+    elimination time. *)
+
+val greedy_color : t -> int array * int
+(** Colors vertices in *reverse* degeneracy order with the smallest free
+    color; returns [(colors, colors_used)].  Uses at most
+    [degeneracy + 1] colors. *)
+
+val color_classes : t -> Rect.t list list
+(** The color classes of {!greedy_color}, each a pairwise non-intersecting
+    rectangle family, heaviest class first. *)

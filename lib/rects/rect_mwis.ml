@@ -1,0 +1,127 @@
+let weight rs =
+  List.fold_left (fun acc (r : Rect.t) -> acc +. r.Rect.task.Core.Task.weight) 0.0 rs
+
+let rect_weight (r : Rect.t) = r.Rect.task.Core.Task.weight
+
+let brute_force rs =
+  let a = Array.of_list rs in
+  let n = Array.length a in
+  if n > 20 then invalid_arg "Rect_mwis.brute_force: too many rectangles";
+  (* DFS over an adjacency bitmask: candidates still allowed are a bit set. *)
+  let adj = Array.make n 0 in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j && Rect.intersects a.(i) a.(j) then adj.(i) <- adj.(i) lor (1 lsl j)
+    done
+  done;
+  let best_w = ref 0.0 in
+  let best = ref 0 in
+  let rec go i chosen w cands =
+    if i = n then begin
+      if w > !best_w then begin
+        best_w := w;
+        best := chosen
+      end
+    end
+    else begin
+      if cands land (1 lsl i) <> 0 then
+        go (i + 1) (chosen lor (1 lsl i)) (w +. rect_weight a.(i)) (cands land lnot adj.(i));
+      go (i + 1) chosen w cands
+    end
+  in
+  go 0 0 0.0 ((1 lsl n) - 1);
+  List.filteri (fun i _ -> !best land (1 lsl i) <> 0) (Array.to_list a |> List.mapi (fun i r -> (i, r)))
+  |> List.map snd
+
+let solve rs =
+  let a = Array.of_list rs in
+  let n = Array.length a in
+  if n = 0 then []
+  else begin
+    (* Sort heaviest-first: branching explores strong incumbents early and
+       the clique cover groups heavy mutually-conflicting rectangles. *)
+    Array.sort (fun r1 r2 -> Float.compare (rect_weight r2) (rect_weight r1)) a;
+    let adj = Array.make_matrix n n false in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if Rect.intersects a.(i) a.(j) then begin
+          adj.(i).(j) <- true;
+          adj.(j).(i) <- true
+        end
+      done
+    done;
+    (* Greedy clique cover: clique_of.(v) is v's clique id. *)
+    let clique_of = Array.make n (-1) in
+    let cliques = ref [] in
+    let n_cliques = ref 0 in
+    for v = 0 to n - 1 do
+      let rec try_cliques = function
+        | [] ->
+            clique_of.(v) <- !n_cliques;
+            cliques := (!n_cliques, ref [ v ]) :: !cliques;
+            incr n_cliques
+        | (id, members) :: rest ->
+            if List.for_all (fun u -> adj.(v).(u)) !members then begin
+              clique_of.(v) <- id;
+              members := v :: !members
+            end
+            else try_cliques rest
+      in
+      try_cliques !cliques
+    done;
+    (* Upper bound: each clique contributes at most the heaviest candidate
+       it still contains.  Stamped scratch avoids reallocation. *)
+    let clique_max = Array.make !n_cliques 0.0 in
+    let clique_stamp = Array.make !n_cliques (-1) in
+    let stamp = ref 0 in
+    let bound cands =
+      incr stamp;
+      let s = !stamp in
+      let total = ref 0.0 in
+      List.iter
+        (fun v ->
+          let q = clique_of.(v) in
+          let w = rect_weight a.(v) in
+          if clique_stamp.(q) <> s then begin
+            clique_stamp.(q) <- s;
+            clique_max.(q) <- w;
+            total := !total +. w
+          end
+          else if w > clique_max.(q) then begin
+            total := !total +. w -. clique_max.(q);
+            clique_max.(q) <- w
+          end)
+        cands;
+      !total
+    in
+    (* Incumbent: greedy independent set, heaviest-first. *)
+    let best = ref [] in
+    let best_w = ref 0.0 in
+    let greedy =
+      let chosen = ref [] in
+      for v = 0 to n - 1 do
+        if List.for_all (fun u -> not adj.(v).(u)) !chosen then chosen := v :: !chosen
+      done;
+      !chosen
+    in
+    best := greedy;
+    best_w := List.fold_left (fun acc v -> acc +. rect_weight a.(v)) 0.0 greedy;
+    let rec branch cands chosen w =
+      if w > !best_w then begin
+        best_w := w;
+        best := chosen
+      end;
+      match cands with
+      | [] -> ()
+      | v :: rest ->
+          if w +. bound cands > !best_w +. 1e-12 then begin
+            (* include v *)
+            let rest_compatible = List.filter (fun u -> not adj.(v).(u)) rest in
+            branch rest_compatible (v :: chosen) (w +. rect_weight a.(v));
+            (* exclude v *)
+            branch rest chosen w
+          end
+    in
+    branch (List.init n Fun.id) [] 0.0;
+    List.map (fun v -> a.(v)) !best
+  end

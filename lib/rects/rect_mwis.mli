@@ -1,0 +1,22 @@
+(** Exact maximum-weight independent set of rectangles.
+
+    Stands in for the O(n^4) dynamic program of Bonsma et al. (Theorem 7 of
+    the paper); see DESIGN.md §3.3 for the substitution rationale.  The
+    solver is a branch-and-bound over the intersection graph:
+
+    - incumbent initialised with the x-disjoint interval-DP solution and a
+      greedy weight-descending independent set;
+    - branching on the heaviest remaining candidate, include-first;
+    - upper bound from a greedy clique cover (rectangles pairwise
+      intersecting can contribute at most their maximum weight each), which
+      is tight on the dense graphs [1/k]-large families produce.
+
+    Exactness is validated against {!brute_force} in the property tests. *)
+
+val solve : Rect.t list -> Rect.t list
+(** An exact maximum-weight pairwise non-intersecting subfamily. *)
+
+val brute_force : Rect.t list -> Rect.t list
+(** 2^n reference implementation (n <= 20 guarded by [Invalid_argument]). *)
+
+val weight : Rect.t list -> float

@@ -1,0 +1,92 @@
+module Task = Core.Task
+module Path = Core.Path
+
+type config = {
+  eps : float;
+  delta : float;
+  beta : float;
+  rounding : Small.rounding;
+  seed : int;
+  max_states : int option;
+  parallel : bool;
+}
+
+let default_config =
+  {
+    eps = 0.5;
+    delta = 0.25;
+    beta = 0.25;
+    rounding = `Lp 16;
+    seed = 42;
+    max_states = None;
+    parallel = false;
+  }
+
+type part = Small_part | Medium_part | Large_part
+
+type report = {
+  solution : Core.Solution.sap;
+  chosen : part;
+  small_solution : Core.Solution.sap;
+  medium_solution : Core.Solution.sap;
+  large_solution : Core.Solution.sap;
+  medium_exact : bool;
+}
+
+let q_of_beta beta =
+  if not (0.0 < beta && beta < 0.5) then invalid_arg "Combine: beta in (0, 1/2)";
+  max 1 (int_of_float (ceil (Float.log2 (1.0 /. beta))))
+
+let solve_report ?(config = default_config) path ts =
+  let ts =
+    List.filter (fun (j : Task.t) -> j.Task.demand <= Path.bottleneck_of path j) ts
+  in
+  let large_frac = 1.0 -. (2.0 *. config.beta) in
+  let split = Core.Classify.split3 path ~delta:config.delta ~large_frac ts in
+  let q = q_of_beta config.beta in
+  let ell = Almost_uniform.ell_for_eps ~eps:config.eps ~q in
+  (* The three specialists are independent; with [parallel] they run in
+     their own domains.  Each gets identical inputs either way (the PRNG is
+     created per part), so parallel and sequential runs agree exactly. *)
+  let small_thunk () =
+    let prng = Util.Prng.create config.seed in
+    `Small (Small.strip_pack ~rounding:config.rounding ~prng path split.Core.Classify.small)
+  in
+  let medium_thunk () =
+    `Medium
+      (Almost_uniform.run ~ell ~q ?max_states:config.max_states path
+         split.Core.Classify.medium)
+  in
+  let large_thunk () = `Large (Large.solve path split.Core.Classify.large) in
+  let jobs = if config.parallel then 3 else 1 in
+  let results =
+    Util.Parallel.map ~jobs (fun f -> f ()) [ small_thunk; medium_thunk; large_thunk ]
+  in
+  let small_solution, medium, large_solution =
+    match results with
+    | [ `Small s; `Medium m; `Large l ] -> (s, m, l)
+    | _ -> assert false
+  in
+  let w_small = Core.Solution.sap_weight small_solution in
+  let w_medium = Core.Solution.sap_weight medium.Almost_uniform.solution in
+  let w_large = Core.Solution.sap_weight large_solution in
+  let chosen, solution =
+    if w_small >= w_medium && w_small >= w_large then (Small_part, small_solution)
+    else if w_medium >= w_large then (Medium_part, medium.Almost_uniform.solution)
+    else (Large_part, large_solution)
+  in
+  {
+    solution;
+    chosen;
+    small_solution;
+    medium_solution = medium.Almost_uniform.solution;
+    large_solution;
+    medium_exact = medium.Almost_uniform.exact;
+  }
+
+let solve ?config path ts = (solve_report ?config path ts).solution
+
+let pp_part ppf = function
+  | Small_part -> Format.pp_print_string ppf "small"
+  | Medium_part -> Format.pp_print_string ppf "medium"
+  | Large_part -> Format.pp_print_string ppf "large"

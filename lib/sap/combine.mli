@@ -1,0 +1,46 @@
+(** The headline algorithm: Theorem 4's [(9+eps)]-approximation for SAP.
+
+    With [k = 2] and [beta = 1/4] the task set splits into
+    - small:  [d_j <= delta * b(j)]        → Strip-Pack, [(4+eps)]-approx;
+    - medium: [delta < d_j/b(j) <= 1/2]    → AlmostUniform, [(2+eps)]-approx;
+    - large:  [d_j > b(j)/2]               → rectangle MWIS, [3]-approx;
+    and the heaviest of the three solutions is a [(9+eps)]-approximation by
+    Lemma 3 (ratios add:  [(4+eps) + (2+eps) + 3 = 9 + eps']).
+
+    The theory's [delta] is microscopic ([~eps/100]); like any
+    implementation must, we expose it as a parameter (default 1/4) — the
+    guarantee degrades gracefully and the measured ratios stay far below
+    the bound either way. *)
+
+type config = {
+  eps : float;            (** drives [ell = ceil(q/eps)] for AlmostUniform *)
+  delta : float;          (** small / medium threshold *)
+  beta : float;           (** elevation fraction; [q = ceil(log2 1/beta)] *)
+  rounding : Small.rounding;  (** engine for the small-task strips *)
+  seed : int;             (** PRNG seed for the LP rounding trials *)
+  max_states : int option;    (** Elevator DP state cap *)
+  parallel : bool;        (** run the three specialists in parallel domains *)
+}
+
+val default_config : config
+(** [eps = 0.5], [delta = 0.25], [beta = 0.25], LP rounding with 16 trials,
+    seed 42, default state cap, sequential.  [parallel = true] gives
+    identical results (the specialists share nothing) on up to 3 domains. *)
+
+type part = Small_part | Medium_part | Large_part
+
+type report = {
+  solution : Core.Solution.sap;
+  chosen : part;
+  small_solution : Core.Solution.sap;
+  medium_solution : Core.Solution.sap;
+  large_solution : Core.Solution.sap;
+  medium_exact : bool;
+}
+
+val solve_report : ?config:config -> Core.Path.t -> Core.Task.t list -> report
+
+val solve : ?config:config -> Core.Path.t -> Core.Task.t list -> Core.Solution.sap
+(** The best of the three part solutions; always checker-feasible. *)
+
+val pp_part : Format.formatter -> part -> unit

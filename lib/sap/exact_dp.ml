@@ -1,0 +1,10 @@
+let solve ?max_states path ts =
+  match ts with
+  | [] -> Some []
+  | _ ->
+      let cap = Core.Path.max_capacity path in
+      let r = Elevator.optimal_band ~cap ?max_states path ts in
+      if r.Elevator.exact then Some r.Elevator.solution else None
+
+let value ?max_states path ts =
+  Option.map Core.Solution.sap_weight (solve ?max_states path ts)

@@ -1,0 +1,16 @@
+(** Exact SAP via the Lemma 13 dynamic program, packaged for direct use.
+
+    Much faster than the brute-force oracle when few tasks cross any single
+    edge (the regime Lemma 12 describes); subsumes the Chen et al. [18]
+    uniform-capacity DP.  Returns [None] when the state cap truncated the
+    search — the result would then be a heuristic, and callers asking for
+    "exact" deserve to know. *)
+
+val solve :
+  ?max_states:int ->
+  Core.Path.t ->
+  Core.Task.t list ->
+  Core.Solution.sap option
+(** [Some solution] iff the DP ran to completion (provably optimal). *)
+
+val value : ?max_states:int -> Core.Path.t -> Core.Task.t list -> float option

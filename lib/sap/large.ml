@@ -1,0 +1,25 @@
+module Task = Core.Task
+module Path = Core.Path
+
+let fits path (j : Task.t) = j.Task.demand <= Path.bottleneck_of path j
+
+let solve path ts =
+  let ts = List.filter (fits path) ts in
+  let rectangles = Rects.Rect.of_tasks path ts in
+  let chosen = Rects.Rect_mwis.solve rectangles in
+  List.map Rects.Rect.to_sap_placement chosen
+
+let solution_degeneracy path sol =
+  let rectangles = Rects.Rect.of_tasks path (Core.Solution.sap_tasks sol) in
+  let g = Rects.Rect_graph.build rectangles in
+  snd (Rects.Rect_graph.degeneracy_order g)
+
+let coloring_lower_bound path ts =
+  let ts = List.filter (fits path) ts in
+  let g = Rects.Rect_graph.build (Rects.Rect.of_tasks path ts) in
+  match Rects.Rect_graph.color_classes g with
+  | [] -> 0.0
+  | heaviest :: _ ->
+      List.fold_left
+        (fun acc (r : Rects.Rect.t) -> acc +. r.Rects.Rect.task.Task.weight)
+        0.0 heaviest

@@ -1,0 +1,24 @@
+(** Large tasks: Theorem 3 — the [(2k-1)]-approximation of Section 6.
+
+    The algorithm itself is the rectangle reduction followed by an exact
+    maximum-weight independent set of the rectangles [R(j)] drawn at their
+    top positions; the chosen family, placed at heights [l(j)], *is* a SAP
+    solution.  The [(2k-1)] guarantee is the coloring argument
+    (Lemmas 16/17): the rectangle graph of any [1/k]-large SAP solution is
+    [(2k-2)]-degenerate, so its heaviest color class — an independent set —
+    carries a [1/(2k-1)] fraction of the optimum, and the exact MWIS can
+    only do better. *)
+
+val solve : Core.Path.t -> Core.Task.t list -> Core.Solution.sap
+(** Exact rectangle MWIS as a SAP solution.  Tasks that do not fit alone
+    are dropped.  No largeness check: the approximation guarantee needs
+    [1/k]-largeness, the feasibility of the output does not. *)
+
+val solution_degeneracy : Core.Path.t -> Core.Solution.sap -> int
+(** Degeneracy of the rectangle graph [R(S)] of a solution's task set —
+    the quantity Lemma 17 bounds by [2k-2]; measured by experiment T3. *)
+
+val coloring_lower_bound : Core.Path.t -> Core.Task.t list -> float
+(** Weight of the heaviest color class of [R(J)] under the smallest-last
+    coloring — the constructive bound the analysis uses; the bench compares
+    it with the exact MWIS weight. *)

@@ -1,0 +1,50 @@
+module Ring = Core.Ring
+
+type report = {
+  solution : Core.Ring.solution;
+  cut_edge : int;
+  path_weight : float;
+  through_weight : float;
+}
+
+let min_capacity_edge (r : Ring.t) =
+  let caps = r.Ring.capacities in
+  let best = ref 0 in
+  Array.iteri (fun e c -> if c < caps.(!best) then best := e) caps;
+  !best
+
+let through_candidate (r : Ring.t) ~cut_edge ~knapsack_eps =
+  let m = Ring.num_edges r in
+  let capacity = r.Ring.capacities.(cut_edge) in
+  let items =
+    Array.to_list r.Ring.tasks
+    |> List.map (fun (tk : Ring.task) ->
+           Knapsack.make_item ~index:tk.Ring.id ~size:tk.Ring.demand
+             ~profit:tk.Ring.weight)
+  in
+  let chosen = Knapsack.solve_fptas ~eps:knapsack_eps ~capacity items in
+  (* Stack the chosen tasks bottom-up (h2(j) = sum of earlier demands) and
+     route each through the cut edge. *)
+  let rec stack h acc = function
+    | [] -> List.rev acc
+    | (it : Knapsack.item) :: rest ->
+        let tk = r.Ring.tasks.(it.Knapsack.index) in
+        let cw = Ring.edges_of_route ~m ~src:tk.Ring.src ~dst:tk.Ring.dst Ring.Cw in
+        let dir = if List.mem cut_edge cw then Ring.Cw else Ring.Ccw in
+        stack (h + tk.Ring.demand) ((tk, h, dir) :: acc) rest
+  in
+  stack 0 [] chosen
+
+let solve_report ?config ?(knapsack_eps = 0.1) (r : Ring.t) =
+  let cut_edge = min_capacity_edge r in
+  let path, path_tasks, back = Ring.cut r ~cut_edge in
+  let path_sol = Combine.solve ?config path path_tasks in
+  let cand_path = Ring.to_ring_solution r ~cut_edge path_sol back in
+  let cand_through = through_candidate r ~cut_edge ~knapsack_eps in
+  let path_weight = Ring.solution_weight cand_path in
+  let through_weight = Ring.solution_weight cand_through in
+  let solution = if path_weight >= through_weight then cand_path else cand_through in
+  { solution; cut_edge; path_weight; through_weight }
+
+let solve ?config ?knapsack_eps r =
+  (solve_report ?config ?knapsack_eps r).solution

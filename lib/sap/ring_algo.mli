@@ -1,0 +1,24 @@
+(** SAP on rings: Theorem 5's [(10+eps)]-approximation (Lemma 18).
+
+    + Pick a minimum-capacity edge [e].
+    + Cut the ring at [e]: every task is routed away from [e] and the
+      instance becomes a path instance, solved with the Theorem 4
+      algorithm (ratio [alpha = 9+eps]).
+    + Separately, consider routing tasks *through* [e]: any such solution
+      stacks inside capacity [c_e], which (as the global minimum) fits
+      under every other edge too — so the through-[e] subproblem is a
+      knapsack over all tasks, solved with the FPTAS.
+    + Return the heavier; ratio [1 + alpha + eps = 10 + eps]. *)
+
+type report = {
+  solution : Core.Ring.solution;
+  cut_edge : int;
+  path_weight : float;   (** weight of the cut-path candidate *)
+  through_weight : float;  (** weight of the knapsack candidate *)
+}
+
+val solve_report :
+  ?config:Combine.config -> ?knapsack_eps:float -> Core.Ring.t -> report
+
+val solve : ?config:Combine.config -> ?knapsack_eps:float -> Core.Ring.t -> Core.Ring.solution
+(** Always {!Core.Ring.feasible}. [knapsack_eps] defaults to 0.1. *)

@@ -1,0 +1,33 @@
+module Task = Core.Task
+module Path = Core.Path
+
+let uniform_capacity path =
+  let c = Path.capacity path 0 in
+  for e = 1 to Path.num_edges path - 1 do
+    if Path.capacity path e <> c then
+      invalid_arg "Sap_u.solve: capacities not uniform"
+  done;
+  c
+
+let solve path ts =
+  let c = uniform_capacity path in
+  let ts = List.filter (fun (j : Task.t) -> j.Task.demand <= c) ts in
+  let third = c / 3 in
+  let narrow, wide = List.partition (fun (j : Task.t) -> j.Task.demand <= third) ts in
+  let narrow_solution =
+    if third = 0 then []
+    else begin
+      let reduced = Path.uniform ~edges:(Path.num_edges path) ~capacity:third in
+      let ufpp = Ufpp.Local_ratio_u.solve reduced narrow in
+      let r =
+        Dsa.Strip_transform.transform ~height:c ~edges:(Path.num_edges path) ufpp
+      in
+      r.Dsa.Strip_transform.packed
+    end
+  in
+  let wide_solution = Large.solve path wide in
+  if
+    Core.Solution.sap_weight narrow_solution
+    >= Core.Solution.sap_weight wide_solution
+  then narrow_solution
+  else wide_solution

@@ -1,0 +1,18 @@
+(** Baseline for uniform capacities: the Bar-Noy et al. [5] scheme.
+
+    Their 7-approximation for SAP-U runs a UFPP-U approximation at reduced
+    capacity and converts the result to a storage allocation with a DSA
+    algorithm (Gergov's 3*LOAD).  We reproduce the scheme with our
+    substrates: tasks with [d <= c/3] are solved by the local-ratio
+    UFPP-U algorithm against capacity [floor(c/3)] and packed into the full
+    strip by {!Dsa.Strip_transform} (whose input load is a third of the
+    strip height, the same slack Gergov's bound provides); tasks with
+    [d > c/3] are 1/3-large and go to the rectangle solver (Theorem 3,
+    ratio 5).  The heavier solution wins.
+
+    This is the related-work baseline the T4 experiment compares the
+    Theorem 4 algorithm against on uniform instances. *)
+
+val solve : Core.Path.t -> Core.Task.t list -> Core.Solution.sap
+(** Requires uniform capacities ([Invalid_argument] otherwise).  Output is
+    always checker-feasible. *)

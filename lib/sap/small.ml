@@ -1,0 +1,47 @@
+module Task = Core.Task
+module Path = Core.Path
+
+type rounding = [ `Lp of int | `Local_ratio ]
+
+let solve_band ~b ~rounding ~prng path ts =
+  List.iter
+    (fun (j : Task.t) ->
+      let bj = Path.bottleneck_of path j in
+      if bj < b || bj >= 2 * b then
+        invalid_arg "Small.solve_band: bottleneck outside [B, 2B)")
+    ts;
+  let budget = b / 2 in
+  if budget = 0 then []
+  else begin
+    (* Step 1-3: a budget-packable UFPP solution inside the band. *)
+    let strip_ufpp =
+      match rounding with
+      | `Local_ratio -> Ufpp.Strip_local_ratio.solve ~b path ts
+      | `Lp trials ->
+          let clipped = Path.clip path (2 * b) in
+          let lp = Lp.Ufpp_lp.solve clipped ts in
+          let fractional =
+            Array.to_list lp.Lp.Ufpp_lp.tasks
+            |> List.mapi (fun i j -> (j, 0.25 *. lp.Lp.Ufpp_lp.solution.(i)))
+          in
+          Ufpp.Lp_rounding.round ~budget ~trials ~prng path fractional
+    in
+    (* Step 4: strip transform (role of Lemma 4). *)
+    let r =
+      Dsa.Strip_transform.transform ~height:budget ~edges:(Path.num_edges path)
+        strip_ufpp
+    in
+    r.Dsa.Strip_transform.packed
+  end
+
+let strip_pack ~rounding ~prng path ts =
+  let ts = List.filter (fun (j : Task.t) -> j.Task.demand <= Path.bottleneck_of path j) ts in
+  let bands = Core.Classify.strip_bands path ts in
+  List.fold_left
+    (fun acc (t, band_tasks) ->
+      let b = 1 lsl t in
+      let sol = solve_band ~b ~rounding ~prng path band_tasks in
+      (* Strip-Pack line 3: lift band t's strip into [2^(t-1), 2^t). *)
+      let lifted = Core.Solution.lift sol (b / 2) in
+      Core.Solution.union acc lifted)
+    [] bands

@@ -1,0 +1,37 @@
+(** Small tasks: Theorem 1 — the [(4+eps)]-approximation of Section 4.
+
+    Pipeline per bottleneck band [J_t = { j : 2^t <= b(j) < 2^(t+1) }]
+    (so [B = 2^t]):
+    + solve the UFPP LP over the band with capacities clipped to [2B]
+      (Observation 2 makes the clipping free);
+    + scale the fractional optimum by 1/4, making every per-edge
+      fractional load at most [B/2];
+    + round to an integral [B/2]-packable UFPP solution
+      ({!Ufpp.Lp_rounding}, role of Chekuri et al. Thm 6) — or, with
+      [`Local_ratio], run the Appendix's Algorithm Strip instead;
+    + transform the strip UFPP solution into a strip SAP solution
+      ({!Dsa.Strip_transform}, role of Lemma 4);
+    + Algorithm Strip-Pack: lift band [t]'s strip by [2^(t-1)] and stack
+      (bands occupy disjoint vertical ranges [ [2^(t-1), 2^t) ]). *)
+
+type rounding = [ `Lp of int (** trials *) | `Local_ratio ]
+
+val solve_band :
+  b:int ->
+  rounding:rounding ->
+  prng:Util.Prng.t ->
+  Core.Path.t ->
+  Core.Task.t list ->
+  Core.Solution.sap
+(** [solve_band ~b ...] handles one band: all bottlenecks must lie in
+    [\[b, 2b)].  Returns a [b/2]-packable SAP solution (heights in
+    [0, b/2)). *)
+
+val strip_pack :
+  rounding:rounding ->
+  prng:Util.Prng.t ->
+  Core.Path.t ->
+  Core.Task.t list ->
+  Core.Solution.sap
+(** Algorithm Strip-Pack over all bands.  The returned solution is feasible
+    for the original path (checked by the callers' test harness). *)

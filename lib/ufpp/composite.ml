@@ -1,0 +1,88 @@
+module Task = Core.Task
+module Path = Core.Path
+
+type report = {
+  solution : Core.Task.t list;
+  small_solution : Core.Task.t list;
+  medium_solution : Core.Task.t list;
+  large_solution : Core.Task.t list;
+}
+
+let small_part ~trials ~prng path tasks =
+  match tasks with
+  | [] -> []
+  | _ ->
+      let lp = Lp.Ufpp_lp.solve path tasks in
+      let fx =
+        Array.to_list lp.Lp.Ufpp_lp.tasks
+        |> List.mapi (fun i j -> (j, lp.Lp.Ufpp_lp.solution.(i)))
+      in
+      Lp_rounding.round_capacities ~trials ~prng path fx
+
+(* Band framework for the medium tasks.  Each band k is solved exactly by
+   the UFPP band DP against the *halved* band capacities
+   floor(min(c_e, 2^(k+ell)) / 2); unions over k ≡ r (mod ell+1) are then
+   feasible: on an edge e used by bands k1 > k2 > ..., the load is at most
+
+     c_e/2  +  sum_{i>=2} 2^(k_i+ell-1)
+         <=  c_e/2 + 2^(k1+ell-1) * sum_{j>=1} 2^(-j(ell+1))
+         <=  c_e/2 + 2^(k1-1)  <=  c_e,
+
+   using c_e >= 2^(k1) (a band-k1 task uses e).  Checked at runtime too. *)
+let medium_part ~ell path tasks =
+  match tasks with
+  | [] -> []
+  | _ ->
+      let bands = Core.Classify.power_bands path ~ell tasks in
+      let band_solution (k, band_tasks) =
+        let ceiling = 1 lsl (k + ell) in
+        let caps =
+          Array.map (fun c -> max 1 (min c ceiling / 2)) (Path.capacities path)
+        in
+        let half = Path.create caps in
+        (k, (Band_dp.solve half band_tasks).Band_dp.solution)
+      in
+      let solved = List.map band_solution bands in
+      let period = ell + 1 in
+      let positive_mod a p = (a mod p + p) mod p in
+      let best = ref [] in
+      let best_w = ref 0.0 in
+      for r = 0 to period - 1 do
+        let union =
+          solved
+          |> List.filter (fun (k, _) -> positive_mod k period = r)
+          |> List.concat_map snd
+        in
+        if Result.is_ok (Core.Checker.ufpp_feasible path union) then begin
+          let w = Task.weight_of union in
+          if w > !best_w then begin
+            best := union;
+            best_w := w
+          end
+        end
+      done;
+      !best
+
+let large_part path tasks =
+  let rects = Rects.Rect.of_tasks path tasks in
+  Rects.Rect_mwis.solve rects |> List.map (fun (r : Rects.Rect.t) -> r.Rects.Rect.task)
+
+let solve_report ?(delta = 0.25) ?(ell = 2) ?(trials = 16) ?(seed = 42) path tasks =
+  let tasks =
+    List.filter (fun (j : Task.t) -> j.Task.demand <= Path.bottleneck_of path j) tasks
+  in
+  let split = Core.Classify.split3 path ~delta ~large_frac:0.5 tasks in
+  let prng = Util.Prng.create seed in
+  let small_solution = small_part ~trials ~prng path split.Core.Classify.small in
+  let medium_solution = medium_part ~ell path split.Core.Classify.medium in
+  let large_solution = large_part path split.Core.Classify.large in
+  let heaviest =
+    List.fold_left
+      (fun acc s -> if Task.weight_of s > Task.weight_of acc then s else acc)
+      small_solution
+      [ medium_solution; large_solution ]
+  in
+  { solution = heaviest; small_solution; medium_solution; large_solution }
+
+let solve ?delta ?ell ?trials ?seed path tasks =
+  (solve_report ?delta ?ell ?trials ?seed path tasks).solution

@@ -1,0 +1,50 @@
+(** A practical constant-factor-style UFPP solver assembled from the same
+    parts the paper assembles for SAP — the library's answer to "I have a
+    UFPP instance, what do I run?".
+
+    Bonsma et al. [10] (the paper's foundation) split UFPP exactly as
+    Theorem 4 splits SAP.  We mirror that split with our substrates:
+
+    - *small* tasks ([d <= delta b]): solve the LP and round against the
+      true per-edge capacities (Calinescu-style sample + alteration);
+    - *medium* tasks: the band framework over [J^(k,ell)] with the exact
+      UFPP band DP ({!Band_dp}) run at *halved* band capacities; unioning
+      residue classes [k ≡ r mod (ell+1)] is then feasible because the
+      lower bands' geometric loads fit in the spared half (the same
+      argument shape as the paper's Lemma 8, adapted to loads — see the
+      implementation comment for the inequality);
+    - *large* tasks ([d > b/2]): the rectangle MWIS — any UFPP solution's
+      rectangle family is (2k)-colorable [10], so the exact MWIS is a
+      [2k]-approximation for UFPP too.
+
+    The headline ratios of [10] required their exact framework constants;
+    ours is the engineering rendition with the feasibility argument kept
+    and the constants *measured* (bench UFPP) rather than proved.  Outputs
+    are always checker-feasible. *)
+
+type report = {
+  solution : Core.Task.t list;
+  small_solution : Core.Task.t list;
+  medium_solution : Core.Task.t list;
+  large_solution : Core.Task.t list;
+}
+
+val solve_report :
+  ?delta:float ->
+  ?ell:int ->
+  ?trials:int ->
+  ?seed:int ->
+  Core.Path.t ->
+  Core.Task.t list ->
+  report
+(** Defaults: [delta = 0.25], [ell = 2], [trials = 16], [seed = 42]. *)
+
+val solve :
+  ?delta:float ->
+  ?ell:int ->
+  ?trials:int ->
+  ?seed:int ->
+  Core.Path.t ->
+  Core.Task.t list ->
+  Core.Task.t list
+(** The heaviest of the three part solutions. *)

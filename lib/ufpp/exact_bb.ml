@@ -1,0 +1,57 @@
+module Task = Core.Task
+module Path = Core.Path
+
+let solve path ts =
+  (* Drop tasks that cannot fit alone; sort the rest heaviest-first so the
+     greedy dive finds a strong incumbent early. *)
+  let ts =
+    List.filter (fun (j : Task.t) -> j.Task.demand <= Path.bottleneck_of path j) ts
+  in
+  let a = Array.of_list ts in
+  Array.sort (fun (x : Task.t) (y : Task.t) -> Float.compare y.Task.weight x.Task.weight) a;
+  let n = Array.length a in
+  (* suffix.(i) = total weight of tasks i..n-1: the optimistic bound. *)
+  let suffix = Array.make (n + 1) 0.0 in
+  for i = n - 1 downto 0 do
+    suffix.(i) <- suffix.(i + 1) +. a.(i).Task.weight
+  done;
+  let m = Path.num_edges path in
+  let load = Array.make m 0 in
+  let best = ref [] in
+  let best_w = ref neg_infinity in
+  let chosen = ref [] in
+  let rec branch i acc_w =
+    if acc_w +. suffix.(i) <= !best_w +. 1e-12 then ()
+    else if i = n then begin
+      if acc_w > !best_w then begin
+        best_w := acc_w;
+        best := !chosen
+      end
+    end
+    else begin
+      let j = a.(i) in
+      let fits =
+        let rec ok e =
+          e > j.Task.last_edge
+          || (load.(e) + j.Task.demand <= Path.capacity path e && ok (e + 1))
+        in
+        ok j.Task.first_edge
+      in
+      if fits then begin
+        for e = j.Task.first_edge to j.Task.last_edge do
+          load.(e) <- load.(e) + j.Task.demand
+        done;
+        chosen := j :: !chosen;
+        branch (i + 1) (acc_w +. j.Task.weight);
+        chosen := List.tl !chosen;
+        for e = j.Task.first_edge to j.Task.last_edge do
+          load.(e) <- load.(e) - j.Task.demand
+        done
+      end;
+      branch (i + 1) acc_w
+    end
+  in
+  branch 0 0.0;
+  !best
+
+let value path ts = Task.weight_of (solve path ts)

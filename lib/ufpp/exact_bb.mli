@@ -1,0 +1,12 @@
+(** Exact UFPP by branch and bound.
+
+    Include/exclude search over tasks sorted by decreasing weight density,
+    pruning with the residual-weight upper bound and an incremental load
+    array.  Exponential worst case; intended for test oracles and the
+    ratio experiments ([n] up to ~25 arbitrary tasks, more when capacities
+    bind early).  Every result is checker-verified by the callers. *)
+
+val solve : Core.Path.t -> Core.Task.t list -> Core.Task.t list
+(** A maximum-weight feasible task set. *)
+
+val value : Core.Path.t -> Core.Task.t list -> float

@@ -1,0 +1,28 @@
+module Task = Core.Task
+module Path = Core.Path
+
+let solve_by ~key path ts =
+  let order =
+    List.sort (fun a b -> Float.compare (key b) (key a)) ts
+  in
+  let load = Array.make (Path.num_edges path) 0 in
+  List.filter
+    (fun (j : Task.t) ->
+      let rec ok e =
+        e > j.Task.last_edge
+        || (load.(e) + j.Task.demand <= Path.capacity path e && ok (e + 1))
+      in
+      if ok j.Task.first_edge then begin
+        for e = j.Task.first_edge to j.Task.last_edge do
+          load.(e) <- load.(e) + j.Task.demand
+        done;
+        true
+      end
+      else false)
+    order
+
+let solve path ts =
+  let key (j : Task.t) =
+    j.Task.weight /. float_of_int (j.Task.demand * Task.span j)
+  in
+  solve_by ~key path ts

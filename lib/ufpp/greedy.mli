@@ -1,0 +1,10 @@
+(** Greedy density baseline for UFPP.
+
+    The no-theory comparator every experiment table includes: scan tasks by
+    decreasing [w / (d * span)] density and keep whatever fits.  O(n log n +
+    n * span). *)
+
+val solve : Core.Path.t -> Core.Task.t list -> Core.Task.t list
+
+val solve_by : key:(Core.Task.t -> float) -> Core.Path.t -> Core.Task.t list -> Core.Task.t list
+(** Same sweep with a custom (descending) priority key. *)

@@ -1,0 +1,46 @@
+module Task = Core.Task
+
+let solve ts =
+  let a = Array.of_list ts in
+  Array.sort
+    (fun (x : Task.t) (y : Task.t) ->
+      match Int.compare x.Task.last_edge y.Task.last_edge with
+      | 0 -> Int.compare x.Task.id y.Task.id
+      | c -> c)
+    a;
+  let n = Array.length a in
+  if n = 0 then []
+  else begin
+    (* pred.(i): largest index j < i with a.(j).last_edge < a.(i).first_edge,
+       or -1.  Binary search over the sorted right endpoints. *)
+    let pred i =
+      let target = a.(i).Task.first_edge in
+      let rec bs lo hi ans =
+        if lo > hi then ans
+        else
+          let mid = (lo + hi) / 2 in
+          if a.(mid).Task.last_edge < target then bs (mid + 1) hi mid
+          else bs lo (mid - 1) ans
+      in
+      bs 0 (i - 1) (-1)
+    in
+    let best = Array.make (n + 1) 0.0 in
+    let take = Array.make n false in
+    for i = 0 to n - 1 do
+      let without = best.(i) in
+      let with_ = a.(i).Task.weight +. best.(pred i + 1) in
+      if with_ > without then begin
+        best.(i + 1) <- with_;
+        take.(i) <- true
+      end
+      else best.(i + 1) <- without
+    done;
+    let rec backtrack i acc =
+      if i < 0 then acc
+      else if take.(i) then backtrack (pred i) (a.(i) :: acc)
+      else backtrack (i - 1) acc
+    in
+    backtrack (n - 1) []
+  end
+
+let value ts = Task.weight_of (solve ts)

@@ -1,0 +1,12 @@
+(** Exact maximum-weight independent set on an interval graph.
+
+    Classic O(n log n) DP over tasks sorted by right endpoint.  Two tasks
+    are independent iff their edge ranges are disjoint.  Used for the
+    "wide" half of the Bar-Noy et al. 3-approximation (two wide tasks can
+    never share an edge of a uniform-capacity path, so the wide subproblem
+    *is* interval scheduling) and as a baseline elsewhere. *)
+
+val solve : Core.Task.t list -> Core.Task.t list
+(** A maximum-weight pairwise-disjoint subset. *)
+
+val value : Core.Task.t list -> float

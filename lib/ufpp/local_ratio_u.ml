@@ -1,0 +1,82 @@
+module Task = Core.Task
+module Path = Core.Path
+
+let uniform_capacity path =
+  let c = Path.capacity path 0 in
+  for e = 1 to Path.num_edges path - 1 do
+    if Path.capacity path e <> c then
+      invalid_arg "Local_ratio_u: capacities not uniform"
+  done;
+  c
+
+(* Local-ratio skeleton shared with Strip_local_ratio: process tasks by
+   increasing right endpoint, peeling model weights; then unwind the stack
+   adding each task whose insertion keeps its own rightmost edge within
+   [budget].  [peel j* i] is the model weight charged to a later task [i]
+   overlapping [j*], as a fraction of the current weight of [j*]. *)
+let local_ratio_sweep ~peel ~fits path ts =
+  let order =
+    List.sort
+      (fun (a : Task.t) (b : Task.t) ->
+        match Int.compare a.Task.last_edge b.Task.last_edge with
+        | 0 -> Int.compare a.Task.id b.Task.id
+        | c -> c)
+      ts
+    |> Array.of_list
+  in
+  let n = Array.length order in
+  let w = Array.map (fun (j : Task.t) -> j.Task.weight) order in
+  let stack = ref [] in
+  for idx = 0 to n - 1 do
+    if w.(idx) > 1e-12 then begin
+      let jstar = order.(idx) in
+      let wj = w.(idx) in
+      stack := idx :: !stack;
+      for later = idx + 1 to n - 1 do
+        if Task.overlaps order.(later) jstar then
+          w.(later) <- w.(later) -. (wj *. peel jstar order.(later))
+      done;
+      w.(idx) <- 0.0
+    end
+  done;
+  (* Unwind: !stack already has the last-pushed task first.  A task is added
+     if the load of the current selection on its rightmost edge leaves room
+     for it; by the min-right-endpoint structure this bounds the load on its
+     whole path (every selected task using an edge of I_j also uses e*_j). *)
+  let selected = ref [] in
+  let load = Array.make (Path.num_edges path) 0 in
+  List.iter
+    (fun idx ->
+      let j = order.(idx) in
+      let e_star = j.Task.last_edge in
+      if fits ~load:load.(e_star) j then begin
+        selected := j :: !selected;
+        for e = j.Task.first_edge to j.Task.last_edge do
+          load.(e) <- load.(e) + j.Task.demand
+        done
+      end)
+    !stack;
+  !selected
+
+let solve_narrow path ts =
+  let c = uniform_capacity path in
+  List.iter
+    (fun (j : Task.t) ->
+      if 2 * j.Task.demand > c then
+        invalid_arg "Local_ratio_u.solve_narrow: wide task")
+    ts;
+  let peel (jstar : Task.t) (i : Task.t) =
+    float_of_int i.Task.demand /. float_of_int (c - jstar.Task.demand)
+  in
+  let fits ~load (j : Task.t) = load + j.Task.demand <= c in
+  local_ratio_sweep ~peel ~fits path ts
+
+let solve path ts =
+  let c = uniform_capacity path in
+  let ts = List.filter (fun (j : Task.t) -> j.Task.demand <= c) ts in
+  let narrow, wide =
+    List.partition (fun (j : Task.t) -> 2 * j.Task.demand <= c) ts
+  in
+  let s_narrow = solve_narrow path narrow in
+  let s_wide = Interval_mwis.solve wide in
+  if Task.weight_of s_narrow >= Task.weight_of s_wide then s_narrow else s_wide

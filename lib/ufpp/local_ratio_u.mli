@@ -1,0 +1,35 @@
+(** The Bar-Noy et al. [5] local-ratio 3-approximation for UFPP with
+    uniform capacities (a.k.a. the bandwidth allocation problem).
+
+    Tasks are split at demand [c/2]:
+    - *wide* tasks ([d > c/2]) pairwise exclude each other on shared edges,
+      so the wide subproblem is weighted interval scheduling, solved exactly
+      by {!Interval_mwis};
+    - *narrow* tasks ([d <= c/2]) are handled by a local-ratio round with
+      model weights [w1(jstar) = w(jstar)] and
+      [w1(i) = w(jstar) * d_i / (c - d_jstar)] for tasks overlapping [jstar]'s
+      rightmost edge, giving a 2-approximation.
+    The heavier of the two is a 3-approximation (Lemma 3 of the paper). *)
+
+val local_ratio_sweep :
+  peel:(Core.Task.t -> Core.Task.t -> float) ->
+  fits:(load:int -> Core.Task.t -> bool) ->
+  Core.Path.t ->
+  Core.Task.t list ->
+  Core.Task.t list
+(** The shared local-ratio engine.  Tasks are scanned by increasing right
+    endpoint; when [jstar] is reached with residual weight [wj > 0], every
+    later overlapping task [i] loses [wj * peel jstar i] and [jstar] is pushed.
+    The stack is then unwound (innermost first) adding each task when
+    [fits ~load j] holds for the current selection's load on [j]'s
+    rightmost edge — sufficient because in this sweep any selected task
+    using an edge of [I_j] also uses that edge.  Exposed for
+    {!Strip_local_ratio}, which instantiates different model weights. *)
+
+val solve_narrow : Core.Path.t -> Core.Task.t list -> Core.Task.t list
+(** The local-ratio 2-approximation.  Requires uniform capacities and all
+    demands at most [c/2] ([Invalid_argument] otherwise). *)
+
+val solve : Core.Path.t -> Core.Task.t list -> Core.Task.t list
+(** The combined 3-approximation.  Requires uniform capacities; tasks with
+    [d > c] are discarded up front. *)

@@ -1,0 +1,95 @@
+module Task = Core.Task
+module Path = Core.Path
+
+type fractional = (Task.t * float) list
+
+let fractional_weight fx =
+  List.fold_left (fun acc ((j : Task.t), x) -> acc +. (j.Task.weight *. x)) 0.0 fx
+
+(* Alteration: scan candidates in the given order, keeping a task whenever
+   its whole path stays within the per-edge budget. *)
+let alteration_per_edge ~budget_of path candidates =
+  let load = Array.make (Path.num_edges path) 0 in
+  let keep =
+    List.filter
+      (fun (j : Task.t) ->
+        let rec ok e =
+          e > j.Task.last_edge
+          || (load.(e) + j.Task.demand <= budget_of e && ok (e + 1))
+        in
+        if ok j.Task.first_edge then begin
+          for e = j.Task.first_edge to j.Task.last_edge do
+            load.(e) <- load.(e) + j.Task.demand
+          done;
+          true
+        end
+        else false)
+      candidates
+  in
+  keep
+
+let alteration ~budget path candidates =
+  alteration_per_edge ~budget_of:(fun _ -> budget) path candidates
+
+let density (j : Task.t) x =
+  j.Task.weight *. x /. float_of_int (j.Task.demand * Task.span j)
+
+let greedy_round ~budget path fx =
+  let candidates =
+    fx
+    |> List.filter (fun (_, x) -> x > 1e-9)
+    |> List.sort (fun (j1, x1) (j2, x2) -> Float.compare (density j2 x2) (density j1 x1))
+    |> List.map fst
+  in
+  alteration ~budget path candidates
+
+let random_round ~budget ~prng path fx =
+  let sampled =
+    List.filter (fun (_, x) -> Util.Prng.bernoulli prng x) fx |> List.map fst
+  in
+  (* Heaviest-first alteration biases the dropped mass toward light tasks. *)
+  let sampled =
+    List.sort
+      (fun (a : Task.t) (b : Task.t) -> Float.compare b.Task.weight a.Task.weight)
+      sampled
+  in
+  alteration ~budget path sampled
+
+let round ~budget ~trials ~prng path fx =
+  let best = ref (greedy_round ~budget path fx) in
+  let best_w = ref (Task.weight_of !best) in
+  for _ = 1 to trials do
+    let s = random_round ~budget ~prng path fx in
+    let w = Task.weight_of s in
+    if w > !best_w then begin
+      best := s;
+      best_w := w
+    end
+  done;
+  !best
+
+let round_capacities ~trials ~prng path fx =
+  let budget_of e = Path.capacity path e in
+  let greedy =
+    fx
+    |> List.filter (fun (_, x) -> x > 1e-9)
+    |> List.sort (fun (j1, x1) (j2, x2) -> Float.compare (density j2 x2) (density j1 x1))
+    |> List.map fst
+    |> alteration_per_edge ~budget_of path
+  in
+  let best = ref greedy in
+  let best_w = ref (Task.weight_of greedy) in
+  for _ = 1 to trials do
+    let sampled =
+      List.filter (fun (_, x) -> Util.Prng.bernoulli prng x) fx
+      |> List.map fst
+      |> List.sort (fun (a : Task.t) b -> Float.compare b.Task.weight a.Task.weight)
+    in
+    let s = alteration_per_edge ~budget_of path sampled in
+    let w = Task.weight_of s in
+    if w > !best_w then begin
+      best := s;
+      best_w := w
+    end
+  done;
+  !best

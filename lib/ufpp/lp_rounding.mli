@@ -1,0 +1,39 @@
+(** Rounding a fractional UFPP solution into a budget-packable task set
+    (role of Chekuri et al., Theorem 6 — substitution documented in
+    DESIGN.md §3.1).
+
+    The small-task algorithm (Sect. 4.1) solves the LP on a bottleneck
+    band, scales the optimum by 1/4 so that every per-edge fractional load
+    is at most [B/2], and needs an integral solution of nearly the same
+    weight whose load stays within [B/2].  We round with (a) randomized
+    rounding + alteration over several trials and (b) a deterministic
+    greedy by [w_j * x_j / d_j] density, and keep the heaviest outcome.
+    Every outcome is load-checked against the budget before being
+    returned. *)
+
+type fractional = (Core.Task.t * float) list
+(** Task with its (already scaled) fractional value in [\[0,1\]]. *)
+
+val fractional_weight : fractional -> float
+(** [sum w_j x_j] — the rounding target. *)
+
+val round :
+  budget:int ->
+  trials:int ->
+  prng:Util.Prng.t ->
+  Core.Path.t ->
+  fractional ->
+  Core.Task.t list
+(** [round ~budget ~trials ~prng path fx] returns a task set with per-edge
+    load at most [budget].  [path] supplies only the edge count; capacities
+    are not consulted (the budget is the binding constraint in a strip). *)
+
+val round_capacities :
+  trials:int ->
+  prng:Util.Prng.t ->
+  Core.Path.t ->
+  fractional ->
+  Core.Task.t list
+(** Like {!round} but against the path's own per-edge capacities — the
+    whole-instance rounding used by the UFPP composite solver (Calinescu
+    et al. style: sample, then alter). *)

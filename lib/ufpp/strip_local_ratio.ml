@@ -1,0 +1,15 @@
+module Task = Core.Task
+module Path = Core.Path
+
+let solve ~b path ts =
+  List.iter
+    (fun (j : Task.t) ->
+      let bj = Path.bottleneck_of path j in
+      if bj < b || bj >= 2 * b then
+        invalid_arg "Strip_local_ratio.solve: bottleneck outside [B, 2B)")
+    ts;
+  let peel (_jstar : Task.t) (i : Task.t) =
+    2.0 *. float_of_int i.Task.demand /. float_of_int b
+  in
+  let fits ~load (j : Task.t) = 2 * (load + j.Task.demand) <= b in
+  Local_ratio_u.local_ratio_sweep ~peel ~fits path ts

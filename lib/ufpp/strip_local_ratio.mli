@@ -1,0 +1,16 @@
+(** Algorithm Strip — the paper's Appendix.
+
+    Input: a [delta]-small instance with every bottleneck in [\[B, 2B)].
+    Output: a [B/2]-packable UFPP solution whose weight is at least
+    [(1 - 4*delta) / 5] of the optimal SAP weight on the same tasks
+    (so after the strip transform the end-to-end ratio is [5 + eps]).
+
+    Model weights per round, with [jstar] the task of minimum right endpoint:
+    [w1(jstar) = w(jstar)]; [w1(i) = 2 d_i / B * w(jstar)] for overlapping [i];
+    a task is added on unwinding when its rightmost edge keeps load at most
+    [B/2 - d_j] (checked in exact integer arithmetic as
+    [2 * (load + d_j) <= B]). *)
+
+val solve : b:int -> Core.Path.t -> Core.Task.t list -> Core.Task.t list
+(** [solve ~b path ts] with [b = B].  Checks that every task's bottleneck
+    lies in [\[B, 2B)] ([Invalid_argument] otherwise). *)

@@ -1,0 +1,30 @@
+(** Binary min-heap over an arbitrary ordering.
+
+    Used by the DSA allocators (gap selection) and by the branch-and-bound
+    rectangle solver (best-first exploration).  Purely array-based; amortised
+    O(log n) push/pop. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] is an empty heap whose minimum is taken w.r.t. [cmp]. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element, without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Removes and returns the smallest element. *)
+
+val pop_exn : 'a t -> 'a
+(** @raise Invalid_argument on an empty heap. *)
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+
+val to_sorted_list : 'a t -> 'a list
+(** Drains a copy of the heap in ascending order; the heap is unchanged. *)

@@ -1,0 +1,66 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy g = { state = g.state }
+
+(* SplitMix64 core: one additive step followed by a 64-bit finalizer. *)
+let next_raw g =
+  g.state <- Int64.add g.state golden_gamma;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int64 = next_raw
+
+let split g =
+  let seed = next_raw g in
+  { state = seed }
+
+let int g bound =
+  assert (bound > 0);
+  (* Mask to 62 bits: [Int64.to_int] keeps the low 63 bits, whose top bit
+     would become OCaml's sign bit. *)
+  let r = Int64.to_int (Int64.shift_right_logical (next_raw g) 2) land max_int in
+  r mod bound
+
+let int_in g lo hi =
+  assert (lo <= hi);
+  lo + int g (hi - lo + 1)
+
+let float g bound =
+  let r = Int64.to_float (Int64.shift_right_logical (next_raw g) 11) in
+  (* 2^53 mantissa-width scaling gives a uniform double in [0, 1). *)
+  r /. 9007199254740992.0 *. bound
+
+let bool g = Int64.logand (next_raw g) 1L = 1L
+
+let bernoulli g p = float g 1.0 < p
+
+let shuffle g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose g a =
+  assert (Array.length a > 0);
+  a.(int g (Array.length a))
+
+let sample_weighted g w =
+  let total = Array.fold_left ( +. ) 0.0 w in
+  assert (total > 0.0);
+  let target = float g total in
+  let n = Array.length w in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. w.(i) in
+      if target < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.0

@@ -1,0 +1,50 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic components of the library (instance generators, randomized
+    rounding) draw from this splittable SplitMix64 generator so that every
+    experiment is reproducible from a single integer seed.  The standard
+    library [Random] module is deliberately not used anywhere. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] returns a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy g] duplicates the current state; the copy evolves independently. *)
+
+val split : t -> t
+(** [split g] advances [g] and returns a statistically independent child
+    generator.  Used to give sub-components their own streams without
+    coupling their consumption rates. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int g bound] is uniform in [\[0, bound)].  Requires [bound > 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in g lo hi] is uniform in the inclusive range [\[lo, hi\]].
+    Requires [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float g bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli g p] is [true] with probability [p]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val sample_weighted : t -> float array -> int
+(** [sample_weighted g w] returns index [i] with probability proportional to
+    [w.(i)].  Requires at least one strictly positive weight. *)

@@ -1,0 +1,38 @@
+type t = {
+  length : int;
+  (* table.(k).(i) = index of the min element of a.(i .. i + 2^k - 1). *)
+  table : int array array;
+  values : int array;
+}
+
+let floor_log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let build a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Range_min.build: empty array";
+  let levels = 1 + floor_log2 n in
+  let table = Array.make levels [||] in
+  table.(0) <- Array.init n (fun i -> i);
+  for k = 1 to levels - 1 do
+    let width = 1 lsl k in
+    let rows = n - width + 1 in
+    let prev = table.(k - 1) in
+    table.(k) <-
+      Array.init (max rows 0) (fun i ->
+          let left = prev.(i) and right = prev.(i + (width / 2)) in
+          if a.(left) <= a.(right) then left else right)
+  done;
+  { length = n; table; values = a }
+
+let query_arg t lo hi =
+  if lo < 0 || hi >= t.length || lo > hi then invalid_arg "Range_min.query";
+  let k = floor_log2 (hi - lo + 1) in
+  let left = t.table.(k).(lo) in
+  let right = t.table.(k).(hi - (1 lsl k) + 1) in
+  if t.values.(left) <= t.values.(right) then left else right
+
+let query t lo hi = t.values.(query_arg t lo hi)
+
+let length t = t.length

@@ -1,0 +1,21 @@
+(** Static range-minimum queries via a sparse table.
+
+    Bottleneck computation [b(j) = min of capacities over a task's path] is
+    the hottest primitive in the library — every classification, checker and
+    algorithm calls it — so it is answered in O(1) after O(m log m)
+    preprocessing of the capacity vector. *)
+
+type t
+
+val build : int array -> t
+(** [build a] preprocesses [a].  [a] must be non-empty. *)
+
+val query : t -> int -> int -> int
+(** [query t lo hi] is [min a.(lo..hi)] (inclusive bounds).
+    Requires [0 <= lo <= hi < length]. *)
+
+val query_arg : t -> int -> int -> int
+(** [query_arg t lo hi] is an index of a minimum element in [a.(lo..hi)]
+    (the leftmost one among the two table halves consulted). *)
+
+val length : t -> int

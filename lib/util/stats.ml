@@ -1,0 +1,55 @@
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;
+}
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let geometric_mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.geometric_mean: empty"
+  | _ ->
+      let log_sum =
+        List.fold_left
+          (fun acc x ->
+            if x <= 0.0 then invalid_arg "Stats.geometric_mean: non-positive";
+            acc +. log x)
+          0.0 xs
+      in
+      exp (log_sum /. float_of_int (List.length xs))
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then invalid_arg "Stats.percentile: empty";
+  let rank = int_of_float (ceil (p *. float_of_int n)) - 1 in
+  sorted.(max 0 (min (n - 1) rank))
+
+let summarize xs =
+  match xs with
+  | [] -> invalid_arg "Stats.summarize: empty"
+  | _ ->
+      let n = List.length xs in
+      let nf = float_of_int n in
+      let mu = mean xs in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. mu) *. (x -. mu))) 0.0 xs /. nf
+      in
+      let sorted = Array.of_list xs in
+      Array.sort compare sorted;
+      {
+        count = n;
+        mean = mu;
+        stddev = sqrt var;
+        min = sorted.(0);
+        max = sorted.(n - 1);
+        median = percentile sorted 0.5;
+        p90 = percentile sorted 0.9;
+      }

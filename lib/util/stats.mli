@@ -1,0 +1,28 @@
+(** Summary statistics for experiment reporting.
+
+    The bench harness aggregates per-instance approximation ratios and
+    runtimes into these summaries before printing a table row. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;
+}
+
+val summarize : float list -> summary
+(** [summarize xs] computes all fields in one pass (plus a sort for the order
+    statistics).  Raises [Invalid_argument] on the empty list. *)
+
+val mean : float list -> float
+
+val geometric_mean : float list -> float
+(** Geometric mean; all inputs must be strictly positive.  Approximation
+    ratios are conventionally aggregated geometrically. *)
+
+val percentile : float array -> float -> float
+(** [percentile sorted p] with [p] in [\[0,1\]]; nearest-rank on a sorted
+    array. *)

@@ -1,0 +1,72 @@
+module Int_set = Set.Make (Int)
+
+(* Pair (value, terms-used); we keep for each reachable value the minimum
+   number of terms realising it, which dominates any larger count. *)
+module Int_map = Map.Make (Int)
+
+let group_multiplicities ds =
+  let tally =
+    List.fold_left
+      (fun m d ->
+        if d <= 0 then invalid_arg "Subset_sum: non-positive demand";
+        Int_map.update d (function None -> Some 1 | Some k -> Some (k + 1)) m)
+      Int_map.empty ds
+  in
+  Int_map.bindings tally
+
+let distinct_sums ?max_terms ~bound ds =
+  let max_terms = match max_terms with Some k -> k | None -> List.length ds in
+  let groups = group_multiplicities ds in
+  (* reachable : value -> min #terms *)
+  let reachable = ref (Int_map.singleton 0 0) in
+  let add_group (d, mult) =
+    let updated = ref !reachable in
+    Int_map.iter
+      (fun v terms ->
+        let rec extend copies v' terms' =
+          if copies <= mult && v' < bound && terms' <= max_terms then begin
+            (match Int_map.find_opt v' !updated with
+            | Some best when best <= terms' -> ()
+            | _ -> updated := Int_map.add v' terms' !updated);
+            extend (copies + 1) (v' + d) (terms' + 1)
+          end
+        in
+        extend 1 (v + d) (terms + 1))
+      !reachable;
+    reachable := !updated
+  in
+  List.iter add_group groups;
+  Int_map.fold (fun v _ acc -> v :: acc) !reachable [] |> List.rev
+
+let distinct_sums_capped ~cap ~bound ds =
+  (* Dijkstra-style expansion in increasing value order so truncation keeps
+     the smallest sums, which are the ones low (gravity-settled) heights
+     use. *)
+  let groups = Array.of_list (group_multiplicities ds) in
+  let seen = ref (Int_set.singleton 0) in
+  let frontier = Heap.create ~cmp:compare in
+  Heap.push frontier 0;
+  let out = ref [] in
+  let count = ref 0 in
+  let exception Done in
+  (try
+     let rec loop () =
+       match Heap.pop frontier with
+       | None -> ()
+       | Some v ->
+           out := v :: !out;
+           incr count;
+           if !count >= cap then raise Done;
+           Array.iter
+             (fun (d, _) ->
+               let v' = v + d in
+               if v' < bound && not (Int_set.mem v' !seen) then begin
+                 seen := Int_set.add v' !seen;
+                 Heap.push frontier v'
+               end)
+             groups;
+           loop ()
+     in
+     loop ()
+   with Done -> ());
+  List.rev !out

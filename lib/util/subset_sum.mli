@@ -1,0 +1,23 @@
+(** Bounded subset-sum value enumeration.
+
+    The gravity argument (Observation 11 of the paper) shows that in a
+    canonical SAP solution every height is a sum of at most [L] task demands.
+    Both the exact solvers and the Elevator DP therefore enumerate candidate
+    heights as distinct subset sums below the relevant capacity. *)
+
+val distinct_sums : ?max_terms:int -> bound:int -> int list -> int list
+(** [distinct_sums ~max_terms ~bound ds] is the sorted list of distinct
+    values [< bound] expressible as the sum of at most [max_terms] elements
+    of [ds] (each list occurrence usable once).  [0] is always included.
+    [max_terms] defaults to [List.length ds].  Duplicate values in [ds]
+    are collapsed into multiplicities, so palettes with few distinct demands
+    stay cheap. *)
+
+val distinct_sums_capped : cap:int -> bound:int -> int list -> int list
+(** [distinct_sums_capped ~cap ~bound ds] enumerates, in increasing order,
+    distinct non-negative integer combinations of the distinct values of
+    [ds] below [bound], truncated to the [cap] smallest.  Multiplicities are
+    ignored (each value may repeat), so the result is a *superset* of
+    [distinct_sums] restricted to its smallest values — safe wherever the
+    list is used as a candidate-height pool, since feasibility is checked
+    separately. *)

@@ -1,0 +1,45 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let default_align columns =
+  List.init columns (fun i -> if i = 0 then Left else Right)
+
+let render ?align ~header rows =
+  let columns = List.length header in
+  let align = match align with Some a -> a | None -> default_align columns in
+  if List.length align <> columns then invalid_arg "Table.render: align arity";
+  List.iter
+    (fun row ->
+      if List.length row <> columns then invalid_arg "Table.render: row arity")
+    rows;
+  let widths = Array.make columns 0 in
+  let note row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  note header;
+  List.iter note rows;
+  let fmt_row row =
+    let cells =
+      List.mapi
+        (fun i cell -> pad (List.nth align i) widths.(i) cell)
+        row
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let rule =
+    let dashes = Array.to_list (Array.map (fun w -> String.make w '-') widths) in
+    "|-" ^ String.concat "-|-" dashes ^ "-|"
+  in
+  String.concat "\n" (fmt_row header :: rule :: List.map fmt_row rows)
+
+let print ?align ~header rows =
+  print_string (render ?align ~header rows);
+  print_newline ()
+
+let float_cell ?(digits = 3) x = Printf.sprintf "%.*f" digits x

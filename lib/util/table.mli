@@ -1,0 +1,19 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Every experiment in [bench/main.ml] prints one of these tables; the
+    format is stable so that [EXPERIMENTS.md] can quote the output
+    verbatim. *)
+
+type align = Left | Right
+
+val render : ?align:align list -> header:string list -> string list list -> string
+(** [render ~header rows] lays the rows out under the header with a
+    separator rule, padding every column to its widest cell.  [align]
+    defaults to left for the first column and right for the rest. *)
+
+val print : ?align:align list -> header:string list -> string list list -> unit
+(** [render] followed by [print_string] and a trailing newline. *)
+
+val float_cell : ?digits:int -> float -> string
+(** Fixed-point formatting used across all experiment tables (default 3
+    digits). *)

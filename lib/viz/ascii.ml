@@ -1,0 +1,58 @@
+module Task = Core.Task
+module Path = Core.Path
+
+let label id = Char.chr (Char.code 'A' + (id mod 26))
+
+let grid ?max_height path sol =
+  let m = Path.num_edges path in
+  let top =
+    match max_height with
+    | Some h -> h
+    | None -> Path.max_capacity path
+  in
+  if top > 200 then
+    invalid_arg "Ascii.render: profile too tall; pass ~max_height";
+  let cells = Array.make_matrix top m ' ' in
+  for e = 0 to m - 1 do
+    for h = 0 to min top (Path.capacity path e) - 1 do
+      cells.(h).(e) <- '.'
+    done
+  done;
+  List.iter
+    (fun ((j : Task.t), h) ->
+      for e = j.Task.first_edge to j.Task.last_edge do
+        for y = h to min top (h + j.Task.demand) - 1 do
+          cells.(y).(e) <- label j.Task.id
+        done
+      done)
+    sol;
+  cells
+
+let render cells =
+  let top = Array.length cells in
+  let buf = Buffer.create 1024 in
+  for y = top - 1 downto 0 do
+    Buffer.add_string buf (Printf.sprintf "%3d |" y);
+    Array.iter (fun c -> Buffer.add_char buf c) cells.(y);
+    Buffer.add_char buf '\n'
+  done;
+  let m = if top > 0 then Array.length cells.(0) else 0 in
+  Buffer.add_string buf ("    +" ^ String.make m '-' ^ "\n");
+  Buffer.contents buf
+
+let render_solution ?max_height path sol = render (grid ?max_height path sol)
+
+let render_profile ?max_height path = render (grid ?max_height path [])
+
+let render_loads path ts =
+  let load = Core.Instance.load_profile path ts in
+  let buf = Buffer.create 256 in
+  Array.iteri
+    (fun e l ->
+      let c = Path.capacity path e in
+      Buffer.add_string buf
+        (Printf.sprintf "edge %2d  cap %4d  load %4d  |%s%s|\n" e c l
+           (String.make (min 60 l) '#')
+           (String.make (max 0 (min 60 c - min 60 l)) '.')))
+    load;
+  Buffer.contents buf

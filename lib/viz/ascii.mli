@@ -1,0 +1,21 @@
+(** ASCII rendering of instances and solutions.
+
+    Draws the capacity profile as a skyline and each placed task as a block
+    of letters (task id mod 26), one text column per edge.  Used by the
+    examples and the [show] CLI subcommand; rendering a paper figure next
+    to its checker verdict makes the experiments legible. *)
+
+val render_solution : ?max_height:int -> Core.Path.t -> Core.Solution.sap -> string
+(** One character cell per (edge, height unit); rows printed top (high
+    capacity) to bottom (height 0).  Cells: task letter, [.] free below
+    capacity, [ ] above capacity.  [max_height] clips tall profiles
+    (default: the maximum capacity, refused above 200 rows). *)
+
+val render_profile : ?max_height:int -> Core.Path.t -> string
+(** Just the skyline. *)
+
+val render_loads : Core.Path.t -> Core.Task.t list -> string
+(** One line per edge: capacity, load and a bar — the UFPP view. *)
+
+val label : int -> char
+(** Task id to display letter. *)

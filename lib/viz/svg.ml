@@ -1,0 +1,69 @@
+module Task = Core.Task
+module Path = Core.Path
+
+let color id =
+  (* Golden-angle hue walk: adjacent ids get well-separated hues. *)
+  let hue = id * 137 mod 360 in
+  Printf.sprintf "hsl(%d, 65%%, 60%%)" hue
+
+let header ~width ~height ~title =
+  Printf.sprintf
+    "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+     viewBox=\"0 0 %d %d\">\n<title>%s</title>\n\
+     <rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n"
+    width height width height title width height
+
+let render ?(cell = 12) ?(title = "SAP solution") path sol =
+  let m = Path.num_edges path in
+  let top = Path.max_capacity path in
+  (* Keep the canvas manageable for tall profiles. *)
+  let cell = if top * cell > 1200 then max 1 (1200 / top) else cell in
+  let margin = 24 in
+  let width = (m * cell) + (2 * margin) in
+  let height = (top * cell) + (2 * margin) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (header ~width ~height ~title);
+  let x e = margin + (e * cell) in
+  let y h = margin + ((top - h) * cell) in
+  (* Capacity skyline: one grey column per edge up to its capacity. *)
+  for e = 0 to m - 1 do
+    let c = Path.capacity path e in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"#eee\" \
+          stroke=\"#bbb\" stroke-width=\"0.5\"/>\n"
+         (x e) (y c) cell (c * cell))
+  done;
+  (* Tasks. *)
+  List.iter
+    (fun ((j : Task.t), h) ->
+      let w = Task.span j * cell in
+      let ht = j.Task.demand * cell in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"%s\" \
+            stroke=\"#333\" stroke-width=\"1\" fill-opacity=\"0.85\"/>\n"
+           (x j.Task.first_edge)
+           (y (h + j.Task.demand))
+           w ht (color j.Task.id));
+      if ht >= 10 && w >= 14 then
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<text x=\"%d\" y=\"%d\" font-size=\"%d\" font-family=\"sans-serif\" \
+              fill=\"#000\">%d</text>\n"
+             (x j.Task.first_edge + 3)
+             (y (h + j.Task.demand) + min ht 12)
+             (min 11 ht) j.Task.id))
+    sol;
+  (* Axis line at height 0. *)
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"#000\"/>\n" margin
+       (y 0) (margin + (m * cell)) (y 0));
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let solution_svg ?cell ?title path sol = render ?cell ?title path sol
+
+let profile_svg ?cell ?(title = "capacity profile") path =
+  render ?cell ~title path []

@@ -1,0 +1,20 @@
+(** SVG rendering of instances and solutions.
+
+    Produces standalone SVG documents: the capacity profile as a grey
+    skyline, each placed task as a coloured rectangle with its id.  The
+    examples write these next to their stdout reports; they are the
+    publication-quality counterpart of {!Ascii}. *)
+
+val solution_svg :
+  ?cell:int ->
+  ?title:string ->
+  Core.Path.t ->
+  Core.Solution.sap ->
+  string
+(** [solution_svg p sol] — [cell] is the pixel size of one (edge, height)
+    unit (default 12, shrunk automatically for tall profiles). *)
+
+val profile_svg : ?cell:int -> ?title:string -> Core.Path.t -> string
+
+val color : int -> string
+(** Deterministic fill colour for a task id (HSL wheel). *)

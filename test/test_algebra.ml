@@ -1,0 +1,201 @@
+(* Algebraic properties of the core data structures: the small laws that
+   the algorithm code silently relies on. *)
+
+module Task = Core.Task
+module Path = Core.Path
+
+(* ---------- Path ---------- *)
+
+let clip_idempotent =
+  Helpers.seed_property "clip is idempotent" (fun seed ->
+      let g = Util.Prng.create seed in
+      let path = Helpers.random_path g in
+      let c = 1 + Util.Prng.int g 30 in
+      Path.capacities (Path.clip (Path.clip path c) c)
+      = Path.capacities (Path.clip path c))
+
+let clip_monotone =
+  Helpers.seed_property "clip at larger cap dominates" (fun seed ->
+      let g = Util.Prng.create seed in
+      let path = Helpers.random_path g in
+      let c = 2 + Util.Prng.int g 20 in
+      let small = Path.capacities (Path.clip path (c / 2)) in
+      let big = Path.capacities (Path.clip path c) in
+      Array.for_all2 ( >= ) big small)
+
+let bottleneck_monotone_in_span =
+  Helpers.seed_property "wider span, smaller-or-equal bottleneck" (fun seed ->
+      let g = Util.Prng.create seed in
+      let path = Helpers.random_path g in
+      let m = Path.num_edges path in
+      let first = Util.Prng.int g m in
+      let last = first + Util.Prng.int g (m - first) in
+      let inner_first = first + Util.Prng.int g (last - first + 1) in
+      let inner_last = inner_first + Util.Prng.int g (last - inner_first + 1) in
+      Path.bottleneck path ~first ~last
+      <= Path.bottleneck path ~first:inner_first ~last:inner_last)
+
+(* ---------- Solution algebra ---------- *)
+
+let lift_composes =
+  Helpers.seed_property "lift a (lift b s) = lift (a+b) s" (fun seed ->
+      let path, tasks = Helpers.tiny_instance seed in
+      let sol = Exact.Sap_brute.solve path tasks in
+      let a = seed mod 5 and b = seed mod 7 in
+      Core.Solution.lift (Core.Solution.lift sol a) b
+      = Core.Solution.lift sol (a + b))
+
+let lift_preserves_weight =
+  Helpers.seed_property "lift preserves weight and tasks" (fun seed ->
+      let path, tasks = Helpers.tiny_instance seed in
+      let sol = Exact.Sap_brute.solve path tasks in
+      let lifted = Core.Solution.lift sol 3 in
+      Helpers.close_enough (Core.Solution.sap_weight lifted) (Core.Solution.sap_weight sol)
+      && Core.Solution.sap_tasks lifted = Core.Solution.sap_tasks sol)
+
+let union_weight_additive =
+  Helpers.seed_property "union weight is additive" (fun seed ->
+      let path, tasks = Helpers.tiny_instance ~max_tasks:8 seed in
+      let sol = Exact.Sap_brute.solve path tasks in
+      let left, right = List.partition (fun ((j : Task.t), _) -> j.Task.id mod 2 = 0) sol in
+      let u = Core.Solution.union left right in
+      Helpers.close_enough (Core.Solution.sap_weight u)
+        (Core.Solution.sap_weight left +. Core.Solution.sap_weight right))
+
+let makespan_dominates_load =
+  Helpers.seed_property "makespan >= load on every edge" (fun seed ->
+      let path, tasks = Helpers.tiny_instance seed in
+      let sol = Exact.Sap_brute.solve path tasks in
+      let ms = Core.Solution.makespan path sol in
+      let load = Core.Instance.load_profile path (Core.Solution.sap_tasks sol) in
+      Array.for_all2 ( <= ) load ms)
+
+(* ---------- Classification laws ---------- *)
+
+let split3_is_partition =
+  Helpers.seed_property "split3 partitions the task set" (fun seed ->
+      let path, tasks = Helpers.tiny_instance ~max_tasks:15 seed in
+      let s = Core.Classify.split3 path ~delta:0.25 ~large_frac:0.5 tasks in
+      let all =
+        s.Core.Classify.small @ s.Core.Classify.medium @ s.Core.Classify.large
+      in
+      List.length all = List.length tasks
+      && List.for_all (fun j -> List.memq j all) tasks)
+
+let strip_bands_partition =
+  Helpers.seed_property "strip bands partition the task set" (fun seed ->
+      let path, tasks = Helpers.tiny_instance ~max_tasks:15 seed in
+      let bands = Core.Classify.strip_bands path tasks in
+      let all = List.concat_map snd bands in
+      List.length all = List.length tasks)
+
+let small_instances_obey_observation2 =
+  (* Observation 2: any feasible SAP solution's makespan on an edge is at
+     most the max bottleneck among scheduled tasks. *)
+  Helpers.seed_property ~count:40 "Observation 2 holds for exact optima"
+    (fun seed ->
+      let path, tasks = Helpers.tiny_instance seed in
+      let sol = Exact.Sap_brute.solve path tasks in
+      match Core.Solution.sap_tasks sol with
+      | [] -> true
+      | chosen ->
+          let max_b =
+            List.fold_left
+              (fun acc j -> max acc (Path.bottleneck_of path j))
+              0 chosen
+          in
+          Core.Solution.max_makespan path sol <= max_b)
+
+let observation1_load_bound =
+  (* Observation 1: a feasible UFPP solution's load is at most twice the
+     max bottleneck among its tasks. *)
+  Helpers.seed_property ~count:40 "Observation 1 holds for exact UFPP optima"
+    (fun seed ->
+      let path, tasks = Helpers.tiny_instance seed in
+      let sol = Ufpp.Exact_bb.solve path tasks in
+      match sol with
+      | [] -> true
+      | _ ->
+          let max_b =
+            List.fold_left (fun acc j -> max acc (Path.bottleneck_of path j)) 0 sol
+          in
+          Core.Instance.max_load path sol <= 2 * max_b)
+
+let lemma16_corollary =
+  (* Corollary of Lemma 16: in any feasible SAP solution of 1/k-large tasks
+     sharing a common bottleneck value b, at most k tasks can use one edge
+     (their demands each exceed b/k while the makespan is at most b). *)
+  Helpers.seed_property ~count:30 "at most k equal-bottleneck 1/k-large tasks per edge"
+    (fun seed ->
+      let k = 2 + (seed mod 2) in
+      let path, tasks =
+        Helpers.tiny_ratio_instance ~max_tasks:9 ~lo:(1.0 /. float_of_int k) ~hi:1.0 seed
+      in
+      let sol = Exact.Sap_brute.solve path tasks in
+      let chosen = Core.Solution.sap_tasks sol in
+      let m = Path.num_edges path in
+      let ok = ref true in
+      for e = 0 to m - 1 do
+        let here = List.filter (fun j -> Task.uses j e) chosen in
+        (* Group by bottleneck value; each group is bounded by k. *)
+        let by_b = Hashtbl.create 8 in
+        List.iter
+          (fun j ->
+            let b = Path.bottleneck_of path j in
+            Hashtbl.replace by_b b (1 + Option.value ~default:0 (Hashtbl.find_opt by_b b)))
+          here;
+        Hashtbl.iter (fun _ count -> if count > k then ok := false) by_b
+      done;
+      !ok)
+
+let lemma12_heights_are_demand_sums =
+  (* Lemma 12(ii) / Observation 11: after gravity, every height is a sum of
+     demands of other scheduled tasks. *)
+  Helpers.seed_property ~count:30 "settled heights are subset sums of demands"
+    (fun seed ->
+      let path, tasks = Helpers.tiny_instance seed in
+      let sol = Core.Gravity.settle path (Exact.Sap_brute.solve path tasks) in
+      let demands =
+        List.map (fun ((j : Task.t), _) -> j.Task.demand) sol
+      in
+      let sums =
+        Util.Subset_sum.distinct_sums ~bound:(Path.max_capacity path + 1) demands
+      in
+      List.for_all (fun (_, h) -> List.mem h sums) sol)
+
+(* ---------- Gravity + rectangles interplay ---------- *)
+
+let top_drawn_heights_feasible =
+  (* Drawing any single task at height l(j) is always feasible. *)
+  Helpers.seed_property "top-drawn singleton placements feasible" (fun seed ->
+      let path, tasks = Helpers.tiny_instance seed in
+      List.for_all
+        (fun (j : Task.t) ->
+          j.Task.demand > Path.bottleneck_of path j
+          || Result.is_ok
+               (Core.Checker.sap_feasible path
+                  [ (j, Path.bottleneck_of path j - j.Task.demand) ]))
+        tasks)
+
+let () =
+  Alcotest.run "algebra"
+    [
+      ("path", [ clip_idempotent; clip_monotone; bottleneck_monotone_in_span ]);
+      ( "solution",
+        [
+          lift_composes;
+          lift_preserves_weight;
+          union_weight_additive;
+          makespan_dominates_load;
+        ] );
+      ( "classification",
+        [ split3_is_partition; strip_bands_partition ] );
+      ( "paper_observations",
+        [
+          small_instances_obey_observation2;
+          observation1_load_bound;
+          lemma16_corollary;
+          lemma12_heights_are_demand_sums;
+          top_drawn_heights_feasible;
+        ] );
+    ]

@@ -1,0 +1,112 @@
+(* Integration tests of the sap_cli executable: the gen | stats | solve |
+   check | show pipelines over temp files.  The dune rule declares the
+   binary as a dependency, so it is available at ../bin/sap_cli.exe
+   relative to the test's working directory. *)
+
+(* dune runtest runs with cwd = _build/default/test; dune exec from the
+   workspace root.  Probe both locations. *)
+let cli =
+  let candidates =
+    [
+      Filename.concat (Filename.concat ".." "bin") "sap_cli.exe";
+      Filename.concat (Filename.concat "_build/default" "bin") "sap_cli.exe";
+    ]
+  in
+  match List.find_opt Sys.file_exists candidates with
+  | Some p -> p
+  | None -> List.hd candidates
+
+let case = Helpers.case
+
+let run args =
+  let cmd = Filename.quote_command cli args in
+  Sys.command (cmd ^ " > /dev/null 2>&1")
+
+let with_tmp f =
+  let dir = Filename.temp_file "sap_cli_test" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let gen_solve_check_roundtrip () =
+  if not (Sys.file_exists cli) then Alcotest.skip ()
+  else
+    with_tmp (fun dir ->
+        let inst = Filename.concat dir "inst.sap" in
+        let sol = Filename.concat dir "sol.sap" in
+        Alcotest.(check int) "gen" 0
+          (run [ "gen"; "--profile"; "staircase"; "--edges"; "10"; "--tasks"; "20"; "-o"; inst ]);
+        Alcotest.(check int) "stats" 0 (run [ "stats"; "-i"; inst ]);
+        Alcotest.(check int) "solve" 0
+          (run [ "solve"; "-i"; inst; "-a"; "combine"; "-q"; "-o"; sol ]);
+        Alcotest.(check int) "check accepts" 0 (run [ "check"; "-i"; inst; "-s"; sol ]);
+        Alcotest.(check int) "show" 0 (run [ "show"; "-i"; inst; "-s"; sol ]);
+        let svg = Filename.concat dir "sol.svg" in
+        Alcotest.(check int) "svg" 0
+          (run [ "show"; "-i"; inst; "-s"; sol; "--svg"; svg ]);
+        Alcotest.(check bool) "svg written" true (Sys.file_exists svg))
+
+let check_rejects_corrupted () =
+  if not (Sys.file_exists cli) then Alcotest.skip ()
+  else
+    with_tmp (fun dir ->
+        let inst = Filename.concat dir "inst.sap" in
+        let sol = Filename.concat dir "sol.sap" in
+        Alcotest.(check int) "gen" 0
+          (run [ "gen"; "--edges"; "6"; "--tasks"; "10"; "--kind"; "large"; "-o"; inst ]);
+        Alcotest.(check int) "solve" 0
+          (run [ "solve"; "-i"; inst; "-a"; "exact"; "-q"; "-o"; sol ]);
+        (* Corrupt: push every placed task far above the capacities. *)
+        let contents = Sap_io.Instance_io.read_file sol in
+        let corrupted =
+          String.split_on_char '\n' contents
+          |> List.map (fun line ->
+                 match String.split_on_char ' ' line with
+                 | [ "place"; id; _h ] -> Printf.sprintf "place %s 100000" id
+                 | _ -> line)
+          |> String.concat "\n"
+        in
+        Sap_io.Instance_io.write_file sol corrupted;
+        let has_places =
+          String.split_on_char '\n' corrupted
+          |> List.exists (fun l -> String.length l > 5 && String.sub l 0 5 = "place")
+        in
+        if has_places then
+          Alcotest.(check int) "check rejects" 1 (run [ "check"; "-i"; inst; "-s"; sol ]))
+
+let solve_all_algorithms () =
+  if not (Sys.file_exists cli) then Alcotest.skip ()
+  else
+    with_tmp (fun dir ->
+        let inst = Filename.concat dir "inst.sap" in
+        Alcotest.(check int) "gen" 0
+          (run [ "gen"; "--edges"; "8"; "--tasks"; "12"; "-o"; inst ]);
+        List.iter
+          (fun a ->
+            Alcotest.(check int) ("solve " ^ a) 0
+              (run [ "solve"; "-i"; inst; "-a"; a; "-q" ]))
+          [ "combine"; "small"; "medium"; "large"; "firstfit"; "exact" ])
+
+let unknown_algorithm_fails () =
+  if not (Sys.file_exists cli) then Alcotest.skip ()
+  else
+    with_tmp (fun dir ->
+        let inst = Filename.concat dir "inst.sap" in
+        Alcotest.(check int) "gen" 0 (run [ "gen"; "-o"; inst ]);
+        Alcotest.(check int) "bad algo" 2 (run [ "solve"; "-i"; inst; "-a"; "nonsense" ]))
+
+let () =
+  Alcotest.run "cli"
+    [
+      ( "pipelines",
+        [
+          case "gen/solve/check/show" gen_solve_check_roundtrip;
+          case "check rejects corrupted" check_rejects_corrupted;
+          case "all algorithms" solve_all_algorithms;
+          case "unknown algorithm" unknown_algorithm_fails;
+        ] );
+    ]

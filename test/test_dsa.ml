@@ -1,0 +1,163 @@
+module Task = Core.Task
+module Path = Core.Path
+
+let case = Helpers.case
+
+let mk ?(w = 1.0) id first last d =
+  Task.make ~id ~first_edge:first ~last_edge:last ~demand:d ~weight:w
+
+(* ---------- First_fit ---------- *)
+
+let first_fit_feasible =
+  Helpers.seed_property "first fit output feasible" (fun seed ->
+      let path, tasks = Helpers.tiny_instance ~max_tasks:15 seed in
+      let placed, dropped = Dsa.First_fit.pack path tasks in
+      Result.is_ok (Core.Checker.sap_feasible path placed)
+      && List.length placed + List.length dropped = List.length tasks)
+
+let first_fit_respects_limit =
+  Helpers.seed_property "height limit respected" (fun seed ->
+      let path, tasks = Helpers.tiny_instance ~max_tasks:15 seed in
+      let limit = 1 + (seed mod 8) in
+      let placed, _ = Dsa.First_fit.pack path ~height_limit:limit tasks in
+      Core.Solution.max_makespan path placed <= limit)
+
+let first_fit_stacks () =
+  let p = Path.uniform ~edges:3 ~capacity:10 in
+  let placed, dropped = Dsa.First_fit.pack p [ mk 0 0 2 3; mk 1 0 2 3; mk 2 0 2 3 ] in
+  Alcotest.(check int) "all placed" 3 (List.length placed);
+  Alcotest.(check int) "none dropped" 0 (List.length dropped);
+  let heights = List.sort compare (List.map snd placed) in
+  Alcotest.(check (list int)) "stacked" [ 0; 3; 6 ] heights
+
+let first_fit_drops_overflow () =
+  let p = Path.uniform ~edges:1 ~capacity:4 in
+  let placed, dropped = Dsa.First_fit.pack p [ mk 0 0 0 3; mk 1 0 0 3 ] in
+  Alcotest.(check int) "one placed" 1 (List.length placed);
+  Alcotest.(check int) "one dropped" 1 (List.length dropped)
+
+let first_fit_fills_gap () =
+  (* After a tall task and a floater, a short task should slot into the gap. *)
+  let p = Path.uniform ~edges:2 ~capacity:10 in
+  let order = [ mk 0 0 1 4; mk 1 0 1 4; mk 2 0 1 2 ] in
+  let placed, _ = Dsa.First_fit.pack_in_order p order in
+  Alcotest.(check int) "third at 8" 8 (Core.Solution.sap_height placed (mk 2 0 1 2))
+
+(* ---------- Interval_coloring ---------- *)
+
+let coloring_optimal_on_unit =
+  Helpers.seed_property "colors = max load (unit demands)" (fun seed ->
+      let g = Util.Prng.create seed in
+      let edges = 3 + Util.Prng.int g 10 in
+      let n = 1 + Util.Prng.int g 25 in
+      let tasks =
+        List.init n (fun id ->
+            let first = Util.Prng.int g edges in
+            let last = first + Util.Prng.int g (edges - first) in
+            mk id first last 1)
+      in
+      let path = Path.uniform ~edges ~capacity:(n + 1) in
+      let colored = Dsa.Interval_coloring.color tasks in
+      let sol = Dsa.Interval_coloring.to_sap tasks in
+      Result.is_ok (Core.Checker.sap_feasible path sol)
+      && Dsa.Interval_coloring.colors_used colored = Core.Instance.max_load path tasks)
+
+let coloring_rejects_mixed () =
+  Alcotest.check_raises "mixed demands"
+    (Invalid_argument "Interval_coloring.color: demands not uniform") (fun () ->
+      ignore (Dsa.Interval_coloring.color [ mk 0 0 0 1; mk 1 0 0 2 ]))
+
+let coloring_uniform_demand_d () =
+  (* All three tasks share edge 2, so the load there is 9 and the optimal
+     coloring must reach makespan 9 exactly. *)
+  let tasks = [ mk 0 0 2 3; mk 1 1 3 3; mk 2 2 4 3 ] in
+  let path = Path.uniform ~edges:5 ~capacity:9 in
+  let sol = Dsa.Interval_coloring.to_sap tasks in
+  Helpers.assert_feasible_sap path sol;
+  Alcotest.(check int) "makespan = load = 9" 9 (Core.Solution.max_makespan path sol)
+
+(* ---------- Buddy ---------- *)
+
+let buddy_pow2 () =
+  Alcotest.(check int) "1" 1 (Dsa.Buddy.round_up_pow2 1);
+  Alcotest.(check int) "3 -> 4" 4 (Dsa.Buddy.round_up_pow2 3);
+  Alcotest.(check int) "8 -> 8" 8 (Dsa.Buddy.round_up_pow2 8);
+  Alcotest.(check int) "9 -> 16" 16 (Dsa.Buddy.round_up_pow2 9)
+
+let buddy_feasible =
+  Helpers.seed_property "buddy output feasible + aligned" (fun seed ->
+      let path, tasks = Helpers.tiny_instance ~max_tasks:15 seed in
+      let placed, _ = Dsa.Buddy.pack path tasks in
+      Result.is_ok (Core.Checker.sap_feasible path placed)
+      && List.for_all
+           (fun ((j : Task.t), h) -> h mod Dsa.Buddy.round_up_pow2 j.Task.demand = 0)
+           placed)
+
+(* ---------- Strip_transform ---------- *)
+
+let strip_transform_feasible =
+  Helpers.seed_property ~count:40 "strip transform within height" (fun seed ->
+      let g = Util.Prng.create seed in
+      let edges = 4 + Util.Prng.int g 8 in
+      let height = 8 + Util.Prng.int g 16 in
+      let path = Path.uniform ~edges ~capacity:height in
+      (* Build an input with load <= height (a height-packable UFPP sol). *)
+      let tasks =
+        Gen.Workloads.small_tasks ~prng:g ~path ~n:20 ~delta:0.3 ()
+        |> Ufpp.Greedy.solve path
+      in
+      let r = Dsa.Strip_transform.transform ~height ~edges tasks in
+      Result.is_ok
+        (Core.Checker.sap_feasible_within (Path.uniform ~edges ~capacity:height)
+           ~bound:height r.Dsa.Strip_transform.packed)
+      && List.length (Core.Solution.sap_tasks r.Dsa.Strip_transform.packed)
+         + List.length r.Dsa.Strip_transform.dropped
+         = List.length tasks)
+
+let strip_transform_low_loss =
+  (* The Lemma 4 regime: delta-small tasks whose load is only height/2.
+     The paper's bound is a 4*delta weight loss; our packer should lose
+     nothing or nearly nothing here. *)
+  Helpers.seed_property ~count:30 "loss small in the half-load regime" (fun seed ->
+      let g = Util.Prng.create seed in
+      let edges = 6 in
+      let height = 64 in
+      let path = Path.uniform ~edges ~capacity:(height / 2) in
+      let tasks =
+        Gen.Workloads.small_tasks ~prng:g ~path ~n:30 ~delta:0.2 ()
+        |> Ufpp.Greedy.solve path
+      in
+      let r = Dsa.Strip_transform.transform ~height ~edges tasks in
+      Dsa.Strip_transform.loss_fraction r <= 0.25)
+
+let strip_transform_empty () =
+  let r = Dsa.Strip_transform.transform ~height:10 ~edges:3 [] in
+  Alcotest.(check bool) "no loss" true
+    (Helpers.close_enough (Dsa.Strip_transform.loss_fraction r) 0.0);
+  Alcotest.(check int) "empty" 0 (List.length r.Dsa.Strip_transform.packed)
+
+let () =
+  Alcotest.run "dsa"
+    [
+      ( "first_fit",
+        [
+          first_fit_feasible;
+          first_fit_respects_limit;
+          case "stacks" first_fit_stacks;
+          case "drops overflow" first_fit_drops_overflow;
+          case "fills gap" first_fit_fills_gap;
+        ] );
+      ( "interval_coloring",
+        [
+          coloring_optimal_on_unit;
+          case "rejects mixed" coloring_rejects_mixed;
+          case "uniform demand d" coloring_uniform_demand_d;
+        ] );
+      ("buddy", [ case "pow2" buddy_pow2; buddy_feasible ]);
+      ( "strip_transform",
+        [
+          strip_transform_feasible;
+          strip_transform_low_loss;
+          case "empty" strip_transform_empty;
+        ] );
+    ]

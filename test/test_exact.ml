@@ -1,0 +1,108 @@
+module Task = Core.Task
+module Path = Core.Path
+
+let case = Helpers.case
+
+let mk ?(w = 1.0) id first last d =
+  Task.make ~id ~first_edge:first ~last_edge:last ~demand:d ~weight:w
+
+(* ---------- Sap_brute ---------- *)
+
+let brute_known_knapsack () =
+  (* All tasks share one edge: SAP = knapsack by demand. *)
+  let p = Path.create [| 10 |] in
+  let ts = [ mk ~w:10.0 0 0 0 5; mk ~w:9.0 1 0 0 5; mk ~w:15.0 2 0 0 9 ] in
+  Alcotest.(check bool) "opt 19" true
+    (Helpers.close_enough (Exact.Sap_brute.value p ts) 19.0)
+
+let brute_fig1a_drops_one () =
+  let path, tasks = Gen.Paper_figures.fig1a in
+  Alcotest.(check (option unit)) "not realizable" None
+    (Option.map ignore (Exact.Sap_brute.realizable path tasks));
+  (* But UFPP accepts both tasks, and SAP keeps exactly one. *)
+  Helpers.assert_feasible_ufpp path tasks;
+  Alcotest.(check bool) "sap keeps one" true
+    (Helpers.close_enough (Exact.Sap_brute.value path tasks) 1.0)
+
+let brute_realizable_stack () =
+  let p = Path.create [| 9; 9 |] in
+  let ts = [ mk 0 0 1 3; mk 1 0 1 3; mk 2 0 1 3 ] in
+  match Exact.Sap_brute.realizable p ts with
+  | None -> Alcotest.fail "stackable set reported unrealizable"
+  | Some sol -> Helpers.assert_feasible_sap p sol
+
+let brute_beats_heuristics =
+  Helpers.seed_property ~count:40 "exact >= first fit and large solver"
+    (fun seed ->
+      let path, tasks = Helpers.tiny_instance seed in
+      let opt = Exact.Sap_brute.value path tasks in
+      let ff, _ = Dsa.First_fit.pack path tasks in
+      let large = Sap.Large.solve path tasks in
+      opt >= Core.Solution.sap_weight ff -. 1e-9
+      && opt >= Core.Solution.sap_weight large -. 1e-9)
+
+let brute_solution_feasible =
+  Helpers.seed_property ~count:40 "exact solution is feasible and a subset"
+    (fun seed ->
+      let path, tasks = Helpers.tiny_instance seed in
+      let sol = Exact.Sap_brute.solve path tasks in
+      Result.is_ok (Core.Checker.sap_feasible path sol)
+      && Core.Checker.subset_of (Core.Solution.sap_tasks sol) tasks)
+
+let brute_at_most_ufpp =
+  Helpers.seed_property ~count:40 "SAP opt <= UFPP opt" (fun seed ->
+      let path, tasks = Helpers.tiny_instance seed in
+      Exact.Sap_brute.value path tasks <= Ufpp.Exact_bb.value path tasks +. 1e-9)
+
+(* ---------- Ring_brute ---------- *)
+
+let ring_brute_known () =
+  (* Triangle ring, capacity 2 everywhere, three unit tasks — all fit. *)
+  let tk id src dst =
+    Core.Ring.make_task ~id ~src ~dst ~demand:1 ~weight:1.0 ~t_edges:3
+  in
+  let r = Core.Ring.create [| 2; 2; 2 |] [ tk 0 0 1; tk 1 1 2; tk 2 2 0 ] in
+  Alcotest.(check bool) "all three" true
+    (Helpers.close_enough (Exact.Ring_brute.value r) 3.0)
+
+let ring_brute_chooses_route () =
+  (* One edge is blocked (capacity 1 vs demand 2): the task must route the
+     other way. *)
+  let tk = Core.Ring.make_task ~id:0 ~src:0 ~dst:1 ~demand:2 ~weight:5.0 ~t_edges:3 in
+  let r = Core.Ring.create [| 1; 4; 4 |] [ tk ] in
+  let sol = Exact.Ring_brute.solve r in
+  Alcotest.(check int) "task taken" 1 (List.length sol);
+  (match sol with
+  | [ (_, _, dir) ] ->
+      Alcotest.(check bool) "routed ccw (avoiding edge 0)" true (dir = Core.Ring.Ccw)
+  | _ -> Alcotest.fail "unexpected shape");
+  Helpers.check_ok "feasible" (Core.Ring.feasible r sol)
+
+let ring_brute_feasible =
+  Helpers.seed_property ~count:25 "ring brute output feasible" (fun seed ->
+      let prng = Util.Prng.create seed in
+      let ring =
+        Gen.Ring_gen.random ~prng ~edges:(4 + (seed mod 3)) ~n:5 ~cap_lo:4
+          ~cap_hi:10 ~ratio_lo:0.2 ~ratio_hi:0.9
+      in
+      Result.is_ok (Core.Ring.feasible ring (Exact.Ring_brute.solve ring)))
+
+let () =
+  Alcotest.run "exact"
+    [
+      ( "sap_brute",
+        [
+          case "knapsack edge" brute_known_knapsack;
+          case "fig1a" brute_fig1a_drops_one;
+          case "realizable stack" brute_realizable_stack;
+          brute_beats_heuristics;
+          brute_solution_feasible;
+          brute_at_most_ufpp;
+        ] );
+      ( "ring_brute",
+        [
+          case "triangle" ring_brute_known;
+          case "route choice" ring_brute_chooses_route;
+          ring_brute_feasible;
+        ] );
+    ]

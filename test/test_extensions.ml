@@ -1,0 +1,117 @@
+module Task = Core.Task
+module Path = Core.Path
+
+let case = Helpers.case
+
+(* ---------- Sap_u (Bar-Noy et al. baseline) ---------- *)
+
+let uniform_instance seed =
+  let g = Util.Prng.create seed in
+  let path =
+    Gen.Profiles.uniform ~edges:(3 + Util.Prng.int g 5)
+      ~capacity:(9 + Util.Prng.int g 15)
+  in
+  let tasks = Gen.Workloads.mixed_tasks ~prng:g ~path ~n:(3 + Util.Prng.int g 7) () in
+  (path, tasks)
+
+let sap_u_feasible =
+  Helpers.seed_property ~count:40 "SAP-U baseline feasible + subset" (fun seed ->
+      let path, tasks = uniform_instance seed in
+      let sol = Sap.Sap_u.solve path tasks in
+      Result.is_ok (Core.Checker.sap_feasible path sol)
+      && Core.Checker.subset_of (Core.Solution.sap_tasks sol) tasks)
+
+let sap_u_ratio =
+  (* The scheme's bound is 7; assert it with a little slack for our
+     substituted DSA engine. *)
+  Helpers.seed_property ~count:25 "SAP-U ratio <= ~7 vs exact" (fun seed ->
+      let path, tasks = uniform_instance seed in
+      let sol = Sap.Sap_u.solve path tasks in
+      let opt = Exact.Sap_brute.value path tasks in
+      opt <= 1e-9 || Core.Solution.sap_weight sol >= (opt /. 7.5) -. 1e-9)
+
+let sap_u_rejects_non_uniform () =
+  let path = Path.create [| 4; 5 |] in
+  Alcotest.check_raises "non uniform"
+    (Invalid_argument "Sap_u.solve: capacities not uniform") (fun () ->
+      ignore (Sap.Sap_u.solve path []))
+
+let sap_u_wide_only () =
+  (* Capacity 3: every demand-2 task is wide; the rectangle path must
+     handle them. *)
+  let path = Path.uniform ~edges:3 ~capacity:3 in
+  let mk id first last = Task.make ~id ~first_edge:first ~last_edge:last ~demand:2 ~weight:1.0 in
+  let sol = Sap.Sap_u.solve path [ mk 0 0 1; mk 1 2 2 ] in
+  Alcotest.(check int) "both disjoint tasks kept" 2 (List.length sol)
+
+(* ---------- Rho_packing (the conclusion's open problem) ---------- *)
+
+let rho_instance seed =
+  let g = Util.Prng.create seed in
+  let path = Helpers.random_path g in
+  let tasks = Gen.Workloads.small_tasks ~prng:g ~path ~n:12 ~delta:0.4 () in
+  (path, tasks)
+
+let rho_packs_everything =
+  Helpers.seed_property ~count:30 "rho packing schedules every task" (fun seed ->
+      let path, tasks = rho_instance seed in
+      let r = Dsa.Rho_packing.solve path tasks in
+      List.length r.Dsa.Rho_packing.solution = List.length tasks)
+
+let rho_at_least_lower_bound =
+  Helpers.seed_property ~count:30 "rho >= load lower bound" (fun seed ->
+      let path, tasks = rho_instance seed in
+      let r = Dsa.Rho_packing.solve path tasks in
+      r.Dsa.Rho_packing.rho >= r.Dsa.Rho_packing.lower_bound -. 1e-6)
+
+let rho_reasonable_gap =
+  (* First fit should stay within a small constant of the load bound on
+     delta-small workloads. *)
+  Helpers.seed_property ~count:20 "rho within 4x of the load bound" (fun seed ->
+      let path, tasks = rho_instance seed in
+      let r = Dsa.Rho_packing.solve path tasks in
+      r.Dsa.Rho_packing.lower_bound <= 0.0
+      || r.Dsa.Rho_packing.rho <= (4.0 *. r.Dsa.Rho_packing.lower_bound) +. 1e-6)
+
+let rho_empty () =
+  let path = Path.uniform ~edges:3 ~capacity:4 in
+  let r = Dsa.Rho_packing.solve path [] in
+  Alcotest.(check bool) "rho 0" true (Helpers.close_enough r.Dsa.Rho_packing.rho 0.0)
+
+let rho_single_full_task () =
+  (* One task exactly filling its bottleneck: rho must land at ~1. *)
+  let path = Path.create [| 8; 4; 8 |] in
+  let t = Task.make ~id:0 ~first_edge:0 ~last_edge:2 ~demand:4 ~weight:1.0 in
+  let r = Dsa.Rho_packing.solve path [ t ] in
+  Alcotest.(check bool) "lower bound 1" true
+    (Helpers.close_enough r.Dsa.Rho_packing.lower_bound 1.0);
+  Alcotest.(check bool) "rho close to 1" true (r.Dsa.Rho_packing.rho < 1.01)
+
+let rho_buddy_engine =
+  Helpers.seed_property ~count:20 "buddy engine also packs everything"
+    (fun seed ->
+      let path, tasks = rho_instance seed in
+      let r = Dsa.Rho_packing.solve ~engine:Dsa.Rho_packing.Buddy path tasks in
+      List.length r.Dsa.Rho_packing.solution = List.length tasks
+      && r.Dsa.Rho_packing.rho >= r.Dsa.Rho_packing.lower_bound -. 1e-6)
+
+let () =
+  Alcotest.run "extensions"
+    [
+      ( "sap_u",
+        [
+          sap_u_feasible;
+          sap_u_ratio;
+          case "non uniform rejected" sap_u_rejects_non_uniform;
+          case "wide only" sap_u_wide_only;
+        ] );
+      ( "rho_packing",
+        [
+          rho_packs_everything;
+          rho_at_least_lower_bound;
+          rho_reasonable_gap;
+          case "empty" rho_empty;
+          case "single full task" rho_single_full_task;
+          rho_buddy_engine;
+        ] );
+    ]

@@ -1,0 +1,194 @@
+module Task = Core.Task
+module Path = Core.Path
+
+let case = Helpers.case
+
+(* ---------- Profiles ---------- *)
+
+let profile_uniform () =
+  let p = Gen.Profiles.uniform ~edges:5 ~capacity:7 in
+  Alcotest.(check int) "edges" 5 (Path.num_edges p);
+  Alcotest.(check int) "cap" 7 (Path.min_capacity p);
+  Alcotest.(check int) "cap max" 7 (Path.max_capacity p)
+
+let profile_valley_shape () =
+  let p = Gen.Profiles.valley ~edges:7 ~high:20 ~low:4 in
+  Alcotest.(check int) "min at middle" 4 (Path.capacity p 3);
+  Alcotest.(check int) "high at left" 20 (Path.capacity p 0);
+  Alcotest.(check int) "high at right" 20 (Path.capacity p 6);
+  Alcotest.(check int) "global min" 4 (Path.min_capacity p)
+
+let profile_mountain_shape () =
+  let p = Gen.Profiles.mountain ~edges:7 ~low:4 ~high:20 in
+  Alcotest.(check int) "max at middle" 20 (Path.capacity p 3);
+  Alcotest.(check int) "low at ends" 4 (Path.capacity p 0)
+
+let profile_staircase () =
+  let p = Gen.Profiles.staircase ~edges:8 ~steps:4 ~base:3 in
+  Alcotest.(check int) "first step" 3 (Path.capacity p 0);
+  Alcotest.(check int) "last step" 24 (Path.capacity p 7);
+  (* Monotone non-decreasing. *)
+  for e = 1 to 7 do
+    Alcotest.(check bool) "monotone" true (Path.capacity p e >= Path.capacity p (e - 1))
+  done
+
+let profile_random_walk_bounds =
+  Helpers.seed_property "random walk respects min_cap" (fun seed ->
+      let prng = Util.Prng.create seed in
+      let p = Gen.Profiles.random_walk ~prng ~edges:20 ~start:10 ~max_step:4 ~min_cap:3 in
+      Path.min_capacity p >= 3)
+
+(* ---------- Workloads ---------- *)
+
+let small_tasks_are_small =
+  Helpers.seed_property "small_tasks are delta-small" (fun seed ->
+      let prng = Util.Prng.create seed in
+      (* Capacities >= 16 so that delta-small tasks exist at delta = 0.2. *)
+      let path =
+        Gen.Profiles.uniform
+          ~edges:(4 + (seed mod 5))
+          ~capacity:(16 + (seed mod 20))
+      in
+      let delta = 0.2 +. (float_of_int (seed mod 3) /. 10.0) in
+      let ts = Gen.Workloads.small_tasks ~prng ~path ~n:15 ~delta () in
+      List.for_all (Core.Classify.is_small path ~delta) ts)
+
+let ratio_tasks_in_band =
+  Helpers.seed_property "ratio_tasks land strictly in their band" (fun seed ->
+      let prng = Util.Prng.create seed in
+      let path = Helpers.random_path prng in
+      let ts = Gen.Workloads.ratio_tasks ~prng ~path ~n:15 ~lo:0.5 ~hi:1.0 () in
+      List.for_all
+        (fun (j : Task.t) ->
+          let b = Path.bottleneck_of path j in
+          2 * j.Task.demand > b && j.Task.demand <= b)
+        ts)
+
+let workloads_deterministic () =
+  let mk seed =
+    let prng = Util.Prng.create seed in
+    let path = Gen.Profiles.uniform ~edges:6 ~capacity:12 in
+    Gen.Workloads.mixed_tasks ~prng ~path ~n:10 ()
+  in
+  Alcotest.(check bool) "same seed same tasks" true (mk 5 = mk 5);
+  Alcotest.(check bool) "diff seed diff tasks" true (mk 5 <> mk 6)
+
+let workloads_individually_feasible =
+  Helpers.seed_property "every generated task fits alone" (fun seed ->
+      let prng = Util.Prng.create seed in
+      let path = Helpers.random_path prng in
+      let ts = Gen.Workloads.mixed_tasks ~prng ~path ~n:15 () in
+      List.for_all
+        (fun (j : Task.t) -> j.Task.demand <= Path.bottleneck_of path j)
+        ts)
+
+(* ---------- Paper figures ---------- *)
+
+let fig1a_gap () =
+  let path, tasks = Gen.Paper_figures.fig1a in
+  Helpers.assert_feasible_ufpp path tasks;
+  Alcotest.(check bool) "no SAP realisation" true
+    (Exact.Sap_brute.realizable path tasks = None)
+
+let fig1b_deterministic () =
+  let p1, t1 = Gen.Paper_figures.fig1b ~seed:3 in
+  let p2, t2 = Gen.Paper_figures.fig1b ~seed:3 in
+  Alcotest.(check bool) "same witness" true
+    (Path.capacities p1 = Path.capacities p2 && t1 = t2)
+
+let fig1b_gap () =
+  let path, tasks = Gen.Paper_figures.fig1b ~seed:3 in
+  Helpers.assert_feasible_ufpp path tasks;
+  Alcotest.(check int) "uniform capacity 4" 4 (Path.max_capacity path);
+  Alcotest.(check int) "uniform capacity 4 (min)" 4 (Path.min_capacity path);
+  Alcotest.(check bool) "no SAP realisation" true
+    (Exact.Sap_brute.realizable path tasks = None)
+
+let fig2_classification () =
+  let path, tasks = Gen.Paper_figures.fig2_uniform in
+  (* Every demand is at most 1/8 of its bottleneck: delta-small for
+     delta = 1/8. *)
+  List.iter
+    (fun j ->
+      Alcotest.(check bool) "delta-small" true
+        (Core.Classify.is_small path ~delta:0.125 j))
+    tasks;
+  let pathv, tasksv = Gen.Paper_figures.fig2_valley in
+  Helpers.assert_feasible_ufpp pathv tasksv
+
+let fig8_feasible () =
+  let path, sol = Lazy.force Gen.Paper_figures.fig8 in
+  Helpers.assert_feasible_sap path sol;
+  Alcotest.(check int) "five tasks" 5 (List.length sol)
+
+(* ---------- Ring generator ---------- *)
+
+let ring_gen_valid =
+  Helpers.seed_property ~count:30 "ring tasks routable at least one way"
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      let r = Gen.Ring_gen.random ~prng ~edges:6 ~n:8 ~cap_lo:4 ~cap_hi:12 ~ratio_lo:0.0 ~ratio_hi:0.8 in
+      Array.for_all
+        (fun (tk : Core.Ring.task) ->
+          let fits dir =
+            let edges = Core.Ring.edges_of_route ~m:6 ~src:tk.Core.Ring.src ~dst:tk.Core.Ring.dst dir in
+            List.for_all (fun e -> tk.Core.Ring.demand <= r.Core.Ring.capacities.(e)) edges
+          in
+          fits Core.Ring.Cw || fits Core.Ring.Ccw)
+        r.Core.Ring.tasks)
+
+(* ---------- Traces ---------- *)
+
+let memory_trace_valid =
+  Helpers.seed_property ~count:30 "memory trace tasks on the time axis"
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      let path, tasks =
+        Gen.Traces.memory_trace ~prng ~time_slots:20 ~memory:64 ~n:30
+          ~max_lifetime:6 ~max_object:16
+      in
+      Path.num_edges path = 20
+      && List.for_all
+           (fun (j : Task.t) ->
+             j.Task.demand <= 16 && j.Task.last_edge < 20
+             && Helpers.close_enough j.Task.weight
+                  (float_of_int (j.Task.demand * Task.span j)))
+           tasks)
+
+let spectrum_trace_valid =
+  Helpers.seed_property ~count:30 "spectrum trace tasks fit alone" (fun seed ->
+      let prng = Util.Prng.create seed in
+      let path, tasks = Gen.Traces.spectrum_trace ~prng ~links:12 ~n:25 in
+      List.for_all
+        (fun (j : Task.t) -> j.Task.demand <= Path.bottleneck_of path j)
+        tasks)
+
+let () =
+  Alcotest.run "gen"
+    [
+      ( "profiles",
+        [
+          case "uniform" profile_uniform;
+          case "valley" profile_valley_shape;
+          case "mountain" profile_mountain_shape;
+          case "staircase" profile_staircase;
+          profile_random_walk_bounds;
+        ] );
+      ( "workloads",
+        [
+          small_tasks_are_small;
+          ratio_tasks_in_band;
+          case "deterministic" workloads_deterministic;
+          workloads_individually_feasible;
+        ] );
+      ( "paper_figures",
+        [
+          case "fig1a gap" fig1a_gap;
+          case "fig1b gap" fig1b_gap;
+          case "fig1b deterministic" fig1b_deterministic;
+          case "fig2" fig2_classification;
+          case "fig8 feasible" fig8_feasible;
+        ] );
+      ("ring_gen", [ ring_gen_valid ]);
+      ("traces", [ memory_trace_valid; spectrum_trace_valid ]);
+    ]

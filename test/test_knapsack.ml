@@ -1,0 +1,91 @@
+let case = Helpers.case
+
+let items l = List.mapi (fun i (s, p) -> Knapsack.make_item ~index:i ~size:s ~profit:p) l
+
+let exact_known () =
+  let sol = Knapsack.solve_exact_by_size ~capacity:10 (items [ (5, 10.0); (4, 40.0); (6, 30.0); (3, 50.0) ]) in
+  Alcotest.(check bool) "profit 90" true
+    (Helpers.close_enough (Knapsack.total_profit sol) 90.0);
+  Alcotest.(check bool) "fits" true (Knapsack.total_size sol <= 10)
+
+let exact_empty () =
+  Alcotest.(check int) "empty" 0 (List.length (Knapsack.solve_exact_by_size ~capacity:5 []))
+
+let exact_all_too_big () =
+  let sol = Knapsack.solve_exact_by_size ~capacity:2 (items [ (3, 10.0); (5, 20.0) ]) in
+  Alcotest.(check int) "nothing fits" 0 (List.length sol)
+
+let brute_force ~capacity its =
+  let a = Array.of_list its in
+  let n = Array.length a in
+  let best = ref 0.0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let size = ref 0 and profit = ref 0.0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        size := !size + a.(i).Knapsack.size;
+        profit := !profit +. a.(i).Knapsack.profit
+      end
+    done;
+    if !size <= capacity && !profit > !best then best := !profit
+  done;
+  !best
+
+let random_items seed =
+  let g = Util.Prng.create seed in
+  let n = 1 + Util.Prng.int g 10 in
+  let its =
+    List.init n (fun i ->
+        Knapsack.make_item ~index:i
+          ~size:(1 + Util.Prng.int g 12)
+          ~profit:(Util.Prng.float g 50.0))
+  in
+  let capacity = 1 + Util.Prng.int g 30 in
+  (its, capacity)
+
+let exact_matches_brute =
+  Helpers.seed_property ~count:80 "size DP = brute force" (fun seed ->
+      let its, capacity = random_items seed in
+      let sol = Knapsack.solve_exact_by_size ~capacity its in
+      Knapsack.total_size sol <= capacity
+      && Helpers.close_enough (Knapsack.total_profit sol) (brute_force ~capacity its))
+
+let fptas_bound =
+  Helpers.seed_property ~count:80 "FPTAS >= (1-eps) OPT and fits" (fun seed ->
+      let its, capacity = random_items seed in
+      let eps = 0.1 +. (float_of_int (seed mod 5) /. 10.0) in
+      let sol = Knapsack.solve_fptas ~eps ~capacity its in
+      let opt = brute_force ~capacity its in
+      Knapsack.total_size sol <= capacity
+      && Knapsack.total_profit sol >= ((1.0 -. eps) *. opt) -. 1e-9)
+
+let fptas_rejects_bad_eps () =
+  Alcotest.check_raises "eps 0" (Invalid_argument "Knapsack.solve_fptas: eps must be positive")
+    (fun () -> ignore (Knapsack.solve_fptas ~eps:0.0 ~capacity:5 []))
+
+let profit_dp_consistent () =
+  let its = items [ (2, 3.0); (3, 4.0); (4, 5.0) ] in
+  let scaled = [| 3; 4; 5 |] in
+  let sol = Knapsack.solve_exact_by_profit ~capacity:5 ~scaled_profits:scaled its in
+  Alcotest.(check bool) "profit 7" true
+    (Helpers.close_enough (Knapsack.total_profit sol) 7.0);
+  Alcotest.(check bool) "size <= 5" true (Knapsack.total_size sol <= 5)
+
+let item_validation () =
+  Alcotest.check_raises "size 0" (Invalid_argument "Knapsack.make_item: size must be positive")
+    (fun () -> ignore (Knapsack.make_item ~index:0 ~size:0 ~profit:1.0))
+
+let () =
+  Alcotest.run "knapsack"
+    [
+      ( "exact",
+        [
+          case "known" exact_known;
+          case "empty" exact_empty;
+          case "all too big" exact_all_too_big;
+          exact_matches_brute;
+          case "profit DP" profit_dp_consistent;
+        ] );
+      ( "fptas",
+        [ fptas_bound; case "bad eps" fptas_rejects_bad_eps; case "item validation" item_validation ] );
+    ]

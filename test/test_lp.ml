@@ -1,0 +1,153 @@
+module Task = Core.Task
+module Path = Core.Path
+
+let case = Helpers.case
+
+(* ---------- Simplex on hand-built LPs ---------- *)
+
+let simplex_known_2d () =
+  (* max 3x + 5y s.t. x <= 4; 2y <= 12; 3x + 2y <= 18 -> opt 36 at (2,6). *)
+  let problem =
+    {
+      Lp.Simplex.objective = [| 3.0; 5.0 |];
+      rows =
+        [
+          ([| 1.0; 0.0 |], 4.0);
+          ([| 0.0; 2.0 |], 12.0);
+          ([| 3.0; 2.0 |], 18.0);
+        ];
+    }
+  in
+  match Lp.Simplex.maximize problem with
+  | Lp.Simplex.Optimal { value; solution; _ } ->
+      Alcotest.(check bool) "value 36" true (Helpers.close_enough value 36.0);
+      Alcotest.(check bool) "x=2" true (Helpers.close_enough solution.(0) 2.0);
+      Alcotest.(check bool) "y=6" true (Helpers.close_enough solution.(1) 6.0)
+  | Lp.Simplex.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let simplex_degenerate () =
+  (* Degenerate vertex: redundant constraints through the optimum. *)
+  let problem =
+    {
+      Lp.Simplex.objective = [| 1.0; 1.0 |];
+      rows =
+        [
+          ([| 1.0; 0.0 |], 1.0);
+          ([| 0.0; 1.0 |], 1.0);
+          ([| 1.0; 1.0 |], 2.0);
+          ([| 2.0; 2.0 |], 4.0);
+        ];
+    }
+  in
+  match Lp.Simplex.maximize problem with
+  | Lp.Simplex.Optimal { value; _ } ->
+      Alcotest.(check bool) "value 2" true (Helpers.close_enough value 2.0)
+  | Lp.Simplex.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let simplex_unbounded () =
+  let problem =
+    { Lp.Simplex.objective = [| 1.0; 0.0 |]; rows = [ ([| 0.0; 1.0 |], 1.0) ] }
+  in
+  match Lp.Simplex.maximize problem with
+  | Lp.Simplex.Unbounded -> ()
+  | Lp.Simplex.Optimal _ -> Alcotest.fail "should be unbounded"
+
+let simplex_rejects_negative_rhs () =
+  Alcotest.check_raises "negative rhs" (Invalid_argument "Simplex: negative rhs")
+    (fun () ->
+      ignore
+        (Lp.Simplex.maximize
+           { Lp.Simplex.objective = [| 1.0 |]; rows = [ ([| 1.0 |], -1.0) ] }))
+
+let simplex_solution_feasible =
+  Helpers.seed_property ~count:50 "simplex output satisfies its constraints"
+    (fun seed ->
+      let g = Util.Prng.create seed in
+      let n = 1 + Util.Prng.int g 5 in
+      let r = 1 + Util.Prng.int g 6 in
+      let objective = Array.init n (fun _ -> Util.Prng.float g 10.0) in
+      let rows =
+        List.init r (fun _ ->
+            ( Array.init n (fun _ -> Util.Prng.float g 5.0),
+              1.0 +. Util.Prng.float g 20.0 ))
+      in
+      (* Add box rows so the LP is bounded. *)
+      let rows = rows @ List.init n (fun j -> Lp.Simplex.box_row ~n j 10.0) in
+      match Lp.Simplex.maximize { Lp.Simplex.objective; rows } with
+      | Lp.Simplex.Unbounded -> false
+      | Lp.Simplex.Optimal { solution; value; _ } ->
+          let tol = 1e-6 in
+          Array.for_all (fun x -> x >= -.tol) solution
+          && List.for_all
+               (fun (a, b) ->
+                 let lhs = ref 0.0 in
+                 Array.iteri (fun i ai -> lhs := !lhs +. (ai *. solution.(i))) a;
+                 !lhs <= b +. tol)
+               rows
+          &&
+          let obj = ref 0.0 in
+          Array.iteri (fun i c -> obj := !obj +. (c *. solution.(i))) objective;
+          Helpers.close_enough ~tol:1e-6 !obj value)
+
+(* ---------- UFPP LP ---------- *)
+
+let ufpp_lp_upper_bounds_exact =
+  Helpers.seed_property ~count:40 "LP >= exact UFPP >= exact SAP" (fun seed ->
+      let path, tasks = Helpers.tiny_instance seed in
+      let lp = Lp.Ufpp_lp.upper_bound path tasks in
+      let ufpp = Ufpp.Exact_bb.value path tasks in
+      let sap = Exact.Sap_brute.value path tasks in
+      lp >= ufpp -. 1e-6 && ufpp >= sap -. 1e-9)
+
+let ufpp_lp_saturates_single_edge () =
+  (* One edge, two tasks: the LP is a fractional knapsack. *)
+  let path = Path.create [| 10 |] in
+  let mk id d w = Task.make ~id ~first_edge:0 ~last_edge:0 ~demand:d ~weight:w in
+  let r = Lp.Ufpp_lp.solve path [ mk 0 6 6.0; mk 1 6 3.0 ] in
+  (* x0 = 1, x1 = 4/6. *)
+  Alcotest.(check bool) "value 8" true (Helpers.close_enough r.Lp.Ufpp_lp.value 8.0)
+
+let ufpp_lp_unfit_task_zeroed () =
+  let path = Path.create [| 4; 2 |] in
+  let t = Task.make ~id:0 ~first_edge:0 ~last_edge:1 ~demand:3 ~weight:5.0 in
+  let r = Lp.Ufpp_lp.solve path [ t ] in
+  Alcotest.(check bool) "zero value" true (Helpers.close_enough r.Lp.Ufpp_lp.value 0.0);
+  Alcotest.(check bool) "zero x" true (Helpers.close_enough r.Lp.Ufpp_lp.solution.(0) 0.0)
+
+let ufpp_lp_scaled () =
+  let path = Path.create [| 10 |] in
+  let t = Task.make ~id:0 ~first_edge:0 ~last_edge:0 ~demand:10 ~weight:1.0 in
+  let full = Lp.Ufpp_lp.solve path [ t ] in
+  let half = Lp.Ufpp_lp.solve_scaled path ~scale:0.5 [ t ] in
+  Alcotest.(check bool) "full takes task" true
+    (Helpers.close_enough full.Lp.Ufpp_lp.value 1.0);
+  Alcotest.(check bool) "half rejects (demand > scaled bottleneck)" true
+    (Helpers.close_enough half.Lp.Ufpp_lp.value 0.0)
+
+let ufpp_lp_integral_when_disjoint () =
+  (* Disjoint tasks: LP optimum equals total weight. *)
+  let path = Path.create [| 4; 4; 4; 4 |] in
+  let mk id first last = Task.make ~id ~first_edge:first ~last_edge:last ~demand:3 ~weight:2.0 in
+  let r = Lp.Ufpp_lp.solve path [ mk 0 0 1; mk 1 2 3 ] in
+  Alcotest.(check bool) "value 4" true (Helpers.close_enough r.Lp.Ufpp_lp.value 4.0)
+
+let () =
+  Alcotest.run "lp"
+    [
+      ( "simplex",
+        [
+          case "known 2d" simplex_known_2d;
+          case "degenerate" simplex_degenerate;
+          case "unbounded" simplex_unbounded;
+          case "negative rhs" simplex_rejects_negative_rhs;
+          simplex_solution_feasible;
+        ] );
+      ( "ufpp_lp",
+        [
+          ufpp_lp_upper_bounds_exact;
+          case "fractional knapsack" ufpp_lp_saturates_single_edge;
+          case "unfit task zeroed" ufpp_lp_unfit_task_zeroed;
+          case "scaled" ufpp_lp_scaled;
+          case "integral disjoint" ufpp_lp_integral_when_disjoint;
+        ] );
+    ]

@@ -1,0 +1,177 @@
+module Task = Core.Task
+module Path = Core.Path
+module Rect = Rects.Rect
+
+let case = Helpers.case
+
+let mk ?(w = 1.0) id first last d =
+  Task.make ~id ~first_edge:first ~last_edge:last ~demand:d ~weight:w
+
+(* ---------- Rect ---------- *)
+
+let rect_of_task () =
+  let p = Path.create [| 8; 5; 9 |] in
+  let r = Rect.of_task p (mk 0 0 2 3) in
+  Alcotest.(check int) "y_high = bottleneck" 5 r.Rect.y_high;
+  Alcotest.(check int) "y_low = residual" 2 r.Rect.y_low
+
+let rect_of_unfit_task () =
+  let p = Path.create [| 2 |] in
+  Alcotest.check_raises "too big"
+    (Invalid_argument "Rect.of_task: task does not fit its bottleneck") (fun () ->
+      ignore (Rect.of_task p (mk 0 0 0 3)))
+
+let rect_intersections () =
+  let p = Path.create [| 10; 10; 10 |] in
+  let r1 = Rect.of_task p (mk 0 0 1 4) (* y [6,10) *)
+  and r2 = Rect.of_task p (mk 1 1 2 5) (* y [5,10) *)
+  and r3 = Rect.of_task p (mk 2 2 2 2) (* y [8,10) *) in
+  Alcotest.(check bool) "r1-r2 intersect" true (Rect.intersects r1 r2);
+  Alcotest.(check bool) "r1-r3 x-disjoint" false (Rect.intersects r1 r3);
+  Alcotest.(check bool) "r2-r3 intersect" true (Rect.intersects r2 r3)
+
+let rect_y_disjoint () =
+  let p = Path.create [| 10; 4; 10 |] in
+  (* Task over the dip tops at 4; a short task at edge 0 with small demand
+     sits high above it. *)
+  let low = Rect.of_task p (mk 0 0 2 3) (* y [1,4) *)
+  and high = Rect.of_task p (mk 1 0 0 4) (* y [6,10) *) in
+  Alcotest.(check bool) "vertically disjoint" false (Rect.intersects low high)
+
+let independent_family_is_sap =
+  Helpers.seed_property ~count:60 "independent rectangles -> feasible SAP"
+    (fun seed ->
+      let path, tasks = Helpers.tiny_instance ~max_tasks:10 seed in
+      let tasks =
+        List.filter (fun j -> (j : Task.t).Task.demand <= Path.bottleneck_of path j) tasks
+      in
+      let rects = Rect.of_tasks path tasks in
+      let chosen = Rects.Rect_mwis.solve rects in
+      let sol = List.map Rect.to_sap_placement chosen in
+      Result.is_ok (Core.Checker.sap_feasible path sol))
+
+(* ---------- Rect_graph ---------- *)
+
+let graph_coloring_proper =
+  Helpers.seed_property ~count:60 "greedy coloring is proper" (fun seed ->
+      let path, tasks = Helpers.tiny_instance ~max_tasks:12 seed in
+      let tasks =
+        List.filter (fun j -> (j : Task.t).Task.demand <= Path.bottleneck_of path j) tasks
+      in
+      let g = Rects.Rect_graph.build (Rect.of_tasks path tasks) in
+      let colors, used = Rects.Rect_graph.greedy_color g in
+      let n = Rects.Rect_graph.size g in
+      let _, degeneracy = Rects.Rect_graph.degeneracy_order g in
+      let proper = ref true in
+      for i = 0 to n - 1 do
+        List.iter
+          (fun jn -> if colors.(i) = colors.(jn) then proper := false)
+          (Rects.Rect_graph.neighbors g i)
+      done;
+      !proper && used <= degeneracy + 1)
+
+let graph_color_classes_independent =
+  Helpers.seed_property ~count:40 "color classes are independent families"
+    (fun seed ->
+      let path, tasks = Helpers.tiny_instance ~max_tasks:12 seed in
+      let tasks =
+        List.filter (fun j -> (j : Task.t).Task.demand <= Path.bottleneck_of path j) tasks
+      in
+      let g = Rects.Rect_graph.build (Rect.of_tasks path tasks) in
+      let classes = Rects.Rect_graph.color_classes g in
+      List.for_all
+        (fun cls ->
+          let rec pairwise = function
+            | [] -> true
+            | r :: rest ->
+                List.for_all (fun r' -> not (Rect.intersects r r')) rest
+                && pairwise rest
+          in
+          pairwise cls)
+        classes)
+
+let degeneracy_of_triangle () =
+  let p = Path.create [| 12 |] in
+  (* Three tasks on one edge with pairwise overlapping top ranges. *)
+  let rects = Rect.of_tasks p [ mk 0 0 0 10; mk 1 0 0 11; mk 2 0 0 12 ] in
+  let g = Rects.Rect_graph.build rects in
+  let _, d = Rects.Rect_graph.degeneracy_order g in
+  Alcotest.(check int) "triangle degeneracy 2" 2 d;
+  let _, used = Rects.Rect_graph.greedy_color g in
+  Alcotest.(check int) "3 colors" 3 used
+
+(* ---------- Rect_mwis ---------- *)
+
+let mwis_matches_brute =
+  Helpers.seed_property ~count:60 "B&B = brute force" (fun seed ->
+      let path, tasks = Helpers.tiny_instance ~max_tasks:12 seed in
+      let tasks =
+        List.filter (fun j -> (j : Task.t).Task.demand <= Path.bottleneck_of path j) tasks
+      in
+      let rects = Rect.of_tasks path tasks in
+      let bb = Rects.Rect_mwis.solve rects in
+      let brute = Rects.Rect_mwis.brute_force rects in
+      Helpers.close_enough (Rects.Rect_mwis.weight bb) (Rects.Rect_mwis.weight brute))
+
+let mwis_large_tasks =
+  Helpers.seed_property ~count:30 "B&B exact on 1/2-large families" (fun seed ->
+      let path, tasks = Helpers.tiny_ratio_instance ~max_tasks:12 ~lo:0.5 ~hi:1.0 seed in
+      let rects = Rect.of_tasks path tasks in
+      let bb = Rects.Rect_mwis.solve rects in
+      let brute = Rects.Rect_mwis.brute_force rects in
+      Helpers.close_enough (Rects.Rect_mwis.weight bb) (Rects.Rect_mwis.weight brute))
+
+let mwis_empty () =
+  Alcotest.(check int) "empty" 0 (List.length (Rects.Rect_mwis.solve []))
+
+let mwis_stress_16 =
+  (* Larger families right at the brute-force limit. *)
+  Helpers.seed_property ~count:10 "B&B = brute force at n = 16" (fun seed ->
+      let g = Util.Prng.create seed in
+      let path = Helpers.random_path g in
+      let tasks = Gen.Workloads.ratio_tasks ~prng:g ~path ~n:16 ~lo:0.3 ~hi:1.0 () in
+      let rects = Rects.Rect.of_tasks path tasks in
+      Helpers.close_enough
+        (Rects.Rect_mwis.weight (Rects.Rect_mwis.solve rects))
+        (Rects.Rect_mwis.weight (Rects.Rect_mwis.brute_force rects)))
+
+(* ---------- Fig. 8 ---------- *)
+
+let fig8_structure () =
+  let path, sol = Lazy.force Gen.Paper_figures.fig8 in
+  Helpers.assert_feasible_sap path sol;
+  let tasks = Core.Solution.sap_tasks sol in
+  List.iter
+    (fun (j : Task.t) ->
+      Alcotest.(check bool) "1/2-large" true
+        (2 * j.Task.demand > Path.bottleneck_of path j))
+    tasks;
+  let rects = Rect.of_tasks path tasks in
+  Alcotest.(check bool) "C5" true (Gen.Paper_figures.is_c5 rects);
+  let g = Rects.Rect_graph.build rects in
+  let _, used = Rects.Rect_graph.greedy_color g in
+  Alcotest.(check int) "needs 3 = 2k-1 colors" 3 used;
+  let _, degeneracy = Rects.Rect_graph.degeneracy_order g in
+  Alcotest.(check int) "degeneracy 2 = 2k-2" 2 degeneracy
+
+let () =
+  Alcotest.run "rects"
+    [
+      ( "rect",
+        [
+          case "of_task" rect_of_task;
+          case "unfit rejected" rect_of_unfit_task;
+          case "intersections" rect_intersections;
+          case "y disjoint" rect_y_disjoint;
+          independent_family_is_sap;
+        ] );
+      ( "graph",
+        [
+          graph_coloring_proper;
+          graph_color_classes_independent;
+          case "triangle" degeneracy_of_triangle;
+        ] );
+      ("mwis",
+        [ mwis_matches_brute; mwis_large_tasks; case "empty" mwis_empty; mwis_stress_16 ]);
+      ("fig8", [ case "structure" fig8_structure ]);
+    ]

@@ -1,0 +1,77 @@
+module Ring = Core.Ring
+
+let case = Helpers.case
+
+let random_ring ?(n = 6) seed =
+  let prng = Util.Prng.create seed in
+  Gen.Ring_gen.random ~prng ~edges:(4 + (seed mod 4)) ~n ~cap_lo:4 ~cap_hi:14
+    ~ratio_lo:0.0 ~ratio_hi:0.9
+
+let ring_feasible =
+  Helpers.seed_property ~count:30 "ring algorithm output feasible" (fun seed ->
+      let r = random_ring seed in
+      Result.is_ok (Ring.feasible r (Sap.Ring_algo.solve r)))
+
+let ring_ratio_vs_exact =
+  (* Theorem 5's asymptotic bound is 10+eps; with the instantiated Thm 4
+     constant (~10) the ring bound is 1 + alpha + eps ~ 11.5. *)
+  Helpers.seed_property ~count:15 "ratio <= instantiated Thm 5 bound vs ring exact" (fun seed ->
+      let r = random_ring ~n:5 seed in
+      let sol = Sap.Ring_algo.solve r in
+      let opt = Exact.Ring_brute.value r in
+      opt <= 1e-9 || Ring.solution_weight sol >= (opt /. 11.5) -. 1e-9)
+
+let ring_report_takes_better () =
+  let r = random_ring 11 in
+  let rep = Sap.Ring_algo.solve_report r in
+  Alcotest.(check bool) "weight = max(candidates)" true
+    (Helpers.close_enough
+       (Ring.solution_weight rep.Sap.Ring_algo.solution)
+       (Float.max rep.Sap.Ring_algo.path_weight rep.Sap.Ring_algo.through_weight))
+
+let ring_cut_edge_is_min () =
+  let caps = [| 9; 3; 7; 8 |] in
+  let tk = Ring.make_task ~id:0 ~src:0 ~dst:2 ~demand:2 ~weight:1.0 ~t_edges:4 in
+  let r = Ring.create caps [ tk ] in
+  let rep = Sap.Ring_algo.solve_report r in
+  Alcotest.(check int) "cut at the min-capacity edge" 1 rep.Sap.Ring_algo.cut_edge
+
+let ring_through_candidate_stacks () =
+  (* All tasks demand 2, min capacity 6: the knapsack candidate stacks
+     three tasks through the cut edge. *)
+  let tk id src dst = Ring.make_task ~id ~src ~dst ~demand:2 ~weight:10.0 ~t_edges:4 in
+  let r = Ring.create [| 6; 20; 20; 20 |] [ tk 0 3 1; tk 1 3 1; tk 2 3 1; tk 3 3 1 ] in
+  let rep = Sap.Ring_algo.solve_report r in
+  Alcotest.(check bool) "through weight = 30" true
+    (Helpers.close_enough rep.Sap.Ring_algo.through_weight 30.0);
+  Helpers.check_ok "solution feasible" (Ring.feasible r rep.Sap.Ring_algo.solution)
+
+let ring_all_tasks_admitted_when_easy () =
+  (* Generous capacities: the path candidate should admit everything. *)
+  let tk id src dst = Ring.make_task ~id ~src ~dst ~demand:1 ~weight:1.0 ~t_edges:5 in
+  let r = Ring.create [| 20; 20; 20; 20; 20 |] [ tk 0 0 2; tk 1 1 3; tk 2 2 4; tk 3 3 0 ] in
+  let sol = Sap.Ring_algo.solve r in
+  Alcotest.(check int) "all four tasks" 4 (List.length sol);
+  Helpers.check_ok "feasible" (Ring.feasible r sol)
+
+let ring_deterministic () =
+  let r = random_ring 21 in
+  let a = Sap.Ring_algo.solve r in
+  let b = Sap.Ring_algo.solve r in
+  Alcotest.(check bool) "same result" true
+    (Ring.solution_weight a = Ring.solution_weight b && List.length a = List.length b)
+
+let () =
+  Alcotest.run "ring"
+    [
+      ( "algorithm",
+        [
+          ring_feasible;
+          ring_ratio_vs_exact;
+          case "takes better candidate" ring_report_takes_better;
+          case "cuts min edge" ring_cut_edge_is_min;
+          case "through stacks" ring_through_candidate_stacks;
+          case "easy admits all" ring_all_tasks_admitted_when_easy;
+          case "deterministic" ring_deterministic;
+        ] );
+    ]

@@ -1,0 +1,94 @@
+module Task = Core.Task
+module Path = Core.Path
+
+let case = Helpers.case
+
+let large_instance ~k ?(max_tasks = 9) seed =
+  Helpers.tiny_ratio_instance ~max_tasks ~lo:(1.0 /. float_of_int k) ~hi:1.0 seed
+
+let solve_feasible =
+  Helpers.seed_property ~count:40 "large solver output feasible" (fun seed ->
+      let path, tasks = large_instance ~k:2 seed in
+      let sol = Sap.Large.solve path tasks in
+      Result.is_ok (Core.Checker.sap_feasible path sol)
+      && Core.Checker.subset_of (Core.Solution.sap_tasks sol) tasks)
+
+let solve_ratio_k2 =
+  (* Theorem 3 with k = 2: ratio at most 3 against the exact optimum. *)
+  Helpers.seed_property ~count:25 "1/2-large ratio <= 3" (fun seed ->
+      let path, tasks = large_instance ~k:2 ~max_tasks:8 seed in
+      let sol = Sap.Large.solve path tasks in
+      let opt = Exact.Sap_brute.value path tasks in
+      opt <= 1e-9 || Core.Solution.sap_weight sol >= (opt /. 3.0) -. 1e-9)
+
+let solve_ratio_k3 =
+  (* Theorem 3 with k = 3: ratio at most 5. *)
+  Helpers.seed_property ~count:25 "1/3-large ratio <= 5" (fun seed ->
+      let path, tasks = large_instance ~k:3 ~max_tasks:8 seed in
+      let sol = Sap.Large.solve path tasks in
+      let opt = Exact.Sap_brute.value path tasks in
+      opt <= 1e-9 || Core.Solution.sap_weight sol >= (opt /. 5.0) -. 1e-9)
+
+let degeneracy_bound_lemma17 =
+  (* Lemma 17: the rectangle graph of any 1/2-large *solution* is
+     2k-2 = 2-degenerate.  We test on exact optimal solutions. *)
+  Helpers.seed_property ~count:25 "solution rectangle graph is (2k-2)-degenerate"
+    (fun seed ->
+      let path, tasks = large_instance ~k:2 ~max_tasks:8 seed in
+      let opt = Exact.Sap_brute.solve path tasks in
+      Sap.Large.solution_degeneracy path opt <= 2)
+
+let degeneracy_bound_k3 =
+  Helpers.seed_property ~count:25 "1/3-large solutions are 4-degenerate"
+    (fun seed ->
+      let path, tasks = large_instance ~k:3 ~max_tasks:8 seed in
+      let opt = Exact.Sap_brute.solve path tasks in
+      Sap.Large.solution_degeneracy path opt <= 4)
+
+let coloring_bound_below_mwis =
+  (* The analysis' constructive bound can never beat the exact MWIS. *)
+  Helpers.seed_property ~count:30 "coloring class <= exact MWIS weight"
+    (fun seed ->
+      let path, tasks = large_instance ~k:2 seed in
+      let cls = Sap.Large.coloring_lower_bound path tasks in
+      let sol = Sap.Large.solve path tasks in
+      cls <= Core.Solution.sap_weight sol +. 1e-9)
+
+let solve_drops_unfit () =
+  let path = Path.create [| 4 |] in
+  let t_ok = Task.make ~id:0 ~first_edge:0 ~last_edge:0 ~demand:3 ~weight:1.0 in
+  let t_big = Task.make ~id:1 ~first_edge:0 ~last_edge:0 ~demand:5 ~weight:9.0 in
+  let sol = Sap.Large.solve path [ t_ok; t_big ] in
+  Alcotest.(check int) "keeps only the fitting task" 1 (List.length sol)
+
+let solve_single_edge_picks_heaviest () =
+  (* On one edge, 1/2-large tasks pairwise exclude: MWIS = heaviest. *)
+  let path = Path.create [| 10 |] in
+  let mk id d w = Task.make ~id ~first_edge:0 ~last_edge:0 ~demand:d ~weight:w in
+  let sol = Sap.Large.solve path [ mk 0 6 3.0; mk 1 7 5.0; mk 2 6 4.0 ] in
+  Alcotest.(check bool) "weight 5" true
+    (Helpers.close_enough (Core.Solution.sap_weight sol) 5.0)
+
+let fig8_mwis () =
+  (* On the C5 witness the exact MWIS takes two of five unit weights. *)
+  let path, sol = Lazy.force Gen.Paper_figures.fig8 in
+  let tasks = Core.Solution.sap_tasks sol in
+  let mwis = Sap.Large.solve path tasks in
+  Alcotest.(check bool) "MWIS weight 2 on C5" true
+    (Helpers.close_enough (Core.Solution.sap_weight mwis) 2.0)
+
+let () =
+  Alcotest.run "sap_large"
+    [
+      ( "solve",
+        [
+          solve_feasible;
+          solve_ratio_k2;
+          solve_ratio_k3;
+          case "drops unfit" solve_drops_unfit;
+          case "single edge" solve_single_edge_picks_heaviest;
+          case "fig8 mwis" fig8_mwis;
+        ] );
+      ( "analysis",
+        [ degeneracy_bound_lemma17; degeneracy_bound_k3; coloring_bound_below_mwis ] );
+    ]

@@ -1,0 +1,267 @@
+let case = Helpers.case
+
+(* ---------- Prng ---------- *)
+
+let prng_deterministic () =
+  let a = Util.Prng.create 99 and b = Util.Prng.create 99 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Util.Prng.int64 a) (Util.Prng.int64 b)
+  done
+
+let prng_different_seeds () =
+  let a = Util.Prng.create 1 and b = Util.Prng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Util.Prng.int64 a = Util.Prng.int64 b then incr same
+  done;
+  Alcotest.(check bool) "streams differ" true (!same < 4)
+
+let prng_int_bounds =
+  Helpers.seed_property "int in [0,bound)" (fun seed ->
+      let g = Util.Prng.create seed in
+      let bound = 1 + (seed mod 97) in
+      let x = Util.Prng.int g bound in
+      0 <= x && x < bound)
+
+let prng_int_in_bounds =
+  Helpers.seed_property "int_in inclusive" (fun seed ->
+      let g = Util.Prng.create seed in
+      let lo = seed mod 50 in
+      let hi = lo + (seed mod 13) in
+      let x = Util.Prng.int_in g lo hi in
+      lo <= x && x <= hi)
+
+let prng_float_bounds =
+  Helpers.seed_property "float in [0,b)" (fun seed ->
+      let g = Util.Prng.create seed in
+      let x = Util.Prng.float g 3.5 in
+      0.0 <= x && x < 3.5)
+
+let prng_copy_independent () =
+  let a = Util.Prng.create 7 in
+  let b = Util.Prng.copy a in
+  let xa = Util.Prng.int64 a in
+  let xb = Util.Prng.int64 b in
+  Alcotest.(check int64) "copy continues identically" xa xb;
+  ignore (Util.Prng.int64 a);
+  let xa2 = Util.Prng.int64 a and xb2 = Util.Prng.int64 b in
+  Alcotest.(check bool) "desynchronised after extra draw" true (xa2 <> xb2 || xa2 = xb2)
+
+let prng_split_independent () =
+  let a = Util.Prng.create 7 in
+  let child = Util.Prng.split a in
+  let xs = List.init 16 (fun _ -> Util.Prng.int64 a) in
+  let ys = List.init 16 (fun _ -> Util.Prng.int64 child) in
+  Alcotest.(check bool) "split streams differ" true (xs <> ys)
+
+let prng_shuffle_permutes =
+  Helpers.seed_property "shuffle is a permutation" (fun seed ->
+      let g = Util.Prng.create seed in
+      let a = Array.init 30 Fun.id in
+      Util.Prng.shuffle g a;
+      let sorted = Array.copy a in
+      Array.sort compare sorted;
+      sorted = Array.init 30 Fun.id)
+
+let prng_bernoulli_extremes () =
+  let g = Util.Prng.create 3 in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "p=1 always true" true (Util.Prng.bernoulli g 1.0);
+    Alcotest.(check bool) "p=0 always false" false (Util.Prng.bernoulli g 0.0)
+  done
+
+let prng_sample_weighted () =
+  let g = Util.Prng.create 11 in
+  let w = [| 0.0; 5.0; 0.0 |] in
+  for _ = 1 to 50 do
+    Alcotest.(check int) "only positive index" 1 (Util.Prng.sample_weighted g w)
+  done
+
+(* ---------- Heap ---------- *)
+
+let heap_sorted =
+  Helpers.seed_property "heap drains sorted" (fun seed ->
+      let g = Util.Prng.create seed in
+      let xs = List.init 50 (fun _ -> Util.Prng.int g 1000) in
+      let h = Util.Heap.of_list ~cmp:Int.compare xs in
+      let drained = Util.Heap.to_sorted_list h in
+      drained = List.sort Int.compare xs)
+
+let heap_pop_order () =
+  let h = Util.Heap.create ~cmp:Int.compare in
+  List.iter (Util.Heap.push h) [ 5; 1; 4; 1; 3 ];
+  Alcotest.(check (option int)) "peek min" (Some 1) (Util.Heap.peek h);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Util.Heap.pop h);
+  Alcotest.(check (option int)) "pop 1 again" (Some 1) (Util.Heap.pop h);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Util.Heap.pop h);
+  Alcotest.(check int) "length" 2 (Util.Heap.length h)
+
+let heap_empty () =
+  let h = Util.Heap.create ~cmp:Int.compare in
+  Alcotest.(check bool) "is_empty" true (Util.Heap.is_empty h);
+  Alcotest.(check (option int)) "pop none" None (Util.Heap.pop h);
+  Alcotest.check_raises "pop_exn raises" (Invalid_argument "Heap.pop_exn: empty heap")
+    (fun () -> ignore (Util.Heap.pop_exn h))
+
+(* ---------- Range_min ---------- *)
+
+let range_min_matches_naive =
+  Helpers.seed_property "sparse table = naive min" (fun seed ->
+      let g = Util.Prng.create seed in
+      let n = 1 + Util.Prng.int g 60 in
+      let a = Array.init n (fun _ -> Util.Prng.int g 100) in
+      let t = Util.Range_min.build a in
+      let ok = ref true in
+      for lo = 0 to n - 1 do
+        for hi = lo to n - 1 do
+          let naive = ref max_int in
+          for i = lo to hi do
+            naive := min !naive a.(i)
+          done;
+          if Util.Range_min.query t lo hi <> !naive then ok := false;
+          let arg = Util.Range_min.query_arg t lo hi in
+          if not (lo <= arg && arg <= hi && a.(arg) = !naive) then ok := false
+        done
+      done;
+      !ok)
+
+let range_min_rejects_bad_query () =
+  let t = Util.Range_min.build [| 1; 2; 3 |] in
+  Alcotest.check_raises "reversed range" (Invalid_argument "Range_min.query")
+    (fun () -> ignore (Util.Range_min.query t 2 1))
+
+(* ---------- Stats ---------- *)
+
+let stats_known () =
+  let s = Util.Stats.summarize [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check int) "count" 4 s.Util.Stats.count;
+  Alcotest.(check bool) "mean" true (Helpers.close_enough s.Util.Stats.mean 2.5);
+  Alcotest.(check bool) "min" true (Helpers.close_enough s.Util.Stats.min 1.0);
+  Alcotest.(check bool) "max" true (Helpers.close_enough s.Util.Stats.max 4.0)
+
+let stats_geometric () =
+  Alcotest.(check bool) "geo mean of (2,8) is 4" true
+    (Helpers.close_enough (Util.Stats.geometric_mean [ 2.0; 8.0 ]) 4.0)
+
+let stats_empty_raises () =
+  Alcotest.check_raises "empty summarize" (Invalid_argument "Stats.summarize: empty")
+    (fun () -> ignore (Util.Stats.summarize []))
+
+(* ---------- Subset_sum ---------- *)
+
+let brute_subset_sums ~max_terms ~bound ds =
+  let ds = Array.of_list ds in
+  let n = Array.length ds in
+  let acc = Hashtbl.create 64 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let sum = ref 0 and terms = ref 0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        sum := !sum + ds.(i);
+        incr terms
+      end
+    done;
+    if !sum < bound && !terms <= max_terms then Hashtbl.replace acc !sum ()
+  done;
+  Hashtbl.fold (fun k () l -> k :: l) acc [] |> List.sort Int.compare
+
+let subset_sums_match_brute =
+  Helpers.seed_property ~count:80 "distinct_sums = brute force" (fun seed ->
+      let g = Util.Prng.create seed in
+      let n = 1 + Util.Prng.int g 8 in
+      let ds = List.init n (fun _ -> 1 + Util.Prng.int g 9) in
+      let bound = 1 + Util.Prng.int g 40 in
+      let max_terms = 1 + Util.Prng.int g n in
+      Util.Subset_sum.distinct_sums ~max_terms ~bound ds
+      = brute_subset_sums ~max_terms ~bound ds)
+
+let subset_sums_capped_superset () =
+  let exact = Util.Subset_sum.distinct_sums ~bound:30 [ 3; 5 ] in
+  let capped = Util.Subset_sum.distinct_sums_capped ~cap:1000 ~bound:30 [ 3; 5 ] in
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) (Printf.sprintf "%d covered" v) true (List.mem v capped))
+    exact
+
+let subset_sums_capped_sorted () =
+  let l = Util.Subset_sum.distinct_sums_capped ~cap:10 ~bound:100 [ 2; 7 ] in
+  Alcotest.(check int) "cap respected" 10 (List.length l);
+  Alcotest.(check bool) "sorted" true (List.sort Int.compare l = l)
+
+(* ---------- Parallel ---------- *)
+
+let parallel_matches_sequential =
+  Helpers.seed_property ~count:20 "parallel map = sequential map" (fun seed ->
+      let g = Util.Prng.create seed in
+      let xs = List.init (1 + Util.Prng.int g 50) (fun i -> i * 3) in
+      let f x = (x * x) - 1 in
+      Util.Parallel.map ~jobs:4 f xs = List.map f xs)
+
+let parallel_empty () =
+  Alcotest.(check (list int)) "empty" [] (Util.Parallel.map ~jobs:4 (fun x -> x) [])
+
+let parallel_single_job () =
+  Alcotest.(check (list int)) "jobs=1" [ 2; 4 ]
+    (Util.Parallel.map ~jobs:1 (fun x -> 2 * x) [ 1; 2 ])
+
+let parallel_propagates_exception () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Util.Parallel.map ~jobs:3 (fun x -> if x = 5 then failwith "boom" else x)
+                 [ 1; 2; 3; 4; 5; 6 ]);
+       false
+     with Failure m -> m = "boom")
+
+(* ---------- Table ---------- *)
+
+let table_renders () =
+  let s = Util.Table.render ~header:[ "a"; "bb" ] [ [ "x"; "1" ]; [ "yy"; "22" ] ] in
+  Alcotest.(check bool) "contains rule" true (String.length s > 0 && String.contains s '|');
+  Alcotest.(check int) "three+ lines" 4 (List.length (String.split_on_char '\n' s))
+
+let table_rejects_ragged () =
+  Alcotest.check_raises "ragged row" (Invalid_argument "Table.render: row arity")
+    (fun () -> ignore (Util.Table.render ~header:[ "a"; "b" ] [ [ "x" ] ]))
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          case "deterministic" prng_deterministic;
+          case "different seeds" prng_different_seeds;
+          prng_int_bounds;
+          prng_int_in_bounds;
+          prng_float_bounds;
+          case "copy" prng_copy_independent;
+          case "split" prng_split_independent;
+          prng_shuffle_permutes;
+          case "bernoulli extremes" prng_bernoulli_extremes;
+          case "sample_weighted" prng_sample_weighted;
+        ] );
+      ( "heap",
+        [ heap_sorted; case "pop order" heap_pop_order; case "empty" heap_empty ] );
+      ( "range_min",
+        [ range_min_matches_naive; case "bad query" range_min_rejects_bad_query ] );
+      ( "stats",
+        [
+          case "known summary" stats_known;
+          case "geometric mean" stats_geometric;
+          case "empty raises" stats_empty_raises;
+        ] );
+      ( "subset_sum",
+        [
+          subset_sums_match_brute;
+          case "capped superset" subset_sums_capped_superset;
+          case "capped sorted" subset_sums_capped_sorted;
+        ] );
+      ( "parallel",
+        [
+          parallel_matches_sequential;
+          case "empty" parallel_empty;
+          case "single job" parallel_single_job;
+          case "exception" parallel_propagates_exception;
+        ] );
+      ( "table",
+        [ case "renders" table_renders; case "ragged rejected" table_rejects_ragged ] );
+    ]

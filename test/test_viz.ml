@@ -1,0 +1,114 @@
+module Task = Core.Task
+module Path = Core.Path
+
+let case = Helpers.case
+
+let mk id first last d =
+  Task.make ~id ~first_edge:first ~last_edge:last ~demand:d ~weight:1.0
+
+let label_wraps () =
+  Alcotest.(check char) "0 -> A" 'A' (Viz.Ascii.label 0);
+  Alcotest.(check char) "25 -> Z" 'Z' (Viz.Ascii.label 25);
+  Alcotest.(check char) "26 -> A" 'A' (Viz.Ascii.label 26)
+
+let render_contains_tasks () =
+  let p = Path.create [| 4; 4 |] in
+  let sol = [ (mk 0 0 1 2, 0); (mk 1 0 0 2, 2) ] in
+  let s = Viz.Ascii.render_solution p sol in
+  Alcotest.(check bool) "has A" true (String.contains s 'A');
+  Alcotest.(check bool) "has B" true (String.contains s 'B');
+  (* 4 height rows + 1 axis row. *)
+  Alcotest.(check int) "rows" 5
+    (List.length (String.split_on_char '\n' (String.trim s)))
+
+let render_profile_free_cells () =
+  let p = Path.create [| 2; 4 |] in
+  let s = Viz.Ascii.render_profile p in
+  Alcotest.(check bool) "has free cells" true (String.contains s '.');
+  (* Top row has a blank over the short edge. *)
+  let top_row = List.hd (String.split_on_char '\n' s) in
+  Alcotest.(check bool) "short edge blank at top" true (String.contains top_row ' ')
+
+let render_rejects_tall () =
+  let p = Path.create [| 10_000 |] in
+  Alcotest.check_raises "too tall"
+    (Invalid_argument "Ascii.render: profile too tall; pass ~max_height")
+    (fun () -> ignore (Viz.Ascii.render_profile p))
+
+let render_clips () =
+  let p = Path.create [| 10_000 |] in
+  let s = Viz.Ascii.render_profile ~max_height:10 p in
+  Alcotest.(check int) "rows" 11
+    (List.length (String.split_on_char '\n' (String.trim s)))
+
+let render_loads_lines () =
+  let p = Path.create [| 4; 6 |] in
+  let s = Viz.Ascii.render_loads p [ mk 0 0 1 3 ] in
+  let lines = String.split_on_char '\n' (String.trim s) in
+  Alcotest.(check int) "one line per edge" 2 (List.length lines);
+  Alcotest.(check bool) "shows load" true
+    (String.length (List.hd lines) > 0 && String.contains s '#')
+
+let render_never_crashes =
+  Helpers.seed_property ~count:30 "renders any tiny solved instance" (fun seed ->
+      let path, tasks = Helpers.tiny_instance seed in
+      if Path.max_capacity path > 200 then true
+      else begin
+        let sol = Exact.Sap_brute.solve path tasks in
+        let s = Viz.Ascii.render_solution path sol in
+        String.length s > 0
+      end)
+
+(* ---------- Svg ---------- *)
+
+let svg_well_formed () =
+  let p = Path.create [| 4; 4 |] in
+  let sol = [ (mk 0 0 1 2, 0); (mk 1 0 0 2, 2) ] in
+  let s = Viz.Svg.solution_svg p sol in
+  let contains needle =
+    let n = String.length needle and l = String.length s in
+    let rec go i = i + n <= l && (String.sub s i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "opens svg" true (contains "<svg");
+  Alcotest.(check bool) "closes svg" true (contains "</svg>");
+  Alcotest.(check bool) "has task rects" true (contains "fill-opacity")
+
+let svg_colors_deterministic () =
+  Alcotest.(check string) "same id same color" (Viz.Svg.color 5) (Viz.Svg.color 5);
+  Alcotest.(check bool) "adjacent ids differ" true (Viz.Svg.color 0 <> Viz.Svg.color 1)
+
+let svg_tall_profile_shrinks () =
+  let p = Path.create [| 5000 |] in
+  let s = Viz.Svg.profile_svg p in
+  (* Canvas must stay bounded even for absurd capacities. *)
+  Alcotest.(check bool) "bounded output" true (String.length s < 400_000)
+
+let svg_never_crashes =
+  Helpers.seed_property ~count:30 "svg renders any tiny solved instance"
+    (fun seed ->
+      let path, tasks = Helpers.tiny_instance seed in
+      let sol = Exact.Sap_brute.solve path tasks in
+      String.length (Viz.Svg.solution_svg path sol) > 0)
+
+let () =
+  Alcotest.run "viz"
+    [
+      ( "ascii",
+        [
+          case "label" label_wraps;
+          case "contains tasks" render_contains_tasks;
+          case "profile free cells" render_profile_free_cells;
+          case "rejects tall" render_rejects_tall;
+          case "clips" render_clips;
+          case "loads" render_loads_lines;
+          render_never_crashes;
+        ] );
+      ( "svg",
+        [
+          case "well formed" svg_well_formed;
+          case "colors" svg_colors_deterministic;
+          case "tall profile" svg_tall_profile_shrinks;
+          svg_never_crashes;
+        ] );
+    ]
