@@ -4,10 +4,25 @@
    reference run next to the paper's claims.
 
    Run with:  dune exec bench/main.exe
-   Pass "quick" to skip the bechamel timing section. *)
+   Pass "quick" to skip the bechamel timing section.
+   Pass "--stats-json FILE" to collect the solver-internal counters
+   (sap-stats v1, the same schema sap_cli emits) across the whole run, so
+   BENCH_*.json trajectories can track DP state counts, simplex iterations
+   and rounding losses, not just wall time.  Collection stays off without
+   the flag, keeping the timed sections (S1) unperturbed. *)
+
+let stats_json_target () =
+  let rec scan i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if Sys.argv.(i) = "--stats-json" then Some Sys.argv.(i + 1)
+    else scan (i + 1)
+  in
+  scan 1
 
 let () =
   let quick = Array.exists (( = ) "quick") Sys.argv in
+  let stats_json = stats_json_target () in
+  if stats_json <> None then Obs.Report.enable_all ();
   let t0 = Unix.gettimeofday () in
   print_endline "SAP reproduction — experiment harness";
   print_endline "paper: Bar-Yehuda, Beder, Rawitz — A Constant Factor Approximation";
@@ -20,4 +35,20 @@ let () =
   Worst_experiments.run ();
   Scale_experiments.run ();
   if not quick then Timing.run ();
-  Printf.printf "\nall experiments completed in %.1fs\n" (Unix.gettimeofday () -. t0)
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Printf.printf "\nall experiments completed in %.1fs\n" elapsed;
+  match stats_json with
+  | None -> ()
+  | Some file ->
+      let report =
+        Obs.Report.build
+          ~extra:
+            [
+              ("command", Obs.Json.String "bench");
+              ("quick", Obs.Json.Bool quick);
+              ("time_seconds", Obs.Json.Float elapsed);
+            ]
+          ()
+      in
+      Obs.Report.write_file file report;
+      Printf.printf "wrote solver metrics to %s\n" file

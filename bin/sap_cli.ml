@@ -71,45 +71,115 @@ let gen_cmd profile edges capacity kind n seed output =
 
 (* ---------- solve ---------- *)
 
-let algorithms =
+(* Every algorithm derives its parameters from [Combine.default_config] so
+   standalone part runs ([--algorithm small|medium]) agree with what the
+   combination would feed them; [--seed] reaches every randomized engine. *)
+let algorithms ~seed =
+  let dc = Sap.Combine.default_config in
+  let q = Sap.Combine.q_of_beta dc.Sap.Combine.beta in
+  let ell = Sap.Almost_uniform.ell_for_eps ~eps:dc.Sap.Combine.eps ~q in
   [
-    ("combine", fun path ts -> Sap.Combine.solve path ts);
+    ("combine", fun path ts ->
+        Sap.Combine.solve ~config:{ dc with Sap.Combine.seed } path ts);
     ("small", fun path ts ->
-        Sap.Small.strip_pack ~rounding:(`Lp 16) ~prng:(Util.Prng.create 42) path ts);
+        Sap.Small.strip_pack ~rounding:dc.Sap.Combine.rounding
+          ~prng:(Util.Prng.create seed) path ts);
     ("medium", fun path ts ->
-        (Sap.Almost_uniform.run ~ell:2 ~q:2 path ts).Sap.Almost_uniform.solution);
+        (Sap.Almost_uniform.run ~ell ~q ?max_states:dc.Sap.Combine.max_states
+           path ts).Sap.Almost_uniform.solution);
     ("large", fun path ts -> Sap.Large.solve path ts);
     ("sapu", fun path ts -> Sap.Sap_u.solve path ts);
     ("firstfit", fun path ts -> fst (Dsa.First_fit.pack path ts));
     ("exact", fun path ts -> Exact.Sap_brute.solve path ts);
   ]
 
-let solve_cmd input algorithm output quiet =
+let instance_stats_json path tasks =
+  let s = Core.Instance_stats.compute path tasks in
+  Obs.Json.Obj
+    [
+      ("num_edges", Obs.Json.Int s.Core.Instance_stats.num_edges);
+      ("num_tasks", Obs.Json.Int s.Core.Instance_stats.num_tasks);
+      ("min_capacity", Obs.Json.Int s.Core.Instance_stats.min_capacity);
+      ("max_capacity", Obs.Json.Int s.Core.Instance_stats.max_capacity);
+      ("total_weight", Obs.Json.Float s.Core.Instance_stats.total_weight);
+      ("total_demand", Obs.Json.Int s.Core.Instance_stats.total_demand);
+      ("max_load", Obs.Json.Int s.Core.Instance_stats.max_load);
+      ("small_fraction", Obs.Json.Float s.Core.Instance_stats.small_fraction);
+      ("medium_fraction", Obs.Json.Float s.Core.Instance_stats.medium_fraction);
+      ("large_fraction", Obs.Json.Float s.Core.Instance_stats.large_fraction);
+      ("unfit_tasks", Obs.Json.Int s.Core.Instance_stats.unfit_tasks);
+      ( "bottleneck_bands",
+        Obs.Json.Obj
+          (List.map
+             (fun (t, c) -> (string_of_int t, Obs.Json.Int c))
+             s.Core.Instance_stats.bottleneck_bands) );
+    ]
+
+let solve_cmd input algorithm output quiet seed stats_json =
   let path, tasks = read_instance input in
   let solve =
-    match List.assoc_opt algorithm algorithms with
+    match List.assoc_opt algorithm (algorithms ~seed) with
     | Some f -> f
     | None ->
         Printf.eprintf "error: unknown algorithm %S (have: %s)\n" algorithm
-          (String.concat ", " (List.map fst algorithms));
+          (String.concat ", " (List.map fst (algorithms ~seed)));
         exit 2
   in
+  if stats_json <> None then Obs.Report.enable_all ();
   let t0 = Unix.gettimeofday () in
   let sol = solve path tasks in
   let dt = Unix.gettimeofday () -. t0 in
+  (* Snapshot before the LP bound below runs more simplex iterations. *)
+  let solve_metrics =
+    match stats_json with
+    | None -> Obs.Json.Null
+    | Some _ -> Obs.Metrics.snapshot_json ()
+  in
+  let solve_spans =
+    match stats_json with None -> Obs.Json.Null | Some _ -> Obs.Trace.json ()
+  in
   (match Core.Checker.sap_feasible path sol with
   | Ok () -> ()
   | Error m ->
       Printf.eprintf "internal error: infeasible solution: %s\n" m;
       exit 3);
+  let lp_ub = Lp.Ufpp_lp.upper_bound path tasks in
   if not quiet then begin
     Printf.printf "tasks            %d\n" (List.length tasks);
     Printf.printf "scheduled        %d\n" (List.length sol);
     Printf.printf "weight           %.3f\n" (Core.Solution.sap_weight sol);
     Printf.printf "total weight     %.3f\n" (Task.weight_of tasks);
-    Printf.printf "lp upper bound   %.3f\n" (Lp.Ufpp_lp.upper_bound path tasks);
+    Printf.printf "lp upper bound   %.3f\n" lp_ub;
     Printf.printf "time             %.3fs\n" dt
   end;
+  (match stats_json with
+  | None -> ()
+  | Some file ->
+      let report =
+        Obs.Json.Obj
+          [
+            ("schema", Obs.Json.String "sap-stats v1");
+            ("command", Obs.Json.String "solve");
+            ("algorithm", Obs.Json.String algorithm);
+            ("seed", Obs.Json.Int seed);
+            ("instance", instance_stats_json path tasks);
+            ( "result",
+              Obs.Json.Obj
+                [
+                  ("scheduled", Obs.Json.Int (List.length sol));
+                  ("weight", Obs.Json.Float (Core.Solution.sap_weight sol));
+                  ("total_weight", Obs.Json.Float (Task.weight_of tasks));
+                  ("lp_upper_bound", Obs.Json.Float lp_ub);
+                  ("time_seconds", Obs.Json.Float dt);
+                ] );
+            ("metrics", solve_metrics);
+            ("spans", solve_spans);
+          ]
+      in
+      (try Obs.Report.write_file file report
+       with Sys_error m ->
+         Printf.eprintf "error: cannot write stats report: %s\n" m;
+         exit 2));
   (match output with
   | None -> ()
   | Some file -> Sap_io.Instance_io.write_file file (Sap_io.Instance_io.solution_to_string sol));
@@ -200,7 +270,17 @@ let solve_term =
     Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Solution file.")
   in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No stats on stdout.") in
-  Term.(const solve_cmd $ input_arg $ algorithm $ output $ quiet)
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~doc:"PRNG seed for randomized engines (LP rounding).")
+  in
+  let stats_json =
+    Arg.(value & opt (some string) None
+         & info [ "stats-json" ]
+             ~doc:"Write a machine-readable sap-stats v1 report (instance stats, \
+                   per-part metrics, span tree, weight vs. LP bound) to this file.")
+  in
+  Term.(const solve_cmd $ input_arg $ algorithm $ output $ quiet $ seed $ stats_json)
 
 let check_term =
   let sol = Arg.(required & opt (some file) None & info [ "s"; "solution" ] ~doc:"Solution file.") in

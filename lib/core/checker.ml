@@ -14,8 +14,16 @@ let no_duplicates ids =
   in
   go ids
 
+(* Full edge-range validation.  The checker trusts nothing: a task record
+   with [first_edge < 0] or an inverted range would otherwise sail through
+   and crash [Instance.load_profile] with an array-bounds exception instead
+   of surfacing an [Error] to the caller. *)
 let within_path path (j : Task.t) =
-  if j.Task.last_edge >= Path.num_edges path then
+  if j.Task.first_edge < 0 then
+    Error (Printf.sprintf "task %d starts before the path" j.Task.id)
+  else if j.Task.first_edge > j.Task.last_edge then
+    Error (Printf.sprintf "task %d has an inverted edge range" j.Task.id)
+  else if j.Task.last_edge >= Path.num_edges path then
     Error (Printf.sprintf "task %d leaves the path" j.Task.id)
   else Ok ()
 

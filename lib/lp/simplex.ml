@@ -3,6 +3,12 @@ type problem = {
   rows : (float array * float) list;
 }
 
+let m_solves = Obs.Metrics.counter "simplex.solves"
+
+let m_iterations = Obs.Metrics.counter "simplex.iterations"
+
+let m_bland_activations = Obs.Metrics.counter "simplex.bland_activations"
+
 type outcome =
   | Optimal of { value : float; solution : float array; iterations : int }
   | Unbounded
@@ -99,19 +105,30 @@ let maximize ?(eps = 1e-9) ?max_iterations problem =
     basis.(row) <- col
   in
   let degenerate_streak = ref 0 in
+  let bland_active = ref false in
   let rec loop iter =
     if iter > max_iterations then failwith "Simplex: iteration limit";
     let bland = !degenerate_streak > 2 * (n + r) in
+    if bland && not !bland_active then begin
+      bland_active := true;
+      Obs.Metrics.incr m_bland_activations
+    end;
+    (if not bland then bland_active := false);
     match entering bland with
     | None ->
         let solution = Array.make n 0.0 in
         Array.iteri
           (fun i b -> if b < n then solution.(b) <- t.(i).(width - 1))
           basis;
+        Obs.Metrics.incr m_solves;
+        Obs.Metrics.add m_iterations iter;
         Optimal { value = t.(r).(width - 1); solution; iterations = iter }
     | Some col -> (
         match leaving col bland with
-        | None -> Unbounded
+        | None ->
+            Obs.Metrics.incr m_solves;
+            Obs.Metrics.add m_iterations iter;
+            Unbounded
         | Some row ->
             let before = t.(row).(width - 1) in
             pivot row col;

@@ -1,0 +1,21 @@
+(** Minimal JSON emission — just enough to serialise metric snapshots,
+    span trees and CLI reports without an external dependency.  Emission
+    only; the test suite and downstream tooling parse with whatever they
+    have at hand. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact single-line rendering.  Strings are escaped per RFC 8259;
+    non-finite floats render as [null] (JSON has no representation for
+    them). *)
+
+val to_string_pretty : t -> string
+(** Two-space indented rendering, for files meant to be read by humans. *)

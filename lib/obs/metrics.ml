@@ -1,0 +1,183 @@
+let on = Atomic.make false
+
+let enable () = Atomic.set on true
+
+let disable () = Atomic.set on false
+
+let enabled () = Atomic.get on
+
+(* CAS loop: Atomic holds an immutable float; contention is rare (updates
+   are cheap and domains touch different subsystems most of the time). *)
+let rec fetch_and_apply cell f =
+  let old = Atomic.get cell in
+  if not (Atomic.compare_and_set cell old (f old)) then fetch_and_apply cell f
+
+type counter = int Atomic.t
+
+type gauge = float Atomic.t
+
+type histogram = {
+  h_count : int Atomic.t;
+  h_sum : float Atomic.t;
+  h_min : float Atomic.t;
+  h_max : float Atomic.t;
+}
+
+type cell =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+(* Registration is rare (module init); a single lock keeps it simple and
+   domain-safe.  Updates never touch the registry. *)
+let registry : (string, cell) Hashtbl.t = Hashtbl.create 64
+
+let registry_lock = Mutex.create ()
+
+let register name make describe =
+  Mutex.lock registry_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_lock)
+    (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some cell -> describe cell
+      | None ->
+          let fresh = make () in
+          Hashtbl.replace registry name fresh;
+          describe fresh)
+
+let counter name =
+  register name
+    (fun () -> Counter (Atomic.make 0))
+    (function
+      | Counter c -> c
+      | _ -> invalid_arg ("Metrics: " ^ name ^ " is not a counter"))
+
+let gauge name =
+  register name
+    (fun () -> Gauge (Atomic.make 0.0))
+    (function
+      | Gauge g -> g
+      | _ -> invalid_arg ("Metrics: " ^ name ^ " is not a gauge"))
+
+let histogram name =
+  register name
+    (fun () ->
+      Histogram
+        {
+          h_count = Atomic.make 0;
+          h_sum = Atomic.make 0.0;
+          h_min = Atomic.make infinity;
+          h_max = Atomic.make neg_infinity;
+        })
+    (function
+      | Histogram h -> h
+      | _ -> invalid_arg ("Metrics: " ^ name ^ " is not a histogram"))
+
+let incr c = if Atomic.get on then ignore (Atomic.fetch_and_add c 1)
+
+let add c n = if Atomic.get on then ignore (Atomic.fetch_and_add c n)
+
+let counter_value c = Atomic.get c
+
+let set g v = if Atomic.get on then Atomic.set g v
+
+let gauge_value g = Atomic.get g
+
+let observe h v =
+  if Atomic.get on then begin
+    ignore (Atomic.fetch_and_add h.h_count 1);
+    fetch_and_apply h.h_sum (fun s -> s +. v);
+    fetch_and_apply h.h_min (fun m -> Float.min m v);
+    fetch_and_apply h.h_max (fun m -> Float.max m v)
+  end
+
+let time h f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect ~finally:(fun () -> observe h (Unix.gettimeofday () -. t0)) f
+  end
+
+let reset () =
+  Mutex.lock registry_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_lock)
+    (fun () ->
+      Hashtbl.iter
+        (fun _ cell ->
+          match cell with
+          | Counter c -> Atomic.set c 0
+          | Gauge g -> Atomic.set g 0.0
+          | Histogram h ->
+              Atomic.set h.h_count 0;
+              Atomic.set h.h_sum 0.0;
+              Atomic.set h.h_min infinity;
+              Atomic.set h.h_max neg_infinity)
+        registry)
+
+type histogram_summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram_summary) list;
+}
+
+let by_name (a, _) (b, _) = String.compare a b
+
+let snapshot () =
+  Mutex.lock registry_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock registry_lock)
+    (fun () ->
+      let counters = ref [] and gauges = ref [] and histograms = ref [] in
+      Hashtbl.iter
+        (fun name cell ->
+          match cell with
+          | Counter c -> counters := (name, Atomic.get c) :: !counters
+          | Gauge g -> gauges := (name, Atomic.get g) :: !gauges
+          | Histogram h ->
+              let count = Atomic.get h.h_count in
+              let summary =
+                {
+                  count;
+                  sum = Atomic.get h.h_sum;
+                  min = (if count = 0 then Float.nan else Atomic.get h.h_min);
+                  max = (if count = 0 then Float.nan else Atomic.get h.h_max);
+                }
+              in
+              histograms := (name, summary) :: !histograms)
+        registry;
+      {
+        counters = List.sort by_name !counters;
+        gauges = List.sort by_name !gauges;
+        histograms = List.sort by_name !histograms;
+      })
+
+let snapshot_json () =
+  let s = snapshot () in
+  let histogram_json (h : histogram_summary) =
+    Json.Obj
+      [
+        ("count", Json.Int h.count);
+        ("sum", Json.Float h.sum);
+        ( "mean",
+          if h.count = 0 then Json.Null
+          else Json.Float (h.sum /. float_of_int h.count) );
+        ("min", if h.count = 0 then Json.Null else Json.Float h.min);
+        ("max", if h.count = 0 then Json.Null else Json.Float h.max);
+      ]
+  in
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) s.counters));
+      ("gauges", Json.Obj (List.map (fun (n, v) -> (n, Json.Float v)) s.gauges));
+      ( "histograms",
+        Json.Obj (List.map (fun (n, h) -> (n, histogram_json h)) s.histograms) );
+    ]

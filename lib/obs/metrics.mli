@@ -1,0 +1,77 @@
+(** A process-wide registry of named counters, gauges and histograms.
+
+    Designed for the solving stack's hot paths:
+    - every update first reads one [Atomic] enabled flag and returns
+      immediately when collection is off (the default), so instrumented
+      code costs nothing measurable in benchmarks;
+    - all cells are {!Atomic} values updated with CAS loops, so updates
+      from the domains spawned by [Util.Parallel.map] are lost-update-free;
+    - handles are meant to be created once at module initialisation
+      ([let c = Metrics.counter "simplex.iterations"]) — creation takes a
+      registry lock, updates never do.
+
+    Names are dotted lowercase paths ([subsystem.quantity]); registering
+    the same name twice returns the same cell. *)
+
+type counter
+type gauge
+type histogram
+
+val enable : unit -> unit
+(** Turn collection on (process-wide, all domains). *)
+
+val disable : unit -> unit
+
+val enabled : unit -> bool
+(** True when collection is on.  Instrumentation wrapping non-trivial
+    computation (e.g. counting DP states) should guard on this instead of
+    paying for the computation unconditionally. *)
+
+val reset : unit -> unit
+(** Zero every registered cell; registrations are kept. *)
+
+val counter : string -> counter
+(** Register (or look up) a monotonically increasing integer. *)
+
+val incr : counter -> unit
+
+val add : counter -> int -> unit
+
+val counter_value : counter -> int
+
+val gauge : string -> gauge
+(** Register (or look up) a last-write-wins float. *)
+
+val set : gauge -> float -> unit
+
+val gauge_value : gauge -> float
+
+val histogram : string -> histogram
+(** Register (or look up) a summary histogram (count / sum / min / max).
+    Used for durations (seconds) and per-event ratios. *)
+
+val observe : histogram -> float -> unit
+
+val time : histogram -> (unit -> 'a) -> 'a
+(** [time h f] observes the wall-clock duration of [f ()] in seconds when
+    collection is on; it is exactly [f ()] otherwise. *)
+
+type histogram_summary = {
+  count : int;
+  sum : float;
+  min : float;  (** [nan] when empty *)
+  max : float;  (** [nan] when empty *)
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  gauges : (string * float) list;
+  histograms : (string * histogram_summary) list;
+}
+(** All lists sorted by name. *)
+
+val snapshot : unit -> snapshot
+
+val snapshot_json : unit -> Json.t
+(** [{"counters": {..}, "gauges": {..}, "histograms": {name: {count, sum,
+    mean, min, max}, ..}}] — the [metrics] section of the stats report. *)

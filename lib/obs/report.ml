@@ -1,0 +1,26 @@
+let schema_version = "sap-stats v1"
+
+let enable_all () =
+  Metrics.enable ();
+  Trace.enable ()
+
+let disable_all () =
+  Metrics.disable ();
+  Trace.disable ()
+
+let reset_all () =
+  Metrics.reset ();
+  Trace.reset ()
+
+let build ?(extra = []) () =
+  Json.Obj
+    ((("schema", Json.String schema_version) :: extra)
+    @ [ ("metrics", Metrics.snapshot_json ()); ("spans", Trace.json ()) ])
+
+let write_file path report =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string_pretty report);
+      output_char oc '\n')

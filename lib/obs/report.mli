@@ -1,0 +1,29 @@
+(** The machine-readable stats report ([sap-stats v1]) shared by
+    [sap_cli solve --stats-json] and the bench harness, so benchmark
+    trajectories can track internal counters with the same schema the CLI
+    emits.
+
+    Schema (documented in docs/FORMAT.md):
+    {v
+    { "schema":  "sap-stats v1",
+      "metrics": { "counters": {..}, "gauges": {..}, "histograms": {..} },
+      "spans":   [ {name, start, duration_seconds, attrs, children}, .. ],
+      ...caller-supplied extra fields... }
+    v} *)
+
+val enable_all : unit -> unit
+(** Turn on both {!Metrics} and {!Trace}. *)
+
+val disable_all : unit -> unit
+
+val reset_all : unit -> unit
+(** Zero metrics and drop completed spans — call between measured phases
+    when one process emits several reports. *)
+
+val build : ?extra:(string * Json.t) list -> unit -> Json.t
+(** Snapshot metrics and spans into a report object.  [extra] fields are
+    placed after [schema] and before [metrics] (e.g. instance stats,
+    result weights). *)
+
+val write_file : string -> Json.t -> unit
+(** Pretty-printed, trailing newline. *)

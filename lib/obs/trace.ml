@@ -1,0 +1,98 @@
+type span = {
+  name : string;
+  start : float;
+  duration : float;
+  attrs : (string * string) list;
+  children : span list;
+}
+
+let on = Atomic.make false
+
+let enable () = Atomic.set on true
+
+let disable () = Atomic.set on false
+
+let enabled () = Atomic.get on
+
+(* An open span accumulates attrs and finished children in reverse. *)
+type frame = {
+  f_name : string;
+  f_start : float;
+  mutable f_attrs : (string * string) list;
+  mutable f_children : span list;
+}
+
+(* Per-domain stack of open frames (innermost first). *)
+let stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+(* Completed root spans, newest first; shared across domains. *)
+let finished : span list ref = ref []
+
+let finished_lock = Mutex.create ()
+
+let reset () =
+  Mutex.lock finished_lock;
+  finished := [];
+  Mutex.unlock finished_lock
+
+let now () = Unix.gettimeofday ()
+
+let close_frame frame =
+  {
+    name = frame.f_name;
+    start = frame.f_start;
+    duration = now () -. frame.f_start;
+    attrs = List.rev frame.f_attrs;
+    children = List.rev frame.f_children;
+  }
+
+let with_span ?(attrs = []) name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let stack = Domain.DLS.get stack_key in
+    let frame =
+      { f_name = name; f_start = now (); f_attrs = List.rev attrs; f_children = [] }
+    in
+    stack := frame :: !stack;
+    let finish () =
+      (match !stack with
+      | top :: rest when top == frame ->
+          stack := rest;
+          let sp = close_frame frame in
+          (match rest with
+          | parent :: _ -> parent.f_children <- sp :: parent.f_children
+          | [] ->
+              Mutex.lock finished_lock;
+              finished := sp :: !finished;
+              Mutex.unlock finished_lock)
+      | _ ->
+          (* Unbalanced stack: tracing was toggled mid-span.  Drop it. *)
+          ())
+    in
+    Fun.protect ~finally:finish f
+  end
+
+let add_attr key value =
+  if Atomic.get on then
+    match !(Domain.DLS.get stack_key) with
+    | [] -> ()
+    | frame :: _ -> frame.f_attrs <- (key, value) :: frame.f_attrs
+
+let roots () =
+  Mutex.lock finished_lock;
+  let spans = !finished in
+  Mutex.unlock finished_lock;
+  List.rev spans
+
+let rec span_json sp =
+  Json.Obj
+    [
+      ("name", Json.String sp.name);
+      ("start", Json.Float sp.start);
+      ("duration_seconds", Json.Float sp.duration);
+      ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) sp.attrs));
+      ("children", Json.List (List.map span_json sp.children));
+    ]
+
+let json () = Json.List (List.map span_json (roots ()))

@@ -1,0 +1,45 @@
+(** Nested wall-clock spans, collected into trees.
+
+    [with_span "combine.part.small" f] times [f ()] and records the span
+    under whatever span is currently open {e in the same domain}.  Each
+    domain keeps its own stack (domain-local storage), so tracing is safe
+    under [Util.Parallel.map]; spans opened inside a worker domain become
+    additional root spans rather than children of the spawning domain's
+    span (domains share no stack).
+
+    Like {!Metrics}, tracing is off by default and every entry point
+    checks one atomic flag first, so instrumented code paths cost nothing
+    when disabled. *)
+
+type span = {
+  name : string;
+  start : float;  (** seconds since the epoch *)
+  duration : float;  (** seconds *)
+  attrs : (string * string) list;  (** in the order they were added *)
+  children : span list;  (** in completion order *)
+}
+
+val enable : unit -> unit
+
+val disable : unit -> unit
+
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Drop all completed root spans (open spans are unaffected). *)
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** Run the thunk inside a fresh span.  The span is recorded even when the
+    thunk raises.  When tracing is disabled this is exactly [f ()]. *)
+
+val add_attr : string -> string -> unit
+(** Attach a key/value to the innermost open span of the calling domain
+    (for values only known mid-span: LP objectives, loss fractions, chosen
+    branches).  No-op when tracing is disabled or no span is open. *)
+
+val roots : unit -> span list
+(** Completed top-level spans, oldest first. *)
+
+val json : unit -> Json.t
+(** The [spans] section of the stats report: a list of span trees, each
+    [{name, start, duration_seconds, attrs, children}]. *)

@@ -52,6 +52,8 @@ let degeneracy_order g =
   done;
   (List.rev !order, !degeneracy)
 
+let h_colors = Obs.Metrics.histogram "rect_graph.colors"
+
 let greedy_color g =
   let n = size g in
   let order, degeneracy = degeneracy_order g in
@@ -70,6 +72,7 @@ let greedy_color g =
       colors.(v) <- c;
       used := max !used (c + 1))
     (List.rev order);
+  Obs.Metrics.observe h_colors (float_of_int !used);
   (colors, !used)
 
 let color_classes g =

@@ -1,3 +1,7 @@
+let m_solves = Obs.Metrics.counter "rect_mwis.solves"
+
+let m_branch_nodes = Obs.Metrics.counter "rect_mwis.branch_nodes"
+
 let weight rs =
   List.fold_left (fun acc (r : Rect.t) -> acc +. r.Rect.task.Core.Task.weight) 0.0 rs
 
@@ -106,7 +110,9 @@ let solve rs =
     in
     best := greedy;
     best_w := List.fold_left (fun acc v -> acc +. rect_weight a.(v)) 0.0 greedy;
+    Obs.Metrics.incr m_solves;
     let rec branch cands chosen w =
+      Obs.Metrics.incr m_branch_nodes;
       if w > !best_w then begin
         best_w := w;
         best := chosen

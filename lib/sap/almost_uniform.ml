@@ -15,6 +15,14 @@ type result = {
   bands : band_outcome list;
 }
 
+let m_bands = Obs.Metrics.counter "almost_uniform.bands"
+
+let m_inexact_bands = Obs.Metrics.counter "almost_uniform.inexact_bands"
+
+let m_infeasible_candidates = Obs.Metrics.counter "almost_uniform.infeasible_candidates"
+
+let g_chosen_residue = Obs.Metrics.gauge "almost_uniform.chosen_residue"
+
 let ell_for_eps ~eps ~q =
   if eps <= 0.0 then invalid_arg "Almost_uniform.ell_for_eps";
   max 1 (int_of_float (ceil (float_of_int q /. eps)))
@@ -23,11 +31,31 @@ let positive_mod a p = (a mod p + p) mod p
 
 let run ~ell ~q ?strategy ?max_states path ts =
   if ell < 1 || q < 1 then invalid_arg "Almost_uniform.run: ell, q >= 1";
+  Obs.Trace.with_span "almost_uniform.run"
+    ~attrs:
+      [
+        ("ell", string_of_int ell);
+        ("q", string_of_int q);
+        ("tasks", string_of_int (List.length ts));
+      ]
+  @@ fun () ->
   let groups = Core.Classify.power_bands path ~ell ts in
   let bands =
     List.map
       (fun (k, band_tasks) ->
+        Obs.Trace.with_span "almost_uniform.band"
+          ~attrs:
+            [
+              ("k", string_of_int k);
+              ("tasks", string_of_int (List.length band_tasks));
+            ]
+        @@ fun () ->
         let r = Elevator.solve ~k ~ell ~q ?strategy ?max_states path band_tasks in
+        Obs.Metrics.incr m_bands;
+        if not r.Elevator.exact then Obs.Metrics.incr m_inexact_bands;
+        Obs.Trace.add_attr "exact" (string_of_bool r.Elevator.exact);
+        Obs.Trace.add_attr "placed"
+          (string_of_int (List.length r.Elevator.solution));
         {
           k;
           band_tasks;
@@ -55,7 +83,10 @@ let run ~ell ~q ?strategy ?max_states path ts =
         best_r := r
       end
     end
+    else Obs.Metrics.incr m_infeasible_candidates
   done;
+  Obs.Metrics.set g_chosen_residue (float_of_int !best_r);
+  Obs.Trace.add_attr "chosen_residue" (string_of_int !best_r);
   {
     solution = !best;
     chosen_residue = !best_r;

@@ -37,6 +37,34 @@ let q_of_beta beta =
   if not (0.0 < beta && beta < 0.5) then invalid_arg "Combine: beta in (0, 1/2)";
   max 1 (int_of_float (ceil (Float.log2 (1.0 /. beta))))
 
+let g_weight_small = Obs.Metrics.gauge "combine.weight.small"
+
+let g_weight_medium = Obs.Metrics.gauge "combine.weight.medium"
+
+let g_weight_large = Obs.Metrics.gauge "combine.weight.large"
+
+let h_small_seconds = Obs.Metrics.histogram "combine.part_seconds.small"
+
+let h_medium_seconds = Obs.Metrics.histogram "combine.part_seconds.medium"
+
+let h_large_seconds = Obs.Metrics.histogram "combine.part_seconds.large"
+
+let c_chosen_small = Obs.Metrics.counter "combine.chosen.small"
+
+let c_chosen_medium = Obs.Metrics.counter "combine.chosen.medium"
+
+let c_chosen_large = Obs.Metrics.counter "combine.chosen.large"
+
+let c_chosen = function
+  | Small_part -> c_chosen_small
+  | Medium_part -> c_chosen_medium
+  | Large_part -> c_chosen_large
+
+let part_name = function
+  | Small_part -> "small"
+  | Medium_part -> "medium"
+  | Large_part -> "large"
+
 let solve_report ?(config = default_config) path ts =
   let ts =
     List.filter (fun (j : Task.t) -> j.Task.demand <= Path.bottleneck_of path j) ts
@@ -45,19 +73,40 @@ let solve_report ?(config = default_config) path ts =
   let split = Core.Classify.split3 path ~delta:config.delta ~large_frac ts in
   let q = q_of_beta config.beta in
   let ell = Almost_uniform.ell_for_eps ~eps:config.eps ~q in
+  Obs.Trace.with_span "combine.solve"
+    ~attrs:
+      [
+        ("tasks", string_of_int (List.length ts));
+        ("ell", string_of_int ell);
+        ("q", string_of_int q);
+        ("small_tasks", string_of_int (List.length split.Core.Classify.small));
+        ("medium_tasks", string_of_int (List.length split.Core.Classify.medium));
+        ("large_tasks", string_of_int (List.length split.Core.Classify.large));
+        ("parallel", string_of_bool config.parallel);
+      ]
+  @@ fun () ->
   (* The three specialists are independent; with [parallel] they run in
      their own domains.  Each gets identical inputs either way (the PRNG is
-     created per part), so parallel and sequential runs agree exactly. *)
+     created per part), so parallel and sequential runs agree exactly.
+     Spans opened inside a worker domain surface as separate root spans. *)
   let small_thunk () =
+    Obs.Trace.with_span "combine.part.small" @@ fun () ->
+    Obs.Metrics.time h_small_seconds @@ fun () ->
     let prng = Util.Prng.create config.seed in
     `Small (Small.strip_pack ~rounding:config.rounding ~prng path split.Core.Classify.small)
   in
   let medium_thunk () =
+    Obs.Trace.with_span "combine.part.medium" @@ fun () ->
+    Obs.Metrics.time h_medium_seconds @@ fun () ->
     `Medium
       (Almost_uniform.run ~ell ~q ?max_states:config.max_states path
          split.Core.Classify.medium)
   in
-  let large_thunk () = `Large (Large.solve path split.Core.Classify.large) in
+  let large_thunk () =
+    Obs.Trace.with_span "combine.part.large" @@ fun () ->
+    Obs.Metrics.time h_large_seconds @@ fun () ->
+    `Large (Large.solve path split.Core.Classify.large)
+  in
   let jobs = if config.parallel then 3 else 1 in
   let results =
     Util.Parallel.map ~jobs (fun f -> f ()) [ small_thunk; medium_thunk; large_thunk ]
@@ -75,6 +124,14 @@ let solve_report ?(config = default_config) path ts =
     else if w_medium >= w_large then (Medium_part, medium.Almost_uniform.solution)
     else (Large_part, large_solution)
   in
+  Obs.Metrics.set g_weight_small w_small;
+  Obs.Metrics.set g_weight_medium w_medium;
+  Obs.Metrics.set g_weight_large w_large;
+  Obs.Metrics.incr (c_chosen chosen);
+  Obs.Trace.add_attr "chosen" (part_name chosen);
+  Obs.Trace.add_attr "weight_small" (Printf.sprintf "%.6g" w_small);
+  Obs.Trace.add_attr "weight_medium" (Printf.sprintf "%.6g" w_medium);
+  Obs.Trace.add_attr "weight_large" (Printf.sprintf "%.6g" w_large);
   {
     solution;
     chosen;

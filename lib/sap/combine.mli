@@ -27,6 +27,12 @@ val default_config : config
     seed 42, default state cap, sequential.  [parallel = true] gives
     identical results (the specialists share nothing) on up to 3 domains. *)
 
+val q_of_beta : float -> int
+(** [ceil(log2 1/beta)], at least 1 — the elevation exponent the
+    combination uses.  Exposed so front-ends (the CLI's standalone
+    [medium] algorithm) derive [ell]/[q] from the same defaults instead of
+    hardcoding them.  Requires [beta] in (0, 1/2). *)
+
 type part = Small_part | Medium_part | Large_part
 
 type report = {

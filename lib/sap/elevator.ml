@@ -6,6 +6,14 @@ type result = {
   exact : bool;
 }
 
+let m_dp_states = Obs.Metrics.counter "elevator.dp_states"
+
+let m_truncations = Obs.Metrics.counter "elevator.truncations"
+
+let m_candidate_heights = Obs.Metrics.counter "elevator.candidate_heights"
+
+let m_band_solves = Obs.Metrics.counter "elevator.band_solves"
+
 type state = {
   alive : (Task.t * int) list;  (* sorted by task id *)
   weight : float;
@@ -59,6 +67,8 @@ let optimal_band ~cap ?(min_height = 0) ?(max_states = 20000) path ts =
   | _ ->
       let m = Path.num_edges clipped in
       let candidates, cands_exact = height_candidates ~cap ~min_height ts in
+      Obs.Metrics.incr m_band_solves;
+      Obs.Metrics.add m_candidate_heights (List.length candidates);
       let exact = ref cands_exact in
       let starters = Array.make m [] in
       List.iter
@@ -84,6 +94,7 @@ let optimal_band ~cap ?(min_height = 0) ?(max_states = 20000) path ts =
         if List.length states <= max_states then states
         else begin
           exact := false;
+          Obs.Metrics.incr m_truncations;
           let sorted =
             List.sort (fun a b -> Float.compare b.weight a.weight) states
           in
@@ -130,6 +141,9 @@ let optimal_band ~cap ?(min_height = 0) ?(max_states = 20000) path ts =
           else
             let states = drop_expired e states in
             let states = List.fold_left expand_task states starters.(e) in
+            (* Counting live states is O(|states|); only pay when observed. *)
+            if Obs.Metrics.enabled () then
+              Obs.Metrics.add m_dp_states (List.length states);
             sweep (e + 1) states
         in
         sweep 0 initial

@@ -3,10 +3,18 @@ module Path = Core.Path
 
 let fits path (j : Task.t) = j.Task.demand <= Path.bottleneck_of path j
 
+let m_rectangles = Obs.Metrics.counter "large.rectangles"
+
 let solve path ts =
   let ts = List.filter (fits path) ts in
+  Obs.Trace.with_span "large.solve"
+    ~attrs:[ ("tasks", string_of_int (List.length ts)) ]
+  @@ fun () ->
   let rectangles = Rects.Rect.of_tasks path ts in
+  Obs.Metrics.add m_rectangles (List.length rectangles);
+  Obs.Trace.add_attr "rectangles" (string_of_int (List.length rectangles));
   let chosen = Rects.Rect_mwis.solve rectangles in
+  Obs.Trace.add_attr "chosen" (string_of_int (List.length chosen));
   List.map Rects.Rect.to_sap_placement chosen
 
 let solution_degeneracy path sol =

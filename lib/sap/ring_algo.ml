@@ -35,15 +35,36 @@ let through_candidate (r : Ring.t) ~cut_edge ~knapsack_eps =
   in
   stack 0 [] chosen
 
+let g_path_weight = Obs.Metrics.gauge "ring.path_weight"
+
+let g_through_weight = Obs.Metrics.gauge "ring.through_weight"
+
 let solve_report ?config ?(knapsack_eps = 0.1) (r : Ring.t) =
   let cut_edge = min_capacity_edge r in
+  Obs.Trace.with_span "ring.solve"
+    ~attrs:
+      [
+        ("tasks", string_of_int (Array.length r.Ring.tasks));
+        ("cut_edge", string_of_int cut_edge);
+      ]
+  @@ fun () ->
   let path, path_tasks, back = Ring.cut r ~cut_edge in
-  let path_sol = Combine.solve ?config path path_tasks in
-  let cand_path = Ring.to_ring_solution r ~cut_edge path_sol back in
-  let cand_through = through_candidate r ~cut_edge ~knapsack_eps in
+  let cand_path =
+    Obs.Trace.with_span "ring.path_candidate" @@ fun () ->
+    let path_sol = Combine.solve ?config path path_tasks in
+    Ring.to_ring_solution r ~cut_edge path_sol back
+  in
+  let cand_through =
+    Obs.Trace.with_span "ring.through_candidate" @@ fun () ->
+    through_candidate r ~cut_edge ~knapsack_eps
+  in
   let path_weight = Ring.solution_weight cand_path in
   let through_weight = Ring.solution_weight cand_through in
+  Obs.Metrics.set g_path_weight path_weight;
+  Obs.Metrics.set g_through_weight through_weight;
   let solution = if path_weight >= through_weight then cand_path else cand_through in
+  Obs.Trace.add_attr "chosen"
+    (if path_weight >= through_weight then "path" else "through");
   { solution; cut_edge; path_weight; through_weight }
 
 let solve ?config ?knapsack_eps r =

@@ -3,6 +3,16 @@ module Path = Core.Path
 
 type rounding = [ `Lp of int | `Local_ratio ]
 
+let m_bands = Obs.Metrics.counter "small.bands"
+
+let m_dropped = Obs.Metrics.counter "small.dropped_tasks"
+
+let h_loss = Obs.Metrics.histogram "small.loss_fraction"
+
+let h_lp_objective = Obs.Metrics.histogram "small.lp_objective"
+
+let h_band_seconds = Obs.Metrics.histogram "small.band_seconds"
+
 let solve_band ~b ~rounding ~prng path ts =
   List.iter
     (fun (j : Task.t) ->
@@ -12,7 +22,8 @@ let solve_band ~b ~rounding ~prng path ts =
     ts;
   let budget = b / 2 in
   if budget = 0 then []
-  else begin
+  else Obs.Metrics.time h_band_seconds @@ fun () -> begin
+    Obs.Metrics.incr m_bands;
     (* Step 1-3: a budget-packable UFPP solution inside the band. *)
     let strip_ufpp =
       match rounding with
@@ -20,6 +31,10 @@ let solve_band ~b ~rounding ~prng path ts =
       | `Lp trials ->
           let clipped = Path.clip path (2 * b) in
           let lp = Lp.Ufpp_lp.solve clipped ts in
+          Obs.Metrics.observe h_lp_objective lp.Lp.Ufpp_lp.value;
+          Obs.Trace.add_attr "lp_objective"
+            (Printf.sprintf "%.6g" lp.Lp.Ufpp_lp.value);
+          Obs.Trace.add_attr "rounding_trials" (string_of_int trials);
           let fractional =
             Array.to_list lp.Lp.Ufpp_lp.tasks
             |> List.mapi (fun i j -> (j, 0.25 *. lp.Lp.Ufpp_lp.solution.(i)))
@@ -31,17 +46,38 @@ let solve_band ~b ~rounding ~prng path ts =
       Dsa.Strip_transform.transform ~height:budget ~edges:(Path.num_edges path)
         strip_ufpp
     in
+    let loss = Dsa.Strip_transform.loss_fraction r in
+    Obs.Metrics.observe h_loss loss;
+    Obs.Metrics.add m_dropped (List.length r.Dsa.Strip_transform.dropped);
+    Obs.Trace.add_attr "loss_fraction" (Printf.sprintf "%.6g" loss);
+    Obs.Trace.add_attr "dropped" (string_of_int (List.length r.Dsa.Strip_transform.dropped));
     r.Dsa.Strip_transform.packed
   end
 
 let strip_pack ~rounding ~prng path ts =
   let ts = List.filter (fun (j : Task.t) -> j.Task.demand <= Path.bottleneck_of path j) ts in
   let bands = Core.Classify.strip_bands path ts in
-  List.fold_left
-    (fun acc (t, band_tasks) ->
-      let b = 1 lsl t in
-      let sol = solve_band ~b ~rounding ~prng path band_tasks in
-      (* Strip-Pack line 3: lift band t's strip into [2^(t-1), 2^t). *)
-      let lifted = Core.Solution.lift sol (b / 2) in
-      Core.Solution.union acc lifted)
-    [] bands
+  Obs.Trace.with_span "small.strip_pack"
+    ~attrs:
+      [
+        ("tasks", string_of_int (List.length ts));
+        ("bands", string_of_int (List.length bands));
+      ]
+    (fun () ->
+      List.fold_left
+        (fun acc (t, band_tasks) ->
+          let b = 1 lsl t in
+          let sol =
+            Obs.Trace.with_span "small.band"
+              ~attrs:
+                [
+                  ("t", string_of_int t);
+                  ("b", string_of_int b);
+                  ("tasks", string_of_int (List.length band_tasks));
+                ]
+              (fun () -> solve_band ~b ~rounding ~prng path band_tasks)
+          in
+          (* Strip-Pack line 3: lift band t's strip into [2^(t-1), 2^t). *)
+          let lifted = Core.Solution.lift sol (b / 2) in
+          Core.Solution.union acc lifted)
+        [] bands)

@@ -3,6 +3,10 @@ module Path = Core.Path
 
 type fractional = (Task.t * float) list
 
+let m_trials = Obs.Metrics.counter "lp_rounding.trials"
+
+let m_improvements = Obs.Metrics.counter "lp_rounding.improvements"
+
 let fractional_weight fx =
   List.fold_left (fun acc ((j : Task.t), x) -> acc +. (j.Task.weight *. x)) 0.0 fx
 
@@ -59,9 +63,11 @@ let round ~budget ~trials ~prng path fx =
   let best = ref (greedy_round ~budget path fx) in
   let best_w = ref (Task.weight_of !best) in
   for _ = 1 to trials do
+    Obs.Metrics.incr m_trials;
     let s = random_round ~budget ~prng path fx in
     let w = Task.weight_of s in
     if w > !best_w then begin
+      Obs.Metrics.incr m_improvements;
       best := s;
       best_w := w
     end
@@ -80,6 +86,7 @@ let round_capacities ~trials ~prng path fx =
   let best = ref greedy in
   let best_w = ref (Task.weight_of greedy) in
   for _ = 1 to trials do
+    Obs.Metrics.incr m_trials;
     let sampled =
       List.filter (fun (_, x) -> Util.Prng.bernoulli prng x) fx
       |> List.map fst
@@ -88,6 +95,7 @@ let round_capacities ~trials ~prng path fx =
     let s = alteration_per_edge ~budget_of path sampled in
     let w = Task.weight_of s in
     if w > !best_w then begin
+      Obs.Metrics.incr m_improvements;
       best := s;
       best_w := w
     end

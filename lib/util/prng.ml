@@ -20,12 +20,22 @@ let split g =
   let seed = next_raw g in
   { state = seed }
 
+(* Mask to 62 bits: [Int64.to_int] keeps the low 63 bits, whose top bit
+   would become OCaml's sign bit. *)
+let bits62 g =
+  Int64.to_int (Int64.shift_right_logical (next_raw g) 2) land max_int
+
 let int g bound =
   assert (bound > 0);
-  (* Mask to 62 bits: [Int64.to_int] keeps the low 63 bits, whose top bit
-     would become OCaml's sign bit. *)
-  let r = Int64.to_int (Int64.shift_right_logical (next_raw g) 2) land max_int in
-  r mod bound
+  (* Rejection sampling: [r mod bound] alone is biased toward small values
+     whenever [bound] does not divide 2^62, so redraw while [r] falls in
+     the final partial block of size [2^62 mod bound]. *)
+  let rec draw () =
+    let r = bits62 g in
+    let v = r mod bound in
+    if r - v > max_int - bound + 1 then draw () else v
+  in
+  draw ()
 
 let int_in g lo hi =
   assert (lo <= hi);

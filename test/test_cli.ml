@@ -91,6 +91,56 @@ let solve_all_algorithms () =
               (run [ "solve"; "-i"; inst; "-a"; a; "-q" ]))
           [ "combine"; "small"; "medium"; "large"; "firstfit"; "exact" ])
 
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let solve_emits_stats_json () =
+  if not (Sys.file_exists cli) then Alcotest.skip ()
+  else
+    with_tmp (fun dir ->
+        let inst = Filename.concat dir "inst.sap" in
+        let stats = Filename.concat dir "stats.json" in
+        Alcotest.(check int) "gen" 0
+          (run [ "gen"; "--profile"; "staircase"; "--edges"; "10"; "--tasks"; "24"; "-o"; inst ]);
+        Alcotest.(check int) "solve" 0
+          (run
+             [ "solve"; "-i"; inst; "-a"; "combine"; "-q"; "--seed"; "7";
+               "--stats-json"; stats ]);
+        Alcotest.(check bool) "stats file written" true (Sys.file_exists stats);
+        let s = Sap_io.Instance_io.read_file stats in
+        let trimmed = String.trim s in
+        Alcotest.(check bool) "object-shaped" true
+          (String.length trimmed > 2
+          && trimmed.[0] = '{'
+          && trimmed.[String.length trimmed - 1] = '}');
+        (* The report must expose the per-part weights and timings, the
+           chosen part, the per-band Strip-Pack counters and the simplex
+           iteration counts the issue asks for. *)
+        List.iter
+          (fun sub ->
+            Alcotest.(check bool) (sub ^ " present") true (contains_sub s sub))
+          [
+            "sap-stats v1";
+            "\"algorithm\"";
+            "\"seed\": 7";
+            "\"instance\"";
+            "\"result\"";
+            "combine.weight.small";
+            "combine.weight.medium";
+            "combine.weight.large";
+            "combine.part_seconds.small";
+            "combine.chosen.";
+            "small.bands";
+            "simplex.iterations";
+            "simplex.solves";
+            "elevator.dp_states";
+            "\"spans\"";
+            "combine.solve";
+            "small.strip_pack";
+          ])
+
 let unknown_algorithm_fails () =
   if not (Sys.file_exists cli) then Alcotest.skip ()
   else
@@ -107,6 +157,7 @@ let () =
           case "gen/solve/check/show" gen_solve_check_roundtrip;
           case "check rejects corrupted" check_rejects_corrupted;
           case "all algorithms" solve_all_algorithms;
+          case "stats json" solve_emits_stats_json;
           case "unknown algorithm" unknown_algorithm_fails;
         ] );
     ]

@@ -170,6 +170,40 @@ let checker_rejects_off_path () =
   Alcotest.(check bool) "rejected" true
     (Result.is_error (Core.Checker.sap_feasible p [ (mk 0 0 3 1, 0) ]))
 
+(* [Task.make] refuses to build tasks with a negative or inverted edge
+   range, so forge records with the same memory layout to prove the
+   checker validates ranges itself instead of trusting the type.  The
+   tuple below matches the field order of [Core.Task.t]. *)
+let forge_task ~id ~first_edge ~last_edge ~demand ~weight : Task.t =
+  Obj.magic (id, first_edge, last_edge, demand, weight)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let checker_rejects_negative_first_edge () =
+  let p = Path.create [| 4; 4 |] in
+  let t = forge_task ~id:3 ~first_edge:(-1) ~last_edge:1 ~demand:1 ~weight:1.0 in
+  (match Core.Checker.sap_feasible p [ (t, 0) ] with
+  | Ok () -> Alcotest.fail "negative first_edge accepted"
+  | Error msg ->
+      Alcotest.(check bool) "names the failure" true
+        (contains_sub msg "starts before"));
+  Alcotest.(check bool) "ufpp rejects too" true
+    (Result.is_error (Core.Checker.ufpp_feasible p [ t ]))
+
+let checker_rejects_inverted_range () =
+  let p = Path.create [| 4; 4; 4 |] in
+  let t = forge_task ~id:3 ~first_edge:2 ~last_edge:0 ~demand:1 ~weight:1.0 in
+  (match Core.Checker.sap_feasible p [ (t, 0) ] with
+  | Ok () -> Alcotest.fail "inverted range accepted"
+  | Error msg ->
+      Alcotest.(check bool) "names the failure" true
+        (contains_sub msg "inverted"));
+  Alcotest.(check bool) "ufpp rejects too" true
+    (Result.is_error (Core.Checker.ufpp_feasible p [ t ]))
+
 let checker_within_bound () =
   let p = Path.create [| 8; 8 |] in
   let sol = [ (mk 0 0 1 3, 2) ] in
@@ -441,6 +475,8 @@ let () =
           case "duplicate" checker_rejects_duplicate;
           case "negative height" checker_rejects_negative_height;
           case "off path" checker_rejects_off_path;
+          case "negative first edge" checker_rejects_negative_first_edge;
+          case "inverted range" checker_rejects_inverted_range;
           case "within bound" checker_within_bound;
           case "ufpp" checker_ufpp;
           case "subset_of" checker_subset_of;

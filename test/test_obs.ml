@@ -1,0 +1,267 @@
+(* Unit tests for the observability layer: registry semantics, the
+   zero-cost disabled path, atomic updates under Parallel.map domain
+   fan-out, span trees, and the hand-rolled JSON emitter.
+
+   Metrics and tracing are process-wide, so every case starts and ends
+   from a clean disabled state; metric names are unique per case to keep
+   cases independent of execution order. *)
+
+let case = Helpers.case
+
+let clean () =
+  Obs.Report.disable_all ();
+  Obs.Report.reset_all ()
+
+let counter_value name =
+  List.assoc name (Obs.Metrics.snapshot ()).Obs.Metrics.counters
+
+let gauge_value name = List.assoc name (Obs.Metrics.snapshot ()).Obs.Metrics.gauges
+
+let histogram_summary name =
+  List.assoc name (Obs.Metrics.snapshot ()).Obs.Metrics.histograms
+
+(* ---------- Metrics ---------- *)
+
+let metrics_disabled_noop () =
+  clean ();
+  let c = Obs.Metrics.counter "t.noop.counter" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 10;
+  Alcotest.(check int) "counter untouched" 0 (Obs.Metrics.counter_value c);
+  let g = Obs.Metrics.gauge "t.noop.gauge" in
+  Obs.Metrics.set g 3.5;
+  Alcotest.(check bool) "gauge untouched" true (Obs.Metrics.gauge_value g = 0.0);
+  let h = Obs.Metrics.histogram "t.noop.hist" in
+  Obs.Metrics.observe h 1.0;
+  Alcotest.(check int) "histogram untouched" 0
+    (histogram_summary "t.noop.hist").Obs.Metrics.count;
+  Alcotest.(check bool) "not enabled" false (Obs.Metrics.enabled ())
+
+let metrics_counter_roundtrip () =
+  clean ();
+  Obs.Metrics.enable ();
+  let c = Obs.Metrics.counter "t.rt.counter" in
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 5;
+  Alcotest.(check int) "handle value" 7 (Obs.Metrics.counter_value c);
+  (* Registering the same name again must return the same cell. *)
+  let c' = Obs.Metrics.counter "t.rt.counter" in
+  Obs.Metrics.incr c';
+  Alcotest.(check int) "same cell" 8 (Obs.Metrics.counter_value c);
+  Alcotest.(check int) "snapshot agrees" 8 (counter_value "t.rt.counter");
+  clean ()
+
+let metrics_gauge_and_histogram () =
+  clean ();
+  Obs.Metrics.enable ();
+  let g = Obs.Metrics.gauge "t.gh.gauge" in
+  Obs.Metrics.set g 1.0;
+  Obs.Metrics.set g 2.5;
+  Alcotest.(check bool) "last write wins" true (gauge_value "t.gh.gauge" = 2.5);
+  let h = Obs.Metrics.histogram "t.gh.hist" in
+  Obs.Metrics.observe h 3.0;
+  Obs.Metrics.observe h 1.0;
+  Obs.Metrics.observe h 2.0;
+  let s = histogram_summary "t.gh.hist" in
+  Alcotest.(check int) "count" 3 s.Obs.Metrics.count;
+  Alcotest.(check bool) "sum" true (Helpers.close_enough s.Obs.Metrics.sum 6.0);
+  Alcotest.(check bool) "min" true (s.Obs.Metrics.min = 1.0);
+  Alcotest.(check bool) "max" true (s.Obs.Metrics.max = 3.0);
+  clean ()
+
+let metrics_parallel_counters () =
+  (* The whole point of the Atomic cells: increments from the domains
+     spawned by Parallel.map must not lose updates. *)
+  clean ();
+  Obs.Metrics.enable ();
+  let c = Obs.Metrics.counter "t.par.counter" in
+  let h = Obs.Metrics.histogram "t.par.hist" in
+  let xs = List.init 400 Fun.id in
+  let ys =
+    Util.Parallel.map ~jobs:4
+      (fun i ->
+        Obs.Metrics.incr c;
+        Obs.Metrics.observe h 1.0;
+        i)
+      xs
+  in
+  Alcotest.(check (list int)) "map result intact" xs ys;
+  Alcotest.(check int) "no lost counter updates" 400 (Obs.Metrics.counter_value c);
+  let s = histogram_summary "t.par.hist" in
+  Alcotest.(check int) "no lost observations" 400 s.Obs.Metrics.count;
+  Alcotest.(check bool) "sum exact" true (Helpers.close_enough s.Obs.Metrics.sum 400.0);
+  clean ()
+
+let metrics_reset_keeps_names () =
+  clean ();
+  Obs.Metrics.enable ();
+  let c = Obs.Metrics.counter "t.reset.counter" in
+  Obs.Metrics.add c 9;
+  Obs.Metrics.reset ();
+  Alcotest.(check int) "zeroed" 0 (Obs.Metrics.counter_value c);
+  Alcotest.(check bool) "still registered" true
+    (List.mem_assoc "t.reset.counter" (Obs.Metrics.snapshot ()).Obs.Metrics.counters);
+  clean ()
+
+let metrics_time_passthrough () =
+  clean ();
+  let h = Obs.Metrics.histogram "t.time.hist" in
+  Alcotest.(check int) "disabled returns value" 41
+    (Obs.Metrics.time h (fun () -> 41));
+  Alcotest.(check int) "disabled records nothing" 0
+    (histogram_summary "t.time.hist").Obs.Metrics.count;
+  Obs.Metrics.enable ();
+  Alcotest.(check int) "enabled returns value" 42 (Obs.Metrics.time h (fun () -> 42));
+  let s = histogram_summary "t.time.hist" in
+  Alcotest.(check int) "enabled records one duration" 1 s.Obs.Metrics.count;
+  Alcotest.(check bool) "duration non-negative" true (s.Obs.Metrics.sum >= 0.0);
+  clean ()
+
+(* ---------- Trace ---------- *)
+
+let trace_disabled_passthrough () =
+  clean ();
+  Alcotest.(check int) "value through" 7 (Obs.Trace.with_span "t.off" (fun () -> 7));
+  Alcotest.(check int) "no spans recorded" 0 (List.length (Obs.Trace.roots ()))
+
+let trace_nesting_and_attrs () =
+  clean ();
+  Obs.Trace.enable ();
+  let v =
+    Obs.Trace.with_span ~attrs:[ ("k", "outer") ] "outer" (fun () ->
+        let x = Obs.Trace.with_span "inner" (fun () -> 21) in
+        Obs.Trace.add_attr "result" (string_of_int x);
+        2 * x)
+  in
+  Alcotest.(check int) "value through" 42 v;
+  (match Obs.Trace.roots () with
+  | [ root ] ->
+      Alcotest.(check string) "root name" "outer" root.Obs.Trace.name;
+      Alcotest.(check bool) "duration non-negative" true (root.Obs.Trace.duration >= 0.0);
+      Alcotest.(check (list (pair string string)))
+        "attrs in order"
+        [ ("k", "outer"); ("result", "21") ]
+        root.Obs.Trace.attrs;
+      (match root.Obs.Trace.children with
+      | [ child ] ->
+          Alcotest.(check string) "child name" "inner" child.Obs.Trace.name;
+          Alcotest.(check (list (pair string string))) "child attrs" []
+            child.Obs.Trace.attrs
+      | l -> Alcotest.failf "expected one child, got %d" (List.length l))
+  | l -> Alcotest.failf "expected one root, got %d" (List.length l));
+  clean ()
+
+let trace_records_on_raise () =
+  clean ();
+  Obs.Trace.enable ();
+  (try Obs.Trace.with_span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check (list string)) "span survived the raise" [ "boom" ]
+    (List.map (fun s -> s.Obs.Trace.name) (Obs.Trace.roots ()));
+  clean ()
+
+let trace_sequential_roots () =
+  clean ();
+  Obs.Trace.enable ();
+  Obs.Trace.with_span "first" (fun () -> ());
+  Obs.Trace.with_span "second" (fun () -> ());
+  Alcotest.(check (list string)) "oldest first" [ "first"; "second" ]
+    (List.map (fun s -> s.Obs.Trace.name) (Obs.Trace.roots ()));
+  clean ()
+
+(* ---------- Json ---------- *)
+
+let json_scalars () =
+  Alcotest.(check string) "null" "null" (Obs.Json.to_string Obs.Json.Null);
+  Alcotest.(check string) "bool" "true" (Obs.Json.to_string (Obs.Json.Bool true));
+  Alcotest.(check string) "int" "-3" (Obs.Json.to_string (Obs.Json.Int (-3)));
+  Alcotest.(check string) "float" "2.5" (Obs.Json.to_string (Obs.Json.Float 2.5));
+  Alcotest.(check string) "integral float" "4.0"
+    (Obs.Json.to_string (Obs.Json.Float 4.0));
+  Alcotest.(check string) "nan is null" "null"
+    (Obs.Json.to_string (Obs.Json.Float Float.nan));
+  Alcotest.(check string) "inf is null" "null"
+    (Obs.Json.to_string (Obs.Json.Float Float.infinity))
+
+let json_string_escaping () =
+  Alcotest.(check string) "quotes/backslash/newline"
+    {|"a\"b\\c\nd"|}
+    (Obs.Json.to_string (Obs.Json.String "a\"b\\c\nd"));
+  Alcotest.(check string) "control char" {|"\u0001"|}
+    (Obs.Json.to_string (Obs.Json.String "\001"))
+
+let json_compound () =
+  let v =
+    Obs.Json.Obj
+      [
+        ("xs", Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Int 2 ]);
+        ("empty", Obs.Json.Obj []);
+      ]
+  in
+  Alcotest.(check string) "compact" {|{"xs":[1,2],"empty":{}}|}
+    (Obs.Json.to_string v);
+  (* The pretty renderer must stay parseable and keep the same tokens. *)
+  let pretty = Obs.Json.to_string_pretty v in
+  let strip s =
+    String.to_seq s
+    |> Seq.filter (fun c -> c <> ' ' && c <> '\n')
+    |> String.of_seq
+  in
+  Alcotest.(check string) "pretty has same tokens" (Obs.Json.to_string v)
+    (strip pretty)
+
+(* ---------- Report ---------- *)
+
+let report_schema_and_extras () =
+  clean ();
+  Obs.Report.enable_all ();
+  let c = Obs.Metrics.counter "t.report.counter" in
+  Obs.Metrics.incr c;
+  Obs.Trace.with_span "t.report.span" (fun () -> ());
+  let report = Obs.Report.build ~extra:[ ("command", Obs.Json.String "test") ] () in
+  let s = Obs.Json.to_string report in
+  let contains sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  List.iter
+    (fun sub -> Alcotest.(check bool) (sub ^ " present") true (contains sub))
+    [
+      {|"schema":"sap-stats v1"|};
+      {|"command":"test"|};
+      {|"counters"|};
+      {|"gauges"|};
+      {|"histograms"|};
+      {|"t.report.counter":1|};
+      {|"name":"t.report.span"|};
+    ];
+  clean ()
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "metrics",
+        [
+          case "disabled is a no-op" metrics_disabled_noop;
+          case "counter roundtrip" metrics_counter_roundtrip;
+          case "gauge and histogram" metrics_gauge_and_histogram;
+          case "parallel counters" metrics_parallel_counters;
+          case "reset keeps names" metrics_reset_keeps_names;
+          case "time passthrough" metrics_time_passthrough;
+        ] );
+      ( "trace",
+        [
+          case "disabled passthrough" trace_disabled_passthrough;
+          case "nesting and attrs" trace_nesting_and_attrs;
+          case "records on raise" trace_records_on_raise;
+          case "sequential roots" trace_sequential_roots;
+        ] );
+      ( "json",
+        [
+          case "scalars" json_scalars;
+          case "string escaping" json_string_escaping;
+          case "compound" json_compound;
+        ] );
+      ( "report", [ case "schema and extras" report_schema_and_extras ] );
+    ]

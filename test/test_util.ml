@@ -77,6 +77,37 @@ let prng_sample_weighted () =
     Alcotest.(check int) "only positive index" 1 (Util.Prng.sample_weighted g w)
   done
 
+let prng_int_huge_bound () =
+  (* Bounds close to [max_int] exercise the rejection loop; every draw
+     must still land in range. *)
+  let g = Util.Prng.create 5 in
+  List.iter
+    (fun bound ->
+      for _ = 1 to 200 do
+        let x = Util.Prng.int g bound in
+        Alcotest.(check bool) "in range" true (0 <= x && x < bound)
+      done)
+    [ max_int; (max_int / 2) + 1; (1 lsl 61) + 1 ]
+
+let prng_int_unbiased_mean () =
+  (* bound = 3 * 2^60 does not divide 2^62, so plain [r mod bound] would
+     double-count [0, 2^60) and pull the sample mean down to ~0.416*bound.
+     Rejection sampling keeps it at ~0.5*bound; with 2000 draws the
+     standard error is ~0.006*bound, so [0.45, 0.55] separates the two
+     cleanly and deterministically for a fixed seed. *)
+  let bound = 3 * (1 lsl 60) in
+  let g = Util.Prng.create 2024 in
+  let n = 2000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. float_of_int (Util.Prng.int g bound)
+  done;
+  let mean = !sum /. float_of_int n /. float_of_int bound in
+  Alcotest.(check bool)
+    (Printf.sprintf "mean %.3f within [0.45, 0.55]" mean)
+    true
+    (0.45 < mean && mean < 0.55)
+
 (* ---------- Heap ---------- *)
 
 let heap_sorted =
@@ -212,6 +243,44 @@ let parallel_propagates_exception () =
        false
      with Failure m -> m = "boom")
 
+let parallel_more_jobs_than_items () =
+  Alcotest.(check (list int)) "jobs > length" [ 10; 20; 30 ]
+    (Util.Parallel.map ~jobs:16 (fun x -> 10 * x) [ 1; 2; 3 ])
+
+let parallel_preserves_order () =
+  (* Strided workers finish in arbitrary order; the result must follow the
+     input order, not completion order. *)
+  let xs = List.init 101 Fun.id in
+  Alcotest.(check (list int)) "ordered" (List.map succ xs)
+    (Util.Parallel.map ~jobs:5 succ xs)
+
+let parallel_error_joins_all () =
+  (* A raising worker must not abandon its siblings: every index outside
+     the failing worker's strided slice is processed before the exception
+     is re-raised (i.e. all domains were joined, none leaked). *)
+  let n = 20 and jobs = 4 in
+  let bad = 6 in
+  let processed = Array.make n false in
+  let raised =
+    try
+      ignore
+        (Util.Parallel.map ~jobs
+           (fun i ->
+             if i = bad then failwith "boom"
+             else begin
+               processed.(i) <- true;
+               i
+             end)
+           (List.init n Fun.id));
+      false
+    with Failure m -> m = "boom"
+  in
+  Alcotest.(check bool) "exception re-raised" true raised;
+  for i = 0 to n - 1 do
+    if i mod jobs <> bad mod jobs then
+      Alcotest.(check bool) (Printf.sprintf "index %d processed" i) true processed.(i)
+  done
+
 (* ---------- Table ---------- *)
 
 let table_renders () =
@@ -238,6 +307,8 @@ let () =
           prng_shuffle_permutes;
           case "bernoulli extremes" prng_bernoulli_extremes;
           case "sample_weighted" prng_sample_weighted;
+          case "huge bound" prng_int_huge_bound;
+          case "unbiased mean" prng_int_unbiased_mean;
         ] );
       ( "heap",
         [ heap_sorted; case "pop order" heap_pop_order; case "empty" heap_empty ] );
@@ -261,6 +332,9 @@ let () =
           case "empty" parallel_empty;
           case "single job" parallel_single_job;
           case "exception" parallel_propagates_exception;
+          case "jobs > items" parallel_more_jobs_than_items;
+          case "order preserved" parallel_preserves_order;
+          case "error joins all" parallel_error_joins_all;
         ] );
       ( "table",
         [ case "renders" table_renders; case "ragged rejected" table_rejects_ragged ] );
