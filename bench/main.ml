@@ -12,9 +12,18 @@
    the flag, keeping the timed sections (S1) unperturbed. *)
 
 let stats_json_target () =
+  let n = Array.length Sys.argv in
   let rec scan i =
-    if i >= Array.length Sys.argv - 1 then None
-    else if Sys.argv.(i) = "--stats-json" then Some Sys.argv.(i + 1)
+    if i >= n then None
+    else if Sys.argv.(i) = "--stats-json" then
+      if i + 1 < n then Some Sys.argv.(i + 1)
+      else begin
+        (* A trailing flag silently dropping the report is worse than
+           refusing to run. *)
+        prerr_endline "error: --stats-json requires a file argument";
+        prerr_endline "usage: bench/main.exe [quick] [--stats-json FILE]";
+        exit 2
+      end
     else scan (i + 1)
   in
   scan 1
@@ -23,7 +32,7 @@ let () =
   let quick = Array.exists (( = ) "quick") Sys.argv in
   let stats_json = stats_json_target () in
   if stats_json <> None then Obs.Report.enable_all ();
-  let t0 = Unix.gettimeofday () in
+  let t0 = Obs.Clock.monotonic_seconds () in
   print_endline "SAP reproduction — experiment harness";
   print_endline "paper: Bar-Yehuda, Beder, Rawitz — A Constant Factor Approximation";
   print_endline "       Algorithm for the Storage Allocation Problem (SPAA'13 / Algorithmica'16)";
@@ -35,7 +44,7 @@ let () =
   Worst_experiments.run ();
   Scale_experiments.run ();
   if not quick then Timing.run ();
-  let elapsed = Unix.gettimeofday () -. t0 in
+  let elapsed = Obs.Clock.monotonic_seconds () -. t0 in
   Printf.printf "\nall experiments completed in %.1fs\n" elapsed;
   match stats_json with
   | None -> ()

@@ -5,7 +5,13 @@
      sap_cli gen --profile staircase --edges 12 --tasks 30 -o inst.sap
      sap_cli solve -i inst.sap --algorithm combine -o sol.sap
      sap_cli check -i inst.sap -s sol.sap
-     sap_cli show -i inst.sap -s sol.sap *)
+     sap_cli show -i inst.sap -s sol.sap
+
+   Observability sidecars and the bench regression gate:
+
+     sap_cli solve -i inst.sap --stats-json stats.json --audit \
+                   --trace-chrome trace.json
+     sap_cli bench-diff bench/baseline.json fresh.json *)
 
 module Task = Core.Task
 module Path = Core.Path
@@ -73,14 +79,20 @@ let gen_cmd profile edges capacity kind n seed output =
 
 (* Every algorithm derives its parameters from [Combine.default_config] so
    standalone part runs ([--algorithm small|medium]) agree with what the
-   combination would feed them; [--seed] reaches every randomized engine. *)
-let algorithms ~seed =
+   combination would feed them; [--seed] reaches every randomized engine.
+   [combine_report] captures the part-level report for the audit record. *)
+let algorithms ~seed ~parallel ~combine_report =
   let dc = Sap.Combine.default_config in
   let q = Sap.Combine.q_of_beta dc.Sap.Combine.beta in
   let ell = Sap.Almost_uniform.ell_for_eps ~eps:dc.Sap.Combine.eps ~q in
   [
     ("combine", fun path ts ->
-        Sap.Combine.solve ~config:{ dc with Sap.Combine.seed } path ts);
+        let r =
+          Sap.Combine.solve_report
+            ~config:{ dc with Sap.Combine.seed; parallel } path ts
+        in
+        combine_report := Some r;
+        r.Sap.Combine.solution);
     ("small", fun path ts ->
         Sap.Small.strip_pack ~rounding:dc.Sap.Combine.rounding
           ~prng:(Util.Prng.create seed) path ts);
@@ -115,21 +127,27 @@ let instance_stats_json path tasks =
              s.Core.Instance_stats.bottleneck_bands) );
     ]
 
-let solve_cmd input algorithm output quiet seed stats_json =
+let solve_cmd input algorithm output quiet seed parallel stats_json audit
+    trace_chrome =
   let path, tasks = read_instance input in
+  let combine_report = ref None in
   let solve =
-    match List.assoc_opt algorithm (algorithms ~seed) with
+    match List.assoc_opt algorithm (algorithms ~seed ~parallel ~combine_report)
+    with
     | Some f -> f
     | None ->
         Printf.eprintf "error: unknown algorithm %S (have: %s)\n" algorithm
-          (String.concat ", " (List.map fst (algorithms ~seed)));
+          (String.concat ", "
+             (List.map fst (algorithms ~seed ~parallel ~combine_report)));
         exit 2
   in
-  if stats_json <> None then Obs.Report.enable_all ();
-  let t0 = Unix.gettimeofday () in
+  let collect = stats_json <> None || trace_chrome <> None in
+  if collect then Obs.Report.enable_all ();
+  let t0 = Obs.Clock.monotonic_seconds () in
   let sol = solve path tasks in
-  let dt = Unix.gettimeofday () -. t0 in
-  (* Snapshot before the LP bound below runs more simplex iterations. *)
+  let dt = Obs.Clock.monotonic_seconds () -. t0 in
+  (* Snapshot before the LP bound below runs more simplex iterations, and
+     before the audit's checker/ratio metrics land. *)
   let solve_metrics =
     match stats_json with
     | None -> Obs.Json.Null
@@ -138,19 +156,60 @@ let solve_cmd input algorithm output quiet seed stats_json =
   let solve_spans =
     match stats_json with None -> Obs.Json.Null | Some _ -> Obs.Trace.json ()
   in
+  let chrome_trace =
+    match trace_chrome with None -> None | Some _ -> Some (Obs.Chrome_trace.of_current ())
+  in
   (match Core.Checker.sap_feasible path sol with
   | Ok () -> ()
   | Error m ->
       Printf.eprintf "internal error: infeasible solution: %s\n" m;
       exit 3);
   let lp_ub = Lp.Ufpp_lp.upper_bound path tasks in
+  let weight = Core.Solution.sap_weight sol in
+  let audit_json =
+    match !combine_report with
+    | Some r ->
+        Sap.Combine.audit_json (Sap.Combine.audit ~lp_upper_bound:lp_ub path tasks r)
+    | None ->
+        (* Non-combine algorithms get the generic certificate: no
+           per-part contributions to report. *)
+        Obs.Json.Obj
+          [
+            ("lp_upper_bound", Obs.Json.Float lp_ub);
+            ("achieved_weight", Obs.Json.Float weight);
+            ("total_weight", Obs.Json.Float (Task.weight_of tasks));
+            ( "empirical_ratio",
+              if weight > 0.0 then Obs.Json.Float (lp_ub /. weight)
+              else Obs.Json.Null );
+            ( "checker",
+              Obs.Json.Obj
+                [ ("ok", Obs.Json.Bool true); ("error", Obs.Json.Null) ] );
+            ("scheduled", Obs.Json.Int (List.length sol));
+            ("tasks", Obs.Json.Int (List.length tasks));
+          ]
+  in
   if not quiet then begin
     Printf.printf "tasks            %d\n" (List.length tasks);
     Printf.printf "scheduled        %d\n" (List.length sol);
-    Printf.printf "weight           %.3f\n" (Core.Solution.sap_weight sol);
+    Printf.printf "weight           %.3f\n" weight;
     Printf.printf "total weight     %.3f\n" (Task.weight_of tasks);
     Printf.printf "lp upper bound   %.3f\n" lp_ub;
     Printf.printf "time             %.3fs\n" dt
+  end;
+  if audit then begin
+    print_endline "--- audit ---";
+    match !combine_report with
+    | Some r ->
+        Format.printf "%a@." Sap.Combine.pp_audit
+          (Sap.Combine.audit ~lp_upper_bound:lp_ub path tasks r)
+    | None ->
+        Printf.printf "lp upper bound    %.3f\n" lp_ub;
+        Printf.printf "achieved weight   %.3f  (of %.3f total)\n" weight
+          (Task.weight_of tasks);
+        if weight > 0.0 then
+          Printf.printf "empirical ratio   %.3f\n" (lp_ub /. weight)
+        else print_endline "empirical ratio   n/a (zero weight scheduled)";
+        print_endline "checker           feasible"
   end;
   (match stats_json with
   | None -> ()
@@ -158,7 +217,8 @@ let solve_cmd input algorithm output quiet seed stats_json =
       let report =
         Obs.Json.Obj
           [
-            ("schema", Obs.Json.String "sap-stats v1");
+            ("schema", Obs.Json.String Obs.Report.schema_version);
+            ("clock", Obs.Clock.anchor_json (Obs.Clock.anchor ()));
             ("command", Obs.Json.String "solve");
             ("algorithm", Obs.Json.String algorithm);
             ("seed", Obs.Json.Int seed);
@@ -167,11 +227,12 @@ let solve_cmd input algorithm output quiet seed stats_json =
               Obs.Json.Obj
                 [
                   ("scheduled", Obs.Json.Int (List.length sol));
-                  ("weight", Obs.Json.Float (Core.Solution.sap_weight sol));
+                  ("weight", Obs.Json.Float weight);
                   ("total_weight", Obs.Json.Float (Task.weight_of tasks));
                   ("lp_upper_bound", Obs.Json.Float lp_ub);
                   ("time_seconds", Obs.Json.Float dt);
                 ] );
+            ("audit", audit_json);
             ("metrics", solve_metrics);
             ("spans", solve_spans);
           ]
@@ -180,10 +241,51 @@ let solve_cmd input algorithm output quiet seed stats_json =
        with Sys_error m ->
          Printf.eprintf "error: cannot write stats report: %s\n" m;
          exit 2));
+  (match (trace_chrome, chrome_trace) with
+  | Some file, Some doc -> (
+      try Obs.Report.write_file file doc
+      with Sys_error m ->
+        Printf.eprintf "error: cannot write chrome trace: %s\n" m;
+        exit 2)
+  | _ -> ());
   (match output with
   | None -> ()
   | Some file -> Sap_io.Instance_io.write_file file (Sap_io.Instance_io.solution_to_string sol));
   0
+
+(* ---------- bench-diff ---------- *)
+
+let bench_diff_cmd old_file new_file counter_tol float_tol time_factor ignores
+    show_all =
+  let read_report file =
+    match Obs.Json.of_string (Sap_io.Instance_io.read_file file) with
+    | Ok v -> Ok v
+    | Error m -> Error (file ^ ": " ^ m)
+    | exception Sys_error m -> Error m
+  in
+  match (read_report old_file, read_report new_file) with
+  | Error m, _ | _, Error m ->
+      Printf.eprintf "error: %s\n" m;
+      2
+  | Ok old_report, Ok new_report ->
+      let thresholds =
+        { Obs.Diff.counter_tol; float_tol; time_factor; ignore_prefixes = ignores }
+      in
+      let findings = Obs.Diff.compare_reports ~thresholds ~old_report ~new_report () in
+      let table = Obs.Diff.render_table ~show_all findings in
+      if table <> "" then print_string table;
+      print_endline (Obs.Diff.summary findings);
+      let failures =
+        List.filter (fun f -> Obs.Diff.is_failure f.Obs.Diff.status) findings
+      in
+      if failures = [] then begin
+        Printf.printf "bench-diff: OK (%s vs %s)\n" old_file new_file;
+        0
+      end
+      else begin
+        Printf.printf "bench-diff: %d regression(s)\n" (List.length failures);
+        1
+      end
 
 (* ---------- check ---------- *)
 
@@ -274,13 +376,77 @@ let solve_term =
     Arg.(value & opt int 42
          & info [ "seed" ] ~doc:"PRNG seed for randomized engines (LP rounding).")
   in
+  let parallel =
+    Arg.(value & flag
+         & info [ "parallel" ]
+             ~doc:"Run the combine algorithm's three specialists in parallel \
+                   domains (same placements, same counters — only the schedule \
+                   changes).  Ignored by other algorithms.")
+  in
   let stats_json =
     Arg.(value & opt (some string) None
          & info [ "stats-json" ]
-             ~doc:"Write a machine-readable sap-stats v1 report (instance stats, \
-                   per-part metrics, span tree, weight vs. LP bound) to this file.")
+             ~doc:"Write a machine-readable sap-stats v2 report (instance stats, \
+                   per-part metrics, span tree with GC attribution, audit record) \
+                   to this file.")
   in
-  Term.(const solve_cmd $ input_arg $ algorithm $ output $ quiet $ seed $ stats_json)
+  let audit =
+    Arg.(value & flag
+         & info [ "audit" ]
+             ~doc:"Print the per-solve audit record: LP upper bound, achieved \
+                   weight, empirical approximation ratio, checker verdict and \
+                   (for combine) the per-part contributions.")
+  in
+  let trace_chrome =
+    Arg.(value & opt (some string) None
+         & info [ "trace-chrome" ]
+             ~doc:"Write the span tree as Chrome Trace Event JSON to this file; \
+                   load it in chrome://tracing or ui.perfetto.dev.  Worker \
+                   domains appear as separate tracks.")
+  in
+  Term.(const solve_cmd $ input_arg $ algorithm $ output $ quiet $ seed $ parallel
+        $ stats_json $ audit $ trace_chrome)
+
+let bench_diff_term =
+  let old_file =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"OLD" ~doc:"Baseline stats report (JSON).")
+  in
+  let new_file =
+    Arg.(required & pos 1 (some string) None
+         & info [] ~docv:"NEW" ~doc:"Fresh stats report to compare against OLD.")
+  in
+  let counter_tol =
+    Arg.(value & opt float Obs.Diff.default_thresholds.Obs.Diff.counter_tol
+         & info [ "counter-tol" ]
+             ~doc:"Relative drift allowed on counters (0 = exact; counters are \
+                   deterministic for a fixed seed).")
+  in
+  let float_tol =
+    Arg.(value & opt float Obs.Diff.default_thresholds.Obs.Diff.float_tol
+         & info [ "rel-tol" ]
+             ~doc:"Relative drift allowed on float metrics (gauges, histogram \
+                   sums/means).")
+  in
+  let time_factor =
+    Arg.(value & opt float Obs.Diff.default_thresholds.Obs.Diff.time_factor
+         & info [ "time-factor" ]
+             ~doc:"Allowed slowdown factor for timing metrics (e.g. 1.5 fails \
+                   when NEW is >50% slower).  0 (the default) skips timing \
+                   metrics: wall time is not comparable across machines.")
+  in
+  let ignores =
+    Arg.(value & opt_all string []
+         & info [ "ignore" ]
+             ~doc:"Dotted-path prefix to exclude (repeatable), e.g. \
+                   metrics.gauges.")
+  in
+  let show_all =
+    Arg.(value & flag
+         & info [ "all" ] ~doc:"List every compared metric, not just drifts.")
+  in
+  Term.(const bench_diff_cmd $ old_file $ new_file $ counter_tol $ float_tol
+        $ time_factor $ ignores $ show_all)
 
 let check_term =
   let sol = Arg.(required & opt (some file) None & info [ "s"; "solution" ] ~doc:"Solution file.") in
@@ -305,6 +471,10 @@ let cmds =
     Cmd.v (Cmd.info "check" ~doc:"Verify a solution") check_term;
     Cmd.v (Cmd.info "show" ~doc:"Render an instance or solution") show_term;
     Cmd.v (Cmd.info "stats" ~doc:"Describe an instance") stats_term;
+    Cmd.v
+      (Cmd.info "bench-diff"
+         ~doc:"Compare two stats reports metric-by-metric; exit 1 on regression")
+      bench_diff_term;
   ]
 
 let () =

@@ -1,0 +1,86 @@
+(* Span trees → Chrome Trace Event JSON (the "JSON Array Format" wrapped
+   in an object), loadable by chrome://tracing and https://ui.perfetto.dev.
+
+   Each span becomes one complete ("ph":"X") event; the domain that ran
+   the span becomes the event's tid, so Util.Parallel worker domains
+   render as separate lanes.  Timestamps are microseconds relative to the
+   earliest span in the export (Chrome only cares about differences). *)
+
+let ( => ) k v = (k, v)
+
+let attr_args sp =
+  List.map (fun (k, v) -> (k, Json.String v)) sp.Trace.attrs
+  @ [ "gc" => Trace.gc_json sp.Trace.gc ]
+
+let rec collect_events ~t0 sp acc =
+  let ev =
+    Json.Obj
+      [
+        "name" => Json.String sp.Trace.name;
+        "cat" => Json.String "sap";
+        "ph" => Json.String "X";
+        "ts" => Json.Float ((sp.Trace.start -. t0) *. 1e6);
+        "dur" => Json.Float (sp.Trace.duration *. 1e6);
+        "pid" => Json.Int 0;
+        "tid" => Json.Int sp.Trace.domain;
+        "args" => Json.Obj (attr_args sp);
+      ]
+  in
+  List.fold_left (fun acc c -> collect_events ~t0 c acc) (ev :: acc) sp.Trace.children
+
+let event_ts = function
+  | Json.Obj fields -> (
+      match List.assoc_opt "ts" fields with Some (Json.Float t) -> t | _ -> 0.0)
+  | _ -> 0.0
+
+let rec span_tids sp acc =
+  List.fold_left
+    (fun acc c -> span_tids c acc)
+    (if List.mem sp.Trace.domain acc then acc else sp.Trace.domain :: acc)
+    sp.Trace.children
+
+let metadata_events tids =
+  Json.Obj
+    [
+      "name" => Json.String "process_name";
+      "ph" => Json.String "M";
+      "pid" => Json.Int 0;
+      "args" => Json.Obj [ "name" => Json.String "sap solver" ];
+    ]
+  :: List.map
+       (fun tid ->
+         Json.Obj
+           [
+             "name" => Json.String "thread_name";
+             "ph" => Json.String "M";
+             "pid" => Json.Int 0;
+             "tid" => Json.Int tid;
+             "args" => Json.Obj [ "name" => Json.String (Printf.sprintf "domain %d" tid) ];
+           ])
+       tids
+
+let convert ?clock spans =
+  let t0 =
+    List.fold_left (fun t sp -> Float.min t sp.Trace.start) infinity spans
+  in
+  let t0 = if Float.is_finite t0 then t0 else 0.0 in
+  let events =
+    List.fold_left (fun acc sp -> collect_events ~t0 sp acc) [] spans
+    |> List.stable_sort (fun a b -> Float.compare (event_ts a) (event_ts b))
+  in
+  let tids = List.sort compare (List.fold_left (fun acc sp -> span_tids sp acc) [] spans) in
+  let other =
+    ("schema", Json.String "sap-chrome-trace v1")
+    ::
+    (match clock with
+    | None -> []
+    | Some a -> [ ("clock", Clock.anchor_json a); ("trace_t0_monotonic_seconds", Json.Float t0) ])
+  in
+  Json.Obj
+    [
+      "traceEvents" => Json.List (metadata_events tids @ events);
+      "displayTimeUnit" => Json.String "ms";
+      "otherData" => Json.Obj other;
+    ]
+
+let of_current () = convert ~clock:(Clock.anchor ()) (Trace.roots ())

@@ -1,0 +1,23 @@
+(** Export completed span trees as Chrome Trace Event JSON, loadable in
+    [chrome://tracing] and {{:https://ui.perfetto.dev}Perfetto}.
+
+    Every span becomes one complete event ([ph = "X"]) with
+    - [ts]/[dur] in microseconds, [ts] relative to the earliest span in
+      the export (viewers only use differences);
+    - [tid] set to the span's {!Trace.span.domain}, so spans recorded by
+      [Util.Parallel.map] worker domains render as separate lanes
+      (a [thread_name] metadata event labels each lane "domain N");
+    - [args] carrying the span's string attrs plus a [gc] object with the
+      span's {!Trace.gc_delta}.
+
+    [sap_cli solve --trace-chrome FILE] writes this next to the stats
+    report; see docs/FORMAT.md. *)
+
+val convert : ?clock:Clock.anchor -> Trace.span list -> Json.t
+(** [{"traceEvents": [..], "displayTimeUnit": "ms", "otherData": {..}}].
+    Metadata events come first; complete events are sorted by [ts].
+    When [clock] is given, [otherData] records the wall/monotonic anchor
+    and the monotonic time of the export's [ts = 0] origin. *)
+
+val of_current : unit -> Json.t
+(** [convert ~clock:(Clock.anchor ()) (Trace.roots ())]. *)

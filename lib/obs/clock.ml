@@ -1,0 +1,17 @@
+external monotonic_seconds : unit -> float = "sap_obs_monotonic_seconds"
+
+let wall_seconds = Unix.gettimeofday
+
+type anchor = { wall_epoch_seconds : float; monotonic_seconds : float }
+
+let anchor () =
+  let m = monotonic_seconds () in
+  let w = Unix.gettimeofday () in
+  { wall_epoch_seconds = w; monotonic_seconds = m }
+
+let anchor_json a =
+  Json.Obj
+    [
+      ("wall_epoch_seconds", Json.Float a.wall_epoch_seconds);
+      ("monotonic_seconds", Json.Float a.monotonic_seconds);
+    ]

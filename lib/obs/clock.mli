@@ -1,0 +1,31 @@
+(** The two clocks the observability layer runs on.
+
+    Durations and span timestamps come from the {e monotonic} clock
+    ([CLOCK_MONOTONIC]): it never jumps when NTP steps the system time, so
+    a span can never have a negative or wildly inflated duration.  Its
+    epoch is arbitrary (typically machine boot), so monotonic readings
+    only order events {e within} one process run.
+
+    To anchor a run's monotonic readings to calendar time, {!anchor}
+    samples both clocks back-to-back; {!Report.build} embeds one anchor
+    per report so consumers can reconstruct wall-clock times as
+    [wall = anchor.wall_epoch_seconds +. (m -. anchor.monotonic_seconds)]. *)
+
+val monotonic_seconds : unit -> float
+(** Seconds on the monotonic clock (arbitrary epoch, nanosecond-ish
+    resolution).  Use differences, never absolute values. *)
+
+val wall_seconds : unit -> float
+(** Seconds since the Unix epoch ([Unix.gettimeofday]). *)
+
+type anchor = {
+  wall_epoch_seconds : float;  (** wall clock at the sample point *)
+  monotonic_seconds : float;  (** monotonic clock at the same point *)
+}
+
+val anchor : unit -> anchor
+(** Sample both clocks as close together as possible. *)
+
+val anchor_json : anchor -> Json.t
+(** [{"wall_epoch_seconds": .., "monotonic_seconds": ..}] — the [clock]
+    header of the stats report. *)

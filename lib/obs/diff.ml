@@ -1,0 +1,233 @@
+(* Metric-by-metric comparison of two stats reports (sap-stats v2), the
+   engine behind [sap_cli bench-diff].
+
+   Reports are flattened to dotted leaf paths ("metrics.counters.
+   simplex.iterations", "result.weight", ...).  Each path is classified:
+
+   - counter  — "metrics.counters.*" and histogram "*.count" leaves:
+                event counts, deterministic for a fixed seed, compared
+                exactly (or within [counter_tol]);
+   - timing   — any path mentioning seconds/time/duration/start/clock:
+                wall-clock measurements, inherently noisy.  Skipped
+                unless [time_factor > 0]; a faster run is an improvement,
+                never a failure;
+   - float    — remaining numeric leaves (gauges, ratio histograms),
+                compared within relative [float_tol];
+   - equality — strings, bools, nulls.
+
+   The "spans" subtree is never compared (its timings differ run to run);
+   callers can exclude more with [ignore_prefixes]. *)
+
+type thresholds = {
+  counter_tol : float;
+  float_tol : float;
+  time_factor : float;
+  ignore_prefixes : string list;
+}
+
+let default_thresholds =
+  { counter_tol = 0.0; float_tol = 1e-6; time_factor = 0.0; ignore_prefixes = [] }
+
+type status = Match | Within | Improved | Regressed | Missing | Added | Skipped
+
+type finding = {
+  path : string;
+  status : status;
+  old_value : string;
+  new_value : string;
+  detail : string;
+}
+
+let is_failure = function
+  | Regressed | Missing -> true
+  | Match | Within | Improved | Added | Skipped -> false
+
+let status_label = function
+  | Match -> "ok"
+  | Within -> "within"
+  | Improved -> "improved"
+  | Regressed -> "REGRESSED"
+  | Missing -> "MISSING"
+  | Added -> "added"
+  | Skipped -> "skipped"
+
+(* ---------- flattening ---------- *)
+
+let join prefix k = if prefix = "" then k else prefix ^ "." ^ k
+
+let rec flatten prefix v acc =
+  match v with
+  | Json.Obj fields ->
+      List.fold_left (fun acc (k, v) -> flatten (join prefix k) v acc) acc fields
+  | Json.List items ->
+      snd
+        (List.fold_left
+           (fun (i, acc) v -> (i + 1, flatten (join prefix (string_of_int i)) v acc))
+           (0, acc) items)
+  | leaf -> (prefix, leaf) :: acc
+
+let leaves v = List.rev (flatten "" v [])
+
+(* ---------- classification ---------- *)
+
+type cls = Counter | Timing | Float_like | Equality
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+  && (String.length s = String.length prefix || s.[String.length prefix] = '.')
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let last_segment path =
+  match String.rindex_opt path '.' with
+  | None -> path
+  | Some i -> String.sub path (i + 1) (String.length path - i - 1)
+
+let timing_keywords = [ "seconds"; "time"; "duration"; "start"; "clock" ]
+
+let classify path value =
+  match value with
+  | Json.String _ | Json.Bool _ | Json.Null -> Equality
+  | Json.Int _ | Json.Float _ ->
+      if has_prefix ~prefix:"metrics.counters" path || last_segment path = "count" then
+        Counter
+      else if List.exists (contains_sub path) timing_keywords then Timing
+      else Float_like
+  | Json.Obj _ | Json.List _ -> Equality (* unreachable: leaves only *)
+
+let number = function
+  | Json.Int i -> Some (float_of_int i)
+  | Json.Float f -> Some f
+  | _ -> None
+
+let show = function
+  | Json.Null -> "null"
+  | Json.Bool b -> string_of_bool b
+  | Json.Int i -> string_of_int i
+  | Json.Float f -> Printf.sprintf "%.6g" f
+  | v -> Json.to_string v
+
+(* ---------- comparison ---------- *)
+
+let rel_drift old_n new_n =
+  let denom = if Float.abs old_n > 0.0 then Float.abs old_n else 1.0 in
+  (new_n -. old_n) /. denom
+
+let pct rel = Printf.sprintf "%+.2f%%" (100.0 *. rel)
+
+let compare_leaf t path old_v new_v =
+  let finding status detail =
+    { path; status; old_value = show old_v; new_value = show new_v; detail }
+  in
+  match classify path old_v with
+  | Equality ->
+      if old_v = new_v then finding Match ""
+      else finding Regressed "value changed"
+  | cls -> (
+      match (number old_v, number new_v) with
+      | Some old_n, Some new_n -> (
+          let rel = rel_drift old_n new_n in
+          match cls with
+          | Counter | Float_like ->
+              let tol =
+                match cls with Counter -> t.counter_tol | _ -> t.float_tol
+              in
+              if old_n = new_n then finding Match ""
+              else if Float.abs rel <= tol then finding Within (pct rel)
+              else finding Regressed (pct rel)
+          | Timing ->
+              if t.time_factor <= 0.0 then finding Skipped "timing (not gated)"
+              else if new_n <= old_n then
+                if new_n < old_n then finding Improved (pct rel) else finding Match ""
+              else if new_n <= old_n *. t.time_factor then finding Within (pct rel)
+              else
+                finding Regressed
+                  (Printf.sprintf "%s > allowed x%.2f" (pct rel) t.time_factor)
+          | Equality -> assert false)
+      | _ -> finding Regressed "type changed")
+
+let compare_reports ?(thresholds = default_thresholds) ~old_report ~new_report () =
+  let t = thresholds in
+  let ignored path =
+    has_prefix ~prefix:"spans" path
+    || List.exists (fun p -> has_prefix ~prefix:p path) t.ignore_prefixes
+  in
+  let old_leaves = leaves old_report in
+  let new_leaves = leaves new_report in
+  let new_tbl = Hashtbl.create (List.length new_leaves) in
+  List.iter (fun (p, v) -> Hashtbl.replace new_tbl p v) new_leaves;
+  let old_tbl = Hashtbl.create (List.length old_leaves) in
+  List.iter (fun (p, v) -> Hashtbl.replace old_tbl p v) old_leaves;
+  let from_old =
+    List.map
+      (fun (path, old_v) ->
+        if ignored path then
+          { path; status = Skipped; old_value = show old_v; new_value = "";
+            detail = "ignored" }
+        else
+          match Hashtbl.find_opt new_tbl path with
+          | Some new_v -> compare_leaf t path old_v new_v
+          | None ->
+              { path; status = Missing; old_value = show old_v; new_value = "-";
+                detail = "metric disappeared" })
+      old_leaves
+  in
+  let added =
+    List.filter_map
+      (fun (path, new_v) ->
+        if ignored path || Hashtbl.mem old_tbl path then None
+        else
+          Some
+            { path; status = Added; old_value = "-"; new_value = show new_v;
+              detail = "new metric" })
+      new_leaves
+  in
+  from_old @ added
+
+(* ---------- rendering ---------- *)
+
+let render_table ?(show_all = false) findings =
+  let rows =
+    List.filter
+      (fun f ->
+        show_all || (match f.status with Match | Skipped -> false | _ -> true))
+      findings
+  in
+  if rows = [] then ""
+  else begin
+    let width init f =
+      List.fold_left (fun w r -> max w (String.length (f r))) init rows
+    in
+    let w_status = width 9 (fun r -> status_label r.status) in
+    let w_path = width 6 (fun r -> r.path) in
+    let w_old = width 3 (fun r -> r.old_value) in
+    let w_new = width 3 (fun r -> r.new_value) in
+    let buf = Buffer.create 256 in
+    let line status path old_v new_v detail =
+      Buffer.add_string buf
+        (Printf.sprintf "%-*s  %-*s  %*s  %*s  %s\n" w_status status w_path path
+           w_old old_v w_new new_v detail)
+    in
+    line "status" "metric" "old" "new" "note";
+    line (String.make w_status '-') (String.make w_path '-') (String.make w_old '-')
+      (String.make w_new '-') "----";
+    List.iter
+      (fun r ->
+        line (status_label r.status) r.path r.old_value r.new_value r.detail)
+      rows;
+    Buffer.contents buf
+  end
+
+let count status findings =
+  List.length (List.filter (fun f -> f.status = status) findings)
+
+let summary findings =
+  Printf.sprintf
+    "%d compared: %d ok, %d within tolerance, %d improved, %d skipped, %d added / %d regressed, %d missing"
+    (List.length findings) (count Match findings) (count Within findings)
+    (count Improved findings) (count Skipped findings) (count Added findings)
+    (count Regressed findings) (count Missing findings)

@@ -1,0 +1,76 @@
+(** Metric-by-metric comparison of two stats reports — the engine behind
+    [sap_cli bench-diff OLD.json NEW.json], which gates CI on the
+    committed [bench/baseline.json].
+
+    Both reports are flattened to dotted leaf paths
+    ([metrics.counters.simplex.iterations], [result.weight], ...), and
+    each path is classified by what kind of drift is tolerable:
+
+    - {b counter} — [metrics.counters.*] and histogram [*.count] leaves.
+      Event counts (DP states, simplex iterations, rounding trials) are
+      deterministic for a fixed seed, so they are compared exactly by
+      default ([counter_tol]).
+    - {b timing} — any path mentioning
+      [seconds]/[time]/[duration]/[start]/[clock].  Wall-clock readings
+      are machine- and load-dependent: they are skipped unless
+      [time_factor > 0], and a faster run is an improvement, never a
+      failure.
+    - {b float} — remaining numeric leaves (gauges, ratio histogram
+      sums/means), compared within relative [float_tol]; the default
+      absorbs float summation-order noise from parallel runs.
+    - {b equality} — strings, booleans, nulls must match exactly.
+
+    The [spans] subtree is never compared; [ignore_prefixes] excludes
+    more (CI ignores [metrics.gauges]: last-write-wins gauges are
+    schedule-dependent under parallel experiment fan-out). *)
+
+type thresholds = {
+  counter_tol : float;  (** relative drift allowed on counters (default 0) *)
+  float_tol : float;  (** relative drift allowed on floats (default 1e-6) *)
+  time_factor : float;
+      (** allowed slowdown factor for timing metrics; [<= 0] skips them
+          (the default: wall time is not comparable across machines) *)
+  ignore_prefixes : string list;
+      (** dotted-path prefixes to exclude, on top of [spans] *)
+}
+
+val default_thresholds : thresholds
+
+type status =
+  | Match  (** identical *)
+  | Within  (** drifted, inside the threshold *)
+  | Improved  (** timing metric got faster *)
+  | Regressed  (** drifted beyond the threshold — a failure *)
+  | Missing  (** present in OLD, absent in NEW — a failure *)
+  | Added  (** only in NEW; informational *)
+  | Skipped  (** ignored (spans, ignore-prefixes, ungated timing) *)
+
+type finding = {
+  path : string;
+  status : status;
+  old_value : string;
+  new_value : string;
+  detail : string;  (** relative drift, or why it failed *)
+}
+
+val is_failure : status -> bool
+(** [Regressed] and [Missing] fail the gate; everything else passes. *)
+
+val status_label : status -> string
+
+val compare_reports :
+  ?thresholds:thresholds -> old_report:Json.t -> new_report:Json.t -> unit ->
+  finding list
+(** One finding per leaf of OLD (in report order), then one [Added]
+    finding per NEW-only leaf. *)
+
+val render_table : ?show_all:bool -> finding list -> string
+(** Aligned table of the notable findings (everything except [Match] and
+    [Skipped]; [show_all] includes those too).  Empty string when there is
+    nothing to show. *)
+
+val count : status -> finding list -> int
+
+val summary : finding list -> string
+(** One-line tally, e.g.
+    ["412 compared: 398 ok, .. / 1 regressed, 0 missing"]. *)

@@ -79,3 +79,180 @@ let render ~indent v =
 let to_string v = render ~indent:false v
 
 let to_string_pretty v = render ~indent:true v
+
+(* ---------- parsing ---------- *)
+
+exception Parse_error of int * string
+
+let of_string s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos
+    else fail (Printf.sprintf "expected %c" c)
+  in
+  let literal lit v =
+    let m = String.length lit in
+    if !pos + m <= n && String.sub s !pos m = lit then begin
+      pos := !pos + m;
+      v
+    end
+    else fail ("expected " ^ lit)
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v = int_of_string ("0x" ^ String.sub s !pos 4) in
+    pos := !pos + 4;
+    v
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            incr pos;
+            if !pos >= n then fail "truncated escape";
+            (match s.[!pos] with
+            | '"' -> incr pos; Buffer.add_char buf '"'
+            | '\\' -> incr pos; Buffer.add_char buf '\\'
+            | '/' -> incr pos; Buffer.add_char buf '/'
+            | 'b' -> incr pos; Buffer.add_char buf '\b'
+            | 'f' -> incr pos; Buffer.add_char buf '\012'
+            | 'n' -> incr pos; Buffer.add_char buf '\n'
+            | 'r' -> incr pos; Buffer.add_char buf '\r'
+            | 't' -> incr pos; Buffer.add_char buf '\t'
+            | 'u' ->
+                incr pos;
+                let cp = hex4 () in
+                let cp =
+                  if cp >= 0xD800 && cp <= 0xDBFF
+                     && !pos + 2 <= n
+                     && s.[!pos] = '\\'
+                     && s.[!pos + 1] = 'u'
+                  then begin
+                    (* Surrogate pair. *)
+                    pos := !pos + 2;
+                    let lo = hex4 () in
+                    if lo >= 0xDC00 && lo <= 0xDFFF then
+                      0x10000 + (((cp - 0xD800) lsl 10) lor (lo - 0xDC00))
+                    else 0xFFFD
+                  end
+                  else if cp >= 0xD800 && cp <= 0xDFFF then 0xFFFD
+                  else cp
+                in
+                Buffer.add_utf_8_uchar buf (Uchar.of_int cp)
+            | c -> fail (Printf.sprintf "bad escape \\%c" c));
+            go ()
+        | c ->
+            incr pos;
+            Buffer.add_char buf c;
+            go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let number_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && number_char s.[!pos] do
+      incr pos
+    done;
+    if !pos = start then fail "expected a value";
+    let tok = String.sub s start (!pos - start) in
+    let is_float = String.exists (function '.' | 'e' | 'E' -> true | _ -> false) tok in
+    if is_float then
+      match float_of_string_opt tok with
+      | Some f -> Float f
+      | None -> fail ("bad number " ^ tok)
+    else
+      match int_of_string_opt tok with
+      | Some i -> Int i
+      | None -> (
+          (* Integer syntax too large for [int]: keep the magnitude. *)
+          match float_of_string_opt tok with
+          | Some f -> Float f
+          | None -> fail ("bad number " ^ tok))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then begin
+          incr pos;
+          Obj []
+        end
+        else begin
+          let rec fields acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                fields ((k, v) :: acc)
+            | Some '}' ->
+                incr pos;
+                List.rev ((k, v) :: acc)
+            | _ -> fail "expected , or } in object"
+          in
+          Obj (fields [])
+        end
+    | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then begin
+          incr pos;
+          List []
+        end
+        else begin
+          let rec items acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                incr pos;
+                items (v :: acc)
+            | Some ']' ->
+                incr pos;
+                List.rev (v :: acc)
+            | _ -> fail "expected , or ] in array"
+          in
+          List (items [])
+        end
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing characters after value";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (p, msg) ->
+      Error (Printf.sprintf "JSON parse error at offset %d: %s" p msg)

@@ -1,7 +1,7 @@
-(** Minimal JSON emission — just enough to serialise metric snapshots,
-    span trees and CLI reports without an external dependency.  Emission
-    only; the test suite and downstream tooling parse with whatever they
-    have at hand. *)
+(** Minimal JSON emission and parsing — just enough to serialise metric
+    snapshots, span trees and CLI reports, and to read them back
+    ([sap_cli bench-diff] compares two stats reports), without an external
+    dependency. *)
 
 type t =
   | Null
@@ -19,3 +19,11 @@ val to_string : t -> string
 
 val to_string_pretty : t -> string
 (** Two-space indented rendering, for files meant to be read by humans. *)
+
+val of_string : string -> (t, string) result
+(** Parse one RFC 8259 JSON value (surrounding whitespace allowed).
+    Numbers without [. e E] become [Int] (falling back to [Float] when
+    they exceed the native range); everything else becomes [Float], so
+    [to_string] output round-trips structurally.  [\uXXXX] escapes are
+    decoded to UTF-8 (lone surrogates become U+FFFD).  Errors carry the
+    byte offset of the failure. *)

@@ -1,0 +1,17 @@
+/* Monotonic clock for Obs.Clock.
+ *
+ * CLOCK_MONOTONIC is immune to NTP steps and manual clock changes, which
+ * is what span durations need; the epoch is arbitrary (usually boot), so
+ * Obs.Report records one wall/monotonic anchor pair per report to let
+ * consumers reconstruct wall-clock times. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value sap_obs_monotonic_seconds(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+}

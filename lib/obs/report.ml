@@ -1,4 +1,4 @@
-let schema_version = "sap-stats v1"
+let schema_version = "sap-stats v2"
 
 let enable_all () =
   Metrics.enable ();
@@ -14,13 +14,25 @@ let reset_all () =
 
 let build ?(extra = []) () =
   Json.Obj
-    ((("schema", Json.String schema_version) :: extra)
+    (("schema", Json.String schema_version)
+     :: ("clock", Clock.anchor_json (Clock.anchor ()))
+     :: extra
     @ [ ("metrics", Metrics.snapshot_json ()); ("spans", Trace.json ()) ])
 
+(* Write to a temp file in the destination directory, then rename: a
+   crashed or killed run can never leave a truncated report behind to
+   poison a later [bench-diff]. *)
 let write_file path report =
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () ->
-      output_string oc (Json.to_string_pretty report);
-      output_char oc '\n')
+  let dir = Filename.dirname path in
+  let tmp, oc = Filename.open_temp_file ~temp_dir:dir ".sap-report-" ".tmp" in
+  match
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc (Json.to_string_pretty report);
+        output_char oc '\n')
+  with
+  | () -> Sys.rename tmp path
+  | exception e ->
+      (try Sys.remove tmp with Sys_error _ -> ());
+      raise e

@@ -1,15 +1,24 @@
-(** The machine-readable stats report ([sap-stats v1]) shared by
+(** The machine-readable stats report ([sap-stats v2]) shared by
     [sap_cli solve --stats-json] and the bench harness, so benchmark
     trajectories can track internal counters with the same schema the CLI
-    emits.
+    emits — and so [sap_cli bench-diff] can compare any two of them.
 
     Schema (documented in docs/FORMAT.md):
     {v
-    { "schema":  "sap-stats v1",
+    { "schema":  "sap-stats v2",
+      "clock":   { "wall_epoch_seconds": .., "monotonic_seconds": .. },
+      ...caller-supplied extra fields...,
       "metrics": { "counters": {..}, "gauges": {..}, "histograms": {..} },
-      "spans":   [ {name, start, duration_seconds, attrs, children}, .. ],
-      ...caller-supplied extra fields... }
-    v} *)
+      "spans":   [ {name, start, duration_seconds, domain, gc, attrs,
+                    children}, .. ] }
+    v}
+
+    Span [start] values are monotonic-clock seconds; the [clock] anchor
+    (one {!Clock.anchor} pair sampled at build time) maps them back to
+    wall time. *)
+
+val schema_version : string
+(** ["sap-stats v2"]. *)
 
 val enable_all : unit -> unit
 (** Turn on both {!Metrics} and {!Trace}. *)
@@ -22,8 +31,11 @@ val reset_all : unit -> unit
 
 val build : ?extra:(string * Json.t) list -> unit -> Json.t
 (** Snapshot metrics and spans into a report object.  [extra] fields are
-    placed after [schema] and before [metrics] (e.g. instance stats,
-    result weights). *)
+    placed after [schema] and [clock], before [metrics] (e.g. instance
+    stats, result weights). *)
 
 val write_file : string -> Json.t -> unit
-(** Pretty-printed, trailing newline. *)
+(** Pretty-printed, trailing newline.  Atomic: the report is written to a
+    temp file in the destination directory and renamed into place, so a
+    crash mid-write cannot leave a truncated JSON behind.  Also used for
+    the Chrome-trace sidecar. *)

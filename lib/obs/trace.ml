@@ -1,7 +1,17 @@
+type gc_delta = {
+  minor_words : float;
+  promoted_words : float;
+  major_words : float;
+  minor_collections : int;
+  major_collections : int;
+}
+
 type span = {
   name : string;
   start : float;
   duration : float;
+  domain : int;
+  gc : gc_delta;
   attrs : (string * string) list;
   children : span list;
 }
@@ -18,6 +28,11 @@ let enabled () = Atomic.get on
 type frame = {
   f_name : string;
   f_start : float;
+  f_gc0 : Gc.stat;
+  (* [Gc.quick_stat].minor_words only advances at collection boundaries
+     on OCaml 5; [Gc.minor_words ()] reads the domain's allocation
+     pointer directly, so small spans still see their allocations. *)
+  f_minor0 : float;
   mutable f_attrs : (string * string) list;
   mutable f_children : span list;
 }
@@ -36,13 +51,24 @@ let reset () =
   finished := [];
   Mutex.unlock finished_lock
 
-let now () = Unix.gettimeofday ()
+let now = Clock.monotonic_seconds
+
+let gc_delta ~minor0 (g0 : Gc.stat) (g1 : Gc.stat) =
+  {
+    minor_words = Gc.minor_words () -. minor0;
+    promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+    major_words = g1.Gc.major_words -. g0.Gc.major_words;
+    minor_collections = g1.Gc.minor_collections - g0.Gc.minor_collections;
+    major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
+  }
 
 let close_frame frame =
   {
     name = frame.f_name;
     start = frame.f_start;
     duration = now () -. frame.f_start;
+    domain = (Domain.self () :> int);
+    gc = gc_delta ~minor0:frame.f_minor0 frame.f_gc0 (Gc.quick_stat ());
     attrs = List.rev frame.f_attrs;
     children = List.rev frame.f_children;
   }
@@ -52,7 +78,14 @@ let with_span ?(attrs = []) name f =
   else begin
     let stack = Domain.DLS.get stack_key in
     let frame =
-      { f_name = name; f_start = now (); f_attrs = List.rev attrs; f_children = [] }
+      {
+        f_name = name;
+        f_start = now ();
+        f_gc0 = Gc.quick_stat ();
+        f_minor0 = Gc.minor_words ();
+        f_attrs = List.rev attrs;
+        f_children = [];
+      }
     in
     stack := frame :: !stack;
     let finish () =
@@ -85,12 +118,24 @@ let roots () =
   Mutex.unlock finished_lock;
   List.rev spans
 
+let gc_json g =
+  Json.Obj
+    [
+      ("minor_words", Json.Float g.minor_words);
+      ("promoted_words", Json.Float g.promoted_words);
+      ("major_words", Json.Float g.major_words);
+      ("minor_collections", Json.Int g.minor_collections);
+      ("major_collections", Json.Int g.major_collections);
+    ]
+
 let rec span_json sp =
   Json.Obj
     [
       ("name", Json.String sp.name);
       ("start", Json.Float sp.start);
       ("duration_seconds", Json.Float sp.duration);
+      ("domain", Json.Int sp.domain);
+      ("gc", gc_json sp.gc);
       ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) sp.attrs));
       ("children", Json.List (List.map span_json sp.children));
     ]

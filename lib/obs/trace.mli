@@ -1,20 +1,45 @@
-(** Nested wall-clock spans, collected into trees.
+(** Nested spans, collected into trees.
 
     [with_span "combine.part.small" f] times [f ()] and records the span
     under whatever span is currently open {e in the same domain}.  Each
     domain keeps its own stack (domain-local storage), so tracing is safe
     under [Util.Parallel.map]; spans opened inside a worker domain become
     additional root spans rather than children of the spawning domain's
-    span (domains share no stack).
+    span (domains share no stack).  Every span records the id of the
+    domain that ran it, which is how {!Chrome_trace} assigns spans to
+    per-domain tracks.
+
+    Timestamps and durations come from {!Clock.monotonic_seconds}, so
+    spans are immune to NTP skew and manual clock changes; [start] values
+    only order events within one process run.  {!Report.build} embeds one
+    {!Clock.anchor} per report so consumers can map them back to wall
+    time.
+
+    Each span also carries the GC activity observed between its entry and
+    exit ([Gc.quick_stat] deltas, inclusive of children): allocation hot
+    spots show up directly on the span tree.  Note that [Gc.quick_stat]'s
+    minor counters are exact only for the calling domain, which is the
+    domain the span ran on — exactly what per-span attribution wants.
 
     Like {!Metrics}, tracing is off by default and every entry point
     checks one atomic flag first, so instrumented code paths cost nothing
     when disabled. *)
 
+type gc_delta = {
+  minor_words : float;  (** words allocated in the minor heap *)
+  promoted_words : float;  (** words promoted minor → major *)
+  major_words : float;  (** words allocated in (or promoted to) the major heap *)
+  minor_collections : int;  (** minor GC cycles during the span *)
+  major_collections : int;  (** major GC cycles completed during the span *)
+}
+(** GC counter deltas over a span's lifetime, children included. *)
+
 type span = {
   name : string;
-  start : float;  (** seconds since the epoch *)
-  duration : float;  (** seconds *)
+  start : float;  (** {!Clock.monotonic_seconds} at entry *)
+  duration : float;  (** seconds (monotonic) *)
+  domain : int;  (** [Domain.self] of the domain that ran the span *)
+  gc : gc_delta;
   attrs : (string * string) list;  (** in the order they were added *)
   children : span list;  (** in completion order *)
 }
@@ -40,6 +65,13 @@ val add_attr : string -> string -> unit
 val roots : unit -> span list
 (** Completed top-level spans, oldest first. *)
 
+val gc_json : gc_delta -> Json.t
+(** [{"minor_words", "promoted_words", "major_words",
+    "minor_collections", "major_collections"}]. *)
+
+val span_json : span -> Json.t
+(** One span tree as report JSON (see {!json}). *)
+
 val json : unit -> Json.t
 (** The [spans] section of the stats report: a list of span trees, each
-    [{name, start, duration_seconds, attrs, children}]. *)
+    [{name, start, duration_seconds, domain, gc, attrs, children}]. *)

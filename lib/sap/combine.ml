@@ -147,3 +147,104 @@ let pp_part ppf = function
   | Small_part -> Format.pp_print_string ppf "small"
   | Medium_part -> Format.pp_print_string ppf "medium"
   | Large_part -> Format.pp_print_string ppf "large"
+
+(* ---------- audit ---------- *)
+
+type audit = {
+  lp_upper_bound : float;
+  achieved_weight : float;
+  total_weight : float;
+  empirical_ratio : float option;
+  checker_ok : bool;
+  checker_error : string option;
+  scheduled : int;
+  tasks : int;
+  chosen_part : part;
+  weight_small : float;
+  weight_medium : float;
+  weight_large : float;
+  medium_exact : bool;
+}
+
+let h_ratio = Obs.Metrics.histogram "combine.empirical_ratio"
+
+let g_lp_upper_bound = Obs.Metrics.gauge "combine.lp_upper_bound"
+
+let c_checker_failures = Obs.Metrics.counter "combine.audit.checker_failures"
+
+let audit ?lp_upper_bound path ts r =
+  let lp_ub =
+    match lp_upper_bound with
+    | Some v -> v
+    | None -> Lp.Ufpp_lp.upper_bound path ts
+  in
+  let achieved = Core.Solution.sap_weight r.solution in
+  let ratio = if achieved > 0.0 then Some (lp_ub /. achieved) else None in
+  let checker = Core.Checker.sap_feasible path r.solution in
+  Obs.Metrics.set g_lp_upper_bound lp_ub;
+  (match ratio with Some x -> Obs.Metrics.observe h_ratio x | None -> ());
+  if Result.is_error checker then Obs.Metrics.incr c_checker_failures;
+  {
+    lp_upper_bound = lp_ub;
+    achieved_weight = achieved;
+    total_weight = Task.weight_of ts;
+    empirical_ratio = ratio;
+    checker_ok = Result.is_ok checker;
+    checker_error = (match checker with Ok () -> None | Error m -> Some m);
+    scheduled = List.length r.solution;
+    tasks = List.length ts;
+    chosen_part = r.chosen;
+    weight_small = Core.Solution.sap_weight r.small_solution;
+    weight_medium = Core.Solution.sap_weight r.medium_solution;
+    weight_large = Core.Solution.sap_weight r.large_solution;
+    medium_exact = r.medium_exact;
+  }
+
+let audit_json a =
+  Obs.Json.Obj
+    [
+      ("lp_upper_bound", Obs.Json.Float a.lp_upper_bound);
+      ("achieved_weight", Obs.Json.Float a.achieved_weight);
+      ("total_weight", Obs.Json.Float a.total_weight);
+      ( "empirical_ratio",
+        match a.empirical_ratio with
+        | Some x -> Obs.Json.Float x
+        | None -> Obs.Json.Null );
+      ( "checker",
+        Obs.Json.Obj
+          [
+            ("ok", Obs.Json.Bool a.checker_ok);
+            ( "error",
+              match a.checker_error with
+              | Some m -> Obs.Json.String m
+              | None -> Obs.Json.Null );
+          ] );
+      ("scheduled", Obs.Json.Int a.scheduled);
+      ("tasks", Obs.Json.Int a.tasks);
+      ( "parts",
+        Obs.Json.Obj
+          [
+            ("small", Obs.Json.Float a.weight_small);
+            ("medium", Obs.Json.Float a.weight_medium);
+            ("large", Obs.Json.Float a.weight_large);
+            ("chosen", Obs.Json.String (part_name a.chosen_part));
+            ("medium_exact", Obs.Json.Bool a.medium_exact);
+          ] );
+    ]
+
+let pp_audit ppf a =
+  Format.fprintf ppf "@[<v>lp upper bound    %.3f@," a.lp_upper_bound;
+  Format.fprintf ppf "achieved weight   %.3f  (of %.3f total)@," a.achieved_weight
+    a.total_weight;
+  (match a.empirical_ratio with
+  | Some x -> Format.fprintf ppf "empirical ratio   %.3f  (guarantee: 9+eps)@," x
+  | None -> Format.fprintf ppf "empirical ratio   n/a (zero weight scheduled)@,");
+  Format.fprintf ppf "checker           %s@,"
+    (match a.checker_error with
+    | None -> "feasible"
+    | Some m -> "INFEASIBLE: " ^ m);
+  Format.fprintf ppf "scheduled         %d of %d tasks@," a.scheduled a.tasks;
+  Format.fprintf ppf "parts             small %.3f | medium %.3f%s | large %.3f -> %a@]"
+    a.weight_small a.weight_medium
+    (if a.medium_exact then " (exact)" else "")
+    a.weight_large pp_part a.chosen_part

@@ -50,3 +50,39 @@ val solve : ?config:config -> Core.Path.t -> Core.Task.t list -> Core.Solution.s
 (** The best of the three part solutions; always checker-feasible. *)
 
 val pp_part : Format.formatter -> part -> unit
+
+type audit = {
+  lp_upper_bound : float;  (** Bonsma et al.'s UFPP LP relaxation bound *)
+  achieved_weight : float;
+  total_weight : float;  (** weight of the whole task set *)
+  empirical_ratio : float option;
+      (** [lp_upper_bound / achieved_weight] ([>= 1]; the Thm 4 guarantee
+          caps it at [9+eps]); [None] when nothing was scheduled *)
+  checker_ok : bool;
+  checker_error : string option;
+  scheduled : int;
+  tasks : int;
+  chosen_part : part;
+  weight_small : float;
+  weight_medium : float;
+  weight_large : float;
+  medium_exact : bool;
+}
+(** The per-solve ratio certificate: how far the combination actually
+    landed from the LP upper bound, with the per-part contributions and
+    an independent feasibility verdict.  Continuously recording these is
+    what makes the [(9+eps)] guarantee observable across PRs. *)
+
+val audit :
+  ?lp_upper_bound:float -> Core.Path.t -> Core.Task.t list -> report -> audit
+(** Audit a {!solve_report} result.  Computes the UFPP LP upper bound
+    unless the caller already has it ([sap_cli] prints it anyway), runs
+    the checker, and records [combine.lp_upper_bound],
+    [combine.empirical_ratio] and [combine.audit.checker_failures]
+    metrics.  Call it {e after} snapshotting solve metrics if the LP
+    recomputation must not perturb [simplex.*] counters. *)
+
+val audit_json : audit -> Obs.Json.t
+(** The [audit] record of the stats report (docs/FORMAT.md). *)
+
+val pp_audit : Format.formatter -> audit -> unit

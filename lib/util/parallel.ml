@@ -11,7 +11,12 @@ let map ?jobs f xs =
       let jobs = min jobs n in
       let output = Array.make n None in
       let worker w () =
-        (* Strided slice: worker w handles indices w, w+jobs, ... *)
+        (* Strided slice: worker w handles indices w, w+jobs, ...  The
+           span makes the worker's lifetime a root span of its own domain,
+           so Obs.Chrome_trace renders each worker as its own lane. *)
+        Obs.Trace.with_span "parallel.worker"
+          ~attrs:[ ("worker", string_of_int w); ("jobs", string_of_int jobs) ]
+        @@ fun () ->
         let rec go i =
           if i < n then begin
             output.(i) <- Some (f input.(i));

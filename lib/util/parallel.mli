@@ -14,4 +14,9 @@ val default_jobs : unit -> int
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel map.  [jobs] defaults to
     {!default_jobs}; [jobs = 1] degenerates to [List.map].  Exceptions in
-    workers are re-raised in the caller (first one wins). *)
+    workers are re-raised in the caller (first one wins).
+
+    When tracing is on (and more than one domain actually spawns), each
+    worker domain runs inside a [parallel.worker] root span tagged with
+    its worker index, so per-domain activity renders as separate lanes in
+    the Chrome-trace export. *)

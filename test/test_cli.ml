@@ -22,6 +22,11 @@ let run args =
   let cmd = Filename.quote_command cli args in
   Sys.command (cmd ^ " > /dev/null 2>&1")
 
+(* Run and capture stdout (for --audit and bench-diff output checks). *)
+let run_out ~out args =
+  let cmd = Filename.quote_command cli args in
+  Sys.command (Printf.sprintf "%s > %s 2>&1" cmd (Filename.quote out))
+
 let with_tmp f =
   let dir = Filename.temp_file "sap_cli_test" "" in
   Sys.remove dir;
@@ -122,11 +127,17 @@ let solve_emits_stats_json () =
           (fun sub ->
             Alcotest.(check bool) (sub ^ " present") true (contains_sub s sub))
           [
-            "sap-stats v1";
+            "sap-stats v2";
+            "\"clock\"";
             "\"algorithm\"";
             "\"seed\": 7";
             "\"instance\"";
             "\"result\"";
+            "\"audit\"";
+            "\"lp_upper_bound\"";
+            "\"empirical_ratio\"";
+            "\"checker\"";
+            "\"parts\"";
             "combine.weight.small";
             "combine.weight.medium";
             "combine.weight.large";
@@ -139,7 +150,151 @@ let solve_emits_stats_json () =
             "\"spans\"";
             "combine.solve";
             "small.strip_pack";
+            "\"gc\"";
+            "\"minor_words\"";
+            "\"domain\"";
           ])
+
+let solve_audit_output () =
+  if not (Sys.file_exists cli) then Alcotest.skip ()
+  else
+    with_tmp (fun dir ->
+        let inst = Filename.concat dir "inst.sap" in
+        let out = Filename.concat dir "audit.txt" in
+        Alcotest.(check int) "gen" 0
+          (run [ "gen"; "--profile"; "staircase"; "--edges"; "10"; "--tasks"; "24"; "-o"; inst ]);
+        Alcotest.(check int) "solve --audit" 0
+          (run_out ~out [ "solve"; "-i"; inst; "-a"; "combine"; "-q"; "--audit" ]);
+        let s = Sap_io.Instance_io.read_file out in
+        List.iter
+          (fun sub ->
+            Alcotest.(check bool) (sub ^ " present") true (contains_sub s sub))
+          [ "lp upper bound"; "empirical ratio"; "checker"; "feasible"; "parts" ];
+        (* Non-combine algorithms get the generic certificate. *)
+        Alcotest.(check int) "solve --audit firstfit" 0
+          (run_out ~out [ "solve"; "-i"; inst; "-a"; "firstfit"; "-q"; "--audit" ]);
+        let s = Sap_io.Instance_io.read_file out in
+        Alcotest.(check bool) "generic ratio line" true
+          (contains_sub s "empirical ratio"))
+
+let solve_trace_chrome () =
+  if not (Sys.file_exists cli) then Alcotest.skip ()
+  else
+    with_tmp (fun dir ->
+        let inst = Filename.concat dir "inst.sap" in
+        let trace = Filename.concat dir "trace.json" in
+        Alcotest.(check int) "gen" 0
+          (run [ "gen"; "--profile"; "staircase"; "--edges"; "10"; "--tasks"; "24"; "-o"; inst ]);
+        Alcotest.(check int) "solve" 0
+          (run
+             [ "solve"; "-i"; inst; "-a"; "combine"; "-q"; "--parallel";
+               "--trace-chrome"; trace ]);
+        let s = Sap_io.Instance_io.read_file trace in
+        (* Must be loadable JSON with the Trace Event envelope, and with
+           --parallel the worker domains must land on distinct tracks. *)
+        (match Obs.Json.of_string s with
+        | Ok (Obs.Json.Obj fields) ->
+            let events =
+              match List.assoc_opt "traceEvents" fields with
+              | Some (Obs.Json.List evs) -> evs
+              | _ -> Alcotest.fail "traceEvents missing or not a list"
+            in
+            Alcotest.(check bool) "has events" true (events <> []);
+            let tids =
+              List.filter_map
+                (fun ev ->
+                  match ev with
+                  | Obs.Json.Obj f -> (
+                      match (List.assoc_opt "ph" f, List.assoc_opt "tid" f) with
+                      | Some (Obs.Json.String "X"), Some (Obs.Json.Int t) -> Some t
+                      | _ -> None)
+                  | _ -> None)
+                events
+              |> List.sort_uniq compare
+            in
+            Alcotest.(check bool) "distinct worker tracks" true
+              (List.length tids > 1)
+        | Ok _ -> Alcotest.fail "chrome trace is not an object"
+        | Error m -> Alcotest.failf "chrome trace does not parse: %s" m);
+        List.iter
+          (fun sub ->
+            Alcotest.(check bool) (sub ^ " present") true (contains_sub s sub))
+          [ "\"ph\""; "\"ts\""; "\"dur\""; "\"tid\""; "thread_name"; "combine.solve"; "\"gc\"" ])
+
+(* ---------- bench-diff ---------- *)
+
+let write_json file counters extra =
+  let fields =
+    [
+      ("schema", Obs.Json.String "sap-stats v2");
+      ( "metrics",
+        Obs.Json.Obj
+          [
+            ( "counters",
+              Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Int v)) counters) );
+            ("gauges", Obs.Json.Obj []);
+            ("histograms", Obs.Json.Obj []);
+          ] );
+    ]
+    @ extra
+  in
+  Sap_io.Instance_io.write_file file (Obs.Json.to_string_pretty (Obs.Json.Obj fields))
+
+let bench_diff_exit_codes () =
+  if not (Sys.file_exists cli) then Alcotest.skip ()
+  else
+    with_tmp (fun dir ->
+        let old_f = Filename.concat dir "old.json" in
+        let new_f = Filename.concat dir "new.json" in
+        let out = Filename.concat dir "out.txt" in
+        (* Identical reports: exit 0. *)
+        write_json old_f [ ("dp.states", 100); ("simplex.iterations", 5) ] [];
+        write_json new_f [ ("dp.states", 100); ("simplex.iterations", 5) ] [];
+        Alcotest.(check int) "identical" 0 (run_out ~out [ "bench-diff"; old_f; new_f ]);
+        (* Injected counter regression: exit 1, named in the table. *)
+        write_json new_f [ ("dp.states", 150); ("simplex.iterations", 5) ] [];
+        Alcotest.(check int) "regression" 1 (run_out ~out [ "bench-diff"; old_f; new_f ]);
+        let s = Sap_io.Instance_io.read_file out in
+        Alcotest.(check bool) "regression named" true
+          (contains_sub s "metrics.counters.dp.states");
+        (* ...unless the tolerance allows it. *)
+        Alcotest.(check int) "within --counter-tol" 0
+          (run_out ~out [ "bench-diff"; old_f; new_f; "--counter-tol"; "0.6" ]);
+        (* Missing metric: exit 1. *)
+        write_json new_f [ ("dp.states", 100) ] [];
+        Alcotest.(check int) "missing metric" 1 (run_out ~out [ "bench-diff"; old_f; new_f ]);
+        (* Timing: ignored by default, gated by --time-factor, faster is fine. *)
+        let timed file t =
+          write_json file
+            [ ("dp.states", 100); ("simplex.iterations", 5) ]
+            [ ("result", Obs.Json.Obj [ ("time_seconds", Obs.Json.Float t) ]) ]
+        in
+        timed old_f 1.0;
+        timed new_f 10.0;
+        Alcotest.(check int) "timing ungated" 0 (run_out ~out [ "bench-diff"; old_f; new_f ]);
+        Alcotest.(check int) "timing regression" 1
+          (run_out ~out [ "bench-diff"; old_f; new_f; "--time-factor"; "1.5" ]);
+        timed new_f 0.5;
+        Alcotest.(check int) "timing improvement" 0
+          (run_out ~out [ "bench-diff"; old_f; new_f; "--time-factor"; "1.5" ]);
+        (* Malformed input: exit 2. *)
+        Sap_io.Instance_io.write_file new_f "{ not json";
+        Alcotest.(check int) "malformed" 2 (run_out ~out [ "bench-diff"; old_f; new_f ]);
+        Alcotest.(check int) "unreadable" 2
+          (run_out ~out [ "bench-diff"; old_f; Filename.concat dir "nope.json" ]))
+
+let bench_diff_baseline_self () =
+  (* The committed CI baseline must always diff cleanly against itself —
+     this also keeps the file parseable by our own parser. *)
+  let baseline =
+    List.find_opt Sys.file_exists
+      [ "../bench/baseline.json"; "bench/baseline.json" ]
+  in
+  match baseline with
+  | None -> Alcotest.skip ()
+  | Some b ->
+      if not (Sys.file_exists cli) then Alcotest.skip ()
+      else Alcotest.(check int) "self-diff" 0 (run [ "bench-diff"; b; b ])
 
 let unknown_algorithm_fails () =
   if not (Sys.file_exists cli) then Alcotest.skip ()
@@ -159,5 +314,12 @@ let () =
           case "all algorithms" solve_all_algorithms;
           case "stats json" solve_emits_stats_json;
           case "unknown algorithm" unknown_algorithm_fails;
+          case "solve --audit" solve_audit_output;
+          case "solve --trace-chrome" solve_trace_chrome;
+        ] );
+      ( "bench-diff",
+        [
+          case "exit codes" bench_diff_exit_codes;
+          case "baseline self-diff" bench_diff_baseline_self;
         ] );
     ]

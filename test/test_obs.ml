@@ -1,6 +1,8 @@
 (* Unit tests for the observability layer: registry semantics, the
    zero-cost disabled path, atomic updates under Parallel.map domain
-   fan-out, span trees, and the hand-rolled JSON emitter.
+   fan-out, span trees (with GC attribution and domain ids), the
+   hand-rolled JSON emitter/parser, the Chrome-trace exporter, the
+   report differ behind bench-diff, and atomic report writes.
 
    Metrics and tracing are process-wide, so every case starts and ends
    from a clean disabled state; metric names are unique per case to keep
@@ -167,6 +169,54 @@ let trace_sequential_roots () =
   Obs.Trace.with_span "second" (fun () -> ());
   Alcotest.(check (list string)) "oldest first" [ "first"; "second" ]
     (List.map (fun s -> s.Obs.Trace.name) (Obs.Trace.roots ()));
+  (* Monotonic clock: later spans never start earlier. *)
+  (match Obs.Trace.roots () with
+  | [ a; b ] ->
+      Alcotest.(check bool) "monotonic starts" true
+        (b.Obs.Trace.start >= a.Obs.Trace.start)
+  | _ -> Alcotest.fail "expected two roots");
+  clean ()
+
+let trace_gc_and_domain_attribution () =
+  clean ();
+  Obs.Trace.enable ();
+  let sink = ref [] in
+  Obs.Trace.with_span "alloc" (fun () ->
+      (* Allocate enough boxed data that the minor-words delta must be
+         visibly positive. *)
+      for i = 0 to 10_000 do
+        sink := (i, float_of_int i) :: !sink
+      done);
+  ignore (Sys.opaque_identity !sink);
+  (match Obs.Trace.roots () with
+  | [ sp ] ->
+      Alcotest.(check int) "ran on this domain"
+        (Domain.self () :> int)
+        sp.Obs.Trace.domain;
+      Alcotest.(check bool) "minor words attributed" true
+        (sp.Obs.Trace.gc.Obs.Trace.minor_words > 0.0);
+      Alcotest.(check bool) "collection counts non-negative" true
+        (sp.Obs.Trace.gc.Obs.Trace.minor_collections >= 0
+        && sp.Obs.Trace.gc.Obs.Trace.major_collections >= 0)
+  | l -> Alcotest.failf "expected one root, got %d" (List.length l));
+  clean ()
+
+let trace_parallel_worker_lanes () =
+  (* Parallel.map must wrap each worker domain in a parallel.worker root
+     span so the Chrome exporter can give every domain its own lane. *)
+  clean ();
+  Obs.Report.enable_all ();
+  let xs = List.init 16 Fun.id in
+  let ys = Util.Parallel.map ~jobs:4 (fun i -> i * 2) xs in
+  Alcotest.(check (list int)) "map intact" (List.map (fun i -> i * 2) xs) ys;
+  let workers =
+    List.filter (fun s -> s.Obs.Trace.name = "parallel.worker") (Obs.Trace.roots ())
+  in
+  Alcotest.(check int) "one span per worker" 4 (List.length workers);
+  let domains =
+    List.sort_uniq compare (List.map (fun s -> s.Obs.Trace.domain) workers)
+  in
+  Alcotest.(check int) "distinct domains" 4 (List.length domains);
   clean ()
 
 (* ---------- Json ---------- *)
@@ -210,6 +260,297 @@ let json_compound () =
   Alcotest.(check string) "pretty has same tokens" (Obs.Json.to_string v)
     (strip pretty)
 
+(* ---------- Json parsing ---------- *)
+
+let json_parse_scalars () =
+  let ok v s =
+    match Obs.Json.of_string s with
+    | Ok got -> Alcotest.(check bool) (s ^ " parses") true (got = v)
+    | Error m -> Alcotest.failf "%s: %s" s m
+  in
+  ok Obs.Json.Null "null";
+  ok (Obs.Json.Bool true) "  true ";
+  ok (Obs.Json.Bool false) "false";
+  ok (Obs.Json.Int (-3)) "-3";
+  ok (Obs.Json.Float 2.5) "2.5";
+  ok (Obs.Json.Float 4.0) "4.0";
+  ok (Obs.Json.Float 1e-3) "1e-3";
+  ok (Obs.Json.String "a\"b\\c\nd") {|"a\"b\\c\nd"|};
+  ok (Obs.Json.String "\001") {|""|};
+  ok (Obs.Json.String "A") {|"A"|};
+  ok (Obs.Json.Obj [ ("xs", Obs.Json.List [ Obs.Json.Int 1; Obs.Json.Int 2 ]) ])
+    {| {"xs": [1, 2]} |};
+  ok (Obs.Json.List []) "[]";
+  ok (Obs.Json.Obj []) "{}"
+
+let json_parse_errors () =
+  let bad s =
+    match Obs.Json.of_string s with
+    | Ok _ -> Alcotest.failf "%S should not parse" s
+    | Error _ -> ()
+  in
+  List.iter bad
+    [ ""; "{"; "["; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "{\"a\" 1}"; "\"unterminated";
+      "nulll"; "[1}" ]
+
+let json_roundtrip_span_trees =
+  (* The report pipeline in miniature: random span trees, serialised with
+     the emitter, must parse back to the identical Json value — both
+     compact and pretty-printed. *)
+  let open QCheck in
+  let gen_byte_string =
+    Gen.string_size ~gen:(Gen.map Char.chr (Gen.int_range 0 255)) (Gen.int_bound 10)
+  in
+  let gen_float = Gen.map (fun i -> float_of_int i /. 64.0) (Gen.int_range 0 (1 lsl 20)) in
+  let gen_gc =
+    let open Gen in
+    let* minor = map float_of_int (int_bound 100_000) in
+    let* promoted = map float_of_int (int_bound 1_000) in
+    let* major = map float_of_int (int_bound 10_000) in
+    let* minc = int_bound 5 in
+    let+ majc = int_bound 2 in
+    {
+      Obs.Trace.minor_words = minor;
+      promoted_words = promoted;
+      major_words = major;
+      minor_collections = minc;
+      major_collections = majc;
+    }
+  in
+  let gen_span =
+    let open Gen in
+    fix
+      (fun self depth ->
+        let* name = gen_byte_string in
+        let* start = gen_float in
+        let* duration = gen_float in
+        let* domain = int_bound 8 in
+        let* gc = gen_gc in
+        let* attrs = list_size (int_bound 3) (pair gen_byte_string gen_byte_string) in
+        let+ children =
+          if depth = 0 then return [] else list_size (int_bound 2) (self (depth - 1))
+        in
+        { Obs.Trace.name; start; duration; domain; gc; attrs; children })
+      2
+  in
+  let prop sp =
+    let doc = Obs.Json.List [ Obs.Trace.span_json sp ] in
+    let compact = Obs.Json.of_string (Obs.Json.to_string doc) in
+    let pretty = Obs.Json.of_string (Obs.Json.to_string_pretty doc) in
+    compact = Ok doc && pretty = Ok doc
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200 ~name:"emit/parse round-trip of span trees"
+       (QCheck.make gen_span) prop)
+
+(* ---------- Chrome trace ---------- *)
+
+let mk_span ?(domain = 0) ?(attrs = []) ?(children = []) name start duration =
+  {
+    Obs.Trace.name;
+    start;
+    duration;
+    domain;
+    gc =
+      {
+        Obs.Trace.minor_words = 10.0;
+        promoted_words = 1.0;
+        major_words = 2.0;
+        minor_collections = 0;
+        major_collections = 0;
+      };
+    attrs;
+    children;
+  }
+
+let assoc name = function
+  | Obs.Json.Obj fields -> List.assoc_opt name fields
+  | _ -> None
+
+let chrome_trace_structure () =
+  let child = mk_span "inner" 10.5 0.25 ~attrs:[ ("k", "v") ] in
+  let root = mk_span "outer" 10.0 1.0 ~children:[ child ] in
+  let worker = mk_span "parallel.worker" 10.2 0.5 ~domain:3 in
+  let doc = Obs.Chrome_trace.convert [ root; worker ] in
+  let events =
+    match assoc "traceEvents" doc with
+    | Some (Obs.Json.List evs) -> evs
+    | _ -> Alcotest.fail "traceEvents missing"
+  in
+  let phase ev =
+    match assoc "ph" ev with Some (Obs.Json.String p) -> p | _ -> "?"
+  in
+  let metas, xs = List.partition (fun ev -> phase ev = "M") events in
+  (* One process_name + one thread_name per distinct domain (0 and 3). *)
+  Alcotest.(check int) "metadata events" 3 (List.length metas);
+  Alcotest.(check int) "complete events" 3 (List.length xs);
+  (* Metadata precedes complete events. *)
+  let rec first_x_index i = function
+    | [] -> i
+    | ev :: rest -> if phase ev = "X" then i else first_x_index (i + 1) rest
+  in
+  Alcotest.(check int) "metadata first" (List.length metas)
+    (first_x_index 0 events);
+  let ts ev = match assoc "ts" ev with Some (Obs.Json.Float t) -> t | _ -> -1.0 in
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> ts a <= ts b && sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "X events sorted by ts" true (sorted xs);
+  (* ts is relative to the earliest span, in microseconds. *)
+  Alcotest.(check bool) "first ts is 0" true (ts (List.hd xs) = 0.0);
+  let outer = List.hd xs in
+  (match assoc "dur" outer with
+  | Some (Obs.Json.Float d) ->
+      Alcotest.(check bool) "dur in microseconds" true
+        (Helpers.close_enough d 1e6)
+  | _ -> Alcotest.fail "dur missing");
+  (* Worker domain lands on its own track, and every event carries gc args. *)
+  let tid ev = match assoc "tid" ev with Some (Obs.Json.Int t) -> t | _ -> -1 in
+  Alcotest.(check (list int)) "tids" [ 0; 3; 0 ] (List.map tid xs);
+  List.iter
+    (fun ev ->
+      match assoc "args" ev with
+      | Some args ->
+          Alcotest.(check bool) "gc in args" true (assoc "gc" args <> None)
+      | None -> Alcotest.fail "args missing")
+    xs
+
+(* ---------- Diff ---------- *)
+
+let diff_report counters extras =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String "sap-stats v2");
+      ( "metrics",
+        Obs.Json.Obj
+          [
+            ( "counters",
+              Obs.Json.Obj (List.map (fun (k, v) -> (k, Obs.Json.Int v)) counters) );
+            ("gauges", Obs.Json.Obj []);
+            ("histograms", Obs.Json.Obj []);
+          ] );
+      ("spans", Obs.Json.List []);
+    ]
+  |> function
+  | Obs.Json.Obj fields -> Obs.Json.Obj (fields @ extras)
+  | _ -> assert false
+
+let failures findings =
+  List.filter (fun f -> Obs.Diff.is_failure f.Obs.Diff.status) findings
+
+let diff_identical_ok () =
+  let r = diff_report [ ("a.x", 10); ("b.y", 0) ] [] in
+  let findings = Obs.Diff.compare_reports ~old_report:r ~new_report:r () in
+  Alcotest.(check int) "no failures" 0 (List.length (failures findings));
+  Alcotest.(check bool) "spans skipped, schema matched" true
+    (Obs.Diff.count Obs.Diff.Match findings >= 3)
+
+let diff_counter_regression () =
+  let old_r = diff_report [ ("dp.states", 100) ] [] in
+  let new_r = diff_report [ ("dp.states", 120) ] [] in
+  let findings = Obs.Diff.compare_reports ~old_report:old_r ~new_report:new_r () in
+  (match failures findings with
+  | [ f ] ->
+      Alcotest.(check string) "path" "metrics.counters.dp.states" f.Obs.Diff.path;
+      Alcotest.(check bool) "regressed" true (f.Obs.Diff.status = Obs.Diff.Regressed)
+  | l -> Alcotest.failf "expected one failure, got %d" (List.length l));
+  (* The same drift passes under a loose counter tolerance. *)
+  let loose =
+    { Obs.Diff.default_thresholds with Obs.Diff.counter_tol = 0.5 }
+  in
+  let findings =
+    Obs.Diff.compare_reports ~thresholds:loose ~old_report:old_r ~new_report:new_r ()
+  in
+  Alcotest.(check int) "within tolerance" 0 (List.length (failures findings))
+
+let diff_missing_and_added () =
+  let old_r = diff_report [ ("a", 1); ("b", 2) ] [] in
+  let new_r = diff_report [ ("a", 1); ("c", 3) ] [] in
+  let findings = Obs.Diff.compare_reports ~old_report:old_r ~new_report:new_r () in
+  Alcotest.(check int) "missing b fails" 1 (List.length (failures findings));
+  Alcotest.(check int) "missing status" 1 (Obs.Diff.count Obs.Diff.Missing findings);
+  Alcotest.(check int) "added c noted" 1 (Obs.Diff.count Obs.Diff.Added findings)
+
+let diff_timing_semantics () =
+  let with_time t =
+    diff_report [ ("a", 1) ]
+      [ ("result", Obs.Json.Obj [ ("time_seconds", Obs.Json.Float t) ]) ]
+  in
+  (* Default: timing is not gated at all. *)
+  let findings =
+    Obs.Diff.compare_reports ~old_report:(with_time 1.0) ~new_report:(with_time 50.0) ()
+  in
+  Alcotest.(check int) "ungated" 0 (List.length (failures findings));
+  let gated = { Obs.Diff.default_thresholds with Obs.Diff.time_factor = 1.5 } in
+  (* Slower beyond the factor: regression. *)
+  let findings =
+    Obs.Diff.compare_reports ~thresholds:gated ~old_report:(with_time 1.0)
+      ~new_report:(with_time 2.0) ()
+  in
+  Alcotest.(check int) "slowdown fails" 1 (List.length (failures findings));
+  (* Faster: improvement, never a failure. *)
+  let findings =
+    Obs.Diff.compare_reports ~thresholds:gated ~old_report:(with_time 2.0)
+      ~new_report:(with_time 1.0) ()
+  in
+  Alcotest.(check int) "speedup passes" 0 (List.length (failures findings));
+  Alcotest.(check int) "marked improved" 1 (Obs.Diff.count Obs.Diff.Improved findings)
+
+let diff_ignore_prefixes () =
+  let old_r = diff_report [ ("a", 1) ] [] in
+  let new_r = diff_report [ ("a", 2) ] [] in
+  let t =
+    { Obs.Diff.default_thresholds with Obs.Diff.ignore_prefixes = [ "metrics.counters" ] }
+  in
+  let findings =
+    Obs.Diff.compare_reports ~thresholds:t ~old_report:old_r ~new_report:new_r ()
+  in
+  Alcotest.(check int) "ignored" 0 (List.length (failures findings))
+
+let diff_table_renders () =
+  let old_r = diff_report [ ("a", 1) ] [] in
+  let new_r = diff_report [ ("a", 2) ] [] in
+  let findings = Obs.Diff.compare_reports ~old_report:old_r ~new_report:new_r () in
+  let table = Obs.Diff.render_table findings in
+  let contains sub =
+    let n = String.length table and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub table i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "metric named" true (contains "metrics.counters.a");
+  Alcotest.(check bool) "status shown" true (contains "REGRESSED");
+  Alcotest.(check bool) "summary counts failures" true
+    (let s = Obs.Diff.summary findings in
+     let n = String.length s and m = String.length "1 regressed" in
+     let rec go i = i + m <= n && (String.sub s i m = "1 regressed" || go (i + 1)) in
+     go 0)
+
+(* ---------- atomic writes ---------- *)
+
+let report_write_is_atomic () =
+  let dir = Filename.temp_file "obs_report" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun n -> Sys.remove (Filename.concat dir n)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () ->
+      let target = Filename.concat dir "report.json" in
+      let doc = Obs.Json.Obj [ ("k", Obs.Json.Int 1) ] in
+      Obs.Report.write_file target doc;
+      Obs.Report.write_file target doc;
+      (* Only the target remains: temp files are renamed away or removed. *)
+      Alcotest.(check (list string)) "no temp droppings" [ "report.json" ]
+        (Array.to_list (Sys.readdir dir));
+      let ic = open_in target in
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      close_in ic;
+      Alcotest.(check bool) "written content parses" true
+        (Obs.Json.of_string s = Ok doc))
+
 (* ---------- Report ---------- *)
 
 let report_schema_and_extras () =
@@ -228,14 +569,21 @@ let report_schema_and_extras () =
   List.iter
     (fun sub -> Alcotest.(check bool) (sub ^ " present") true (contains sub))
     [
-      {|"schema":"sap-stats v1"|};
+      {|"schema":"sap-stats v2"|};
+      {|"clock":{"wall_epoch_seconds":|};
       {|"command":"test"|};
       {|"counters"|};
       {|"gauges"|};
       {|"histograms"|};
       {|"t.report.counter":1|};
       {|"name":"t.report.span"|};
+      {|"gc":{"minor_words":|};
+      {|"domain":|};
     ];
+  (* The emitted report must parse with our own parser (bench-diff eats
+     these files). *)
+  Alcotest.(check bool) "report parses" true
+    (match Obs.Json.of_string s with Ok _ -> true | Error _ -> false);
   clean ()
 
 let () =
@@ -256,12 +604,31 @@ let () =
           case "nesting and attrs" trace_nesting_and_attrs;
           case "records on raise" trace_records_on_raise;
           case "sequential roots" trace_sequential_roots;
+          case "gc and domain attribution" trace_gc_and_domain_attribution;
+          case "parallel worker lanes" trace_parallel_worker_lanes;
         ] );
       ( "json",
         [
           case "scalars" json_scalars;
           case "string escaping" json_string_escaping;
           case "compound" json_compound;
+          case "parse scalars" json_parse_scalars;
+          case "parse errors" json_parse_errors;
+          json_roundtrip_span_trees;
         ] );
-      ( "report", [ case "schema and extras" report_schema_and_extras ] );
+      ( "chrome-trace", [ case "structure and ordering" chrome_trace_structure ] );
+      ( "diff",
+        [
+          case "identical reports pass" diff_identical_ok;
+          case "counter regression fails" diff_counter_regression;
+          case "missing and added metrics" diff_missing_and_added;
+          case "timing semantics" diff_timing_semantics;
+          case "ignore prefixes" diff_ignore_prefixes;
+          case "table rendering" diff_table_renders;
+        ] );
+      ( "report",
+        [
+          case "schema and extras" report_schema_and_extras;
+          case "write_file is atomic" report_write_is_atomic;
+        ] );
     ]
