@@ -1,0 +1,64 @@
+(* LPH — LP-heavy stress scenario: many small tasks spread over many
+   Strip-Pack bands, so the wall time is dominated by per-band UFPP LP
+   solves (plus one full-instance LP per size).  This is the workload the
+   simplex core is gated on: `bench.lp_heavy.seconds` lands in the stats
+   report, `sap_cli bench-diff --time-factor` compares it against
+   bench/baseline.json, and the weight/value gauges pin the solutions
+   themselves — a faster solver must place exactly the same weight. *)
+
+module Path = Core.Path
+
+let h_seconds = Obs.Metrics.histogram "bench.lp_heavy.seconds"
+
+let g_strip_weight = Obs.Metrics.gauge "bench.lp_heavy.strip_weight"
+
+let g_lp_value = Obs.Metrics.gauge "bench.lp_heavy.lp_value"
+
+let instance ~n ~edges seed =
+  (* A wide capacity spread puts bottlenecks across many powers of two,
+     i.e. many Strip-Pack bands, each with its own LP. *)
+  let g = Util.Prng.create seed in
+  let path =
+    Gen.Profiles.random_walk ~prng:g ~edges ~start:256 ~max_step:96 ~min_cap:8
+  in
+  let tasks = Gen.Workloads.small_tasks ~prng:g ~path ~n ~delta:0.25 () in
+  (path, tasks)
+
+let run () =
+  Bench_util.section
+    "LPH  LP-heavy strip-pack (many small tasks, many bands; seconds)";
+  let sizes = [ (800, 64, 12); (1600, 96, 13); (3200, 128, 14) ] in
+  let total_weight = ref 0.0 in
+  let total_lp = ref 0.0 in
+  let rows =
+    List.map
+      (fun (n, edges, seed) ->
+        let path, tasks = instance ~n ~edges seed in
+        let (w, lp_v), dt =
+          Bench_util.timed (fun () ->
+              Obs.Metrics.time h_seconds (fun () ->
+                  let sol =
+                    Sap.Small.strip_pack ~rounding:(`Lp 16)
+                      ~prng:(Util.Prng.create 97) path tasks
+                  in
+                  (match Core.Checker.sap_feasible path sol with
+                  | Ok () -> ()
+                  | Error m -> failwith ("lp_heavy: infeasible solution: " ^ m));
+                  let lp = Lp.Ufpp_lp.solve path tasks in
+                  (Core.Solution.sap_weight sol, lp.Lp.Ufpp_lp.value)))
+        in
+        total_weight := !total_weight +. w;
+        total_lp := !total_lp +. lp_v;
+        [
+          Printf.sprintf "n=%d,m=%d" n edges;
+          Util.Table.float_cell dt;
+          Util.Table.float_cell w;
+          Util.Table.float_cell lp_v;
+        ])
+      sizes
+  in
+  Obs.Metrics.set g_strip_weight !total_weight;
+  Obs.Metrics.set g_lp_value !total_lp;
+  Util.Table.print
+    ~header:[ "instance"; "seconds"; "strip weight"; "LP value" ]
+    rows

@@ -43,6 +43,7 @@ let () =
   Ufpp_experiments.run ();
   Worst_experiments.run ();
   Scale_experiments.run ();
+  Lp_experiments.run ();
   if not quick then Timing.run ();
   let elapsed = Obs.Clock.monotonic_seconds () -. t0 in
   Printf.printf "\nall experiments completed in %.1fs\n" elapsed;

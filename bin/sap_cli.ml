@@ -94,7 +94,7 @@ let algorithms ~seed ~parallel ~combine_report =
         combine_report := Some r;
         r.Sap.Combine.solution);
     ("small", fun path ts ->
-        Sap.Small.strip_pack ~rounding:dc.Sap.Combine.rounding
+        Sap.Small.strip_pack ~parallel ~rounding:dc.Sap.Combine.rounding
           ~prng:(Util.Prng.create seed) path ts);
     ("medium", fun path ts ->
         (Sap.Almost_uniform.run ~ell ~q ?max_states:dc.Sap.Combine.max_states

@@ -9,6 +9,12 @@ let m_iterations = Obs.Metrics.counter "simplex.iterations"
 
 let m_bland_activations = Obs.Metrics.counter "simplex.bland_activations"
 
+let m_bound_flips = Obs.Metrics.counter "simplex.bound_flips"
+
+let m_cells = Obs.Metrics.counter "simplex.pivots_cells_touched"
+
+let h_row_nnz = Obs.Metrics.histogram "simplex.row_nnz"
+
 type outcome =
   | Optimal of { value : float; solution : float array; iterations : int }
   | Unbounded
@@ -18,62 +24,111 @@ let box_row ~n j ub =
   a.(j) <- 1.0;
   (a, ub)
 
-(* Tableau layout: r rows, columns 0..n-1 structural, n..n+r-1 slack,
-   last column = rhs.  Row r is the objective row holding reduced costs
-   (negated objective: we minimize -c.x). *)
-let maximize ?(eps = 1e-9) ?max_iterations problem =
-  let n = Array.length problem.objective in
-  let rows = Array.of_list problem.rows in
+(* Bounded-variable primal simplex over sparse rows.
+
+   Variables 0..n-1 are structural with bounds [0, upper.(j)]; n..n+r-1
+   are slacks with bounds [0, inf).  Box constraints never become rows:
+   a nonbasic variable sits at either bound, and a variable at its upper
+   bound is substituted [x := u - x] ("flipped"), so the invariant is
+   always "every nonbasic variable is at 0" and the textbook tableau
+   machinery applies unchanged.  The ratio test gains one candidate — the
+   entering variable hitting its own upper bound — which costs a column
+   negation instead of a pivot (counted in [simplex.bound_flips]).
+
+   The tableau is one flat row-major float array of (r+1) rows (row r =
+   reduced costs) and n+r+1 columns (last = rhs).  Capacity rows of the
+   UFPP LP touch only the tasks crossing one edge, so each row also
+   carries the list of columns that can be nonzero; pivots walk those
+   lists instead of the full width (the union rule: after
+   row_i -= f * row_p the nonzero set of row_i is contained in
+   nnz_i U nnz_p).  Entries that cancel to zero stay tracked — the lists
+   only ever overapproximate.  [simplex.pivots_cells_touched] counts the
+   cells the pivots actually visit; with dense rows it would be
+   iterations * (r+1) * width. *)
+let solve_core ~eps ~max_iterations ~objective ~upper ~rows =
+  let n = Array.length objective in
   let r = Array.length rows in
-  Array.iter
-    (fun (a, b) ->
-      if Array.length a <> n then invalid_arg "Simplex: ragged row";
-      if b < 0.0 then invalid_arg "Simplex: negative rhs")
-    rows;
-  let width = n + r + 1 in
-  let t = Array.make_matrix (r + 1) width 0.0 in
+  let nvars = n + r in
+  let width = nvars + 1 in
+  let t = Array.make ((r + 1) * width) 0.0 in
+  let metrics_on = Obs.Metrics.enabled () in
+  (* Tracked potentially-nonzero columns, per row (rhs excluded). *)
+  let nnz = Array.make (r + 1) [||] in
+  let nnz_len = Array.make (r + 1) 0 in
+  let push i c =
+    let a = nnz.(i) in
+    let len = nnz_len.(i) in
+    let a =
+      if len = Array.length a then begin
+        let b = Array.make (max 8 (2 * len)) 0 in
+        Array.blit a 0 b 0 len;
+        nnz.(i) <- b;
+        b
+      end
+      else a
+    in
+    a.(len) <- c;
+    nnz_len.(i) <- len + 1
+  in
   Array.iteri
-    (fun i (a, b) ->
-      Array.blit a 0 t.(i) 0 n;
-      t.(i).(n + i) <- 1.0;
-      t.(i).(width - 1) <- b)
+    (fun i (cols, coefs, b) ->
+      Array.iteri
+        (fun k c ->
+          t.((i * width) + c) <- coefs.(k);
+          push i c)
+        cols;
+      t.((i * width) + n + i) <- 1.0;
+      push i (n + i);
+      t.((i * width) + nvars) <- b;
+      if metrics_on then Obs.Metrics.observe h_row_nnz (float_of_int (Array.length cols)))
     rows;
   for j = 0 to n - 1 do
-    t.(r).(j) <- -.problem.objective.(j)
+    if objective.(j) <> 0.0 then begin
+      t.((r * width) + j) <- -.objective.(j);
+      push r j
+    end
   done;
   let basis = Array.init r (fun i -> n + i) in
-  let max_iterations =
-    match max_iterations with Some k -> k | None -> 50 * (n + r + 1)
-  in
+  let flipped = Array.make n false in
+  let bound v = if v < n then upper.(v) else infinity in
+  (* Scratch membership marks for the nnz union during a pivot. *)
+  let mark = Array.make nvars false in
+  let cells = ref 0 in
   (* Entering column: most negative reduced cost (Dantzig), or the first
-     negative one (Bland) once [bland] is set. *)
+     negative one (Bland) once [bland] is set.  Variables fixed at 0
+     (upper bound 0) can never move and are never entered. *)
   let entering bland =
+    let obj = r * width in
     if bland then begin
       let rec first j =
-        if j = n + r then None
-        else if t.(r).(j) < -.eps then Some j
+        if j = nvars then None
+        else if t.(obj + j) < -.eps && bound j > 0.0 then Some j
         else first (j + 1)
       in
       first 0
     end
     else begin
       let best = ref (-1) and best_val = ref (-.eps) in
-      for j = 0 to n + r - 1 do
-        if t.(r).(j) < !best_val then begin
+      for j = 0 to nvars - 1 do
+        if t.(obj + j) < !best_val && bound j > 0.0 then begin
           best := j;
-          best_val := t.(r).(j)
+          best_val := t.(obj + j)
         end
       done;
       if !best < 0 then None else Some !best
     end
   in
+  (* Ratio test.  The entering variable grows from 0 by tau; each basic
+     variable moves by -tau * a_i, limited below by 0 and above by its own
+     bound; the entering variable itself is limited by [bound col].
+     Returns the limiting event. *)
   let leaving col bland =
-    (* Minimum ratio test; Bland tie-break on smallest basis index. *)
-    let best = ref (-1) and best_ratio = ref infinity in
+    let best = ref (-1)
+    and best_ratio = ref infinity
+    and best_upper = ref false in
     for i = 0 to r - 1 do
-      let a = t.(i).(col) in
-      if a > eps then begin
-        let ratio = t.(i).(width - 1) /. a in
+      let a = t.((i * width) + col) in
+      let candidate ratio upper_leave =
         let strictly_better = !best < 0 || ratio < !best_ratio -. eps in
         let tie_break =
           bland && !best >= 0
@@ -82,58 +137,199 @@ let maximize ?(eps = 1e-9) ?max_iterations problem =
         in
         if strictly_better || tie_break then begin
           best := i;
-          best_ratio := ratio
+          best_ratio := ratio;
+          best_upper := upper_leave
         end
+      in
+      if a > eps then candidate (t.((i * width) + nvars) /. a) false
+      else if a < -.eps then begin
+        let ub = bound basis.(i) in
+        if ub < infinity then candidate ((ub -. t.((i * width) + nvars)) /. -.a) true
       end
     done;
-    if !best < 0 then None else Some !best
+    let own = bound col in
+    if own <= !best_ratio then
+      if own = infinity then `Unbounded else `Flip
+    else if !best < 0 then `Unbounded
+    else `Pivot (!best, !best_upper)
+  in
+  (* Re-flip column [c] (substitute x := u - x): negate the column and
+     charge u * a_i to every rhs, objective row included. *)
+  let flip_column c u =
+    for i = 0 to r do
+      let k = (i * width) + c in
+      let a = t.(k) in
+      if a <> 0.0 then begin
+        t.((i * width) + nvars) <- t.((i * width) + nvars) -. (a *. u);
+        t.(k) <- -.a
+      end
+    done
   in
   let pivot row col =
-    let p = t.(row).(col) in
-    for j = 0 to width - 1 do
-      t.(row).(j) <- t.(row).(j) /. p
+    let base_p = row * width in
+    let p = t.(base_p + col) in
+    let cols_p = nnz.(row) and len_p = nnz_len.(row) in
+    for k = 0 to len_p - 1 do
+      let c = cols_p.(k) in
+      t.(base_p + c) <- t.(base_p + c) /. p
     done;
+    t.(base_p + col) <- 1.0;
+    t.(base_p + nvars) <- t.(base_p + nvars) /. p;
+    cells := !cells + len_p;
     for i = 0 to r do
       if i <> row then begin
-        let f = t.(i).(col) in
-        if Float.abs f > 0.0 then
-          for j = 0 to width - 1 do
-            t.(i).(j) <- t.(i).(j) -. (f *. t.(row).(j))
-          done
+        let base_i = i * width in
+        let f = t.(base_i + col) in
+        if f <> 0.0 then begin
+          let cols_i = nnz.(i) and len_i = nnz_len.(i) in
+          for k = 0 to len_i - 1 do
+            mark.(cols_i.(k)) <- true
+          done;
+          for k = 0 to len_p - 1 do
+            let c = cols_p.(k) in
+            t.(base_i + c) <- t.(base_i + c) -. (f *. t.(base_p + c));
+            if not mark.(c) then begin
+              mark.(c) <- true;
+              push i c
+            end
+          done;
+          t.(base_i + col) <- 0.0;
+          t.(base_i + nvars) <- t.(base_i + nvars) -. (f *. t.(base_p + nvars));
+          let cols_i = nnz.(i) and len_i = nnz_len.(i) in
+          for k = 0 to len_i - 1 do
+            mark.(cols_i.(k)) <- false
+          done;
+          cells := !cells + len_p
+        end
       end
     done;
     basis.(row) <- col
   in
   let degenerate_streak = ref 0 in
   let bland_active = ref false in
+  let bland_counted = ref false in
+  let flips = ref 0 in
+  let finish iter outcome =
+    Obs.Metrics.incr m_solves;
+    Obs.Metrics.add m_iterations iter;
+    Obs.Metrics.add m_bound_flips !flips;
+    Obs.Metrics.add m_cells !cells;
+    outcome
+  in
   let rec loop iter =
     if iter > max_iterations then failwith "Simplex: iteration limit";
-    let bland = !degenerate_streak > 2 * (n + r) in
+    let bland = !degenerate_streak > 2 * nvars in
     if bland && not !bland_active then begin
       bland_active := true;
-      Obs.Metrics.incr m_bland_activations
+      (* Count activations once per solve: oscillating in and out of
+         Bland's rule within one solve is a single event. *)
+      if not !bland_counted then begin
+        bland_counted := true;
+        Obs.Metrics.incr m_bland_activations
+      end
     end;
     (if not bland then bland_active := false);
     match entering bland with
     | None ->
         let solution = Array.make n 0.0 in
         Array.iteri
-          (fun i b -> if b < n then solution.(b) <- t.(i).(width - 1))
+          (fun i b -> if b < n then solution.(b) <- t.((i * width) + nvars))
           basis;
-        Obs.Metrics.incr m_solves;
-        Obs.Metrics.add m_iterations iter;
-        Optimal { value = t.(r).(width - 1); solution; iterations = iter }
+        for j = 0 to n - 1 do
+          if flipped.(j) then solution.(j) <- upper.(j) -. solution.(j)
+        done;
+        finish iter
+          (Optimal { value = t.((r * width) + nvars); solution; iterations = iter })
     | Some col -> (
         match leaving col bland with
-        | None ->
-            Obs.Metrics.incr m_solves;
-            Obs.Metrics.add m_iterations iter;
-            Unbounded
-        | Some row ->
-            let before = t.(row).(width - 1) in
+        | `Unbounded -> finish iter Unbounded
+        | `Flip ->
+            (* The entering variable reaches its own upper bound first:
+               no basis change, strict objective improvement. *)
+            flip_column col (bound col);
+            flipped.(col) <- not flipped.(col);
+            incr flips;
+            degenerate_streak := 0;
+            loop (iter + 1)
+        | `Pivot (row, upper_leave) ->
+            let before = t.((row * width) + nvars) in
+            if upper_leave then begin
+              (* The leaving variable exits at its upper bound: flip it
+                 first (its column is the unit vector of [row], so only
+                 that rhs moves), then pivot on the now-negative entry. *)
+              let l = basis.(row) in
+              flip_column l (bound l);
+              flipped.(l) <- not flipped.(l)
+            end;
             pivot row col;
-            if before <= eps then incr degenerate_streak
+            let step = Float.abs (t.((row * width) + nvars) -. before) in
+            if (not upper_leave) && before <= eps then incr degenerate_streak
+            else if upper_leave && step <= eps then incr degenerate_streak
             else degenerate_streak := 0;
             loop (iter + 1))
   in
   loop 0
+
+let validate_sparse ~n (cols, coefs, b) =
+  if Array.length cols <> Array.length coefs then invalid_arg "Simplex: ragged row";
+  Array.iter (fun c -> if c < 0 || c >= n then invalid_arg "Simplex: column out of range") cols;
+  if b < 0.0 then invalid_arg "Simplex: negative rhs"
+
+let maximize_bounded ?(eps = 1e-9) ?max_iterations ~objective ~upper ~rows () =
+  let n = Array.length objective in
+  if Array.length upper <> n then invalid_arg "Simplex: upper bound length";
+  Array.iter
+    (fun u -> if u < 0.0 || Float.is_nan u then invalid_arg "Simplex: negative upper bound")
+    upper;
+  let rows = Array.of_list rows in
+  Array.iter (validate_sparse ~n) rows;
+  let r = Array.length rows in
+  let max_iterations =
+    match max_iterations with Some k -> k | None -> 50 * (n + r + 1)
+  in
+  solve_core ~eps ~max_iterations ~objective ~upper ~rows
+
+(* Dense adapter: same interface and [Optimal]/[Unbounded] semantics as the
+   historical dense solver.  Rows with a single positive coefficient are
+   box constraints in disguise — they become implicit upper bounds instead
+   of rows; all-zero and single-negative-coefficient rows are redundant
+   under [x >= 0, b >= 0] and are dropped. *)
+let maximize ?(eps = 1e-9) ?max_iterations problem =
+  let n = Array.length problem.objective in
+  let upper = Array.make n infinity in
+  let general = ref [] in
+  let r_general = ref 0 in
+  List.iter
+    (fun (a, b) ->
+      if Array.length a <> n then invalid_arg "Simplex: ragged row";
+      if b < 0.0 then invalid_arg "Simplex: negative rhs";
+      let nz = ref [] and count = ref 0 in
+      for j = n - 1 downto 0 do
+        if a.(j) <> 0.0 then begin
+          nz := (j, a.(j)) :: !nz;
+          incr count
+        end
+      done;
+      match !nz with
+      | [] -> ()
+      | [ (j, aj) ] when aj > 0.0 -> upper.(j) <- Float.min upper.(j) (b /. aj)
+      | [ (_, aj) ] when aj < 0.0 -> ()
+      | nz ->
+          let k = !count in
+          let cols = Array.make k 0 and coefs = Array.make k 0.0 in
+          List.iteri
+            (fun i (j, aj) ->
+              cols.(i) <- j;
+              coefs.(i) <- aj)
+            nz;
+          incr r_general;
+          general := (cols, coefs, b) :: !general)
+    problem.rows;
+  let rows = Array.of_list (List.rev !general) in
+  let r = Array.length rows in
+  let max_iterations =
+    match max_iterations with
+    | Some k -> k
+    | None -> 50 * (n + r + List.length problem.rows + 1)
+  in
+  solve_core ~eps ~max_iterations ~objective:problem.objective ~upper ~rows

@@ -1,10 +1,22 @@
-(** A dense primal simplex solver for packing linear programs.
+(** A bounded-variable primal simplex over sparse rows, for packing LPs.
 
-    Solves [maximize c.x  s.t.  A x <= b, x >= 0] with [b >= 0], which is
-    exactly the shape of the UFPP relaxation (1) in the paper (capacity rows
-    plus the [x_j <= 1] box rows).  With [b >= 0] the all-slack basis is
-    feasible, so no phase-one is needed.  Dantzig pricing with a switch to
-    Bland's rule after a degeneracy streak guards against cycling. *)
+    Solves [maximize c.x  s.t.  A x <= b, 0 <= x <= u] with [b >= 0],
+    which is exactly the shape of the UFPP relaxation (1) in the paper:
+    capacity rows plus [x_j <= 1] box constraints.  Box constraints are
+    handled implicitly by upper-bound substitution (a variable at its
+    upper bound is stored flipped, [x := u - x]) — they cost a column
+    negation instead of a row, a slack and a pivot each.  Rows are sparse:
+    the tableau tracks each row's potentially-nonzero columns and pivots
+    walk only those, which on UFPP capacity rows (only the tasks crossing
+    one edge) is far below the full width.  With [b >= 0] the all-slack
+    basis is feasible, so no phase-one is needed.  Dantzig pricing with a
+    switch to Bland's rule after a degeneracy streak guards against
+    cycling.
+
+    Emits counters [simplex.solves], [simplex.iterations],
+    [simplex.bland_activations] (at most once per solve),
+    [simplex.bound_flips], [simplex.pivots_cells_touched] and the
+    histogram [simplex.row_nnz]. *)
 
 type problem = {
   objective : float array;       (** [c], length n *)
@@ -16,10 +28,27 @@ type outcome =
   | Unbounded
 
 val maximize : ?eps:float -> ?max_iterations:int -> problem -> outcome
-(** [eps] is the pivoting tolerance (default 1e-9).  Raises
-    [Invalid_argument] on negative right-hand sides or ragged rows, and
-    [Failure] if [max_iterations] (default [50 * (n + #rows)]) is hit —
-    which for these packing LPs indicates a bug, not hard input. *)
+(** Dense-row adapter kept for compatibility: rows whose single nonzero
+    coefficient is positive are folded into implicit upper bounds, the
+    rest become sparse rows.  [eps] is the pivoting tolerance (default
+    1e-9).  Raises [Invalid_argument] on negative right-hand sides or
+    ragged rows, and [Failure] if [max_iterations] (default
+    [50 * (n + #rows)]) is hit — which for these packing LPs indicates a
+    bug, not hard input. *)
+
+val maximize_bounded :
+  ?eps:float ->
+  ?max_iterations:int ->
+  objective:float array ->
+  upper:float array ->
+  rows:(int array * float array * float) list ->
+  unit ->
+  outcome
+(** The sparse core.  [upper.(j)] bounds variable [j] from above
+    ([infinity] allowed; [0] fixes the variable).  Each row is
+    [(cols, coefs, b)] listing only the nonzero columns; [b >= 0].
+    Raises like {!maximize}, plus [Invalid_argument] on out-of-range
+    columns or negative/NaN upper bounds. *)
 
 val box_row : n:int -> int -> float -> float array * float
 (** [box_row ~n j ub] is the row encoding [x_j <= ub]. *)

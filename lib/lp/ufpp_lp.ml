@@ -18,30 +18,32 @@ let solve_scaled path ~scale ts =
   else begin
     let objective = Array.map (fun (j : Core.Task.t) -> j.Core.Task.weight) cols in
     let m = Core.Path.num_edges path in
-    let used = Array.make m false in
-    Array.iter
-      (fun (j : Core.Task.t) ->
-        for e = j.Core.Task.first_edge to j.Core.Task.last_edge do
-          used.(e) <- true
-        done)
-      cols;
+    (* Gather each edge's incident columns by walking every task's
+       interval once — O(sum of spans), not O(m * n).  Iterating columns
+       in decreasing order leaves each per-edge list increasing. *)
+    let ecols = Array.make m [] in
+    for c = n - 1 downto 0 do
+      let j = cols.(c) in
+      for e = j.Core.Task.first_edge to j.Core.Task.last_edge do
+        ecols.(e) <- c :: ecols.(e)
+      done
+    done;
     let capacity_rows = ref [] in
     for e = m - 1 downto 0 do
-      if used.(e) then begin
-        let a = Array.make n 0.0 in
-        Array.iteri
-          (fun c (j : Core.Task.t) ->
-            if Core.Task.uses j e then a.(c) <- float_of_int j.Core.Task.demand)
-          cols;
-        capacity_rows := (a, cap e) :: !capacity_rows
-      end
+      match ecols.(e) with
+      | [] -> ()
+      | cs ->
+          let row_cols = Array.of_list cs in
+          let coefs =
+            Array.map
+              (fun c -> float_of_int cols.(c).Core.Task.demand)
+              row_cols
+          in
+          capacity_rows := (row_cols, coefs, cap e) :: !capacity_rows
     done;
-    let box_rows = List.init n (fun c -> Simplex.box_row ~n c 1.0) in
-    let problem =
-      { Simplex.objective; rows = !capacity_rows @ box_rows }
-    in
-    match Simplex.maximize problem with
-    | Simplex.Unbounded -> assert false (* box rows bound every variable *)
+    let upper = Array.make n 1.0 in
+    match Simplex.maximize_bounded ~objective ~upper ~rows:!capacity_rows () with
+    | Simplex.Unbounded -> assert false (* upper bounds every variable *)
     | Simplex.Optimal { value; solution = x; iterations = _ } ->
         (* Scatter column values back to input-task order. *)
         let solution = Array.make n_all 0.0 in

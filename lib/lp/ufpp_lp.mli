@@ -15,10 +15,14 @@ type t = {
 }
 
 val solve : Core.Path.t -> Core.Task.t list -> t
-(** Builds and solves the relaxation.  Edges used by no task contribute no
-    row; tasks that do not fit alone ([d_j > b(j)]) have their variable
-    fixed to 0 (they can never appear in an integral solution, and leaving
-    them fractional would inflate the bound). *)
+(** Builds and solves the relaxation.  Capacity rows are assembled
+    sparsely by walking each task's edge interval once (O(total span))
+    and the [x_j <= 1] boxes become implicit variable bounds, so the LP
+    handed to {!Simplex.maximize_bounded} has one row per used edge and
+    no box rows at all.  Edges used by no task contribute no row; tasks
+    that do not fit alone ([d_j > b(j)]) have their variable fixed to 0
+    (they can never appear in an integral solution, and leaving them
+    fractional would inflate the bound). *)
 
 val solve_scaled : Core.Path.t -> scale:float -> Core.Task.t list -> t
 (** Like {!solve} but with every capacity multiplied by [scale] (used to

@@ -93,7 +93,9 @@ let solve_report ?(config = default_config) path ts =
     Obs.Trace.with_span "combine.part.small" @@ fun () ->
     Obs.Metrics.time h_small_seconds @@ fun () ->
     let prng = Util.Prng.create config.seed in
-    `Small (Small.strip_pack ~rounding:config.rounding ~prng path split.Core.Classify.small)
+    `Small
+      (Small.strip_pack ~parallel:config.parallel ~rounding:config.rounding
+         ~prng path split.Core.Classify.small)
   in
   let medium_thunk () =
     Obs.Trace.with_span "combine.part.medium" @@ fun () ->

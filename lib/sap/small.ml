@@ -29,7 +29,13 @@ let solve_band ~b ~rounding ~prng path ts =
       match rounding with
       | `Local_ratio -> Ufpp.Strip_local_ratio.solve ~b path ts
       | `Lp trials ->
-          let clipped = Path.clip path (2 * b) in
+          (* Observation 2 makes clipping free; when every capacity is
+             already at most 2B it is also the identity, so skip the
+             profile copy. *)
+          let clipped =
+            if 2 * b >= Path.max_capacity path then path
+            else Path.clip path (2 * b)
+          in
           let lp = Lp.Ufpp_lp.solve clipped ts in
           Obs.Metrics.observe h_lp_objective lp.Lp.Ufpp_lp.value;
           Obs.Trace.add_attr "lp_objective"
@@ -54,7 +60,16 @@ let solve_band ~b ~rounding ~prng path ts =
     r.Dsa.Strip_transform.packed
   end
 
-let strip_pack ~rounding ~prng path ts =
+(* Exactly how many PRNG draws [solve_band] consumes: the LP-rounding
+   path draws one Bernoulli per task per trial (the per-trial filter
+   evaluates every task), and nothing else in the band touches the
+   generator.  Bands with budget [b/2 = 0] return before rounding. *)
+let band_draws ~rounding ~b n_tasks =
+  match rounding with
+  | `Local_ratio -> 0
+  | `Lp trials -> if b / 2 = 0 then 0 else trials * n_tasks
+
+let strip_pack ?(parallel = false) ~rounding ~prng path ts =
   let ts = List.filter (fun (j : Task.t) -> j.Task.demand <= Path.bottleneck_of path j) ts in
   let bands = Core.Classify.strip_bands path ts in
   Obs.Trace.with_span "small.strip_pack"
@@ -62,12 +77,27 @@ let strip_pack ~rounding ~prng path ts =
       [
         ("tasks", string_of_int (List.length ts));
         ("bands", string_of_int (List.length bands));
+        ("parallel", string_of_bool parallel);
       ]
     (fun () ->
-      List.fold_left
-        (fun acc (t, band_tasks) ->
-          let b = 1 lsl t in
-          let sol =
+      (* Bands are independent, so they fan out over domains.  Each band
+         gets a child generator jumped to the exact stream position the
+         sequential fold would reach it at, so parallel and sequential
+         runs place identical tasks — and both match the historical
+         single-generator fold bit for bit. *)
+      let offsets, total =
+        List.fold_left
+          (fun (offs, off) (t, band_tasks) ->
+            let b = 1 lsl t in
+            (off :: offs, off + band_draws ~rounding ~b (List.length band_tasks)))
+          ([], 0) bands
+      in
+      let jobs = if parallel then Util.Parallel.default_jobs () else 1 in
+      let solutions =
+        Util.Parallel.map ~jobs
+          (fun ((t, band_tasks), offset) ->
+            let b = 1 lsl t in
+            let child = Util.Prng.jump prng offset in
             Obs.Trace.with_span "small.band"
               ~attrs:
                 [
@@ -75,9 +105,14 @@ let strip_pack ~rounding ~prng path ts =
                   ("b", string_of_int b);
                   ("tasks", string_of_int (List.length band_tasks));
                 ]
-              (fun () -> solve_band ~b ~rounding ~prng path band_tasks)
-          in
+              (fun () -> solve_band ~b ~rounding ~prng:child path band_tasks))
+          (List.combine bands (List.rev offsets))
+      in
+      Util.Prng.skip prng total;
+      List.fold_left2
+        (fun acc (t, _) sol ->
+          let b = 1 lsl t in
           (* Strip-Pack line 3: lift band t's strip into [2^(t-1), 2^t). *)
           let lifted = Core.Solution.lift sol (b / 2) in
           Core.Solution.union acc lifted)
-        [] bands)
+        [] bands solutions)

@@ -28,10 +28,18 @@ val solve_band :
     [0, b/2)). *)
 
 val strip_pack :
+  ?parallel:bool ->
   rounding:rounding ->
   prng:Util.Prng.t ->
   Core.Path.t ->
   Core.Task.t list ->
   Core.Solution.sap
 (** Algorithm Strip-Pack over all bands.  The returned solution is feasible
-    for the original path (checked by the callers' test harness). *)
+    for the original path (checked by the callers' test harness).
+
+    With [~parallel:true] (default false) the bands fan out over
+    {!Util.Parallel.map}.  Each band draws from a child generator jumped
+    ({!Util.Prng.jump}) to the exact position the sequential band order
+    would reach it at, so the placements — and therefore every weight
+    gauge — are identical whether bands run on one domain or many.
+    [prng] is advanced past all bands' draws either way. *)

@@ -47,24 +47,44 @@ let greedy_round ~budget path fx =
   in
   alteration ~budget path candidates
 
-let random_round ~budget ~prng path fx =
-  let sampled =
-    List.filter (fun (_, x) -> Util.Prng.bernoulli prng x) fx |> List.map fst
-  in
-  (* Heaviest-first alteration biases the dropped mass toward light tasks. *)
-  let sampled =
-    List.sort
-      (fun (a : Task.t) (b : Task.t) -> Float.compare b.Task.weight a.Task.weight)
-      sampled
-  in
-  alteration ~budget path sampled
+(* The heaviest-first order of the full task list, computed once per call
+   instead of re-sorting every trial's sample.  Stable sorts commute with
+   filtering (the relative order of any two elements depends only on
+   their keys and original positions), so walking this permutation and
+   keeping the sampled tasks yields exactly the list the per-trial
+   [List.sort] used to.  [Array.stable_sort], not [Array.sort]: ties must
+   break by original position to reproduce the historical placements. *)
+let weight_order fx_arr =
+  let order = Array.init (Array.length fx_arr) (fun i -> i) in
+  Array.stable_sort
+    (fun i1 i2 ->
+      let (j1 : Task.t), _ = fx_arr.(i1) and (j2 : Task.t), _ = fx_arr.(i2) in
+      Float.compare j2.Task.weight j1.Task.weight)
+    order;
+  order
 
-let round ~budget ~trials ~prng path fx =
-  let best = ref (greedy_round ~budget path fx) in
-  let best_w = ref (Task.weight_of !best) in
+(* One trial's sample, heaviest first.  The Bernoulli draws happen in the
+   original [fx] order — one per task, sampled or not — so the stream
+   consumption is identical to the historical per-trial filter-then-sort. *)
+let sample_sorted ~prng fx_arr order scratch =
+  Array.iteri (fun i (_, x) -> scratch.(i) <- Util.Prng.bernoulli prng x) fx_arr;
+  let sampled = ref [] in
+  for k = Array.length order - 1 downto 0 do
+    let i = order.(k) in
+    if scratch.(i) then sampled := fst fx_arr.(i) :: !sampled
+  done;
+  !sampled
+
+let best_of_trials ~trials ~prng ~budget_of path fx greedy =
+  let fx_arr = Array.of_list fx in
+  let order = weight_order fx_arr in
+  let scratch = Array.make (Array.length fx_arr) false in
+  let best = ref greedy in
+  let best_w = ref (Task.weight_of greedy) in
   for _ = 1 to trials do
     Obs.Metrics.incr m_trials;
-    let s = random_round ~budget ~prng path fx in
+    let sampled = sample_sorted ~prng fx_arr order scratch in
+    let s = alteration_per_edge ~budget_of path sampled in
     let w = Task.weight_of s in
     if w > !best_w then begin
       Obs.Metrics.incr m_improvements;
@@ -73,6 +93,10 @@ let round ~budget ~trials ~prng path fx =
     end
   done;
   !best
+
+let round ~budget ~trials ~prng path fx =
+  let greedy = greedy_round ~budget path fx in
+  best_of_trials ~trials ~prng ~budget_of:(fun _ -> budget) path fx greedy
 
 let round_capacities ~trials ~prng path fx =
   let budget_of e = Path.capacity path e in
@@ -83,21 +107,4 @@ let round_capacities ~trials ~prng path fx =
     |> List.map fst
     |> alteration_per_edge ~budget_of path
   in
-  let best = ref greedy in
-  let best_w = ref (Task.weight_of greedy) in
-  for _ = 1 to trials do
-    Obs.Metrics.incr m_trials;
-    let sampled =
-      List.filter (fun (_, x) -> Util.Prng.bernoulli prng x) fx
-      |> List.map fst
-      |> List.sort (fun (a : Task.t) b -> Float.compare b.Task.weight a.Task.weight)
-    in
-    let s = alteration_per_edge ~budget_of path sampled in
-    let w = Task.weight_of s in
-    if w > !best_w then begin
-      Obs.Metrics.incr m_improvements;
-      best := s;
-      best_w := w
-    end
-  done;
-  !best
+  best_of_trials ~trials ~prng ~budget_of path fx greedy

@@ -20,6 +20,17 @@ let split g =
   let seed = next_raw g in
   { state = seed }
 
+(* SplitMix64's state advances by a constant increment per draw, so
+   fast-forwarding k draws is one multiply-add — the finalizer only runs
+   on output, never on the state.  Every primitive above consumes exactly
+   one [next_raw] per call except [int]/[int_in] (rejection sampling) and
+   their derivatives, whose consumption is data-dependent. *)
+let jump g k =
+  { state = Int64.add g.state (Int64.mul golden_gamma (Int64.of_int k)) }
+
+let skip g k =
+  g.state <- Int64.add g.state (Int64.mul golden_gamma (Int64.of_int k))
+
 (* Mask to 62 bits: [Int64.to_int] keeps the low 63 bits, whose top bit
    would become OCaml's sign bit. *)
 let bits62 g =

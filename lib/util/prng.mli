@@ -20,6 +20,17 @@ val split : t -> t
     generator.  Used to give sub-components their own streams without
     coupling their consumption rates. *)
 
+val jump : t -> int -> t
+(** [jump g k] is a fresh generator whose stream equals [g]'s after [k]
+    single-draw primitives ([int64], [float], [bool], [bernoulli] — not
+    the rejection-sampling [int] family), in O(1) and without touching
+    [g].  [jump g 0] is [copy g]. *)
+
+val skip : t -> int -> unit
+(** [skip g k] advances [g] in place by [k] single-draw primitives, in
+    O(1).  [skip g k] then leaves [g] exactly where [k] calls to
+    [bernoulli] would. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 

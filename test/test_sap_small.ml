@@ -91,6 +91,22 @@ let strip_pack_ratio_vs_exact =
       let opt = Exact.Sap_brute.value path tasks in
       opt <= 1e-9 || Core.Solution.sap_weight sol >= (opt /. 5.0) -. 1e-9)
 
+let strip_pack_parallel_deterministic =
+  (* The band fan-out must be invisible: same placements (task ids AND
+     heights) and the same master-generator position whether bands run on
+     one domain or many. *)
+  Helpers.seed_property ~count:25 "--parallel band fan-out = sequential"
+    (fun seed ->
+      let path, tasks = strip_pack_instance seed in
+      let prng_seq = Util.Prng.create (seed * 7) in
+      let seq = Sap.Small.strip_pack ~rounding:(`Lp 8) ~prng:prng_seq path tasks in
+      let prng_par = Util.Prng.create (seed * 7) in
+      let par =
+        Sap.Small.strip_pack ~parallel:true ~rounding:(`Lp 8) ~prng:prng_par path
+          tasks
+      in
+      seq = par && Util.Prng.int64 prng_seq = Util.Prng.int64 prng_par)
+
 let strip_pack_empty () =
   let path = Path.uniform ~edges:3 ~capacity:8 in
   let sol = Sap.Small.strip_pack ~rounding:`Local_ratio ~prng:(Util.Prng.create 0) path [] in
@@ -122,6 +138,7 @@ let () =
           strip_pack_feasible;
           strip_pack_band_disjoint;
           strip_pack_ratio_vs_exact;
+          strip_pack_parallel_deterministic;
           case "empty" strip_pack_empty;
           strip_pack_weight_sane;
         ] );
