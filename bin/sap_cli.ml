@@ -16,15 +16,31 @@
 module Task = Core.Task
 module Path = Core.Path
 
+(* Every file read funnels through here so all subcommands fail the same
+   way: `error: <file>: <msg>`, exit 2, never a raw backtrace.  The
+   Sys_error message from open/read usually leads with the path already;
+   strip it rather than printing the file twice. *)
+let read_text_file file =
+  try Sap_io.Instance_io.read_file file
+  with Sys_error m ->
+    let prefix = file ^ ": " in
+    let m =
+      if String.starts_with ~prefix m then
+        String.sub m (String.length prefix) (String.length m - String.length prefix)
+      else m
+    in
+    Printf.eprintf "error: %s: %s\n" file m;
+    exit 2
+
 let read_instance file =
-  match Sap_io.Instance_io.instance_of_string (Sap_io.Instance_io.read_file file) with
+  match Sap_io.Instance_io.instance_of_string (read_text_file file) with
   | Ok v -> v
   | Error m ->
       Printf.eprintf "error: %s: %s\n" file m;
       exit 2
 
 let read_solution ~tasks file =
-  match Sap_io.Instance_io.solution_of_string ~tasks (Sap_io.Instance_io.read_file file) with
+  match Sap_io.Instance_io.solution_of_string ~tasks (read_text_file file) with
   | Ok v -> v
   | Error m ->
       Printf.eprintf "error: %s: %s\n" file m;
@@ -335,12 +351,127 @@ let stats_cmd input =
   Format.printf "%a@." Core.Instance_stats.pp s;
   0
 
+(* ---------- serve ---------- *)
+
+module Server = Sap_server.Server
+module Transport = Sap_server.Transport
+module Client = Sap_server.Client
+module Proto = Sap_server.Protocol
+
+let serve_cmd socket stdio workers queue cache_capacity default_timeout_ms quiet =
+  (match (socket, stdio) with
+  | None, false ->
+      Printf.eprintf "error: serve needs --socket PATH or --stdio\n";
+      exit 2
+  | Some _, true ->
+      Printf.eprintf "error: --socket and --stdio are mutually exclusive\n";
+      exit 2
+  | _ -> ());
+  (* Counters feed the in-band `stats` response, so collection is on for
+     the server's whole lifetime (spans stay off: a long-running service
+     must not accumulate an unbounded span tree). *)
+  Obs.Metrics.enable ();
+  let config =
+    { Server.workers; queue_capacity = queue; cache_capacity; default_timeout_ms }
+  in
+  let server = Server.create ~config () in
+  (match socket with
+  | Some path ->
+      if not quiet then
+        Printf.eprintf "sap_cli serve: listening on %s\n%!" path;
+      Transport.serve_unix server ~socket_path:path
+  | None ->
+      if not quiet then Printf.eprintf "sap_cli serve: framed requests on stdin\n%!";
+      Transport.serve_channels server stdin stdout);
+  Server.drain server;
+  if not quiet then Printf.eprintf "sap_cli serve: drained, exiting\n%!";
+  0
+
+(* ---------- batch ---------- *)
+
+let batch_cmd socket files algorithm seed timeout_ms no_cache output_dir
+    want_stats shutdown quiet =
+  if files = [] then begin
+    Printf.eprintf "error: batch needs at least one instance file\n";
+    exit 2
+  end;
+  (match Sys.os_type with
+  | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  | _ -> ());
+  let instances = List.map (fun f -> (f, read_instance f)) files in
+  match Client.connect_unix socket with
+  | Error m ->
+      Printf.eprintf "error: cannot connect: %s\n" m;
+      2
+  | Ok fd ->
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      let params =
+        { Proto.algorithm; seed; timeout_ms; cache = not no_cache }
+      in
+      let t0 = Obs.Clock.monotonic_seconds () in
+      let result =
+        Client.run_batch ~ic ~oc ~params ~request_stats:want_stats
+          ~request_shutdown:shutdown (List.map snd instances)
+      in
+      let dt = Obs.Clock.monotonic_seconds () -. t0 in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      let ok = ref 0 and cached = ref 0 and failed = ref 0 in
+      List.iteri
+        (fun i (file, (_, tasks)) ->
+          match result.Client.responses.(i) with
+          | Some (Proto.Solved { summary; solution; _ }) ->
+              incr ok;
+              if summary.Proto.cached then incr cached;
+              if not quiet then
+                Printf.printf "ok       %s  scheduled=%d/%d weight=%.3f%s\n" file
+                  summary.Proto.scheduled (List.length tasks)
+                  summary.Proto.weight
+                  (if summary.Proto.cached then " (cached)" else "");
+              (match output_dir with
+              | None -> ()
+              | Some dir ->
+                  let out =
+                    Filename.concat dir (Filename.basename file ^ ".sol")
+                  in
+                  Sap_io.Instance_io.write_file out
+                    (Sap_io.Instance_io.solution_to_string solution))
+          | Some (Proto.Timed_out _) ->
+              incr failed;
+              Printf.printf "timeout  %s\n" file
+          | Some (Proto.Failed { code; message; _ }) ->
+              incr failed;
+              Printf.printf "error    %s  [%s] %s\n" file
+                (Proto.error_code_to_string code)
+                message
+          | Some _ ->
+              incr failed;
+              Printf.printf "error    %s  unexpected response kind\n" file
+          | None ->
+              incr failed;
+              Printf.printf "lost     %s  connection closed before response\n" file)
+        instances;
+      List.iter
+        (fun m -> Printf.eprintf "warning: %s\n" m)
+        result.Client.transport_errors;
+      if not quiet then
+        Printf.printf "batch: %d ok (%d cached), %d failed in %.3fs\n" !ok !cached
+          !failed dt;
+      (match result.Client.stats with
+      | Some stats -> print_endline (Obs.Json.to_string_pretty stats)
+      | None ->
+          if want_stats then
+            Printf.eprintf "warning: no stats response received\n");
+      if shutdown && not result.Client.shutdown_acked then
+        Printf.eprintf "warning: shutdown not acknowledged\n";
+      if !failed = 0 && result.Client.transport_errors = [] then 0 else 1
+
 (* ---------- cmdliner plumbing ---------- *)
 
 open Cmdliner
 
 let input_arg =
-  Arg.(required & opt (some file) None & info [ "i"; "input" ] ~doc:"Instance file.")
+  Arg.(required & opt (some string) None & info [ "i"; "input" ] ~doc:"Instance file.")
 
 let gen_term =
   let profile =
@@ -449,11 +580,11 @@ let bench_diff_term =
         $ time_factor $ ignores $ show_all)
 
 let check_term =
-  let sol = Arg.(required & opt (some file) None & info [ "s"; "solution" ] ~doc:"Solution file.") in
+  let sol = Arg.(required & opt (some string) None & info [ "s"; "solution" ] ~doc:"Solution file.") in
   Term.(const check_cmd $ input_arg $ sol)
 
 let show_term =
-  let sol = Arg.(value & opt (some file) None & info [ "s"; "solution" ] ~doc:"Solution file.") in
+  let sol = Arg.(value & opt (some string) None & info [ "s"; "solution" ] ~doc:"Solution file.") in
   let max_height =
     Arg.(value & opt (some int) None & info [ "max-height" ] ~doc:"Clip rendering height.")
   in
@@ -464,6 +595,89 @@ let show_term =
 
 let stats_term = Term.(const stats_cmd $ input_arg)
 
+let socket_arg =
+  Arg.(value & opt (some string) None
+       & info [ "socket" ] ~doc:"Unix-domain socket path.")
+
+let serve_term =
+  let stdio =
+    Arg.(value & flag
+         & info [ "stdio" ]
+             ~doc:"Serve framed requests on stdin/stdout instead of a socket \
+                   (one session, exits at end of input).")
+  in
+  let workers =
+    Arg.(value & opt (some int) None
+         & info [ "workers" ]
+             ~doc:"Worker domains in the solve pool (default: the \
+                   recommended domain count).")
+  in
+  let queue =
+    Arg.(value & opt (some int) None
+         & info [ "queue" ]
+             ~doc:"Job-queue high-water mark; past it, request admission \
+                   blocks (backpressure).  Default: 4x workers.")
+  in
+  let cache_capacity =
+    Arg.(value & opt int 1024
+         & info [ "cache-capacity" ]
+             ~doc:"LRU solution-cache entries; 0 disables caching.")
+  in
+  let default_timeout_ms =
+    Arg.(value & opt (some int) None
+         & info [ "default-timeout-ms" ]
+             ~doc:"Deadline applied to solve requests that carry none.")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No banner on stderr.") in
+  Term.(const serve_cmd $ socket_arg $ stdio $ workers $ queue $ cache_capacity
+        $ default_timeout_ms $ quiet)
+
+let batch_term =
+  let socket =
+    Arg.(required & opt (some string) None
+         & info [ "socket" ] ~doc:"Socket of a running `sap_cli serve`.")
+  in
+  let files =
+    Arg.(value & pos_all file []
+         & info [] ~docv:"INSTANCE" ~doc:"Instance files to solve.")
+  in
+  let algorithm =
+    Arg.(value & opt string "combine"
+         & info [ "algorithm"; "a" ]
+             ~doc:"combine | small | medium | large | sapu | firstfit | exact")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.") in
+  let timeout_ms =
+    Arg.(value & opt (some int) None
+         & info [ "timeout-ms" ] ~doc:"Per-request deadline.")
+  in
+  let no_cache =
+    Arg.(value & flag
+         & info [ "no-cache" ] ~doc:"Bypass the server's solution cache.")
+  in
+  let output_dir =
+    Arg.(value & opt (some dir) None
+         & info [ "o"; "output-dir" ]
+             ~doc:"Write each solution to DIR/<instance>.sol.")
+  in
+  let want_stats =
+    Arg.(value & flag
+         & info [ "stats" ]
+             ~doc:"Request the server's stats after the batch and print the \
+                   JSON (request/cache/pool totals, server.* metrics).")
+  in
+  let shutdown =
+    Arg.(value & flag
+         & info [ "shutdown" ]
+             ~doc:"Send a shutdown frame after the batch: the server drains \
+                   in-flight work, acknowledges, and exits.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only errors and stats output.")
+  in
+  Term.(const batch_cmd $ socket $ files $ algorithm $ seed $ timeout_ms
+        $ no_cache $ output_dir $ want_stats $ shutdown $ quiet)
+
 let cmds =
   [
     Cmd.v (Cmd.info "gen" ~doc:"Generate a random instance") gen_term;
@@ -471,6 +685,14 @@ let cmds =
     Cmd.v (Cmd.info "check" ~doc:"Verify a solution") check_term;
     Cmd.v (Cmd.info "show" ~doc:"Render an instance or solution") show_term;
     Cmd.v (Cmd.info "stats" ~doc:"Describe an instance") stats_term;
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:"Run the persistent solve service (worker pool + solution cache)")
+      serve_term;
+    Cmd.v
+      (Cmd.info "batch"
+         ~doc:"Submit instance files to a running serve; collect solutions and stats")
+      batch_term;
     Cmd.v
       (Cmd.info "bench-diff"
          ~doc:"Compare two stats reports metric-by-metric; exit 1 on regression")

@@ -1,0 +1,116 @@
+let m_hits = Obs.Metrics.counter "server.cache.hits"
+let m_misses = Obs.Metrics.counter "server.cache.misses"
+let m_evictions = Obs.Metrics.counter "server.cache.evictions"
+
+(* Classic Hashtbl + doubly-linked recency list; the list head is the
+   most recently used entry, the tail the eviction candidate. *)
+type 'v node = {
+  key : string;
+  mutable value : 'v;
+  mutable prev : 'v node option;
+  mutable next : 'v node option;
+}
+
+type 'v t = {
+  capacity : int;
+  table : (string, 'v node) Hashtbl.t;
+  mutable head : 'v node option;
+  mutable tail : 'v node option;
+  lock : Mutex.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  evictions : int Atomic.t;
+}
+
+type stats = { hits : int; misses : int; evictions : int; entries : int; capacity : int }
+
+let create ~capacity =
+  {
+    capacity;
+    table = Hashtbl.create (max 16 (min capacity 4096));
+    head = None;
+    tail = None;
+    lock = Mutex.create ();
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    evictions = Atomic.make 0;
+  }
+
+let locked (t : _ t) f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* Unlink [n] from the recency list (caller holds the lock). *)
+let unlink (t : _ t) n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front (t : _ t) n =
+  n.next <- t.head;
+  n.prev <- None;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let find (t : _ t) key =
+  if t.capacity <= 0 then begin
+    Atomic.incr t.misses;
+    Obs.Metrics.incr m_misses;
+    None
+  end
+  else
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some n ->
+            unlink t n;
+            push_front t n;
+            Atomic.incr t.hits;
+            Obs.Metrics.incr m_hits;
+            Some n.value
+        | None ->
+            Atomic.incr t.misses;
+            Obs.Metrics.incr m_misses;
+            None)
+
+let add (t : _ t) key value =
+  if t.capacity > 0 then
+    locked t (fun () ->
+        match Hashtbl.find_opt t.table key with
+        | Some n ->
+            n.value <- value;
+            unlink t n;
+            push_front t n
+        | None ->
+            if Hashtbl.length t.table >= t.capacity then (
+              match t.tail with
+              | Some lru ->
+                  unlink t lru;
+                  Hashtbl.remove t.table lru.key;
+                  Atomic.incr t.evictions;
+                  Obs.Metrics.incr m_evictions
+              | None -> ());
+            let n = { key; value; prev = None; next = None } in
+            Hashtbl.replace t.table key n;
+            push_front t n)
+
+let stats (t : _ t) : stats =
+  locked t (fun () ->
+      {
+        hits = Atomic.get t.hits;
+        misses = Atomic.get t.misses;
+        evictions = Atomic.get t.evictions;
+        entries = Hashtbl.length t.table;
+        capacity = t.capacity;
+      })
+
+let stats_json t =
+  let s = stats t in
+  Obs.Json.Obj
+    [
+      ("hits", Obs.Json.Int s.hits);
+      ("misses", Obs.Json.Int s.misses);
+      ("evictions", Obs.Json.Int s.evictions);
+      ("entries", Obs.Json.Int s.entries);
+      ("capacity", Obs.Json.Int s.capacity);
+    ]

@@ -1,0 +1,98 @@
+module P = Protocol
+
+type batch_result = {
+  responses : Protocol.response option array;
+  stats : Obs.Json.t option;
+  shutdown_acked : bool;
+  transport_errors : string list;
+}
+
+let run_batch ~ic ~oc ~params ?(request_stats = false) ?(request_shutdown = false)
+    instances =
+  let n = List.length instances in
+  let tasks_by_id = Array.of_list (List.map snd instances) in
+  let stats_id = n in
+  let shutdown_id = n + 1 in
+  let expected =
+    n + (if request_stats then 1 else 0) + if request_shutdown then 1 else 0
+  in
+  let tasks_for id =
+    if id >= 0 && id < n then Some tasks_by_id.(id) else None
+  in
+  let responses = Array.make n None in
+  let stats = ref None in
+  let shutdown_acked = ref false in
+  let errors = ref [] in
+  (* Reader domain: collect until every expected response arrived or the
+     server closed the stream.  All state it touches is joined before
+     use. *)
+  let reader =
+    Domain.spawn (fun () ->
+        let read_line () = try Some (input_line ic) with End_of_file -> None in
+        let rec loop remaining =
+          if remaining > 0 then
+            match P.read_frame ~read_line with
+            | None -> ()
+            | Some lines -> (
+                match P.response_of_lines ~tasks_for lines with
+                | Error m ->
+                    errors := ("bad response frame: " ^ m) :: !errors;
+                    loop (remaining - 1)
+                | Ok resp ->
+                    let id = P.response_id resp in
+                    if id >= 0 && id < n then responses.(id) <- Some resp
+                    else if id = stats_id && request_stats then
+                      stats :=
+                        (match resp with
+                        | P.Stats_reply { stats; _ } -> Some stats
+                        | _ -> None)
+                    else if id = shutdown_id && request_shutdown then
+                      shutdown_acked :=
+                        (match resp with P.Ack _ -> true | _ -> false)
+                    else
+                      errors :=
+                        Printf.sprintf "response for unknown id %d" id :: !errors;
+                    loop (remaining - 1))
+        in
+        loop expected)
+  in
+  (* Write-side failures (server died mid-batch) are collected locally —
+     [errors] belongs to the reader domain until the join. *)
+  let write_errors = ref [] in
+  let send frame =
+    if !write_errors = [] then
+      try
+        output_string oc frame;
+        flush oc
+      with Sys_error m -> write_errors := ("write failed: " ^ m) :: !write_errors
+  in
+  List.iteri
+    (fun i (path, tasks) ->
+      send (P.request_to_string (P.Solve { id = i; params; path; tasks })))
+    instances;
+  if request_stats then send (P.request_to_string (P.Stats { id = stats_id }));
+  if request_shutdown then
+    send (P.request_to_string (P.Shutdown { id = shutdown_id }));
+  (* Half-close the send direction: the server keeps reading until end of
+     input before its final in-order drain, so without this a batch whose
+     responses are still in flight would leave both sides waiting (the
+     server for a next frame, us for responses).  On non-socket streams
+     (pipes in tests) there is nothing to shut down — the caller closes
+     its write end instead. *)
+  (try Unix.shutdown (Unix.descr_of_out_channel oc) Unix.SHUTDOWN_SEND
+   with Unix.Unix_error _ | Sys_error _ | Invalid_argument _ -> ());
+  Domain.join reader;
+  {
+    responses;
+    stats = !stats;
+    shutdown_acked = !shutdown_acked;
+    transport_errors = List.rev !errors @ List.rev !write_errors;
+  }
+
+let connect_unix socket_path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect sock (Unix.ADDR_UNIX socket_path) with
+  | () -> Ok sock
+  | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      Error (Printf.sprintf "%s: %s" socket_path (Unix.error_message err))

@@ -1,0 +1,53 @@
+module Task = Core.Task
+module Path = Core.Path
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv1a64 s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  !h
+
+(* Tasks sorted by every content field (id last: ids are assigned in input
+   order, so two presentations of the same multiset may label tasks
+   differently — but the checker resolves solutions by id, so ids are
+   content for the cache's purposes too; a client reusing an instance file
+   keeps its ids stable). *)
+let canonical_task_order (a : Task.t) (b : Task.t) =
+  let c = compare a.Task.first_edge b.Task.first_edge in
+  if c <> 0 then c
+  else
+    let c = compare a.Task.last_edge b.Task.last_edge in
+    if c <> 0 then c
+    else
+      let c = compare a.Task.demand b.Task.demand in
+      if c <> 0 then c
+      else
+        let c = compare a.Task.weight b.Task.weight in
+        if c <> 0 then c else compare a.Task.id b.Task.id
+
+let solve_key ~algorithm ~seed path tasks =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "sap-key v1\x00";
+  Buffer.add_string buf algorithm;
+  Buffer.add_char buf '\x00';
+  Buffer.add_string buf (string_of_int seed);
+  Buffer.add_char buf '\x00';
+  Array.iter
+    (fun c ->
+      Buffer.add_string buf (string_of_int c);
+      Buffer.add_char buf ',')
+    (Path.capacities path);
+  Buffer.add_char buf '\x00';
+  List.iter
+    (fun (j : Task.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%d %d %d %d %.17g\x00" j.Task.id j.Task.first_edge
+           j.Task.last_edge j.Task.demand j.Task.weight))
+    (List.sort canonical_task_order tasks);
+  Printf.sprintf "%016Lx" (fnv1a64 (Buffer.contents buf))

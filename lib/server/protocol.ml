@@ -1,0 +1,331 @@
+type error_code =
+  | Bad_request
+  | Unknown_algorithm
+  | Infeasible
+  | Shutting_down
+  | Internal
+
+type solve_params = {
+  algorithm : string;
+  seed : int;
+  timeout_ms : int option;
+  cache : bool;
+}
+
+let default_solve_params =
+  { algorithm = "combine"; seed = 42; timeout_ms = None; cache = true }
+
+type request =
+  | Solve of {
+      id : int;
+      params : solve_params;
+      path : Core.Path.t;
+      tasks : Core.Task.t list;
+    }
+  | Stats of { id : int }
+  | Ping of { id : int }
+  | Shutdown of { id : int }
+
+type solve_summary = {
+  scheduled : int;
+  weight : float;
+  cached : bool;
+  time_ms : float;
+}
+
+type response =
+  | Solved of { id : int; summary : solve_summary; solution : Core.Solution.sap }
+  | Stats_reply of { id : int; stats : Obs.Json.t }
+  | Ack of { id : int }
+  | Failed of { id : int; code : error_code; message : string }
+  | Timed_out of { id : int }
+
+let request_id = function
+  | Solve { id; _ } | Stats { id } | Ping { id } | Shutdown { id } -> id
+
+let response_id = function
+  | Solved { id; _ }
+  | Stats_reply { id; _ }
+  | Ack { id }
+  | Failed { id; _ }
+  | Timed_out { id } ->
+      id
+
+let error_code_to_string = function
+  | Bad_request -> "bad-request"
+  | Unknown_algorithm -> "unknown-algorithm"
+  | Infeasible -> "infeasible"
+  | Shutting_down -> "shutting-down"
+  | Internal -> "internal"
+
+let error_code_of_string = function
+  | "bad-request" -> Some Bad_request
+  | "unknown-algorithm" -> Some Unknown_algorithm
+  | "infeasible" -> Some Infeasible
+  | "shutting-down" -> Some Shutting_down
+  | "internal" -> Some Internal
+  | _ -> None
+
+(* ---------- printing ---------- *)
+
+let request_to_string req =
+  let buf = Buffer.create 256 in
+  (match req with
+  | Solve { id; params; path; tasks } ->
+      Buffer.add_string buf
+        (Printf.sprintf "sap-request v1 %d solve algorithm=%s seed=%d" id
+           params.algorithm params.seed);
+      (match params.timeout_ms with
+      | Some ms -> Buffer.add_string buf (Printf.sprintf " timeout-ms=%d" ms)
+      | None -> ());
+      if not params.cache then Buffer.add_string buf " cache=0";
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (Sap_io.Instance_io.instance_to_string path tasks)
+  | Stats { id } -> Buffer.add_string buf (Printf.sprintf "sap-request v1 %d stats\n" id)
+  | Ping { id } -> Buffer.add_string buf (Printf.sprintf "sap-request v1 %d ping\n" id)
+  | Shutdown { id } ->
+      Buffer.add_string buf (Printf.sprintf "sap-request v1 %d shutdown\n" id));
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+let response_to_string resp =
+  let buf = Buffer.create 256 in
+  (match resp with
+  | Solved { id; summary; solution } ->
+      Buffer.add_string buf
+        (Printf.sprintf "sap-response v1 %d solved scheduled=%d weight=%.17g cached=%d time-ms=%.17g\n"
+           id summary.scheduled summary.weight
+           (if summary.cached then 1 else 0)
+           summary.time_ms);
+      Buffer.add_string buf (Sap_io.Instance_io.solution_to_string solution)
+  | Stats_reply { id; stats } ->
+      Buffer.add_string buf (Printf.sprintf "sap-response v1 %d stats\n" id);
+      Buffer.add_string buf (Obs.Json.to_string stats);
+      Buffer.add_char buf '\n'
+  | Ack { id } -> Buffer.add_string buf (Printf.sprintf "sap-response v1 %d ok\n" id)
+  | Failed { id; code; message } ->
+      Buffer.add_string buf
+        (Printf.sprintf "sap-response v1 %d error code=%s msg=%s\n" id
+           (error_code_to_string code) (String.escaped message))
+  | Timed_out { id } ->
+      Buffer.add_string buf (Printf.sprintf "sap-response v1 %d timeout\n" id));
+  Buffer.add_string buf "end\n";
+  Buffer.contents buf
+
+(* ---------- parsing ---------- *)
+
+let ( let* ) = Result.bind
+
+let tokens line = String.split_on_char ' ' line |> List.filter (( <> ) "")
+
+let parse_int what s =
+  match int_of_string_opt s with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "expected integer for %s, got %S" what s)
+
+let parse_float what s =
+  match float_of_string_opt s with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "expected number for %s, got %S" what s)
+
+(* [key=value] attribute tokens.  Unknown keys are an error: v1 has no
+   extension story yet, and silently dropping a mistyped [timout-ms]
+   would be a debugging trap. *)
+let parse_attrs ~allowed toks =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | tok :: rest -> (
+        match String.index_opt tok '=' with
+        | None -> Error (Printf.sprintf "malformed attribute %S" tok)
+        | Some i ->
+            let k = String.sub tok 0 i in
+            let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+            if List.mem k allowed then go ((k, v) :: acc) rest
+            else Error (Printf.sprintf "unknown attribute %S" k))
+  in
+  go [] toks
+
+let attr attrs k = List.assoc_opt k attrs
+
+let parse_bool what s =
+  match s with
+  | "0" -> Ok false
+  | "1" -> Ok true
+  | _ -> Error (Printf.sprintf "expected 0/1 for %s, got %S" what s)
+
+let no_body what = function
+  | [] -> Ok ()
+  | _ -> Error (Printf.sprintf "%s takes no body" what)
+
+let request_of_lines lines =
+  match lines with
+  | [] -> Error "empty frame"
+  | header :: body -> (
+      match tokens header with
+      | "sap-request" :: "v1" :: id :: verb :: attr_toks -> (
+          let* id = parse_int "request id" id in
+          let* () =
+            if id < 0 then Error "request id must be non-negative" else Ok ()
+          in
+          match verb with
+          | "solve" ->
+              let* attrs =
+                parse_attrs ~allowed:[ "algorithm"; "seed"; "timeout-ms"; "cache" ]
+                  attr_toks
+              in
+              let d = default_solve_params in
+              let algorithm =
+                match attr attrs "algorithm" with Some a -> a | None -> d.algorithm
+              in
+              let* seed =
+                match attr attrs "seed" with
+                | Some s -> parse_int "seed" s
+                | None -> Ok d.seed
+              in
+              let* timeout_ms =
+                match attr attrs "timeout-ms" with
+                | Some s ->
+                    let* v = parse_int "timeout-ms" s in
+                    if v < 0 then Error "timeout-ms must be non-negative"
+                    else Ok (Some v)
+                | None -> Ok None
+              in
+              let* cache =
+                match attr attrs "cache" with
+                | Some s -> parse_bool "cache" s
+                | None -> Ok d.cache
+              in
+              let* path, tasks =
+                Sap_io.Instance_io.instance_of_string (String.concat "\n" body)
+              in
+              Ok
+                (Solve
+                   { id; params = { algorithm; seed; timeout_ms; cache }; path; tasks })
+          | "stats" ->
+              let* () = no_body "stats" body in
+              Ok (Stats { id })
+          | "ping" ->
+              let* () = no_body "ping" body in
+              Ok (Ping { id })
+          | "shutdown" ->
+              let* () = no_body "shutdown" body in
+              Ok (Shutdown { id })
+          | other -> Error (Printf.sprintf "unknown verb %S" other))
+      | _ -> Error (Printf.sprintf "malformed request header %S" header))
+
+(* The [msg=] attribute must be last and swallows the rest of the header
+   line (escaped, so it stays on one line). *)
+let split_msg line =
+  let marker = " msg=" in
+  let n = String.length line and m = String.length marker in
+  let rec find i =
+    if i + m > n then None
+    else if String.sub line i m = marker then
+      Some (String.sub line 0 i, String.sub line (i + m) (n - i - m))
+    else find (i + 1)
+  in
+  find 0
+
+let response_of_lines ~tasks_for lines =
+  match lines with
+  | [] -> Error "empty frame"
+  | header :: body -> (
+      let plain, msg =
+        match split_msg header with
+        | Some (before, raw) -> (before, Some raw)
+        | None -> (header, None)
+      in
+      match tokens plain with
+      | "sap-response" :: "v1" :: id :: status :: attr_toks -> (
+          let* id = parse_int "response id" id in
+          match status with
+          | "solved" ->
+              let* attrs =
+                parse_attrs
+                  ~allowed:[ "scheduled"; "weight"; "cached"; "time-ms" ]
+                  attr_toks
+              in
+              let req what = function
+                | Some v -> Ok v
+                | None -> Error (Printf.sprintf "missing attribute %s" what)
+              in
+              let* scheduled = req "scheduled" (attr attrs "scheduled") in
+              let* scheduled = parse_int "scheduled" scheduled in
+              let* weight = req "weight" (attr attrs "weight") in
+              let* weight = parse_float "weight" weight in
+              let* cached = req "cached" (attr attrs "cached") in
+              let* cached = parse_bool "cached" cached in
+              let* time_ms = req "time-ms" (attr attrs "time-ms") in
+              let* time_ms = parse_float "time-ms" time_ms in
+              let* tasks =
+                match tasks_for id with
+                | Some ts -> Ok ts
+                | None -> Error (Printf.sprintf "no instance known for response id %d" id)
+              in
+              let* solution =
+                Sap_io.Instance_io.solution_of_string ~tasks (String.concat "\n" body)
+              in
+              Ok
+                (Solved
+                   { id; summary = { scheduled; weight; cached; time_ms }; solution })
+          | "stats" -> (
+              match body with
+              | [ json_line ] -> (
+                  match Obs.Json.of_string json_line with
+                  | Ok stats -> Ok (Stats_reply { id; stats })
+                  | Error m -> Error ("stats body: " ^ m))
+              | _ -> Error "stats response body must be one JSON line")
+          | "ok" ->
+              let* () = no_body "ok" body in
+              Ok (Ack { id })
+          | "timeout" ->
+              let* () = no_body "timeout" body in
+              Ok (Timed_out { id })
+          | "error" -> (
+              let* attrs = parse_attrs ~allowed:[ "code" ] attr_toks in
+              let* () = no_body "error" body in
+              let* code =
+                match attr attrs "code" with
+                | Some c -> (
+                    match error_code_of_string c with
+                    | Some c -> Ok c
+                    | None -> Error (Printf.sprintf "unknown error code %S" c))
+                | None -> Error "missing attribute code"
+              in
+              let* message =
+                match msg with
+                | None -> Error "missing attribute msg"
+                | Some raw -> (
+                    match Scanf.unescaped raw with
+                    | s -> Ok s
+                    | exception Scanf.Scan_failure _ ->
+                        Error "undecodable msg escape")
+              in
+              Ok (Failed { id; code; message }))
+          | other -> Error (Printf.sprintf "unknown status %S" other))
+      | _ -> Error (Printf.sprintf "malformed response header %S" header))
+
+let strip_terminator lines =
+  match List.rev lines with
+  | last :: rev_rest when String.trim last = "end" -> Ok (List.rev rev_rest)
+  | _ -> Error "missing end terminator"
+
+let request_of_string s =
+  let lines = String.split_on_char '\n' s |> List.filter (( <> ) "") in
+  let* lines = strip_terminator lines in
+  request_of_lines lines
+
+let response_of_string ~tasks_for s =
+  let lines = String.split_on_char '\n' s |> List.filter (( <> ) "") in
+  let* lines = strip_terminator lines in
+  response_of_lines ~tasks_for lines
+
+let read_frame ~read_line =
+  let rec go acc =
+    match read_line () with
+    | None -> None
+    | Some line ->
+        if String.trim line = "end" then Some (List.rev acc)
+        else go (line :: acc)
+  in
+  go []

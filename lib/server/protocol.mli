@@ -1,0 +1,107 @@
+(** The solve service's wire protocol (version 1).
+
+    Newline-delimited frames over any byte stream (Unix-domain socket or
+    stdio).  A frame is a header line, an optional body reusing the
+    {!Sap_io.Instance_io} text formats, and a terminator line that is
+    exactly [end]:
+
+    {v
+    sap-request v1 <id> solve algorithm=combine seed=42 timeout-ms=500
+    sap-instance v1
+    capacities 4 5 4
+    task 0 0 1 2 1.5
+    end
+    v}
+
+    Request verbs: [solve] (body: an instance), [stats], [ping],
+    [shutdown] (no body).  Response statuses: [solved] (body: a
+    solution), [stats] (body: one line of compact JSON), [ok] (bare
+    acknowledgement), [error], [timeout] (no body).  Ids are
+    client-chosen non-negative integers echoed verbatim, so pipelined
+    clients can match responses to requests; the server answers a frame
+    whose header cannot be parsed with id [-1].
+
+    Header attributes are [key=value] tokens; [msg=] (error responses
+    only) must come last and swallows the rest of the line,
+    [String.escaped]-encoded so messages stay newline-free.  Bodies never
+    contain a bare [end] line (the Instance_io formats cannot produce
+    one), which is what makes single-line framing sound.  The spec lives
+    in docs/SERVER.md. *)
+
+type error_code =
+  | Bad_request  (** unparseable frame or malformed instance *)
+  | Unknown_algorithm
+  | Infeasible  (** the solver returned a checker-rejected solution *)
+  | Shutting_down  (** admission closed by graceful drain *)
+  | Internal  (** solver raised *)
+
+type solve_params = {
+  algorithm : string;  (** default ["combine"] *)
+  seed : int;  (** default [42] *)
+  timeout_ms : int option;  (** [None]: no deadline *)
+  cache : bool;  (** default [true]; [cache=0] bypasses lookup and insert *)
+}
+
+val default_solve_params : solve_params
+
+type request =
+  | Solve of {
+      id : int;
+      params : solve_params;
+      path : Core.Path.t;
+      tasks : Core.Task.t list;
+    }
+  | Stats of { id : int }
+  | Ping of { id : int }
+  | Shutdown of { id : int }
+
+type solve_summary = {
+  scheduled : int;
+  weight : float;
+  cached : bool;
+  time_ms : float;  (** solver wall time; [0] when served from cache *)
+}
+
+type response =
+  | Solved of { id : int; summary : solve_summary; solution : Core.Solution.sap }
+  | Stats_reply of { id : int; stats : Obs.Json.t }
+  | Ack of { id : int }  (** [ping] and [shutdown] acknowledgement *)
+  | Failed of { id : int; code : error_code; message : string }
+  | Timed_out of { id : int }
+
+val request_id : request -> int
+
+val response_id : response -> int
+
+val error_code_to_string : error_code -> string
+(** Wire names: [bad-request], [unknown-algorithm], [infeasible],
+    [shutting-down], [internal]. *)
+
+val error_code_of_string : string -> error_code option
+
+val request_to_string : request -> string
+(** Full frame, terminator and trailing newline included. *)
+
+val request_of_lines : string list -> (request, string) result
+(** Parse a frame given as its lines {e without} the [end] terminator. *)
+
+val request_of_string : string -> (request, string) result
+(** Parse a full frame (terminator required). *)
+
+val response_to_string : response -> string
+
+val response_of_lines :
+  tasks_for:(int -> Core.Task.t list option) ->
+  string list ->
+  (response, string) result
+(** [tasks_for id] resolves a [solved] body's task ids against the
+    instance the client sent under that request id. *)
+
+val response_of_string :
+  tasks_for:(int -> Core.Task.t list option) ->
+  string ->
+  (response, string) result
+
+val read_frame : read_line:(unit -> string option) -> string list option
+(** Pull lines from [read_line] until the [end] terminator; the returned
+    lines exclude it.  [None] on end-of-stream (clean or mid-frame). *)

@@ -1,0 +1,248 @@
+module P = Protocol
+
+let c_requests = Obs.Metrics.counter "server.requests"
+let c_solved = Obs.Metrics.counter "server.solved"
+let c_errors = Obs.Metrics.counter "server.errors"
+let c_timeouts = Obs.Metrics.counter "server.timeouts"
+
+type config = {
+  workers : int option;
+  queue_capacity : int option;
+  cache_capacity : int;
+  default_timeout_ms : int option;
+}
+
+let default_config =
+  { workers = None; queue_capacity = None; cache_capacity = 1024; default_timeout_ms = None }
+
+type cached_solve = {
+  c_scheduled : int;
+  c_weight : float;
+  c_solution : Core.Solution.sap;
+}
+
+type t = {
+  config : config;
+  pool : Pool.t;
+  cache : cached_solve Cache.t;
+  draining_flag : bool Atomic.t;
+  started : float;
+  n_requests : int Atomic.t;
+  n_solved : int Atomic.t;
+  n_errors : int Atomic.t;
+  n_timeouts : int Atomic.t;
+  latency : (string * Obs.Metrics.histogram) list;
+}
+
+(* Same parameter derivation as sap_cli's standalone algorithms: every
+   engine reads its knobs off [Combine.default_config], so a [solve]
+   request for [small] agrees with what [combine] would feed the small
+   part.  Per-request parallelism stays off — the pool provides
+   cross-request parallelism, and nesting domain fan-outs inside worker
+   domains would oversubscribe the machine. *)
+let algorithms ~seed =
+  let dc = Sap.Combine.default_config in
+  let q = Sap.Combine.q_of_beta dc.Sap.Combine.beta in
+  let ell = Sap.Almost_uniform.ell_for_eps ~eps:dc.Sap.Combine.eps ~q in
+  [
+    ( "combine",
+      fun path ts -> Sap.Combine.solve ~config:{ dc with Sap.Combine.seed } path ts );
+    ( "small",
+      fun path ts ->
+        Sap.Small.strip_pack ~rounding:dc.Sap.Combine.rounding
+          ~prng:(Util.Prng.create seed) path ts );
+    ( "medium",
+      fun path ts ->
+        (Sap.Almost_uniform.run ~ell ~q ?max_states:dc.Sap.Combine.max_states path ts)
+          .Sap.Almost_uniform.solution );
+    ("large", fun path ts -> Sap.Large.solve path ts);
+    ("sapu", fun path ts -> Sap.Sap_u.solve path ts);
+    ("firstfit", fun path ts -> fst (Dsa.First_fit.pack path ts));
+    ("exact", fun path ts -> Exact.Sap_brute.solve path ts);
+  ]
+
+let algorithm_names = List.map fst (algorithms ~seed:0)
+
+let create ?(config = default_config) () =
+  {
+    config;
+    pool = Pool.create ?workers:config.workers ?queue_capacity:config.queue_capacity ();
+    cache = Cache.create ~capacity:config.cache_capacity;
+    draining_flag = Atomic.make false;
+    started = Obs.Clock.monotonic_seconds ();
+    n_requests = Atomic.make 0;
+    n_solved = Atomic.make 0;
+    n_errors = Atomic.make 0;
+    n_timeouts = Atomic.make 0;
+    latency =
+      List.map
+        (fun a -> (a, Obs.Metrics.histogram ("server.latency_seconds." ^ a)))
+        algorithm_names;
+  }
+
+type pending = {
+  ready : unit -> bool;
+  force : unit -> Protocol.response;
+}
+
+let immediate resp = { ready = (fun () -> true); force = (fun () -> resp) }
+
+let draining t = Atomic.get t.draining_flag
+
+let stats_json t =
+  let uptime = Obs.Clock.monotonic_seconds () -. t.started in
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String "sap-server-stats v1");
+      ("uptime_seconds", Obs.Json.Float uptime);
+      ("draining", Obs.Json.Bool (draining t));
+      ( "requests",
+        Obs.Json.Obj
+          [
+            ("total", Obs.Json.Int (Atomic.get t.n_requests));
+            ("solved", Obs.Json.Int (Atomic.get t.n_solved));
+            ("errors", Obs.Json.Int (Atomic.get t.n_errors));
+            ("timeouts", Obs.Json.Int (Atomic.get t.n_timeouts));
+          ] );
+      ("cache", Cache.stats_json t.cache);
+      ("pool", Pool.stats_json t.pool);
+      ("metrics", Obs.Metrics.snapshot_json ());
+    ]
+
+let fail t ~id code message =
+  Atomic.incr t.n_errors;
+  Obs.Metrics.incr c_errors;
+  P.Failed { id; code; message }
+
+let timeout t ~id =
+  Atomic.incr t.n_timeouts;
+  Obs.Metrics.incr c_timeouts;
+  P.Timed_out { id }
+
+let solved t ~id ~cached ~time_ms (c : cached_solve) =
+  Atomic.incr t.n_solved;
+  Obs.Metrics.incr c_solved;
+  P.Solved
+    {
+      id;
+      summary =
+        { scheduled = c.c_scheduled; weight = c.c_weight; cached; time_ms };
+      solution = c.c_solution;
+    }
+
+let submit_solve t ~id (params : P.solve_params) path tasks =
+  match List.assoc_opt params.algorithm (algorithms ~seed:params.seed) with
+  | None ->
+      immediate
+        (fail t ~id P.Unknown_algorithm
+           (Printf.sprintf "unknown algorithm %S (have: %s)" params.algorithm
+              (String.concat ", " algorithm_names)))
+  | Some solve -> (
+      let key =
+        if params.cache then
+          Some
+            (Fingerprint.solve_key ~algorithm:params.algorithm ~seed:params.seed
+               path tasks)
+        else None
+      in
+      match Option.map (Cache.find t.cache) key |> Option.join with
+      | Some hit -> immediate (solved t ~id ~cached:true ~time_ms:0.0 hit)
+      | None -> (
+          let timeout_ms =
+            match params.timeout_ms with
+            | Some _ as s -> s
+            | None -> t.config.default_timeout_ms
+          in
+          let deadline =
+            Option.map
+              (fun ms ->
+                Obs.Clock.monotonic_seconds () +. (float_of_int ms /. 1000.0))
+              timeout_ms
+          in
+          let job () =
+            let expired =
+              match deadline with
+              | Some dl -> Obs.Clock.monotonic_seconds () >= dl
+              | None -> false
+            in
+            if expired then timeout t ~id
+            else
+              Obs.Trace.with_span "server.request"
+                ~attrs:[ ("algorithm", params.algorithm); ("id", string_of_int id) ]
+              @@ fun () ->
+              let t0 = Obs.Clock.monotonic_seconds () in
+              match solve path tasks with
+              | exception e ->
+                  fail t ~id P.Internal
+                    (Printf.sprintf "solver raised: %s" (Printexc.to_string e))
+              | sol -> (
+                  let dt = Obs.Clock.monotonic_seconds () -. t0 in
+                  (match List.assoc_opt params.algorithm t.latency with
+                  | Some h -> Obs.Metrics.observe h dt
+                  | None -> ());
+                  match Core.Checker.sap_feasible path sol with
+                  | Error m ->
+                      fail t ~id P.Infeasible ("solver produced infeasible solution: " ^ m)
+                  | Ok () ->
+                      let entry =
+                        {
+                          c_scheduled = List.length sol;
+                          c_weight = Core.Solution.sap_weight sol;
+                          c_solution = sol;
+                        }
+                      in
+                      (match key with
+                      | Some k -> Cache.add t.cache k entry
+                      | None -> ());
+                      solved t ~id ~cached:false ~time_ms:(dt *. 1000.0) entry)
+          in
+          match Pool.submit t.pool job with
+          | exception Pool.Closed ->
+              immediate (fail t ~id P.Shutting_down "server is draining")
+          | fut ->
+              let ready () =
+                Pool.completed fut
+                ||
+                match deadline with
+                | Some dl -> Obs.Clock.monotonic_seconds () >= dl
+                | None -> false
+              in
+              let force () =
+                match deadline with
+                | None -> Pool.await fut
+                | Some dl -> (
+                    match Pool.await_until fut ~deadline:dl with
+                    | Some resp -> resp
+                    | None ->
+                        (* The job keeps running to completion (it may
+                           still warm the cache); this request's answer
+                           is a clean timeout. *)
+                        timeout t ~id)
+              in
+              { ready; force }))
+
+let drain_pool t =
+  Atomic.set t.draining_flag true;
+  Pool.shutdown t.pool
+
+let submit t req =
+  Atomic.incr t.n_requests;
+  Obs.Metrics.incr c_requests;
+  let id = P.request_id req in
+  match req with
+  | P.Ping _ -> immediate (P.Ack { id })
+  | P.Stats _ ->
+      (* Evaluated at force time: a pipelined [stats] frame behind a
+         batch reflects that batch once the transport's in-order flush
+         reaches it. *)
+      { ready = (fun () -> true); force = (fun () -> P.Stats_reply { id; stats = stats_json t }) }
+  | P.Shutdown _ ->
+      Atomic.set t.draining_flag true;
+      { ready = (fun () -> true); force = (fun () -> drain_pool t; P.Ack { id }) }
+  | P.Solve { params; path; tasks; _ } ->
+      if draining t then immediate (fail t ~id P.Shutting_down "server is draining")
+      else submit_solve t ~id params path tasks
+
+let handle t req = (submit t req).force ()
+
+let drain t = drain_pool t

@@ -1,0 +1,66 @@
+(** The long-running solve service: request lifecycle over {!Pool} and
+    {!Cache}.
+
+    A request flows: admission check (draining servers refuse) → cache
+    lookup ({!Fingerprint.solve_key}) → pool submission (blocking past
+    the queue's high-water mark — that block {e is} the backpressure) →
+    solve + {!Core.Checker} verification in a worker domain → cache
+    insert.  Every phase is metered: [server.requests],
+    [server.queue_depth], [server.cache.{hits,misses,evictions}],
+    [server.latency_seconds.<algorithm>], and per-request [server.request]
+    spans when tracing is on.
+
+    Responses are never fabricated from unchecked solver output: a
+    solution that fails the checker turns into an [infeasible] error, a
+    raising solver into [internal], a missed deadline into [timeout].
+
+    Transports drive the server through {!submit}, which returns a
+    {!pending} handle instead of blocking, so a connection loop can keep
+    reading pipelined requests while earlier solves are still in flight
+    and flush completed responses opportunistically (FIFO order). *)
+
+type config = {
+  workers : int option;  (** [None]: {!Util.Parallel.default_jobs} *)
+  queue_capacity : int option;  (** [None]: [4 * workers] *)
+  cache_capacity : int;  (** LRU entries; [<= 0] disables caching *)
+  default_timeout_ms : int option;
+      (** applied to solve requests that carry no [timeout-ms] *)
+}
+
+val default_config : config
+(** Default workers and queue, 1024 cache entries, no default timeout. *)
+
+type t
+
+val create : ?config:config -> unit -> t
+
+type pending = {
+  ready : unit -> bool;
+      (** non-blocking: would [force] return without waiting? *)
+  force : unit -> Protocol.response;
+      (** block (up to the request's deadline) and produce the response;
+          idempotent per handle — call it once *)
+}
+
+val submit : t -> Protocol.request -> pending
+(** Admit one request.  May block on the pool's bounded queue (the
+    backpressure contract); never raises on bad input — malformed or
+    refused work comes back as an error response.  A [Shutdown] request
+    flips the server into draining mode immediately; forcing its pending
+    completes the drain and acknowledges. *)
+
+val handle : t -> Protocol.request -> Protocol.response
+(** [submit] + [force]: the synchronous convenience used by tests and
+    single-request callers. *)
+
+val stats_json : t -> Obs.Json.t
+(** The [stats] response payload: request/cache/pool totals plus the
+    current {!Obs.Metrics} snapshot (sap-stats v2 [metrics] shape; empty
+    unless metric collection is enabled). *)
+
+val draining : t -> bool
+(** True once a [Shutdown] request was admitted or {!drain} called. *)
+
+val drain : t -> unit
+(** Graceful shutdown: refuse new work, finish every accepted request,
+    stop the pool.  Idempotent. *)

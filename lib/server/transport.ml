@@ -1,0 +1,84 @@
+module P = Protocol
+
+let c_bad_frames = Obs.Metrics.counter "server.bad_frames"
+let c_connections = Obs.Metrics.counter "server.connections"
+
+let write_response oc resp =
+  output_string oc (P.response_to_string resp);
+  flush oc
+
+(* Flush the FIFO head while it can answer without blocking. *)
+let flush_ready oc pending =
+  let rec go () =
+    match Queue.peek_opt pending with
+    | Some p when p.Server.ready () ->
+        ignore (Queue.pop pending);
+        write_response oc (p.Server.force ());
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let drain_all oc pending =
+  while not (Queue.is_empty pending) do
+    write_response oc ((Queue.pop pending).Server.force ())
+  done
+
+let serve_channels t ic oc =
+  Obs.Metrics.incr c_connections;
+  let pending = Queue.create () in
+  let read_line () = try Some (input_line ic) with End_of_file -> None in
+  let rec loop () =
+    match P.read_frame ~read_line with
+    | None -> drain_all oc pending
+    | Some lines -> (
+        match P.request_of_lines lines with
+        | Error m ->
+            Obs.Metrics.incr c_bad_frames;
+            Queue.push
+              (Server.
+                 {
+                   ready = (fun () -> true);
+                   force = (fun () -> P.Failed { id = -1; code = P.Bad_request; message = m });
+                 })
+              pending;
+            flush_ready oc pending;
+            loop ()
+        | Ok req ->
+            let stop = match req with P.Shutdown _ -> true | _ -> false in
+            Queue.push (Server.submit t req) pending;
+            if stop then drain_all oc pending
+            else begin
+              flush_ready oc pending;
+              loop ()
+            end)
+  in
+  (* A peer that vanishes mid-write surfaces as Sys_error (EPIPE with
+     SIGPIPE ignored); the connection is simply over. *)
+  try loop () with Sys_error _ -> ()
+
+let serve_unix t ~socket_path =
+  (match Sys.os_type with
+  | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  | _ -> ());
+  (try Unix.unlink socket_path with Unix.Unix_error _ -> ());
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      try Unix.unlink socket_path with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.bind sock (Unix.ADDR_UNIX socket_path);
+      Unix.listen sock 16;
+      let rec accept_loop () =
+        if not (Server.draining t) then begin
+          let fd, _peer = Unix.accept sock in
+          let ic = Unix.in_channel_of_descr fd in
+          let oc = Unix.out_channel_of_descr fd in
+          serve_channels t ic oc;
+          (try flush oc with Sys_error _ -> ());
+          (try Unix.close fd with Unix.Unix_error _ -> ());
+          accept_loop ()
+        end
+      in
+      accept_loop ())

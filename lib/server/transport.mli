@@ -1,0 +1,26 @@
+(** Byte-stream transports for the solve service.
+
+    One connection = one framed request/response stream ({!Protocol}).
+    The connection loop reads frames and admits them via {!Server.submit}
+    — which blocks on the pool's bounded queue when the server is
+    saturated, so backpressure reaches the client through the kernel
+    socket buffer — and flushes completed responses opportunistically in
+    FIFO admission order (ids let pipelined clients re-associate them
+    anyway).  A frame whose header does not parse is answered with an
+    [error] response under id [-1]; the stream stays usable.
+
+    End of input drains every admitted request in order before closing;
+    a [shutdown] frame additionally drains the server itself (finish
+    in-flight, refuse new) and acknowledges {e after} the drain, so a
+    client that waits for the ack observes a fully quiesced server. *)
+
+val serve_channels : Server.t -> in_channel -> out_channel -> unit
+(** Serve one connection (or a stdio session) to completion.  Returns on
+    end of input, after a [shutdown] frame, or when the peer disappears
+    mid-write; never raises for transport-level failures. *)
+
+val serve_unix : Server.t -> socket_path:string -> unit
+(** Bind a Unix-domain socket (replacing any stale socket file), then
+    accept and serve connections sequentially until a [shutdown] frame
+    arrives; the socket file is removed on exit.  SIGPIPE is ignored for
+    the process (a dead peer must surface as [EPIPE], not a kill). *)

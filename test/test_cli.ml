@@ -296,6 +296,96 @@ let bench_diff_baseline_self () =
       if not (Sys.file_exists cli) then Alcotest.skip ()
       else Alcotest.(check int) "self-diff" 0 (run [ "bench-diff"; b; b ])
 
+let unreadable_file_is_clean_error () =
+  if not (Sys.file_exists cli) then Alcotest.skip ()
+  else
+    with_tmp (fun dir ->
+        let out = Filename.concat dir "err.txt" in
+        let missing = Filename.concat dir "nope.sap" in
+        let expect_clean what args =
+          Alcotest.(check int) what 2 (run_out ~out args);
+          let s = Sap_io.Instance_io.read_file out in
+          Alcotest.(check bool) (what ^ ": error prefix") true
+            (contains_sub s "error: ");
+          Alcotest.(check bool) (what ^ ": no backtrace") false
+            (contains_sub s "Raised at")
+        in
+        expect_clean "solve missing" [ "solve"; "-i"; missing ];
+        expect_clean "check missing" [ "check"; "-i"; missing; "-s"; missing ];
+        expect_clean "show missing" [ "show"; "-i"; missing ];
+        (* A directory fails the same way, not with a raw Sys_error. *)
+        expect_clean "solve directory" [ "solve"; "-i"; dir ])
+
+(* ---------- serve / batch over a Unix-domain socket ---------- *)
+
+let serve_batch_socket_smoke () =
+  if not (Sys.file_exists cli) then Alcotest.skip ()
+  else
+    with_tmp (fun dir ->
+        let insts =
+          List.init 3 (fun i ->
+              let f = Filename.concat dir (Printf.sprintf "inst%d.sap" i) in
+              Alcotest.(check int) "gen" 0
+                (run
+                   [ "gen"; "--edges"; "6"; "--tasks"; "8"; "--seed";
+                     string_of_int (100 + i); "-o"; f ]);
+              f)
+        in
+        let sock = Filename.concat dir "srv.sock" in
+        let null = Unix.openfile "/dev/null" [ Unix.O_RDWR ] 0 in
+        let pid =
+          Unix.create_process cli [| cli; "serve"; "--socket"; sock; "-q" |]
+            null null null
+        in
+        Unix.close null;
+        let reaped = ref None in
+        let reap_nohang () =
+          match !reaped with
+          | Some _ as s -> s
+          | None -> (
+              match Unix.waitpid [ Unix.WNOHANG ] pid with
+              | 0, _ -> None
+              | _, status ->
+                  reaped := Some status;
+                  !reaped)
+        in
+        Fun.protect
+          ~finally:(fun () ->
+            if reap_nohang () = None then begin
+              Unix.kill pid Sys.sigkill;
+              ignore (Unix.waitpid [] pid)
+            end)
+          (fun () ->
+            let rec wait_for cond n what =
+              if cond () then ()
+              else if n = 0 then Alcotest.failf "timed out waiting for %s" what
+              else begin
+                Unix.sleepf 0.05;
+                wait_for cond (n - 1) what
+              end
+            in
+            wait_for (fun () -> Sys.file_exists sock) 200 "server socket";
+            let out = Filename.concat dir "batch.txt" in
+            Alcotest.(check int) "batch" 0
+              (run_out ~out
+                 ([ "batch"; "--socket"; sock; "-o"; dir; "--stats"; "--shutdown" ]
+                 @ insts));
+            let s = Sap_io.Instance_io.read_file out in
+            Alcotest.(check bool) "stats json printed" true
+              (contains_sub s "sap-server-stats v1");
+            List.iter
+              (fun f ->
+                let sol = f ^ ".sol" in
+                Alcotest.(check bool) (Filename.basename sol ^ " written") true
+                  (Sys.file_exists sol);
+                Alcotest.(check int) (Filename.basename f ^ " checks") 0
+                  (run [ "check"; "-i"; f; "-s"; sol ]))
+              insts;
+            (* --shutdown was acked, so the server must exit cleanly. *)
+            wait_for (fun () -> reap_nohang () <> None) 200 "server exit";
+            Alcotest.(check bool) "server exited 0" true
+              (!reaped = Some (Unix.WEXITED 0))))
+
 let unknown_algorithm_fails () =
   if not (Sys.file_exists cli) then Alcotest.skip ()
   else
@@ -316,7 +406,9 @@ let () =
           case "unknown algorithm" unknown_algorithm_fails;
           case "solve --audit" solve_audit_output;
           case "solve --trace-chrome" solve_trace_chrome;
+          case "unreadable file" unreadable_file_is_clean_error;
         ] );
+      ("server", [ case "serve/batch socket smoke" serve_batch_socket_smoke ]);
       ( "bench-diff",
         [
           case "exit codes" bench_diff_exit_codes;

@@ -1,0 +1,587 @@
+(* The solve service: content fingerprints, the LRU cache, the persistent
+   worker pool, the wire protocol, and the request lifecycle end to end —
+   including the acceptance-critical properties: every response is
+   checker-valid, a repeated instance is a cache hit, and a graceful
+   drain loses no accepted request. *)
+
+module Task = Core.Task
+module Path = Core.Path
+module Fingerprint = Sap_server.Fingerprint
+module Cache = Sap_server.Cache
+module Pool = Sap_server.Pool
+module Proto = Sap_server.Protocol
+module Server = Sap_server.Server
+module Transport = Sap_server.Transport
+module Client = Sap_server.Client
+
+let case = Helpers.case
+
+(* ---------- fingerprint ---------- *)
+
+let key_of ?(algorithm = "combine") ?(seed = 42) path tasks =
+  Fingerprint.solve_key ~algorithm ~seed path tasks
+
+let fingerprint_order_invariant =
+  Helpers.seed_property "task order does not change the key" (fun seed ->
+      let path, tasks = Helpers.tiny_instance seed in
+      let arr = Array.of_list tasks in
+      Util.Prng.shuffle (Util.Prng.create (seed + 1)) arr;
+      key_of path tasks = key_of path (Array.to_list arr))
+
+let fingerprint_field_sensitivity () =
+  let path = Path.create [| 6; 8; 6; 7 |] in
+  let t ~id ~first ~last ~d ~w =
+    Task.make ~id ~first_edge:first ~last_edge:last ~demand:d ~weight:w
+  in
+  let tasks =
+    [ t ~id:0 ~first:0 ~last:1 ~d:2 ~w:1.5; t ~id:1 ~first:1 ~last:3 ~d:3 ~w:2.0 ]
+  in
+  let base = key_of path tasks in
+  let differs what key = Alcotest.(check bool) what true (key <> base) in
+  differs "capacity change"
+    (key_of (Path.create [| 6; 8; 6; 8 |]) tasks);
+  differs "extra edge" (key_of (Path.create [| 6; 8; 6; 7; 7 |]) tasks);
+  differs "demand change"
+    (key_of path [ t ~id:0 ~first:0 ~last:1 ~d:1 ~w:1.5; List.nth tasks 1 ]);
+  differs "weight change"
+    (key_of path [ t ~id:0 ~first:0 ~last:1 ~d:2 ~w:1.25; List.nth tasks 1 ]);
+  differs "interval change"
+    (key_of path [ t ~id:0 ~first:0 ~last:2 ~d:2 ~w:1.5; List.nth tasks 1 ]);
+  differs "id change"
+    (key_of path [ t ~id:7 ~first:0 ~last:1 ~d:2 ~w:1.5; List.nth tasks 1 ]);
+  differs "dropped task" (key_of path [ List.hd tasks ]);
+  differs "algorithm change" (key_of ~algorithm:"small" path tasks);
+  differs "seed change" (key_of ~seed:43 path tasks)
+
+let fnv_reference () =
+  (* Published FNV-1a/64 test vectors. *)
+  Alcotest.(check string) "empty" "cbf29ce484222325"
+    (Printf.sprintf "%016Lx" (Fingerprint.fnv1a64 ""));
+  Alcotest.(check string) "a" "af63dc4c8601ec8c"
+    (Printf.sprintf "%016Lx" (Fingerprint.fnv1a64 "a"));
+  Alcotest.(check string) "foobar" "85944171f73967e8"
+    (Printf.sprintf "%016Lx" (Fingerprint.fnv1a64 "foobar"))
+
+(* ---------- cache ---------- *)
+
+let cache_lru_eviction_order () =
+  let c = Cache.create ~capacity:3 in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  Cache.add c "c" 3;
+  (* Touch "a" so "b" becomes the LRU entry. *)
+  Alcotest.(check (option int)) "hit a" (Some 1) (Cache.find c "a");
+  Cache.add c "d" 4;
+  Alcotest.(check (option int)) "b evicted" None (Cache.find c "b");
+  Alcotest.(check (option int)) "a kept" (Some 1) (Cache.find c "a");
+  Alcotest.(check (option int)) "c kept" (Some 3) (Cache.find c "c");
+  Alcotest.(check (option int)) "d kept" (Some 4) (Cache.find c "d");
+  let s = Cache.stats c in
+  Alcotest.(check int) "evictions" 1 s.Cache.evictions;
+  Alcotest.(check int) "entries" 3 s.Cache.entries;
+  (* 1 (a) + 1 (b miss) + 3 = 4 hits, 1 miss. *)
+  Alcotest.(check int) "hits" 4 s.Cache.hits;
+  Alcotest.(check int) "misses" 1 s.Cache.misses
+
+let cache_refresh_on_add () =
+  let c = Cache.create ~capacity:2 in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  Cache.add c "a" 10;
+  (* refreshes both value and recency *)
+  Cache.add c "c" 3;
+  Alcotest.(check (option int)) "b evicted" None (Cache.find c "b");
+  Alcotest.(check (option int)) "a updated" (Some 10) (Cache.find c "a")
+
+let cache_zero_capacity () =
+  let c = Cache.create ~capacity:0 in
+  Cache.add c "a" 1;
+  Alcotest.(check (option int)) "disabled" None (Cache.find c "a");
+  Alcotest.(check int) "no entries" 0 (Cache.stats c).Cache.entries
+
+(* ---------- pool ---------- *)
+
+let pool_map_matches_list_map () =
+  let p = Pool.create ~workers:3 ~queue_capacity:4 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) @@ fun () ->
+  let xs = List.init 37 Fun.id in
+  Alcotest.(check (list int)) "squares" (List.map (fun x -> x * x) xs)
+    (Pool.map p (fun x -> x * x) xs);
+  (* The pool is persistent: a second map reuses the same workers. *)
+  Alcotest.(check (list int)) "reuse" (List.map succ xs) (Pool.map p succ xs)
+
+let pool_exception_propagates () =
+  let p = Pool.create ~workers:2 ~queue_capacity:2 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) @@ fun () ->
+  match Pool.map p (fun x -> if x = 3 then failwith "boom3" else x) (List.init 6 Fun.id) with
+  | _ -> Alcotest.fail "expected failure"
+  | exception Failure m -> Alcotest.(check string) "first failure" "boom3" m
+
+let pool_drain_loses_nothing () =
+  (* Graceful shutdown under load: 4 producer domains race 40 jobs through
+     a 2-worker pool with a tiny queue (so submissions block on the
+     high-water mark), then the pool drains.  Every accepted job must have
+     run. *)
+  let p = Pool.create ~workers:2 ~queue_capacity:2 () in
+  let ran = Atomic.make 0 in
+  let producers =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            List.init 10 (fun i ->
+                Pool.submit p (fun () ->
+                    Atomic.incr ran;
+                    i))))
+  in
+  let futures = List.concat_map Domain.join producers in
+  Pool.shutdown p;
+  Alcotest.(check int) "all jobs ran" 40 (Atomic.get ran);
+  List.iter
+    (fun fut -> Alcotest.(check bool) "future completed" true (Pool.completed fut))
+    futures;
+  let s = Pool.stats p in
+  Alcotest.(check int) "submitted" 40 s.Pool.submitted;
+  Alcotest.(check int) "completed" 40 s.Pool.completed;
+  Alcotest.(check bool) "bounded queue respected" true
+    (s.Pool.max_queue_depth <= 2)
+
+let pool_rejects_after_shutdown () =
+  let p = Pool.create ~workers:1 ~queue_capacity:1 () in
+  Pool.shutdown p;
+  (match Pool.submit p (fun () -> ()) with
+  | _ -> Alcotest.fail "expected Closed"
+  | exception Pool.Closed -> ());
+  (* Idempotent. *)
+  Pool.shutdown p
+
+let pool_await_until_deadline () =
+  let p = Pool.create ~workers:1 ~queue_capacity:1 () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) @@ fun () ->
+  let fut = Pool.submit p (fun () -> Unix.sleepf 0.05; 42) in
+  let early =
+    Pool.await_until fut ~deadline:(Obs.Clock.monotonic_seconds () +. 0.005)
+  in
+  Alcotest.(check (option int)) "deadline first" None early;
+  Alcotest.(check int) "job still completes" 42 (Pool.await fut)
+
+let pool_as_parallel_runner () =
+  let p = Pool.create ~workers:3 ~queue_capacity:8 () in
+  Pool.install_parallel_runner p;
+  Fun.protect ~finally:(fun () -> Pool.shutdown p) @@ fun () ->
+  let xs = List.init 25 Fun.id in
+  Alcotest.(check (list int)) "map via pool" (List.map (fun x -> 3 * x) xs)
+    (Util.Parallel.map (fun x -> 3 * x) xs);
+  (match Util.Parallel.map (fun x -> if x = 2 then failwith "pe" else x) xs with
+  | _ -> Alcotest.fail "expected failure"
+  | exception Failure m -> Alcotest.(check string) "error via pool" "pe" m);
+  (* Re-entrant fan-out from inside a worker degrades to inline execution
+     instead of deadlocking on the pool's own capacity. *)
+  let nested =
+    Pool.await
+      (Pool.submit p (fun () -> Util.Parallel.map succ (List.init 30 Fun.id)))
+  in
+  Alcotest.(check (list int)) "nested map" (List.init 30 succ) nested
+
+let parallel_runner_uninstalled_on_shutdown () =
+  let p = Pool.create ~workers:2 ~queue_capacity:2 () in
+  Pool.install_parallel_runner p;
+  Pool.shutdown p;
+  (* The spawn-per-call path must be back, or this would raise Closed. *)
+  Alcotest.(check (list int)) "fallback works" [ 2; 3; 4 ]
+    (Util.Parallel.map succ [ 1; 2; 3 ])
+
+(* ---------- protocol ---------- *)
+
+let sample_params seed =
+  let g = Util.Prng.create seed in
+  {
+    Proto.algorithm = Util.Prng.choose g [| "combine"; "small"; "firstfit"; "exact" |];
+    seed = Util.Prng.int g 1000;
+    timeout_ms = (if Util.Prng.bool g then Some (Util.Prng.int g 10_000) else None);
+    cache = Util.Prng.bool g;
+  }
+
+let check_instance_equal (p1, ts1) (p2, ts2) =
+  Alcotest.(check (array int)) "capacities" (Path.capacities p1) (Path.capacities p2);
+  Alcotest.(check int) "task count" (List.length ts1) (List.length ts2);
+  List.iter2
+    (fun (a : Task.t) (b : Task.t) ->
+      Alcotest.(check bool) "task equal" true (a = b))
+    ts1 ts2
+
+let request_roundtrip =
+  Helpers.seed_property "request print/parse round-trip" (fun seed ->
+      let path, tasks = Helpers.tiny_instance seed in
+      let params = sample_params seed in
+      let reqs =
+        [
+          Proto.Solve { id = seed mod 997; params; path; tasks };
+          Proto.Stats { id = 1 };
+          Proto.Ping { id = 2 };
+          Proto.Shutdown { id = 3 };
+        ]
+      in
+      List.for_all
+        (fun req ->
+          match Proto.request_of_string (Proto.request_to_string req) with
+          | Error m -> Alcotest.failf "parse failed: %s" m
+          | Ok req' -> (
+              match (req, req') with
+              | Proto.Solve s, Proto.Solve s' ->
+                  check_instance_equal (s.path, s.tasks) (s'.path, s'.tasks);
+                  s.id = s'.id && s.params = s'.params
+              | _ -> req = req'))
+        reqs)
+
+let nasty_message seed =
+  let g = Util.Prng.create seed in
+  String.init (Util.Prng.int_in g 0 40) (fun _ -> Char.chr (Util.Prng.int g 256))
+
+let response_roundtrip =
+  Helpers.seed_property "response print/parse round-trip" (fun seed ->
+      let path, tasks = Helpers.tiny_instance seed in
+      ignore path;
+      let id = seed mod 997 in
+      let tasks_for i = if i = id then Some tasks else None in
+      let solution =
+        List.filteri (fun i _ -> i mod 2 = 0) tasks
+        |> List.mapi (fun i j -> (j, 2 * i))
+      in
+      let resps =
+        [
+          Proto.Solved
+            {
+              id;
+              summary =
+                {
+                  Proto.scheduled = List.length solution;
+                  weight = Core.Solution.sap_weight solution;
+                  cached = seed mod 2 = 0;
+                  time_ms = float_of_int (seed mod 50) /. 7.0;
+                };
+              solution;
+            };
+          Proto.Ack { id };
+          Proto.Timed_out { id };
+          Proto.Failed
+            { id; code = Proto.Unknown_algorithm; message = nasty_message seed };
+          Proto.Failed { id; code = Proto.Bad_request; message = "plain text with spaces" };
+          Proto.Stats_reply
+            {
+              id;
+              stats =
+                Obs.Json.Obj
+                  [
+                    ("requests", Obs.Json.Int seed);
+                    ("ratio", Obs.Json.Float 1.5);
+                    ("name", Obs.Json.String "srv \"quoted\"");
+                  ];
+            };
+        ]
+      in
+      List.for_all
+        (fun resp ->
+          match
+            Proto.response_of_string ~tasks_for (Proto.response_to_string resp)
+          with
+          | Error m -> Alcotest.failf "parse failed: %s" m
+          | Ok resp' -> (
+              match (resp, resp') with
+              | Proto.Stats_reply a, Proto.Stats_reply b ->
+                  (* JSON numeric round-trips are structural, not
+                     constructor-exact; compare serialized forms. *)
+                  a.id = b.id
+                  && Obs.Json.to_string a.stats = Obs.Json.to_string b.stats
+              | Proto.Solved a, Proto.Solved b ->
+                  (* The wire format emits placements sorted by id. *)
+                  a.id = b.id && a.summary = b.summary
+                  && Core.Solution.sort_by_id a.solution
+                     = Core.Solution.sort_by_id b.solution
+              | _ -> resp = resp'))
+        resps)
+
+let protocol_rejects_malformed () =
+  let expect_error what s =
+    match Proto.request_of_string s with
+    | Ok _ -> Alcotest.failf "%s: unexpectedly parsed" what
+    | Error _ -> ()
+  in
+  expect_error "empty" "";
+  expect_error "no terminator" "sap-request v1 0 ping\n";
+  expect_error "bad header" "sap-request v2 0 ping\nend\n";
+  expect_error "unknown verb" "sap-request v1 0 flush\nend\n";
+  expect_error "negative id" "sap-request v1 -4 ping\nend\n";
+  expect_error "unknown attribute" "sap-request v1 0 solve wat=1\nsap-instance v1\ncapacities 4\nend\n";
+  expect_error "body on ping" "sap-request v1 0 ping\nsap-instance v1\nend\n";
+  expect_error "garbage instance" "sap-request v1 0 solve\nnot an instance\nend\n";
+  match Proto.response_of_string ~tasks_for:(fun _ -> None)
+          "sap-response v1 3 solved scheduled=1 weight=1 cached=0 time-ms=1\nsap-solution v1\nend\n"
+  with
+  | Ok _ -> Alcotest.fail "unknown id unexpectedly resolved"
+  | Error _ -> ()
+
+(* ---------- server lifecycle (in-process) ---------- *)
+
+let default_params = Proto.default_solve_params
+
+let mixed_instances n =
+  List.init n (fun i -> Helpers.tiny_instance (1000 + (17 * i)))
+
+let e2e_concurrent_solves_and_cache () =
+  let config =
+    { Server.default_config with Server.workers = Some 4; cache_capacity = 256 }
+  in
+  let srv = Server.create ~config () in
+  Fun.protect ~finally:(fun () -> Server.drain srv) @@ fun () ->
+  let instances = mixed_instances 20 in
+  let submit_all () =
+    (* Admit everything before forcing anything: all solves are in flight
+       concurrently across the pool. *)
+    let pendings =
+      List.mapi
+        (fun i (path, tasks) ->
+          Server.submit srv
+            (Proto.Solve { id = i; params = default_params; path; tasks }))
+        instances
+    in
+    List.map (fun p -> p.Server.force ()) pendings
+  in
+  let check_round ~cached responses =
+    List.iteri
+      (fun i resp ->
+        let path, tasks = List.nth instances i in
+        match resp with
+        | Proto.Solved { id; summary; solution } ->
+            Alcotest.(check int) "id echoed" i id;
+            Helpers.assert_feasible_sap path solution;
+            Alcotest.(check bool) "tasks are the instance's" true
+              (Core.Checker.subset_of (Core.Solution.sap_tasks solution) tasks);
+            Alcotest.(check bool) "cached flag" cached summary.Proto.cached;
+            Alcotest.(check bool) "weight consistent" true
+              (Helpers.close_enough summary.Proto.weight
+                 (Core.Solution.sap_weight solution))
+        | _ -> Alcotest.failf "request %d: unexpected response" i)
+      responses
+  in
+  check_round ~cached:false (submit_all ());
+  (* The whole batch again: every solve must be served from the cache. *)
+  check_round ~cached:true (submit_all ());
+  let int_field section field json =
+    match json with
+    | Obs.Json.Obj fields -> (
+        match List.assoc_opt section fields with
+        | Some (Obs.Json.Obj sub) -> (
+            match List.assoc_opt field sub with
+            | Some (Obs.Json.Int n) -> n
+            | _ -> Alcotest.failf "stats: %s.%s missing" section field)
+        | _ -> Alcotest.failf "stats: %s section missing" section)
+    | _ -> Alcotest.fail "stats payload is not an object"
+  in
+  match Server.handle srv (Proto.Stats { id = 99 }) with
+  | Proto.Stats_reply { stats; _ } ->
+      (* 20 cold solves + 20 warm + this stats request. *)
+      Alcotest.(check int) "requests total" 41 (int_field "requests" "total" stats);
+      Alcotest.(check int) "all solved" 40 (int_field "requests" "solved" stats);
+      Alcotest.(check int) "cache hits" 20 (int_field "cache" "hits" stats);
+      Alcotest.(check int) "cache misses" 20 (int_field "cache" "misses" stats)
+  | _ -> Alcotest.fail "stats request failed"
+
+let e2e_error_responses () =
+  let srv = Server.create ~config:{ Server.default_config with Server.workers = Some 2 } () in
+  Fun.protect ~finally:(fun () -> Server.drain srv) @@ fun () ->
+  let path, tasks = Helpers.tiny_instance 7 in
+  (match
+     Server.handle srv
+       (Proto.Solve
+          {
+            id = 0;
+            params = { default_params with Proto.algorithm = "nonsense" };
+            path;
+            tasks;
+          })
+   with
+  | Proto.Failed { code = Proto.Unknown_algorithm; _ } -> ()
+  | _ -> Alcotest.fail "expected unknown-algorithm");
+  (* A zero deadline can never be met: the clean timeout response. *)
+  match
+    Server.handle srv
+      (Proto.Solve
+         {
+           id = 1;
+           params = { default_params with Proto.timeout_ms = Some 0 };
+           path;
+           tasks;
+         })
+  with
+  | Proto.Timed_out { id = 1 } -> ()
+  | _ -> Alcotest.fail "expected timeout"
+
+let e2e_shutdown_under_load () =
+  (* The acceptance property: requests admitted before the shutdown frame
+     all complete; requests after it are refused; the ack arrives only
+     once the server is quiesced. *)
+  let config =
+    {
+      Server.default_config with
+      Server.workers = Some 2;
+      queue_capacity = Some 4;
+    }
+  in
+  let srv = Server.create ~config () in
+  Fun.protect ~finally:(fun () -> Server.drain srv) @@ fun () ->
+  let instances = mixed_instances 10 in
+  let pendings =
+    List.mapi
+      (fun i (path, tasks) ->
+        Server.submit srv
+          (Proto.Solve { id = i; params = default_params; path; tasks }))
+      instances
+  in
+  let shutdown_pending = Server.submit srv (Proto.Shutdown { id = 100 }) in
+  (match shutdown_pending.Server.force () with
+  | Proto.Ack { id = 100 } -> ()
+  | _ -> Alcotest.fail "expected shutdown ack");
+  Alcotest.(check bool) "draining" true (Server.draining srv);
+  (* Late request: refused, not lost silently. *)
+  (match
+     let path, tasks = List.hd instances in
+     Server.handle srv
+       (Proto.Solve { id = 50; params = default_params; path; tasks })
+   with
+  | Proto.Failed { code = Proto.Shutting_down; _ } -> ()
+  | _ -> Alcotest.fail "expected shutting-down");
+  List.iteri
+    (fun i p ->
+      Alcotest.(check bool) "accepted request completed" true (p.Server.ready ());
+      match p.Server.force () with
+      | Proto.Solved _ -> ()
+      | _ -> Alcotest.failf "request %d lost by drain" i)
+    pendings
+
+(* ---------- transport over pipes ---------- *)
+
+let with_served_session f =
+  let srv =
+    Server.create
+      ~config:{ Server.default_config with Server.workers = Some 2 } ()
+  in
+  let req_r, req_w = Unix.pipe ~cloexec:false () in
+  let resp_r, resp_w = Unix.pipe ~cloexec:false () in
+  let server_domain =
+    Domain.spawn (fun () ->
+        let ic = Unix.in_channel_of_descr req_r in
+        let oc = Unix.out_channel_of_descr resp_w in
+        Transport.serve_channels srv ic oc;
+        (try flush oc with Sys_error _ -> ());
+        (try Unix.close resp_w with Unix.Unix_error _ -> ());
+        try Unix.close req_r with Unix.Unix_error _ -> ())
+  in
+  let result =
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.close req_w with Unix.Unix_error _ -> ());
+        Domain.join server_domain;
+        (try Unix.close resp_r with Unix.Unix_error _ -> ());
+        Server.drain srv)
+      (fun () -> f ~req_w ~resp_r)
+  in
+  result
+
+let serve_channels_session () =
+  with_served_session (fun ~req_w ~resp_r ->
+      let oc = Unix.out_channel_of_descr req_w in
+      let ic = Unix.in_channel_of_descr resp_r in
+      let path, tasks = Helpers.tiny_instance 11 in
+      output_string oc
+        (Proto.request_to_string
+           (Proto.Solve { id = 0; params = default_params; path; tasks }));
+      (* An unparseable frame must not poison the stream. *)
+      output_string oc "sap-request v1 zero ping\nend\n";
+      output_string oc (Proto.request_to_string (Proto.Ping { id = 2 }));
+      output_string oc (Proto.request_to_string (Proto.Stats { id = 3 }));
+      flush oc;
+      close_out oc;
+      let read_line () = try Some (input_line ic) with End_of_file -> None in
+      let tasks_for i = if i = 0 then Some tasks else None in
+      let rec read_all acc =
+        match Proto.read_frame ~read_line with
+        | None -> List.rev acc
+        | Some lines -> (
+            match Proto.response_of_lines ~tasks_for lines with
+            | Ok resp -> read_all (resp :: acc)
+            | Error m -> Alcotest.failf "bad response frame: %s" m)
+      in
+      let responses = read_all [] in
+      Alcotest.(check int) "four responses" 4 (List.length responses);
+      (match responses with
+      | [ Proto.Solved { id = 0; solution; _ };
+          Proto.Failed { id = -1; code = Proto.Bad_request; _ };
+          Proto.Ack { id = 2 };
+          Proto.Stats_reply { id = 3; _ } ] ->
+          Helpers.assert_feasible_sap path solution
+      | _ -> Alcotest.fail "unexpected response sequence"))
+
+let client_batch_over_pipes () =
+  with_served_session (fun ~req_w ~resp_r ->
+      let oc = Unix.out_channel_of_descr req_w in
+      let ic = Unix.in_channel_of_descr resp_r in
+      let instances = mixed_instances 6 in
+      let result =
+        Client.run_batch ~ic ~oc ~params:default_params ~request_stats:true
+          ~request_shutdown:true instances
+      in
+      Alcotest.(check int) "no transport errors" 0
+        (List.length result.Client.transport_errors);
+      Alcotest.(check bool) "shutdown acked" true result.Client.shutdown_acked;
+      Alcotest.(check bool) "stats present" true (result.Client.stats <> None);
+      Array.iteri
+        (fun i resp ->
+          let path, _ = List.nth instances i in
+          match resp with
+          | Some (Proto.Solved { solution; _ }) ->
+              Helpers.assert_feasible_sap path solution
+          | _ -> Alcotest.failf "instance %d: no solved response" i)
+        result.Client.responses)
+
+let () =
+  Alcotest.run "server"
+    [
+      ( "fingerprint",
+        [
+          fingerprint_order_invariant;
+          case "field sensitivity" fingerprint_field_sensitivity;
+          case "fnv1a64 vectors" fnv_reference;
+        ] );
+      ( "cache",
+        [
+          case "lru eviction order" cache_lru_eviction_order;
+          case "add refreshes recency" cache_refresh_on_add;
+          case "zero capacity disables" cache_zero_capacity;
+        ] );
+      ( "pool",
+        [
+          case "map matches List.map" pool_map_matches_list_map;
+          case "exceptions propagate" pool_exception_propagates;
+          case "drain loses nothing" pool_drain_loses_nothing;
+          case "closed after shutdown" pool_rejects_after_shutdown;
+          case "await_until deadline" pool_await_until_deadline;
+          case "parallel runner" pool_as_parallel_runner;
+          case "runner uninstalled" parallel_runner_uninstalled_on_shutdown;
+        ] );
+      ( "protocol",
+        [
+          request_roundtrip;
+          response_roundtrip;
+          case "rejects malformed" protocol_rejects_malformed;
+        ] );
+      ( "lifecycle",
+        [
+          case "concurrent solves + cache hits" e2e_concurrent_solves_and_cache;
+          case "error + timeout responses" e2e_error_responses;
+          case "graceful drain under load" e2e_shutdown_under_load;
+        ] );
+      ( "transport",
+        [
+          case "serve_channels session" serve_channels_session;
+          case "client batch over pipes" client_batch_over_pipes;
+        ] );
+    ]
