@@ -9,7 +9,10 @@
    (sap-stats v1, the same schema sap_cli emits) across the whole run, so
    BENCH_*.json trajectories can track DP state counts, simplex iterations
    and rounding losses, not just wall time.  Collection stays off without
-   the flag, keeping the timed sections (S1) unperturbed. *)
+   the flag, keeping the timed sections (S1) unperturbed.
+   Pass "--compact" to drop the span trees from that report (metric
+   summaries only — the form committed as bench/baseline.json; bench-diff
+   ignores spans either way). *)
 
 let stats_json_target () =
   let n = Array.length Sys.argv in
@@ -30,8 +33,10 @@ let stats_json_target () =
 
 let () =
   let quick = Array.exists (( = ) "quick") Sys.argv in
+  let compact = Array.exists (( = ) "--compact") Sys.argv in
   let stats_json = stats_json_target () in
-  if stats_json <> None then Obs.Report.enable_all ();
+  if stats_json <> None then
+    if compact then Obs.Metrics.enable () else Obs.Report.enable_all ();
   let t0 = Obs.Clock.monotonic_seconds () in
   print_endline "SAP reproduction — experiment harness";
   print_endline "paper: Bar-Yehuda, Beder, Rawitz — A Constant Factor Approximation";
@@ -59,7 +64,7 @@ let () =
               ("quick", Obs.Json.Bool quick);
               ("time_seconds", Obs.Json.Float elapsed);
             ]
-          ()
+          ~include_spans:(not compact) ()
       in
       Obs.Report.write_file file report;
       Printf.printf "wrote solver metrics to %s\n" file

@@ -191,7 +191,8 @@ let solve_cmd input algorithm output quiet seed parallel stats_json audit
            per-part contributions to report. *)
         Obs.Json.Obj
           [
-            ("lp_upper_bound", Obs.Json.Float lp_ub);
+            ("upper_bound", Obs.Json.Float lp_ub);
+            ("bound_kind", Obs.Json.String "lp");
             ("achieved_weight", Obs.Json.Float weight);
             ("total_weight", Obs.Json.Float (Task.weight_of tasks));
             ( "empirical_ratio",
@@ -466,6 +467,102 @@ let batch_cmd socket files algorithm seed timeout_ms no_cache output_dir
         Printf.eprintf "warning: shutdown not acknowledged\n";
       if !failed = 0 && result.Client.transport_errors = [] then 0 else 1
 
+(* ---------- lab ---------- *)
+
+let lab_gen_cmd dir seed variants =
+  let t = Lab.Corpus.generate ~dir ~seed ~variants () in
+  Printf.printf "wrote %d instances (%d families, seed %d) + %s to %s\n"
+    (List.length t.Lab.Corpus.entries)
+    (List.length Lab.Corpus.families)
+    seed Lab.Corpus.manifest_file dir;
+  0
+
+let lab_run_cmd dir output max_nodes jobs gate quiet =
+  match Lab.Corpus.load ~dir with
+  | Error m ->
+      Printf.eprintf "error: %s: %s\n" dir m;
+      2
+  | Ok corpus ->
+      Obs.Metrics.enable ();
+      let pool =
+        match jobs with
+        | Some j when j > 1 -> Some (Sap_server.Pool.create ~workers:j ())
+        | _ -> None
+      in
+      Fun.protect
+        ~finally:(fun () -> Option.iter Sap_server.Pool.shutdown pool)
+        (fun () ->
+          let report = Lab.Ratio.run ?max_nodes ?pool corpus in
+          if not quiet then Format.printf "%a" Lab.Ratio.pp_summary report;
+          (match output with
+          | None -> ()
+          | Some file -> (
+              try
+                Sap_io.Instance_io.write_file file
+                  (Obs.Json.to_string_pretty (Lab.Ratio.report_json report) ^ "\n")
+              with Sys_error m ->
+                Printf.eprintf "error: cannot write ratio report: %s\n" m;
+                exit 2));
+          if gate && (report.Lab.Ratio.violations > 0 || report.Lab.Ratio.disagreements > 0)
+          then begin
+            Printf.printf
+              "lab run: GATE FAILED (%d bound violations, %d oracle disagreements)\n"
+              report.Lab.Ratio.violations report.Lab.Ratio.disagreements;
+            1
+          end
+          else 0)
+
+let lab_worst_cmd report_file top =
+  match Obs.Json.of_string (read_text_file report_file) with
+  | Error m ->
+      Printf.eprintf "error: %s: %s\n" report_file m;
+      2
+  | Ok json -> (
+      let field name = function
+        | Obs.Json.Obj fields -> List.assoc_opt name fields
+        | _ -> None
+      in
+      match (field "schema" json, field "measurements" json) with
+      | Some (Obs.Json.String schema), Some (Obs.Json.List ms)
+        when schema = "sap-ratio v1" ->
+          let str name m =
+            match field name m with Some (Obs.Json.String s) -> s | _ -> "?"
+          in
+          let num name m =
+            match field name m with
+            | Some (Obs.Json.Float f) -> Some f
+            | Some (Obs.Json.Int i) -> Some (float_of_int i)
+            | _ -> None
+          in
+          let rows =
+            List.filter_map
+              (fun m ->
+                Option.map
+                  (fun r ->
+                    ( r,
+                      str "file" m,
+                      str "family" m,
+                      str "alg" m,
+                      Option.value ~default:Float.nan (num "bound" m),
+                      str "bound_kind" m ))
+                  (num "ratio" m))
+              ms
+            |> List.sort (fun (a, _, _, _, _, _) (b, _, _, _, _, _) ->
+                   Float.compare b a)
+          in
+          let shown = List.filteri (fun i _ -> i < top) rows in
+          Printf.printf "%-8s %9s %7s %-6s %-18s %s\n" "alg" "ratio" "bound"
+            "opt" "family" "file";
+          List.iter
+            (fun (r, file, family, alg, bound, kind) ->
+              Printf.printf "%-8s %9.4f %7.2f %-6s %-18s %s\n" alg r bound kind
+                family file)
+            shown;
+          0
+      | _ ->
+          Printf.eprintf "error: %s: not a sap-ratio v1 report\n" report_file;
+          2)
+
 (* ---------- cmdliner plumbing ---------- *)
 
 open Cmdliner
@@ -678,6 +775,76 @@ let batch_term =
   Term.(const batch_cmd $ socket $ files $ algorithm $ seed $ timeout_ms
         $ no_cache $ output_dir $ want_stats $ shutdown $ quiet)
 
+let lab_gen_term =
+  let dir =
+    Arg.(required & opt (some string) None
+         & info [ "dir" ] ~doc:"Corpus directory (created if missing).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Corpus PRNG seed.") in
+  let variants =
+    Arg.(value & opt int 3 & info [ "variants" ] ~doc:"Instances per family.")
+  in
+  Term.(const lab_gen_cmd $ dir $ seed $ variants)
+
+let lab_run_term =
+  let corpus =
+    Arg.(required & opt (some string) None
+         & info [ "corpus" ] ~doc:"Corpus directory holding a manifest.txt.")
+  in
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~doc:"Write the sap-ratio v1 report JSON here.")
+  in
+  let max_nodes =
+    Arg.(value & opt (some int) None
+         & info [ "max-nodes" ]
+             ~doc:"Branch-and-bound node budget per oracle solve; past it the \
+                   row degrades to an LP upper bound (bound_kind = lp).")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "jobs" ]
+             ~doc:"Worker domains for the branch-and-bound subtree fan-out \
+                   (default: sequential).")
+  in
+  let gate =
+    Arg.(value & flag
+         & info [ "gate" ]
+             ~doc:"Exit 1 when any exact-oracle ratio exceeds its proven bound \
+                   or the branch and bound disagrees with the brute oracle.")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No summary table.") in
+  Term.(const lab_run_cmd $ corpus $ output $ max_nodes $ jobs $ gate $ quiet)
+
+let lab_worst_term =
+  let report =
+    Arg.(required & opt (some string) None
+         & info [ "report" ] ~doc:"A sap-ratio v1 report (from lab run -o).")
+  in
+  let top =
+    Arg.(value & opt int 10 & info [ "top" ] ~doc:"How many rows to show.")
+  in
+  Term.(const lab_worst_cmd $ report $ top)
+
+let lab_cmd =
+  Cmd.group
+    (Cmd.info "lab"
+       ~doc:"Empirical approximation-ratio lab: corpus generation, \
+             exact-oracle ratio measurement, worst-instance mining")
+    [
+      Cmd.v
+        (Cmd.info "gen" ~doc:"Generate a versioned instance corpus")
+        lab_gen_term;
+      Cmd.v
+        (Cmd.info "run"
+           ~doc:"Measure every algorithm's ratio against the exact oracle over \
+                 a corpus")
+        lab_run_term;
+      Cmd.v
+        (Cmd.info "worst" ~doc:"Show the worst-ratio instances of a report")
+        lab_worst_term;
+    ]
+
 let cmds =
   [
     Cmd.v (Cmd.info "gen" ~doc:"Generate a random instance") gen_term;
@@ -697,6 +864,7 @@ let cmds =
       (Cmd.info "bench-diff"
          ~doc:"Compare two stats reports metric-by-metric; exit 1 on regression")
       bench_diff_term;
+    lab_cmd;
   ]
 
 let () =

@@ -116,6 +116,60 @@ let solution_of_string ~tasks s =
       in
       map_result parse_place rest
 
+(* ---------- ring instances ---------- *)
+
+module Ring = Core.Ring
+
+let ring_to_string (r : Ring.t) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "ring-instance v1\n";
+  Buffer.add_string buf "capacities";
+  Array.iter (fun c -> Buffer.add_string buf (" " ^ string_of_int c)) r.Ring.capacities;
+  Buffer.add_char buf '\n';
+  Array.iter
+    (fun (t : Ring.task) ->
+      Buffer.add_string buf
+        (Printf.sprintf "rtask %d %d %d %d %.17g\n" t.Ring.id t.Ring.src
+           t.Ring.dst t.Ring.demand t.Ring.weight))
+    r.Ring.tasks;
+  Buffer.contents buf
+
+let ring_of_string s =
+  match meaningful_lines s with
+  | [] -> Error "empty input"
+  | header :: rest ->
+      let* () =
+        if String.trim header = "ring-instance v1" then Ok ()
+        else Error (Printf.sprintf "bad header %S" header)
+      in
+      let* caps_line, task_lines =
+        match rest with
+        | caps :: tasks -> Ok (caps, tasks)
+        | [] -> Error "missing capacities line"
+      in
+      let* caps =
+        match String.split_on_char ' ' caps_line |> List.filter (( <> ) "") with
+        | "capacities" :: values when values <> [] ->
+            map_result (parse_int "capacity") values
+        | _ -> Error "malformed capacities line"
+      in
+      let m = List.length caps in
+      let parse_task line =
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "rtask"; id; src; dst; demand; weight ] ->
+            let* id = parse_int "id" id in
+            let* src = parse_int "src" src in
+            let* dst = parse_int "dst" dst in
+            let* demand = parse_int "demand" demand in
+            let* weight = parse_float "weight" weight in
+            (try Ok (Ring.make_task ~id ~src ~dst ~demand ~weight ~t_edges:m)
+             with Invalid_argument m -> Error m)
+        | _ -> Error (Printf.sprintf "malformed rtask line %S" line)
+      in
+      let* tasks = map_result parse_task task_lines in
+      (try Ok (Ring.create (Array.of_list caps) tasks)
+       with Invalid_argument m -> Error m)
+
 let write_file path contents =
   let oc = open_out path in
   Fun.protect

@@ -30,6 +30,21 @@ val solution_of_string :
   tasks:Core.Task.t list -> string -> (Core.Solution.sap, string) result
 (** Resolves task ids against [tasks]; unknown ids are an error. *)
 
+val ring_to_string : Core.Ring.t -> string
+(** Ring instances ride the same carrier with their own header:
+
+    {v
+    ring-instance v1
+    capacities 5 10 10 5
+    rtask <id> <src> <dst> <demand> <weight>
+    ...
+    v}
+
+    Terminals are vertices in [0 .. m-1]; routing is not part of the
+    instance.  Used by the ratio lab's corpus. *)
+
+val ring_of_string : string -> (Core.Ring.t, string) result
+
 val write_file : string -> string -> unit
 
 val read_file : string -> string

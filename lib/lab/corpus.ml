@@ -1,0 +1,237 @@
+module Task = Core.Task
+module Path = Core.Path
+module Ring = Core.Ring
+module Prng = Util.Prng
+
+let version = "sap-corpus v1"
+
+let manifest_file = "manifest.txt"
+
+type kind = Path_kind | Ring_kind
+
+type entry = { file : string; kind : kind; family : string }
+
+type t = { dir : string; seed : int; entries : entry list }
+
+type instance =
+  | Path_instance of Path.t * Task.t list
+  | Ring_instance of Ring.t
+
+let kind_to_string = function Path_kind -> "path" | Ring_kind -> "ring"
+
+let kind_of_string = function
+  | "path" -> Ok Path_kind
+  | "ring" -> Ok Ring_kind
+  | s -> Error (Printf.sprintf "unknown instance kind %S" s)
+
+(* ---------- the families ---------- *)
+
+(* Thresholds come from the algorithm defaults so the boundary families
+   keep straddling the real classification lines if the defaults move. *)
+let delta = Sap.Combine.default_config.Sap.Combine.delta
+
+let beta = Sap.Combine.default_config.Sap.Combine.beta
+
+let boundary_tasks prng ~edges ~low_demand ~n =
+  List.init n (fun i ->
+      let first_edge, last_edge = Gen.Workloads.random_span ~prng ~edges ~max_span:edges in
+      (* Alternate demands just below and just above the threshold. *)
+      let demand = if i mod 2 = 0 then low_demand else low_demand + 1 in
+      let weight = 1.0 +. Prng.float prng 99.0 in
+      Task.make ~id:i ~first_edge ~last_edge ~demand ~weight)
+
+let min_capacity_edge caps =
+  let best = ref 0 in
+  Array.iteri (fun e c -> if c < caps.(!best) then best := e) caps;
+  !best
+
+let gen_path family prng =
+  match family with
+  | "uniform-mixed" ->
+      let path =
+        Gen.Profiles.uniform ~edges:(Prng.int_in prng 5 8)
+          ~capacity:(Prng.int_in prng 8 14)
+      in
+      (path, Gen.Workloads.mixed_tasks ~prng ~path ~n:(Prng.int_in prng 7 9) ())
+  | "staircase-mixed" ->
+      let path = Gen.Profiles.staircase ~edges:8 ~steps:3 ~base:(Prng.int_in prng 3 5) in
+      (path, Gen.Workloads.mixed_tasks ~prng ~path ~n:8 ())
+  | "valley-small" ->
+      let path =
+        Gen.Profiles.valley ~edges:7 ~high:(Prng.int_in prng 14 20)
+          ~low:(Prng.int_in prng 5 8)
+      in
+      (path, Gen.Workloads.small_tasks ~prng ~path ~n:9 ~delta ())
+  | "uniform-medium" ->
+      let path = Gen.Profiles.uniform ~edges:6 ~capacity:(Prng.int_in prng 10 16) in
+      ( path,
+        Gen.Workloads.ratio_tasks ~prng ~path ~n:8 ~lo:(delta +. 0.01)
+          ~hi:(1.0 -. (2.0 *. beta)) () )
+  | "walk-large" ->
+      let path =
+        Gen.Profiles.random_walk ~prng ~edges:7 ~start:(Prng.int_in prng 8 14)
+          ~max_step:3 ~min_cap:4
+      in
+      ( path,
+        Gen.Workloads.ratio_tasks ~prng ~path ~n:8
+          ~lo:(1.0 -. (2.0 *. beta) +. 0.01)
+          ~hi:1.0 () )
+  | "delta-boundary" ->
+      (* Uniform capacity 12: [delta * b = 3] exactly, so demands 3 and 4
+         straddle the small/medium line. *)
+      let path = Gen.Profiles.uniform ~edges:6 ~capacity:12 in
+      let low = int_of_float (delta *. 12.0) in
+      (path, boundary_tasks prng ~edges:6 ~low_demand:low ~n:8)
+  | "halfcap-boundary" ->
+      (* Demands 6 and 7 straddle the [(1 - 2 beta) * b = b/2] medium/large
+         line on capacity 12. *)
+      let path = Gen.Profiles.uniform ~edges:6 ~capacity:12 in
+      let low = int_of_float ((1.0 -. (2.0 *. beta)) *. 12.0) in
+      (path, boundary_tasks prng ~edges:6 ~low_demand:low ~n:8)
+  | "ring-cut" ->
+      (* A ring cut at its minimum-capacity edge: the wrap-around structure
+         turns into long overlapping path intervals. *)
+      let r =
+        Gen.Ring_gen.random ~prng ~edges:7 ~n:8 ~cap_lo:4 ~cap_hi:14
+          ~ratio_lo:0.0 ~ratio_hi:0.9
+      in
+      let path, tasks, _ = Ring.cut r ~cut_edge:(min_capacity_edge r.Ring.capacities) in
+      (path, tasks)
+  | "bb-stress" ->
+      (* 40 tasks — far past Sap_brute's guard; low uniform capacity keeps
+         the height palette small so Exact_bb still closes the search. *)
+      let path = Gen.Profiles.uniform ~edges:8 ~capacity:6 in
+      (path, Gen.Workloads.mixed_tasks ~prng ~path ~n:40 ())
+  | f -> invalid_arg (Printf.sprintf "Lab.Corpus: unknown path family %S" f)
+
+let gen_ring family prng =
+  match family with
+  | "ring-uniform" ->
+      Gen.Ring_gen.random ~prng ~edges:(Prng.int_in prng 5 6)
+        ~n:(Prng.int_in prng 5 6) ~cap_lo:4 ~cap_hi:12 ~ratio_lo:0.0
+        ~ratio_hi:0.9
+  | f -> invalid_arg (Printf.sprintf "Lab.Corpus: unknown ring family %S" f)
+
+let families =
+  [
+    ("uniform-mixed", Path_kind);
+    ("staircase-mixed", Path_kind);
+    ("valley-small", Path_kind);
+    ("uniform-medium", Path_kind);
+    ("walk-large", Path_kind);
+    ("delta-boundary", Path_kind);
+    ("halfcap-boundary", Path_kind);
+    ("ring-cut", Path_kind);
+    ("bb-stress", Path_kind);
+    ("ring-uniform", Ring_kind);
+  ]
+
+(* ---------- manifest ---------- *)
+
+let manifest_to_string t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (version ^ "\n");
+  Buffer.add_string buf (Printf.sprintf "seed %d\n" t.seed);
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "entry %s %s %s\n" e.file (kind_to_string e.kind) e.family))
+    t.entries;
+  Buffer.contents buf
+
+let ( let* ) = Result.bind
+
+let meaningful_lines s =
+  String.split_on_char '\n' s
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "" && not (String.length l > 0 && l.[0] = '#'))
+
+let manifest_of_string ~dir s =
+  match meaningful_lines s with
+  | [] -> Error "empty manifest"
+  | header :: rest ->
+      let* () =
+        if String.trim header = version then Ok ()
+        else Error (Printf.sprintf "bad manifest header %S" header)
+      in
+      let* seed, entry_lines =
+        match rest with
+        | seed_line :: entries -> (
+            match String.split_on_char ' ' seed_line |> List.filter (( <> ) "") with
+            | [ "seed"; s ] -> (
+                match int_of_string_opt s with
+                | Some seed -> Ok (seed, entries)
+                | None -> Error (Printf.sprintf "bad seed %S" s))
+            | _ -> Error (Printf.sprintf "expected seed line, got %S" seed_line))
+        | [] -> Error "missing seed line"
+      in
+      let parse_entry line =
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "entry"; file; kind; family ] ->
+            let* kind = kind_of_string kind in
+            Ok { file; kind; family }
+        | _ -> Error (Printf.sprintf "malformed entry line %S" line)
+      in
+      let rec map_result f = function
+        | [] -> Ok []
+        | x :: rest ->
+            let* y = f x in
+            let* ys = map_result f rest in
+            Ok (y :: ys)
+      in
+      let* entries = map_result parse_entry entry_lines in
+      Ok { dir; seed; entries }
+
+(* ---------- generation ---------- *)
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let generate ~dir ~seed ?(variants = 3) () =
+  mkdir_p dir;
+  let entries = ref [] in
+  List.iteri
+    (fun fi (family, kind) ->
+      for k = 0 to variants - 1 do
+        let prng = Prng.create ((seed * 10007) + (fi * 101) + k) in
+        let file = Printf.sprintf "%s-%d.inst" family k in
+        let contents =
+          match kind with
+          | Path_kind ->
+              let path, tasks = gen_path family prng in
+              Sap_io.Instance_io.instance_to_string path tasks
+          | Ring_kind -> Sap_io.Instance_io.ring_to_string (gen_ring family prng)
+        in
+        Sap_io.Instance_io.write_file (Filename.concat dir file) contents;
+        entries := { file; kind; family } :: !entries
+      done)
+    families;
+  let t = { dir; seed; entries = List.rev !entries } in
+  Sap_io.Instance_io.write_file
+    (Filename.concat dir manifest_file)
+    (manifest_to_string t);
+  t
+
+let load ~dir =
+  let path = Filename.concat dir manifest_file in
+  let* contents =
+    try Ok (Sap_io.Instance_io.read_file path)
+    with Sys_error m -> Error m
+  in
+  manifest_of_string ~dir contents
+
+let read t entry =
+  let* contents =
+    try Ok (Sap_io.Instance_io.read_file (Filename.concat t.dir entry.file))
+    with Sys_error m -> Error m
+  in
+  match entry.kind with
+  | Path_kind ->
+      let* path, tasks = Sap_io.Instance_io.instance_of_string contents in
+      Ok (Path_instance (path, tasks))
+  | Ring_kind ->
+      let* r = Sap_io.Instance_io.ring_of_string contents in
+      Ok (Ring_instance r)

@@ -1,0 +1,56 @@
+(** Versioned on-disk instance corpora for the ratio lab.
+
+    A corpus is a directory holding one instance file per entry (the
+    [sap-instance v1] / [ring-instance v1] carriers of
+    {!Sap_io.Instance_io}) plus a [manifest.txt]:
+
+    {v
+    sap-corpus v1
+    seed 42
+    entry uniform-mixed-0.inst path uniform-mixed
+    entry ring-uniform-0.inst ring ring-uniform
+    ...
+    v}
+
+    Families mix the {!Gen} generator profiles with adversarial shapes:
+    capacity staircases, demands pinned to the [delta * b] and
+    [(1 - 2 beta) * b] classification boundaries, rings cut at their
+    minimum-capacity edge, and a 40-task [bb-stress] family sized past
+    {!Exact.Sap_brute.task_cap} that only {!Exact_bb} can certify.
+    Generation is deterministic in the seed, so a committed manifest plus
+    seed reproduces the corpus bit-for-bit. *)
+
+val version : string
+(** ["sap-corpus v1"]. *)
+
+val manifest_file : string
+(** ["manifest.txt"]. *)
+
+type kind = Path_kind | Ring_kind
+
+type entry = { file : string; kind : kind; family : string }
+
+type t = { dir : string; seed : int; entries : entry list }
+
+type instance =
+  | Path_instance of Core.Path.t * Core.Task.t list
+  | Ring_instance of Core.Ring.t
+
+val families : (string * kind) list
+(** Every family the generator knows, with its instance kind. *)
+
+val generate : dir:string -> seed:int -> ?variants:int -> unit -> t
+(** [generate ~dir ~seed ()] creates the directory (and parents) if
+    needed, writes [variants] (default 3) instances per family plus the
+    manifest, and returns the corpus. *)
+
+val load : dir:string -> (t, string) result
+(** Parse [dir]'s manifest (instance files are read lazily by {!read}). *)
+
+val read : t -> entry -> (instance, string) result
+
+val manifest_to_string : t -> string
+
+val manifest_of_string : dir:string -> string -> (t, string) result
+
+val kind_to_string : kind -> string

@@ -1,0 +1,348 @@
+module Task = Core.Task
+module Path = Core.Path
+module Ring = Core.Ring
+module Json = Obs.Json
+
+let schema = "sap-ratio v1"
+
+let c_violations = Obs.Metrics.counter "lab.ratio.violations"
+
+let c_disagreements = Obs.Metrics.counter "lab.ratio.disagreements"
+
+type bound_kind = Exact_opt | Lp_opt
+
+let bound_kind_to_string = function Exact_opt -> "exact" | Lp_opt -> "lp"
+
+type measurement = {
+  file : string;
+  family : string;
+  alg : string;
+  subset_size : int;
+  alg_weight : float;
+  opt : float;
+  bound_kind : bound_kind;
+  ratio : float option;
+  bound : float;
+  within_bound : bool;
+  brute_agrees : bool option;
+  bb_nodes : int;
+}
+
+type summary_row = {
+  s_alg : string;
+  count : int;
+  max_ratio : float option;
+  mean_ratio : float option;
+  exact_opts : int;
+  lp_fallbacks : int;
+  s_violations : int;
+  worst_file : string option;
+}
+
+type report = {
+  corpus_dir : string;
+  corpus_seed : int;
+  measurements : measurement list;
+  summaries : summary_row list;
+  violations : int;
+  disagreements : int;
+}
+
+(* ---------- the proven bounds, instantiated at the default config ---------- *)
+
+let cfg = Sap.Combine.default_config
+
+let eps = cfg.Sap.Combine.eps
+
+let small_bound = 4.0 +. eps (* Theorem 1 *)
+
+let medium_bound = 2.0 +. eps (* Theorem 2 with the Elevator, alpha = 2 *)
+
+let large_bound = 3.0 (* Theorem 3, k = 2 *)
+
+let combine_bound = small_bound +. medium_bound +. large_bound (* Lemma 3 *)
+
+let ring_knapsack_eps = 0.1
+
+let ring_bound = 1.0 +. combine_bound +. ring_knapsack_eps (* Lemma 18 *)
+
+let bounds =
+  [
+    ("small", small_bound);
+    ("medium", medium_bound);
+    ("large", large_bound);
+    ("combine", combine_bound);
+    ("ring", ring_bound);
+  ]
+
+(* ---------- one measurement ---------- *)
+
+let ratio_of ~opt ~alg_weight =
+  if alg_weight > 1e-9 then Some (opt /. alg_weight) else None
+
+let within ~opt ~alg_weight ~bound =
+  match ratio_of ~opt ~alg_weight with
+  | Some r -> r <= bound +. 1e-9
+  | None -> opt <= 1e-9 (* the algorithm scheduled nothing: fine iff OPT = 0 *)
+
+let measure_path ?max_nodes ?pool ~entry ~alg ~bound path subset alg_weight =
+  let out = Exact_bb.solve ?max_nodes ?pool path subset in
+  let opt, bound_kind =
+    if out.Exact_bb.optimal then (out.Exact_bb.value, Exact_opt)
+    else (out.Exact_bb.upper_bound, Lp_opt)
+  in
+  let brute_agrees =
+    if out.Exact_bb.optimal && List.length subset <= Exact.Sap_brute.task_cap then
+      Some (Float.abs (Exact.Sap_brute.value path subset -. out.Exact_bb.value) <= 1e-6)
+    else None
+  in
+  {
+    file = entry.Corpus.file;
+    family = entry.Corpus.family;
+    alg;
+    subset_size = List.length subset;
+    alg_weight;
+    opt;
+    bound_kind;
+    ratio = ratio_of ~opt ~alg_weight;
+    bound;
+    within_bound =
+      (match bound_kind with
+      | Exact_opt -> within ~opt ~alg_weight ~bound
+      | Lp_opt ->
+          (* The LP optimum over-estimates OPT, so exceeding the bound
+             against it proves nothing; the gate only reads exact rows. *)
+          true);
+    brute_agrees;
+    bb_nodes = out.Exact_bb.nodes;
+  }
+
+let run_path_entry ?max_nodes ?pool t entry path tasks =
+  let split =
+    Core.Classify.split3 path ~delta:cfg.Sap.Combine.delta ~large_frac:0.5 tasks
+  in
+  let prng () = Util.Prng.create cfg.Sap.Combine.seed in
+  let q = Sap.Combine.q_of_beta cfg.Sap.Combine.beta in
+  let ell = Sap.Almost_uniform.ell_for_eps ~eps ~q in
+  ignore t;
+  let small_sol =
+    Sap.Small.strip_pack ~rounding:cfg.Sap.Combine.rounding ~prng:(prng ()) path
+      split.Core.Classify.small
+  in
+  let medium_sol =
+    (Sap.Almost_uniform.run ~ell ~q ?max_states:cfg.Sap.Combine.max_states path
+       split.Core.Classify.medium)
+      .Sap.Almost_uniform.solution
+  in
+  let large_sol = Sap.Large.solve path split.Core.Classify.large in
+  let combine_sol = Sap.Combine.solve ~config:cfg path tasks in
+  [
+    measure_path ?max_nodes ?pool ~entry ~alg:"small" ~bound:small_bound path
+      split.Core.Classify.small
+      (Core.Solution.sap_weight small_sol);
+    measure_path ?max_nodes ?pool ~entry ~alg:"medium" ~bound:medium_bound path
+      split.Core.Classify.medium
+      (Core.Solution.sap_weight medium_sol);
+    measure_path ?max_nodes ?pool ~entry ~alg:"large" ~bound:large_bound path
+      split.Core.Classify.large
+      (Core.Solution.sap_weight large_sol);
+    measure_path ?max_nodes ?pool ~entry ~alg:"combine" ~bound:combine_bound path
+      tasks
+      (Core.Solution.sap_weight combine_sol);
+  ]
+
+let run_ring_entry ?max_nodes entry (r : Ring.t) =
+  let sol = Sap.Ring_algo.solve ~config:cfg ~knapsack_eps:ring_knapsack_eps r in
+  let alg_weight = Ring.solution_weight sol in
+  let out = Exact_bb.solve_ring ?max_nodes r in
+  let total =
+    Array.fold_left (fun acc (t : Ring.task) -> acc +. t.Ring.weight) 0.0 r.Ring.tasks
+  in
+  let opt, bound_kind =
+    if out.Exact_bb.ring_optimal then (out.Exact_bb.ring_value, Exact_opt)
+    else (total, Lp_opt)
+  in
+  let brute_agrees =
+    if
+      out.Exact_bb.ring_optimal
+      && Array.length r.Ring.tasks <= Exact.Ring_brute.task_cap
+    then
+      Some (Float.abs (Exact.Ring_brute.value r -. out.Exact_bb.ring_value) <= 1e-6)
+    else None
+  in
+  [
+    {
+      file = entry.Corpus.file;
+      family = entry.Corpus.family;
+      alg = "ring";
+      subset_size = Array.length r.Ring.tasks;
+      alg_weight;
+      opt;
+      bound_kind;
+      ratio = ratio_of ~opt ~alg_weight;
+      bound = ring_bound;
+      within_bound =
+        (match bound_kind with
+        | Exact_opt -> within ~opt ~alg_weight ~bound:ring_bound
+        | Lp_opt -> true);
+      brute_agrees;
+      bb_nodes = out.Exact_bb.ring_nodes;
+    };
+  ]
+
+(* ---------- the runner ---------- *)
+
+let summarise measurements =
+  let algs =
+    List.fold_left
+      (fun acc m -> if List.mem m.alg acc then acc else acc @ [ m.alg ])
+      [] measurements
+  in
+  List.map
+    (fun alg ->
+      let ms = List.filter (fun m -> m.alg = alg) measurements in
+      let ratios = List.filter_map (fun m -> Option.map (fun r -> (m, r)) m.ratio) ms in
+      let worst =
+        List.fold_left
+          (fun acc (m, r) ->
+            match acc with
+            | Some (_, r') when r' >= r -> acc
+            | _ -> Some (m, r))
+          None ratios
+      in
+      {
+        s_alg = alg;
+        count = List.length ms;
+        max_ratio = Option.map snd worst;
+        mean_ratio =
+          (match ratios with
+          | [] -> None
+          | _ ->
+              Some
+                (List.fold_left (fun a (_, r) -> a +. r) 0.0 ratios
+                /. float_of_int (List.length ratios)));
+        exact_opts =
+          List.length (List.filter (fun m -> m.bound_kind = Exact_opt) ms);
+        lp_fallbacks =
+          List.length (List.filter (fun m -> m.bound_kind = Lp_opt) ms);
+        s_violations =
+          List.length (List.filter (fun m -> not m.within_bound) ms);
+        worst_file = Option.map (fun (m, _) -> m.file) worst;
+      })
+    algs
+
+let run ?max_nodes ?pool (t : Corpus.t) =
+  Obs.Trace.with_span "lab.ratio.run"
+    ~attrs:[ ("corpus", t.Corpus.dir) ]
+  @@ fun () ->
+  let measurements =
+    List.concat_map
+      (fun entry ->
+        match Corpus.read t entry with
+        | Error msg ->
+            invalid_arg
+              (Printf.sprintf "Lab.Ratio: corpus entry %s: %s"
+                 entry.Corpus.file msg)
+        | Ok (Corpus.Path_instance (path, tasks)) ->
+            run_path_entry ?max_nodes ?pool t entry path tasks
+        | Ok (Corpus.Ring_instance r) -> run_ring_entry ?max_nodes entry r)
+      t.Corpus.entries
+  in
+  let violations =
+    List.length (List.filter (fun m -> not m.within_bound) measurements)
+  in
+  let disagreements =
+    List.length (List.filter (fun m -> m.brute_agrees = Some false) measurements)
+  in
+  for _ = 1 to violations do Obs.Metrics.incr c_violations done;
+  for _ = 1 to disagreements do Obs.Metrics.incr c_disagreements done;
+  {
+    corpus_dir = t.Corpus.dir;
+    corpus_seed = t.Corpus.seed;
+    measurements;
+    summaries = summarise measurements;
+    violations;
+    disagreements;
+  }
+
+(* ---------- JSON ---------- *)
+
+let measurement_json m =
+  Json.Obj
+    [
+      ("file", Json.String m.file);
+      ("family", Json.String m.family);
+      ("alg", Json.String m.alg);
+      ("subset_size", Json.Int m.subset_size);
+      ("alg_weight", Json.Float m.alg_weight);
+      ("opt", Json.Float m.opt);
+      ("bound_kind", Json.String (bound_kind_to_string m.bound_kind));
+      ( "ratio",
+        match m.ratio with Some r -> Json.Float r | None -> Json.Null );
+      ("bound", Json.Float m.bound);
+      ("within_bound", Json.Bool m.within_bound);
+      ( "brute_agrees",
+        match m.brute_agrees with Some b -> Json.Bool b | None -> Json.Null );
+      ("bb_nodes", Json.Int m.bb_nodes);
+    ]
+
+let summary_json s =
+  Json.Obj
+    [
+      ("alg", Json.String s.s_alg);
+      ("count", Json.Int s.count);
+      ( "max_ratio",
+        match s.max_ratio with Some r -> Json.Float r | None -> Json.Null );
+      ( "mean_ratio",
+        match s.mean_ratio with Some r -> Json.Float r | None -> Json.Null );
+      ("exact_opts", Json.Int s.exact_opts);
+      ("lp_fallbacks", Json.Int s.lp_fallbacks);
+      ("violations", Json.Int s.s_violations);
+      ( "worst_file",
+        match s.worst_file with Some f -> Json.String f | None -> Json.Null );
+    ]
+
+let report_json r =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ( "corpus",
+        Json.Obj
+          [
+            ("dir", Json.String r.corpus_dir);
+            ("seed", Json.Int r.corpus_seed);
+            ("entries", Json.Int (List.length r.measurements));
+          ] );
+      ( "config",
+        Json.Obj
+          [
+            ("eps", Json.Float eps);
+            ("delta", Json.Float cfg.Sap.Combine.delta);
+            ("beta", Json.Float cfg.Sap.Combine.beta);
+            ("bounds", Json.Obj (List.map (fun (a, b) -> (a, Json.Float b)) bounds));
+          ] );
+      ("measurements", Json.List (List.map measurement_json r.measurements));
+      ("summary", Json.List (List.map summary_json r.summaries));
+      ("violations", Json.Int r.violations);
+      ("disagreements", Json.Int r.disagreements);
+    ]
+
+let pp_summary ppf r =
+  Format.fprintf ppf "corpus %s (seed %d): %d measurements@."
+    r.corpus_dir r.corpus_seed
+    (List.length r.measurements);
+  Format.fprintf ppf "%-8s %5s %9s %9s %7s %5s %4s  %s@." "alg" "count"
+    "max" "mean" "bound" "exact" "lp" "worst";
+  List.iter
+    (fun s ->
+      let fo = function Some r -> Printf.sprintf "%.4f" r | None -> "-" in
+      Format.fprintf ppf "%-8s %5d %9s %9s %7.2f %5d %4d  %s@." s.s_alg
+        s.count (fo s.max_ratio) (fo s.mean_ratio)
+        (List.assoc s.s_alg bounds)
+        s.exact_opts s.lp_fallbacks
+        (Option.value ~default:"-" s.worst_file))
+    r.summaries;
+  if r.violations > 0 then
+    Format.fprintf ppf "BOUND VIOLATIONS: %d@." r.violations;
+  if r.disagreements > 0 then
+    Format.fprintf ppf "BB/BRUTE DISAGREEMENTS: %d@." r.disagreements

@@ -1,0 +1,73 @@
+(** The empirical approximation-ratio pipeline.
+
+    For every corpus instance, runs each applicable algorithm — small
+    (Strip-Pack), medium (AlmostUniform), large (rectangle MWIS) and the
+    Theorem-4 combination on its classified task subset for path
+    instances; the Theorem-5 algorithm on rings — and measures
+    [OPT / ALG] against the {!Exact_bb} optimum.
+
+    When the branch and bound exhausts its node budget the row degrades
+    gracefully: [opt] becomes the certified upper bound (root LP for
+    paths, total weight for rings), tagged [bound_kind = Lp_opt], and the
+    row is excluded from the violation gate — a ratio against an
+    over-estimate of OPT proves nothing.  Rows whose subset also fits the
+    brute-force oracles carry an independent [brute_agrees] cross-check.
+
+    Bounds are instantiated at {!Sap.Combine.default_config}
+    ([eps = 0.5], [k = 2]): [4 + eps], [2 + eps], [3], their sum for the
+    combination (Lemma 3), and [1 + alpha + eps'] on rings (Lemma 18). *)
+
+type bound_kind = Exact_opt | Lp_opt
+
+val bound_kind_to_string : bound_kind -> string
+(** ["exact"] / ["lp"] — the report and audit vocabulary. *)
+
+type measurement = {
+  file : string;
+  family : string;
+  alg : string;  (** small | medium | large | combine | ring *)
+  subset_size : int;  (** tasks handed to the algorithm *)
+  alg_weight : float;
+  opt : float;  (** exact optimum, or certified upper bound *)
+  bound_kind : bound_kind;
+  ratio : float option;  (** [opt / alg_weight]; [None] if nothing scheduled *)
+  bound : float;  (** the proven ratio bound for [alg] *)
+  within_bound : bool;  (** always true for [Lp_opt] rows (ungated) *)
+  brute_agrees : bool option;  (** brute-oracle cross-check, when it fits *)
+  bb_nodes : int;
+}
+
+type summary_row = {
+  s_alg : string;
+  count : int;
+  max_ratio : float option;
+  mean_ratio : float option;
+  exact_opts : int;
+  lp_fallbacks : int;
+  s_violations : int;
+  worst_file : string option;  (** the per-class worst instance *)
+}
+
+type report = {
+  corpus_dir : string;
+  corpus_seed : int;
+  measurements : measurement list;
+  summaries : summary_row list;
+  violations : int;  (** exact-OPT rows exceeding their proven bound *)
+  disagreements : int;  (** brute cross-checks that failed *)
+}
+
+val bounds : (string * float) list
+(** Algorithm name to instantiated proven bound. *)
+
+val run : ?max_nodes:int -> ?pool:Sap_server.Pool.t -> Corpus.t -> report
+(** Solve every entry.  [max_nodes] and [pool] are forwarded to
+    {!Exact_bb.solve}.  Raises [Invalid_argument] on an unreadable corpus
+    entry (a corrupt corpus is a configuration error, not a data point). *)
+
+val report_json : report -> Obs.Json.t
+(** The [sap-ratio v1] document (docs/LAB.md). *)
+
+val pp_summary : Format.formatter -> report -> unit
+(** The per-algorithm table: count, max/mean ratio, bound, oracle kinds,
+    worst instance. *)

@@ -61,3 +61,51 @@ let solve_scaled path ~scale ts =
 let solve path ts = solve_scaled path ~scale:1.0 ts
 
 let upper_bound path ts = (solve path ts).value
+
+let upper_bound_residual path ~residual ts =
+  let m = Core.Path.num_edges path in
+  if Array.length residual <> m then
+    invalid_arg "Ufpp_lp: residual length does not match the path";
+  Array.iteri
+    (fun e r ->
+      if r < 0 then
+        invalid_arg
+          (Printf.sprintf "Ufpp_lp: negative residual %d on edge %d" r e))
+    residual;
+  (* A task fits iff its demand clears the residual bottleneck — computed
+     by walking the interval (residuals have no sparse-table index). *)
+  let fits (j : Core.Task.t) =
+    let rec go e mn =
+      if e > j.Core.Task.last_edge then mn else go (e + 1) (min mn residual.(e))
+    in
+    j.Core.Task.demand <= go j.Core.Task.first_edge max_int
+  in
+  let cols = List.filter fits ts |> Array.of_list in
+  let n = Array.length cols in
+  if n = 0 then 0.0
+  else begin
+    let objective = Array.map (fun (j : Core.Task.t) -> j.Core.Task.weight) cols in
+    let ecols = Array.make m [] in
+    for c = n - 1 downto 0 do
+      let j = cols.(c) in
+      for e = j.Core.Task.first_edge to j.Core.Task.last_edge do
+        ecols.(e) <- c :: ecols.(e)
+      done
+    done;
+    let capacity_rows = ref [] in
+    for e = m - 1 downto 0 do
+      match ecols.(e) with
+      | [] -> ()
+      | cs ->
+          let row_cols = Array.of_list cs in
+          let coefs =
+            Array.map (fun c -> float_of_int cols.(c).Core.Task.demand) row_cols
+          in
+          capacity_rows :=
+            (row_cols, coefs, float_of_int residual.(e)) :: !capacity_rows
+    done;
+    let upper = Array.make n 1.0 in
+    match Simplex.maximize_bounded ~objective ~upper ~rows:!capacity_rows () with
+    | Simplex.Unbounded -> assert false (* upper bounds every variable *)
+    | Simplex.Optimal { value; _ } -> value
+  end

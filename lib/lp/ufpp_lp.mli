@@ -30,3 +30,14 @@ val solve_scaled : Core.Path.t -> scale:float -> Core.Task.t list -> t
 
 val upper_bound : Core.Path.t -> Core.Task.t list -> float
 (** The LP optimum: an upper bound on both [OPT_UFPP] and [OPT_SAP]. *)
+
+val upper_bound_residual :
+  Core.Path.t -> residual:int array -> Core.Task.t list -> float
+(** [upper_bound_residual p ~residual ts] is the LP optimum over [ts] with
+    edge [e]'s capacity replaced by [residual.(e)] (which may be 0 — the
+    variable of any task whose residual bottleneck is below its demand is
+    fixed to 0).  Used by the lab's branch-and-bound: after placing a set
+    [P], every SAP extension by remaining tasks is UFPP-feasible under the
+    residuals [c_e - load_P(e)], so this bounds the attainable extra
+    weight.  Raises [Invalid_argument] on a length mismatch or negative
+    residual. *)

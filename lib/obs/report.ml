@@ -12,12 +12,13 @@ let reset_all () =
   Metrics.reset ();
   Trace.reset ()
 
-let build ?(extra = []) () =
+let build ?(extra = []) ?(include_spans = true) () =
   Json.Obj
     (("schema", Json.String schema_version)
      :: ("clock", Clock.anchor_json (Clock.anchor ()))
      :: extra
-    @ [ ("metrics", Metrics.snapshot_json ()); ("spans", Trace.json ()) ])
+    @ ("metrics", Metrics.snapshot_json ())
+      :: (if include_spans then [ ("spans", Trace.json ()) ] else []))
 
 (* Write to a temp file in the destination directory, then rename: a
    crashed or killed run can never leave a truncated report behind to

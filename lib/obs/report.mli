@@ -29,10 +29,13 @@ val reset_all : unit -> unit
 (** Zero metrics and drop completed spans — call between measured phases
     when one process emits several reports. *)
 
-val build : ?extra:(string * Json.t) list -> unit -> Json.t
+val build : ?extra:(string * Json.t) list -> ?include_spans:bool -> unit -> Json.t
 (** Snapshot metrics and spans into a report object.  [extra] fields are
     placed after [schema] and [clock], before [metrics] (e.g. instance
-    stats, result weights). *)
+    stats, result weights).  [include_spans:false] omits the [spans] key
+    entirely — the compact form committed as the bench baseline (raw span
+    trees dwarf the metric summaries; {!Diff} ignores the [spans] prefix
+    on both sides, so compact and full reports diff cleanly). *)
 
 val write_file : string -> Json.t -> unit
 (** Pretty-printed, trailing newline.  Atomic: the report is written to a

@@ -152,8 +152,13 @@ let pp_part ppf = function
 
 (* ---------- audit ---------- *)
 
+type bound_kind = Lp_bound | Exact_bound
+
+let bound_kind_name = function Lp_bound -> "lp" | Exact_bound -> "exact"
+
 type audit = {
-  lp_upper_bound : float;
+  upper_bound : float;
+  bound_kind : bound_kind;
   achieved_weight : float;
   total_weight : float;
   empirical_ratio : float option;
@@ -174,20 +179,27 @@ let g_lp_upper_bound = Obs.Metrics.gauge "combine.lp_upper_bound"
 
 let c_checker_failures = Obs.Metrics.counter "combine.audit.checker_failures"
 
-let audit ?lp_upper_bound path ts r =
-  let lp_ub =
-    match lp_upper_bound with
-    | Some v -> v
-    | None -> Lp.Ufpp_lp.upper_bound path ts
+let audit ?lp_upper_bound ?exact_optimum path ts r =
+  (* An exact optimum (from the lab's branch and bound) beats the LP
+     relaxation: it makes the empirical ratio a true OPT/ALG, not an
+     over-estimate.  The record says which one it got. *)
+  let ub, kind =
+    match (exact_optimum, lp_upper_bound) with
+    | Some v, _ -> (v, Exact_bound)
+    | None, Some v -> (v, Lp_bound)
+    | None, None -> (Lp.Ufpp_lp.upper_bound path ts, Lp_bound)
   in
   let achieved = Core.Solution.sap_weight r.solution in
-  let ratio = if achieved > 0.0 then Some (lp_ub /. achieved) else None in
+  let ratio = if achieved > 0.0 then Some (ub /. achieved) else None in
   let checker = Core.Checker.sap_feasible path r.solution in
-  Obs.Metrics.set g_lp_upper_bound lp_ub;
+  (match kind with
+  | Lp_bound -> Obs.Metrics.set g_lp_upper_bound ub
+  | Exact_bound -> ());
   (match ratio with Some x -> Obs.Metrics.observe h_ratio x | None -> ());
   if Result.is_error checker then Obs.Metrics.incr c_checker_failures;
   {
-    lp_upper_bound = lp_ub;
+    upper_bound = ub;
+    bound_kind = kind;
     achieved_weight = achieved;
     total_weight = Task.weight_of ts;
     empirical_ratio = ratio;
@@ -205,7 +217,8 @@ let audit ?lp_upper_bound path ts r =
 let audit_json a =
   Obs.Json.Obj
     [
-      ("lp_upper_bound", Obs.Json.Float a.lp_upper_bound);
+      ("upper_bound", Obs.Json.Float a.upper_bound);
+      ("bound_kind", Obs.Json.String (bound_kind_name a.bound_kind));
       ("achieved_weight", Obs.Json.Float a.achieved_weight);
       ("total_weight", Obs.Json.Float a.total_weight);
       ( "empirical_ratio",
@@ -235,7 +248,9 @@ let audit_json a =
     ]
 
 let pp_audit ppf a =
-  Format.fprintf ppf "@[<v>lp upper bound    %.3f@," a.lp_upper_bound;
+  (match a.bound_kind with
+  | Lp_bound -> Format.fprintf ppf "@[<v>lp upper bound    %.3f@," a.upper_bound
+  | Exact_bound -> Format.fprintf ppf "@[<v>exact optimum     %.3f@," a.upper_bound);
   Format.fprintf ppf "achieved weight   %.3f  (of %.3f total)@," a.achieved_weight
     a.total_weight;
   (match a.empirical_ratio with

@@ -51,12 +51,22 @@ val solve : ?config:config -> Core.Path.t -> Core.Task.t list -> Core.Solution.s
 
 val pp_part : Format.formatter -> part -> unit
 
+type bound_kind = Lp_bound | Exact_bound
+
+val bound_kind_name : bound_kind -> string
+(** ["lp"] / ["exact"] — the report vocabulary (docs/FORMAT.md). *)
+
 type audit = {
-  lp_upper_bound : float;  (** Bonsma et al.'s UFPP LP relaxation bound *)
+  upper_bound : float;
+      (** the UFPP LP relaxation bound, or a true optimum when the caller
+          has one (the ratio lab's branch and bound) *)
+  bound_kind : bound_kind;
+      (** what [upper_bound] is: [Lp_bound] over-estimates OPT, so the
+          ratio is conservative; [Exact_bound] makes it a true OPT/ALG *)
   achieved_weight : float;
   total_weight : float;  (** weight of the whole task set *)
   empirical_ratio : float option;
-      (** [lp_upper_bound / achieved_weight] ([>= 1]; the Thm 4 guarantee
+      (** [upper_bound / achieved_weight] ([>= 1]; the Thm 4 guarantee
           caps it at [9+eps]); [None] when nothing was scheduled *)
   checker_ok : bool;
   checker_error : string option;
@@ -74,13 +84,21 @@ type audit = {
     what makes the [(9+eps)] guarantee observable across PRs. *)
 
 val audit :
-  ?lp_upper_bound:float -> Core.Path.t -> Core.Task.t list -> report -> audit
+  ?lp_upper_bound:float ->
+  ?exact_optimum:float ->
+  Core.Path.t ->
+  Core.Task.t list ->
+  report ->
+  audit
 (** Audit a {!solve_report} result.  Computes the UFPP LP upper bound
     unless the caller already has it ([sap_cli] prints it anyway), runs
     the checker, and records [combine.lp_upper_bound],
     [combine.empirical_ratio] and [combine.audit.checker_failures]
-    metrics.  Call it {e after} snapshotting solve metrics if the LP
-    recomputation must not perturb [simplex.*] counters. *)
+    metrics.  [exact_optimum] (when the caller certified OPT, e.g. via
+    the lab's branch and bound) takes precedence over [lp_upper_bound]
+    and tags the record [Exact_bound].  Call it {e after} snapshotting
+    solve metrics if the LP recomputation must not perturb [simplex.*]
+    counters. *)
 
 val audit_json : audit -> Obs.Json.t
 (** The [audit] record of the stats report (docs/FORMAT.md). *)

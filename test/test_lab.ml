@@ -1,0 +1,330 @@
+(* The ratio lab: branch-and-bound vs the brute oracles, corpus
+   round-trips, and the ratio pipeline's bound gate. *)
+
+module Task = Core.Task
+module Path = Core.Path
+module Ring = Core.Ring
+
+let case = Helpers.case
+
+(* ---------- Exact_bb vs Sap_brute ---------- *)
+
+let bb_matches_brute =
+  Helpers.seed_property ~count:80 "Exact_bb value = Sap_brute value" (fun seed ->
+      let path, tasks = Helpers.tiny_instance ~max_tasks:10 seed in
+      let out = Lab.Exact_bb.solve path tasks in
+      if not out.Lab.Exact_bb.optimal then
+        QCheck.Test.fail_report "tiny instance exhausted the node budget";
+      Helpers.assert_feasible_sap path out.Lab.Exact_bb.solution;
+      Helpers.close_enough out.Lab.Exact_bb.value (Exact.Sap_brute.value path tasks))
+
+let bb_matches_brute_pooled =
+  Helpers.seed_property ~count:20 "pooled Exact_bb value = Sap_brute value"
+    (fun seed ->
+      let path, tasks = Helpers.tiny_instance ~max_tasks:10 seed in
+      let pool = Sap_server.Pool.create ~workers:3 () in
+      Fun.protect
+        ~finally:(fun () -> Sap_server.Pool.shutdown pool)
+        (fun () ->
+          let out = Lab.Exact_bb.solve ~pool path tasks in
+          Helpers.assert_feasible_sap path out.Lab.Exact_bb.solution;
+          Helpers.close_enough out.Lab.Exact_bb.value
+            (Exact.Sap_brute.value path tasks)))
+
+let bb_ring_matches_brute =
+  Helpers.seed_property ~count:40 "Exact_bb.solve_ring value = Ring_brute value"
+    (fun seed ->
+      let prng = Util.Prng.create seed in
+      let r =
+        Gen.Ring_gen.random ~prng
+          ~edges:(4 + (seed mod 3))
+          ~n:(2 + (seed mod 4))
+          ~cap_lo:4 ~cap_hi:12 ~ratio_lo:0.0 ~ratio_hi:0.9
+      in
+      let out = Lab.Exact_bb.solve_ring r in
+      Helpers.check_ok "bb ring solution feasible"
+        (Ring.feasible r out.Lab.Exact_bb.ring_solution);
+      Helpers.close_enough out.Lab.Exact_bb.ring_value
+        (Exact.Ring_brute.value r))
+
+let bb_budget_reports_nonoptimal () =
+  let path, tasks = Helpers.tiny_instance ~max_tasks:10 3 in
+  let out = Lab.Exact_bb.solve ~max_nodes:2 path tasks in
+  Alcotest.(check bool) "budget exhausted" false out.Lab.Exact_bb.optimal;
+  Alcotest.(check bool) "upper bound above incumbent" true
+    (out.Lab.Exact_bb.upper_bound >= out.Lab.Exact_bb.value -. 1e-9);
+  Helpers.assert_feasible_sap path out.Lab.Exact_bb.solution
+
+(* ---------- oracle guards ---------- *)
+
+let over_cap_tasks path n =
+  List.init n (fun i ->
+      Task.make ~id:i ~first_edge:0
+        ~last_edge:(Path.num_edges path - 1)
+        ~demand:1 ~weight:1.0)
+
+let brute_guard_trips () =
+  let path = Path.uniform ~edges:3 ~capacity:50 in
+  let tasks = over_cap_tasks path (Exact.Sap_brute.task_cap + 1) in
+  Alcotest.check_raises "solve guard"
+    (Invalid_argument
+       (Printf.sprintf
+          "Exact.Sap_brute.solve: %d tasks exceed the exhaustive-search cap \
+           of %d (use Lab.Exact_bb for larger instances)"
+          (Exact.Sap_brute.task_cap + 1)
+          Exact.Sap_brute.task_cap))
+    (fun () -> ignore (Exact.Sap_brute.solve path tasks))
+
+let ring_guard_trips () =
+  let m = 4 in
+  let n = Exact.Ring_brute.task_cap + 1 in
+  let tasks =
+    List.init n (fun id ->
+        Ring.make_task ~id ~src:0 ~dst:2 ~demand:1 ~weight:1.0 ~t_edges:m)
+  in
+  let r = Ring.create (Array.make m 50) tasks in
+  Alcotest.check_raises "ring solve guard"
+    (Invalid_argument
+       (Printf.sprintf
+          "Exact.Ring_brute.solve: %d tasks exceed the exhaustive-search cap \
+           of %d (use Lab.Exact_bb.solve_ring for larger instances)"
+          n Exact.Ring_brute.task_cap))
+    (fun () -> ignore (Exact.Ring_brute.solve r))
+
+(* The symmetry cut must not change oracle answers: instances made of
+   identical-task stacks still solve to the obvious optimum. *)
+let brute_symmetry_still_optimal () =
+  let path = Path.uniform ~edges:4 ~capacity:6 in
+  let tasks =
+    List.init 8 (fun id ->
+        Task.make ~id ~first_edge:0 ~last_edge:3 ~demand:2 ~weight:5.0)
+  in
+  (* Capacity 6, demand 2 each: exactly 3 fit. *)
+  Alcotest.(check (float 1e-9)) "3 stacked" 15.0 (Exact.Sap_brute.value path tasks)
+
+(* The acceptance instance class: 40 tasks is far past the brute guard,
+   yet the branch and bound certifies optimality in well under a second. *)
+let bb_solves_beyond_brute () =
+  let prng = Util.Prng.create 11 in
+  let path = Gen.Profiles.uniform ~edges:8 ~capacity:6 in
+  let tasks = Gen.Workloads.mixed_tasks ~prng ~path ~n:40 () in
+  (try
+     ignore (Exact.Sap_brute.solve path tasks);
+     Alcotest.fail "Sap_brute accepted 40 tasks"
+   with Invalid_argument _ -> ());
+  let out = Lab.Exact_bb.solve path tasks in
+  Alcotest.(check bool) "optimal at 40 tasks" true out.Lab.Exact_bb.optimal;
+  Helpers.assert_feasible_sap path out.Lab.Exact_bb.solution;
+  Alcotest.(check bool) "value matches its certificate" true
+    (Helpers.close_enough out.Lab.Exact_bb.value out.Lab.Exact_bb.upper_bound)
+
+(* ---------- corpus ---------- *)
+
+let with_tmp_dir f =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "sap-lab-%d" (Unix.getpid ()))
+  in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm dir) (fun () -> f dir)
+
+let corpus_roundtrip () =
+  with_tmp_dir (fun dir ->
+      let t = Lab.Corpus.generate ~dir ~seed:5 ~variants:1 () in
+      Alcotest.(check int) "one instance per family"
+        (List.length Lab.Corpus.families)
+        (List.length t.Lab.Corpus.entries);
+      match Lab.Corpus.load ~dir with
+      | Error m -> Alcotest.failf "load: %s" m
+      | Ok t' ->
+          Alcotest.(check int) "seed survives" 5 t'.Lab.Corpus.seed;
+          Alcotest.(check int) "entries survive"
+            (List.length t.Lab.Corpus.entries)
+            (List.length t'.Lab.Corpus.entries);
+          List.iter
+            (fun e ->
+              match Lab.Corpus.read t' e with
+              | Ok (Lab.Corpus.Path_instance (path, tasks)) ->
+                  Alcotest.(check bool)
+                    (e.Lab.Corpus.file ^ " parses to tasks")
+                    true
+                    (Core.Path.num_edges path > 0 && tasks <> [])
+              | Ok (Lab.Corpus.Ring_instance r) ->
+                  Alcotest.(check bool)
+                    (e.Lab.Corpus.file ^ " parses to ring tasks")
+                    true
+                    (Array.length r.Ring.tasks > 0)
+              | Error m -> Alcotest.failf "%s: %s" e.Lab.Corpus.file m)
+            t'.Lab.Corpus.entries)
+
+let corpus_deterministic () =
+  with_tmp_dir (fun dir1 ->
+      with_tmp_dir (fun dir2' ->
+          let dir2 = dir2' ^ "-b" in
+          let t1 = Lab.Corpus.generate ~dir:dir1 ~seed:9 ~variants:1 () in
+          let t2 = Lab.Corpus.generate ~dir:dir2 ~seed:9 ~variants:1 () in
+          Fun.protect
+            ~finally:(fun () ->
+              List.iter
+                (fun e -> Sys.remove (Filename.concat dir2 e.Lab.Corpus.file))
+                t2.Lab.Corpus.entries;
+              Sys.remove (Filename.concat dir2 Lab.Corpus.manifest_file);
+              Unix.rmdir dir2)
+            (fun () ->
+              List.iter2
+                (fun e1 e2 ->
+                  let read t e =
+                    Sap_io.Instance_io.read_file
+                      (Filename.concat t.Lab.Corpus.dir e.Lab.Corpus.file)
+                  in
+                  Alcotest.(check string)
+                    (e1.Lab.Corpus.file ^ " reproducible")
+                    (read t1 e1) (read t2 e2))
+                t1.Lab.Corpus.entries t2.Lab.Corpus.entries)))
+
+(* ---------- the ratio pipeline ---------- *)
+
+let ratio_run_respects_bounds () =
+  with_tmp_dir (fun dir ->
+      let t = Lab.Corpus.generate ~dir ~seed:3 ~variants:1 () in
+      let report = Lab.Ratio.run t in
+      Alcotest.(check int) "no bound violations" 0 report.Lab.Ratio.violations;
+      Alcotest.(check int) "no oracle disagreements" 0
+        report.Lab.Ratio.disagreements;
+      (* Every algorithm appears, and every measured exact ratio is at
+         least 1 (the oracle is an upper bound on any feasible weight). *)
+      List.iter
+        (fun alg ->
+          Alcotest.(check bool) (alg ^ " measured") true
+            (List.exists
+               (fun m -> m.Lab.Ratio.alg = alg)
+               report.Lab.Ratio.measurements))
+        [ "small"; "medium"; "large"; "combine"; "ring" ];
+      List.iter
+        (fun m ->
+          match (m.Lab.Ratio.bound_kind, m.Lab.Ratio.ratio) with
+          | Lab.Ratio.Exact_opt, Some r ->
+              Alcotest.(check bool)
+                (m.Lab.Ratio.file ^ "/" ^ m.Lab.Ratio.alg ^ " ratio >= 1")
+                true (r >= 1.0 -. 1e-9)
+          | _ -> ())
+        report.Lab.Ratio.measurements;
+      (* bb-stress rows really exercised the post-guard regime. *)
+      Alcotest.(check bool) "bb-stress measured exactly" true
+        (List.exists
+           (fun m ->
+             m.Lab.Ratio.family = "bb-stress"
+             && m.Lab.Ratio.alg = "combine"
+             && m.Lab.Ratio.bound_kind = Lab.Ratio.Exact_opt
+             && m.Lab.Ratio.subset_size > Exact.Sap_brute.task_cap)
+           report.Lab.Ratio.measurements))
+
+let ratio_budget_degrades_to_lp () =
+  with_tmp_dir (fun dir ->
+      let t = Lab.Corpus.generate ~dir ~seed:3 ~variants:1 () in
+      let bb_stress =
+        {
+          t with
+          Lab.Corpus.entries =
+            List.filter
+              (fun e -> e.Lab.Corpus.family = "bb-stress")
+              t.Lab.Corpus.entries;
+        }
+      in
+      let report = Lab.Ratio.run ~max_nodes:50 bb_stress in
+      let combine_row =
+        List.find
+          (fun m -> m.Lab.Ratio.alg = "combine")
+          report.Lab.Ratio.measurements
+      in
+      Alcotest.(check bool) "degraded to lp" true
+        (combine_row.Lab.Ratio.bound_kind = Lab.Ratio.Lp_opt);
+      Alcotest.(check bool) "lp rows never gate" true
+        combine_row.Lab.Ratio.within_bound;
+      Alcotest.(check int) "no violations from lp rows" 0
+        report.Lab.Ratio.violations)
+
+let ratio_json_schema () =
+  with_tmp_dir (fun dir ->
+      let t = Lab.Corpus.generate ~dir ~seed:3 ~variants:1 () in
+      let report = Lab.Ratio.run t in
+      let json = Lab.Ratio.report_json report in
+      (* Must round-trip through the parser and carry the v1 envelope. *)
+      match Obs.Json.of_string (Obs.Json.to_string json) with
+      | Error m -> Alcotest.failf "report JSON does not re-parse: %s" m
+      | Ok (Obs.Json.Obj fields) ->
+          Alcotest.(check bool) "schema tag" true
+            (List.assoc_opt "schema" fields
+            = Some (Obs.Json.String "sap-ratio v1"));
+          List.iter
+            (fun k ->
+              Alcotest.(check bool) (k ^ " present") true
+                (List.mem_assoc k fields))
+            [ "corpus"; "config"; "measurements"; "summary"; "violations";
+              "disagreements" ]
+      | Ok _ -> Alcotest.fail "report JSON is not an object")
+
+(* ---------- Combine.audit bound_kind ---------- *)
+
+let audit_records_bound_kind () =
+  let path, tasks = Helpers.tiny_instance ~max_tasks:8 17 in
+  let r = Sap.Combine.solve_report path tasks in
+  let lp_audit = Sap.Combine.audit path tasks r in
+  Alcotest.(check bool) "default is lp" true
+    (lp_audit.Sap.Combine.bound_kind = Sap.Combine.Lp_bound);
+  let opt = Lab.Exact_bb.value path tasks in
+  let exact_audit = Sap.Combine.audit ~exact_optimum:opt path tasks r in
+  Alcotest.(check bool) "exact_optimum tags Exact_bound" true
+    (exact_audit.Sap.Combine.bound_kind = Sap.Combine.Exact_bound);
+  Alcotest.(check (float 1e-9)) "upper bound is the optimum" opt
+    exact_audit.Sap.Combine.upper_bound;
+  (* The JSON vocabulary the reports use. *)
+  let has_kv json k v =
+    match json with
+    | Obs.Json.Obj fields -> List.assoc_opt k fields = Some (Obs.Json.String v)
+    | _ -> false
+  in
+  Alcotest.(check bool) "json bound_kind lp" true
+    (has_kv (Sap.Combine.audit_json lp_audit) "bound_kind" "lp");
+  Alcotest.(check bool) "json bound_kind exact" true
+    (has_kv (Sap.Combine.audit_json exact_audit) "bound_kind" "exact")
+
+let run () =
+  Alcotest.run "lab"
+    [
+      ( "exact_bb",
+        [
+          bb_matches_brute;
+          bb_matches_brute_pooled;
+          bb_ring_matches_brute;
+          case "budget reports nonoptimal" bb_budget_reports_nonoptimal;
+        ] );
+      ( "oracle guards",
+        [
+          case "sap_brute guard" brute_guard_trips;
+          case "ring_brute guard" ring_guard_trips;
+          case "symmetry cut optimal" brute_symmetry_still_optimal;
+          case "40 tasks beyond the guard" bb_solves_beyond_brute;
+        ] );
+      ( "corpus",
+        [
+          case "round trip" corpus_roundtrip;
+          case "deterministic" corpus_deterministic;
+        ] );
+      ( "ratio",
+        [
+          case "bounds hold on seeded corpus" ratio_run_respects_bounds;
+          case "budget degrades to lp" ratio_budget_degrades_to_lp;
+          case "sap-ratio v1 schema" ratio_json_schema;
+        ] );
+      ( "audit",
+        [ case "bound_kind recorded" audit_records_bound_kind ] );
+    ]
+
+let () = run ()
