@@ -1,0 +1,40 @@
+module Task = Core.Task
+module Path = Core.Path
+
+(* Hunt for Exact_bb vs Sap_brute mismatches on instances with a tiny
+   palette of footprints and weights, so identical and near-identical
+   tasks abound (activating the symmetry cut + memo interaction). *)
+let () =
+  let mismatches = ref 0 in
+  for seed = 0 to 20000 do
+    let prng = Util.Prng.create seed in
+    let edges = 2 + Util.Prng.int prng 2 in
+    let cap = 3 + Util.Prng.int prng 3 in
+    let path = Path.uniform ~edges ~capacity:cap in
+    let n = 4 + Util.Prng.int prng 5 in
+    let tasks =
+      List.init n (fun id ->
+          let first_edge = Util.Prng.int prng edges in
+          let last_edge = first_edge + Util.Prng.int prng (edges - first_edge) in
+          let demand = 1 + Util.Prng.int prng 2 in
+          (* weights from a palette of 3 values -> many exact duplicates *)
+          let weight = [| 2.0; 3.0; 5.0 |].(Util.Prng.int prng 3) in
+          Task.make ~id ~first_edge ~last_edge ~demand ~weight)
+    in
+    let bb = Lab.Exact_bb.solve path tasks in
+    let brute = Exact.Sap_brute.value path tasks in
+    if bb.Lab.Exact_bb.optimal && Float.abs (bb.Lab.Exact_bb.value -. brute) > 1e-6
+    then begin
+      incr mismatches;
+      Printf.printf "MISMATCH seed=%d bb=%.3f brute=%.3f (edges=%d cap=%d n=%d)\n"
+        seed bb.Lab.Exact_bb.value brute edges cap n;
+      if !mismatches = 1 then begin
+        List.iter
+          (fun (j : Task.t) ->
+            Printf.printf "  task id=%d [%d,%d] d=%d w=%.1f\n" j.Task.id
+              j.Task.first_edge j.Task.last_edge j.Task.demand j.Task.weight)
+          tasks
+      end
+    end
+  done;
+  Printf.printf "done: %d mismatches\n" !mismatches
