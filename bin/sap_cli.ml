@@ -512,6 +512,47 @@ let lab_run_cmd dir output max_nodes jobs gate quiet =
           end
           else 0)
 
+let lab_hunt_cmd alg seed generations population budget hof_size jobs output
+    hof_dir quiet =
+  Obs.Metrics.enable ();
+  let config =
+    {
+      Lab.Hunt.default_config with
+      Lab.Hunt.alg;
+      seed;
+      generations;
+      population;
+      max_nodes = budget;
+      hof_size;
+    }
+  in
+  let pool =
+    match jobs with
+    | Some j when j > 1 -> Some (Sap_server.Pool.create ~workers:j ())
+    | _ -> None
+  in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Sap_server.Pool.shutdown pool)
+    (fun () ->
+      let report = Lab.Hunt.run ?pool config in
+      if not quiet then Format.printf "%a" Lab.Hunt.pp_summary report;
+      (match output with
+      | None -> ()
+      | Some file -> (
+          try
+            Sap_io.Instance_io.write_file file
+              (Obs.Json.to_string_pretty (Lab.Hunt.report_json report) ^ "\n")
+          with Sys_error m ->
+            Printf.eprintf "error: cannot write hunt report: %s\n" m;
+            exit 2));
+      (match hof_dir with
+      | None -> ()
+      | Some dir ->
+          let files = Lab.Hunt.write_hof ~dir report in
+          if not quiet then
+            List.iter (fun f -> Printf.printf "wrote %s/%s\n" dir f) files);
+      0)
+
 let lab_worst_cmd report_file top =
   match Obs.Json.of_string (read_text_file report_file) with
   | Error m ->
@@ -816,6 +857,52 @@ let lab_run_term =
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No summary table.") in
   Term.(const lab_run_cmd $ corpus $ output $ max_nodes $ jobs $ gate $ quiet)
 
+let lab_hunt_term =
+  let alg =
+    Arg.(value & opt string Lab.Hunt.default_config.Lab.Hunt.alg
+         & info [ "alg" ]
+             ~doc:"Algorithm to hunt: small | medium | large | combine | ring.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Hunt PRNG seed.") in
+  let generations =
+    Arg.(value & opt int Lab.Hunt.default_config.Lab.Hunt.generations
+         & info [ "generations" ] ~doc:"Evolutionary generations.")
+  in
+  let population =
+    Arg.(value & opt int Lab.Hunt.default_config.Lab.Hunt.population
+         & info [ "population" ] ~doc:"Candidates evaluated per generation.")
+  in
+  let budget =
+    Arg.(value & opt int Lab.Hunt.default_config.Lab.Hunt.max_nodes
+         & info [ "budget" ]
+             ~doc:"Branch-and-bound node budget per candidate evaluation; \
+                   past it the score degrades to a certified lower bound and \
+                   the candidate cannot enter the hall of fame.")
+  in
+  let hof_size =
+    Arg.(value & opt int Lab.Hunt.default_config.Lab.Hunt.hof_size
+         & info [ "hof-size" ] ~doc:"Hall-of-fame capacity.")
+  in
+  let jobs =
+    Arg.(value & opt (some int) None
+         & info [ "jobs" ]
+             ~doc:"Worker domains for candidate evaluation (default: \
+                   sequential; results are identical either way).")
+  in
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~doc:"Write the sap-hunt v1 report JSON here.")
+  in
+  let hof_dir =
+    Arg.(value & opt (some string) None
+         & info [ "hof" ]
+             ~doc:"Write hall-of-fame instance files into this directory \
+                   (created if missing).")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No summary.") in
+  Term.(const lab_hunt_cmd $ alg $ seed $ generations $ population $ budget
+        $ hof_size $ jobs $ output $ hof_dir $ quiet)
+
 let lab_worst_term =
   let report =
     Arg.(required & opt (some string) None
@@ -840,6 +927,11 @@ let lab_cmd =
            ~doc:"Measure every algorithm's ratio against the exact oracle over \
                  a corpus")
         lab_run_term;
+      Cmd.v
+        (Cmd.info "hunt"
+           ~doc:"Evolve adversarial instances that maximize OPT/ALG for one \
+                 algorithm; freeze the hall of fame for the corpus")
+        lab_hunt_term;
       Cmd.v
         (Cmd.info "worst" ~doc:"Show the worst-ratio instances of a report")
         lab_worst_term;

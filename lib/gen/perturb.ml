@@ -1,0 +1,286 @@
+module Task = Core.Task
+module Path = Core.Path
+module Ring = Core.Ring
+module Prng = Util.Prng
+
+type op =
+  | Nudge_demand
+  | Tighten_bottleneck
+  | Duplicate_task
+  | Split_task
+  | Jitter_weight
+  | Shift_span
+  | Drop_task
+
+let all_ops =
+  [
+    Nudge_demand;
+    Tighten_bottleneck;
+    Duplicate_task;
+    Split_task;
+    Jitter_weight;
+    Shift_span;
+    Drop_task;
+  ]
+
+let op_name = function
+  | Nudge_demand -> "nudge-demand"
+  | Tighten_bottleneck -> "tighten-bottleneck"
+  | Duplicate_task -> "duplicate-task"
+  | Split_task -> "split-task"
+  | Jitter_weight -> "jitter-weight"
+  | Shift_span -> "shift-span"
+  | Drop_task -> "drop-task"
+
+let clamp lo hi v = max lo (min hi v)
+
+let renumber tasks = List.mapi (fun i t -> Task.with_id t i) tasks
+
+let pick prng tasks = List.nth tasks (Prng.int prng (List.length tasks))
+
+(* Replace the task with [target]'s id by [f target]; [f] may return a
+   list (split) or [] (drop). *)
+let replace tasks (target : Task.t) f =
+  renumber
+    (List.concat_map
+       (fun (t : Task.t) -> if t.Task.id = target.Task.id then f t else [ t ])
+       tasks)
+
+let jitter_factor prng = 0.5 +. Prng.float prng 1.5
+
+let positive_weight w = Float.max 1e-6 w
+
+(* ---------- path instances ---------- *)
+
+let default_thresholds = [ 0.25; 0.5 ]
+
+let mutate_path ~prng ?(max_tasks = 16) ?(thresholds = default_thresholds) op
+    path tasks =
+  if tasks = [] then None
+  else
+    let n = List.length tasks in
+    match op with
+    | Nudge_demand ->
+        let j = pick prng tasks in
+        let b = Path.bottleneck_of path j in
+        let t = List.nth thresholds (Prng.int prng (List.length thresholds)) in
+        let pivot = int_of_float (Float.floor (t *. float_of_int b)) in
+        let cand =
+          match Prng.int prng 3 with
+          | 0 -> pivot (* just at (or below) the threshold *)
+          | 1 -> pivot + 1 (* just across it *)
+          | _ -> j.Task.demand + (if Prng.bool prng then 1 else -1)
+        in
+        let d = clamp 1 b cand in
+        if d = j.Task.demand then None
+        else
+          Some
+            ( path,
+              replace tasks j (fun t ->
+                  [
+                    Task.make ~id:t.Task.id ~first_edge:t.Task.first_edge
+                      ~last_edge:t.Task.last_edge ~demand:d ~weight:t.Task.weight;
+                  ]) )
+    | Tighten_bottleneck ->
+        (* Lower one capacity on some task's interval, but never below the
+           largest demand crossing that edge: every task stays
+           individually schedulable. *)
+        let j = pick prng tasks in
+        let e = Prng.int_in prng j.Task.first_edge j.Task.last_edge in
+        let floor_e =
+          List.fold_left
+            (fun acc (t : Task.t) ->
+              if Task.uses t e then max acc t.Task.demand else acc)
+            1 tasks
+        in
+        let cap = Path.capacity path e in
+        if cap - 1 < floor_e then None
+        else
+          let caps = Path.capacities path in
+          caps.(e) <- cap - 1;
+          Some (Path.create caps, tasks)
+    | Duplicate_task ->
+        if n >= max_tasks then None
+        else
+          let j = pick prng tasks in
+          let w = positive_weight (j.Task.weight *. jitter_factor prng) in
+          let clone =
+            Task.make ~id:n ~first_edge:j.Task.first_edge
+              ~last_edge:j.Task.last_edge ~demand:j.Task.demand ~weight:w
+          in
+          Some (path, renumber (tasks @ [ clone ]))
+    | Split_task ->
+        if n >= max_tasks then None
+        else begin
+          match List.filter (fun (t : Task.t) -> t.Task.demand >= 2) tasks with
+          | [] -> None
+          | splittable ->
+              let j = pick prng splittable in
+              let d1 = j.Task.demand / 2 in
+              let d2 = j.Task.demand - d1 in
+              let w1 =
+                j.Task.weight *. float_of_int d1 /. float_of_int j.Task.demand
+              in
+              let mk d w =
+                Task.make ~id:0 ~first_edge:j.Task.first_edge
+                  ~last_edge:j.Task.last_edge ~demand:d
+                  ~weight:(positive_weight w)
+              in
+              Some
+                ( path,
+                  replace tasks j (fun t ->
+                      [ mk d1 w1; mk d2 (t.Task.weight -. w1) ]) )
+        end
+    | Jitter_weight ->
+        let j = pick prng tasks in
+        let w = positive_weight (j.Task.weight *. jitter_factor prng) in
+        Some
+          ( path,
+            replace tasks j (fun t ->
+                [
+                  Task.make ~id:t.Task.id ~first_edge:t.Task.first_edge
+                    ~last_edge:t.Task.last_edge ~demand:t.Task.demand ~weight:w;
+                ]) )
+    | Shift_span ->
+        let j = pick prng tasks in
+        let m = Path.num_edges path in
+        let first, last = (j.Task.first_edge, j.Task.last_edge) in
+        let moves =
+          List.filter
+            (fun (f, l) -> 0 <= f && f <= l && l < m)
+            [
+              (first - 1, last - 1); (* translate left *)
+              (first + 1, last + 1); (* translate right *)
+              (first - 1, last); (* grow left *)
+              (first, last + 1); (* grow right *)
+              (first + 1, last); (* shrink left *)
+              (first, last - 1); (* shrink right *)
+            ]
+        in
+        if moves = [] then None
+        else
+          let f, l = List.nth moves (Prng.int prng (List.length moves)) in
+          let b = Path.bottleneck path ~first:f ~last:l in
+          let d = clamp 1 b j.Task.demand in
+          Some
+            ( path,
+              replace tasks j (fun t ->
+                  [
+                    Task.make ~id:t.Task.id ~first_edge:f ~last_edge:l ~demand:d
+                      ~weight:t.Task.weight;
+                  ]) )
+    | Drop_task ->
+        if n < 2 then None
+        else
+          let j = pick prng tasks in
+          Some (path, replace tasks j (fun _ -> []))
+
+(* ---------- ring instances ---------- *)
+
+let route_min caps edges =
+  List.fold_left (fun acc e -> min acc caps.(e)) max_int edges
+
+(* The best bottleneck over the task's two routes: the task is
+   schedulable iff [d <= best]. *)
+let best_bottleneck caps (t : Ring.task) =
+  let m = Array.length caps in
+  let cw = route_min caps (Ring.edges_of_route ~m ~src:t.Ring.src ~dst:t.Ring.dst Ring.Cw) in
+  let ccw = route_min caps (Ring.edges_of_route ~m ~src:t.Ring.src ~dst:t.Ring.dst Ring.Ccw) in
+  max cw ccw
+
+let ring_task ~m ~id (t : Ring.task) ?(src = -1) ?(dst = -1) ?(demand = -1)
+    ?(weight = -1.0) () =
+  Ring.make_task ~id
+    ~src:(if src >= 0 then src else t.Ring.src)
+    ~dst:(if dst >= 0 then dst else t.Ring.dst)
+    ~demand:(if demand >= 0 then demand else t.Ring.demand)
+    ~weight:(if weight >= 0.0 then weight else t.Ring.weight)
+    ~t_edges:m
+
+let mutate_ring ~prng ?(max_tasks = 16) op (r : Ring.t) =
+  let m = Ring.num_edges r in
+  let caps = Array.copy r.Ring.capacities in
+  let tasks = Array.to_list r.Ring.tasks in
+  let n = List.length tasks in
+  if n = 0 then None
+  else
+    let pick_ring () = List.nth tasks (Prng.int prng n) in
+    let rebuild ?(caps = caps) tasks = Some (Ring.create caps tasks) in
+    let replace_ring (target : Ring.task) f =
+      List.concat_map
+        (fun (t : Ring.task) -> if t.Ring.id = target.Ring.id then f t else [ t ])
+        tasks
+    in
+    match op with
+    | Nudge_demand ->
+        let j = pick_ring () in
+        let best = best_bottleneck caps j in
+        let cand =
+          match Prng.int prng 3 with
+          | 0 -> best (* tight against the better route *)
+          | 1 -> max 1 (best / 2) (* the through-knapsack half regime *)
+          | _ -> j.Ring.demand + (if Prng.bool prng then 1 else -1)
+        in
+        let d = clamp 1 best cand in
+        if d = j.Ring.demand then None
+        else
+          rebuild (replace_ring j (fun t -> [ ring_task ~m ~id:0 t ~demand:d () ]))
+    | Tighten_bottleneck ->
+        let e = Prng.int prng m in
+        if caps.(e) <= 1 then None
+        else begin
+          caps.(e) <- caps.(e) - 1;
+          (* Every task must stay routable at least one way. *)
+          if List.for_all (fun t -> t.Ring.demand <= best_bottleneck caps t) tasks
+          then rebuild ~caps tasks
+          else None
+        end
+    | Duplicate_task ->
+        if n >= max_tasks then None
+        else
+          let j = pick_ring () in
+          let w = positive_weight (j.Ring.weight *. jitter_factor prng) in
+          rebuild (tasks @ [ ring_task ~m ~id:n j ~weight:w () ])
+    | Split_task ->
+        if n >= max_tasks then None
+        else begin
+          match List.filter (fun t -> t.Ring.demand >= 2) tasks with
+          | [] -> None
+          | splittable ->
+              let j = List.nth splittable (Prng.int prng (List.length splittable)) in
+              let d1 = j.Ring.demand / 2 in
+              let w1 =
+                j.Ring.weight *. float_of_int d1 /. float_of_int j.Ring.demand
+              in
+              rebuild
+                (replace_ring j (fun t ->
+                     [
+                       ring_task ~m ~id:0 t ~demand:d1
+                         ~weight:(positive_weight w1) ();
+                       ring_task ~m ~id:0 t
+                         ~demand:(t.Ring.demand - d1)
+                         ~weight:(positive_weight (t.Ring.weight -. w1))
+                         ();
+                     ]))
+        end
+    | Jitter_weight ->
+        let j = pick_ring () in
+        let w = positive_weight (j.Ring.weight *. jitter_factor prng) in
+        rebuild (replace_ring j (fun t -> [ ring_task ~m ~id:0 t ~weight:w () ]))
+    | Shift_span ->
+        let j = pick_ring () in
+        let move_src = Prng.bool prng in
+        let step = if Prng.bool prng then 1 else m - 1 in
+        let src = if move_src then (j.Ring.src + step) mod m else j.Ring.src in
+        let dst = if move_src then j.Ring.dst else (j.Ring.dst + step) mod m in
+        if src = dst then None
+        else
+          let moved = ring_task ~m ~id:0 j ~src ~dst () in
+          let best = best_bottleneck caps moved in
+          let d = clamp 1 best j.Ring.demand in
+          rebuild (replace_ring j (fun _ -> [ ring_task ~m ~id:0 moved ~demand:d () ]))
+    | Drop_task ->
+        if n < 2 then None
+        else
+          let j = pick_ring () in
+          rebuild (replace_ring j (fun _ -> []))

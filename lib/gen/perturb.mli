@@ -1,0 +1,62 @@
+(** Mutation-ready instance perturbations for the adversarial hunt.
+
+    Each operator makes one small, structurally targeted change to an
+    instance and returns [None] when it does not apply (no task to split,
+    capacity already tight, task cap reached).  All operators preserve the
+    invariants the rest of the toolchain assumes:
+
+    - every task keeps [1 <= d_j <= b(j)] (individually schedulable),
+      in-range edges and a strictly positive weight;
+    - capacities stay positive; lowering an edge never strands a task
+      whose interval crosses it;
+    - task ids are renumbered [0 .. n-1] after structural changes, so
+      {!Core.Checker} duplicate-id checks always pass;
+    - ring tasks keep distinct terminals (the wrap rules of
+      {!Core.Ring.make_task}).
+
+    The demand nudges are aimed at the paper's classification seams: a
+    nudged task lands just below / exactly at / just above a threshold
+    fraction of its bottleneck ([delta * b(j)] or [(1 - 2 beta) * b(j)]
+    in the Theorem 4 configuration), the boundaries where the analysis
+    switches algorithms.  Determinism: all randomness flows through the
+    caller's {!Util.Prng.t}. *)
+
+type op =
+  | Nudge_demand  (** re-pin a demand around a threshold fraction of [b(j)] *)
+  | Tighten_bottleneck  (** lower one capacity on some task's interval *)
+  | Duplicate_task  (** clone a task (weight jittered) — feeds the symmetry cut *)
+  | Split_task  (** replace a task by two halves of its demand and weight *)
+  | Jitter_weight  (** scale one weight by a factor in [0.5, 2) *)
+  | Shift_span  (** translate or resize a task's interval by one edge *)
+  | Drop_task  (** remove one task (never the last) *)
+
+val all_ops : op list
+(** Every operator, in declaration order. *)
+
+val op_name : op -> string
+(** Kebab-case name, e.g. ["nudge-demand"] — the report vocabulary. *)
+
+val mutate_path :
+  prng:Util.Prng.t ->
+  ?max_tasks:int ->
+  ?thresholds:float list ->
+  op ->
+  Core.Path.t ->
+  Core.Task.t list ->
+  (Core.Path.t * Core.Task.t list) option
+(** Apply [op] once to a path instance.  [max_tasks] (default 16) caps
+    growth from duplicate/split; [thresholds] (default
+    [[delta; 1 - 2 beta]] from {!Sap.Combine.default_config}… supplied by
+    the caller, default [[0.25; 0.5]]) are the boundary fractions
+    [Nudge_demand] targets.  [None] when the operator cannot apply. *)
+
+val mutate_ring :
+  prng:Util.Prng.t ->
+  ?max_tasks:int ->
+  op ->
+  Core.Ring.t ->
+  Core.Ring.t option
+(** Ring analogue.  [Nudge_demand] moves a demand toward the smaller of
+    the task's two route bottlenecks, [Shift_span] moves one terminal
+    around the cycle (keeping [src <> dst]), [Tighten_bottleneck] keeps
+    every task routable at least one way. *)

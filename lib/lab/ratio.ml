@@ -75,6 +75,58 @@ let bounds =
     ("ring", ring_bound);
   ]
 
+(* ---------- the per-algorithm runners ---------- *)
+
+type path_alg = {
+  pa_name : string;
+  pa_bound : float;
+  pa_subset : Core.Path.t -> Core.Task.t list -> Core.Task.t list;
+  pa_run : Core.Path.t -> Core.Task.t list -> Core.Solution.sap;
+}
+
+let split_part part path tasks =
+  part (Core.Classify.split3 path ~delta:cfg.Sap.Combine.delta ~large_frac:0.5 tasks)
+
+let path_algs =
+  let q = Sap.Combine.q_of_beta cfg.Sap.Combine.beta in
+  let ell = Sap.Almost_uniform.ell_for_eps ~eps ~q in
+  [
+    {
+      pa_name = "small";
+      pa_bound = small_bound;
+      pa_subset = split_part (fun s -> s.Core.Classify.small);
+      pa_run =
+        (fun path ts ->
+          Sap.Small.strip_pack ~rounding:cfg.Sap.Combine.rounding
+            ~prng:(Util.Prng.create cfg.Sap.Combine.seed)
+            path ts);
+    };
+    {
+      pa_name = "medium";
+      pa_bound = medium_bound;
+      pa_subset = split_part (fun s -> s.Core.Classify.medium);
+      pa_run =
+        (fun path ts ->
+          (Sap.Almost_uniform.run ~ell ~q ?max_states:cfg.Sap.Combine.max_states
+             path ts)
+            .Sap.Almost_uniform.solution);
+    };
+    {
+      pa_name = "large";
+      pa_bound = large_bound;
+      pa_subset = split_part (fun s -> s.Core.Classify.large);
+      pa_run = (fun path ts -> Sap.Large.solve path ts);
+    };
+    {
+      pa_name = "combine";
+      pa_bound = combine_bound;
+      pa_subset = (fun _ ts -> ts);
+      pa_run = (fun path ts -> Sap.Combine.solve ~config:cfg path ts);
+    };
+  ]
+
+let ring_solve r = Sap.Ring_algo.solve ~config:cfg ~knapsack_eps:ring_knapsack_eps r
+
 (* ---------- one measurement ---------- *)
 
 let ratio_of ~opt ~alg_weight =
@@ -117,42 +169,18 @@ let measure_path ?max_nodes ?pool ~entry ~alg ~bound path subset alg_weight =
     bb_nodes = out.Exact_bb.nodes;
   }
 
-let run_path_entry ?max_nodes ?pool t entry path tasks =
-  let split =
-    Core.Classify.split3 path ~delta:cfg.Sap.Combine.delta ~large_frac:0.5 tasks
-  in
-  let prng () = Util.Prng.create cfg.Sap.Combine.seed in
-  let q = Sap.Combine.q_of_beta cfg.Sap.Combine.beta in
-  let ell = Sap.Almost_uniform.ell_for_eps ~eps ~q in
-  ignore t;
-  let small_sol =
-    Sap.Small.strip_pack ~rounding:cfg.Sap.Combine.rounding ~prng:(prng ()) path
-      split.Core.Classify.small
-  in
-  let medium_sol =
-    (Sap.Almost_uniform.run ~ell ~q ?max_states:cfg.Sap.Combine.max_states path
-       split.Core.Classify.medium)
-      .Sap.Almost_uniform.solution
-  in
-  let large_sol = Sap.Large.solve path split.Core.Classify.large in
-  let combine_sol = Sap.Combine.solve ~config:cfg path tasks in
-  [
-    measure_path ?max_nodes ?pool ~entry ~alg:"small" ~bound:small_bound path
-      split.Core.Classify.small
-      (Core.Solution.sap_weight small_sol);
-    measure_path ?max_nodes ?pool ~entry ~alg:"medium" ~bound:medium_bound path
-      split.Core.Classify.medium
-      (Core.Solution.sap_weight medium_sol);
-    measure_path ?max_nodes ?pool ~entry ~alg:"large" ~bound:large_bound path
-      split.Core.Classify.large
-      (Core.Solution.sap_weight large_sol);
-    measure_path ?max_nodes ?pool ~entry ~alg:"combine" ~bound:combine_bound path
-      tasks
-      (Core.Solution.sap_weight combine_sol);
-  ]
+let run_path_entry ?max_nodes ?pool _t entry path tasks =
+  List.map
+    (fun pa ->
+      let subset = pa.pa_subset path tasks in
+      let sol = pa.pa_run path subset in
+      measure_path ?max_nodes ?pool ~entry ~alg:pa.pa_name ~bound:pa.pa_bound
+        path subset
+        (Core.Solution.sap_weight sol))
+    path_algs
 
 let run_ring_entry ?max_nodes entry (r : Ring.t) =
-  let sol = Sap.Ring_algo.solve ~config:cfg ~knapsack_eps:ring_knapsack_eps r in
+  let sol = ring_solve r in
   let alg_weight = Ring.solution_weight sol in
   let out = Exact_bb.solve_ring ?max_nodes r in
   let total =
@@ -201,7 +229,18 @@ let summarise measurements =
   List.map
     (fun alg ->
       let ms = List.filter (fun m -> m.alg = alg) measurements in
-      let ratios = List.filter_map (fun m -> Option.map (fun r -> (m, r)) m.ratio) ms in
+      (* Aggregate ratios over exact-oracle rows only.  An [Lp_opt] row's
+         ratio is measured against an over-estimate of OPT, so letting it
+         into max/mean — or ranking it "worst" — would misreport the
+         empirical picture the lab exists to give. *)
+      let ratios =
+        List.filter_map
+          (fun m ->
+            match (m.bound_kind, m.ratio) with
+            | Exact_opt, Some r -> Some (m, r)
+            | _ -> None)
+          ms
+      in
       let worst =
         List.fold_left
           (fun acc (m, r) ->

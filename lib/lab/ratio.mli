@@ -40,12 +40,15 @@ type measurement = {
 type summary_row = {
   s_alg : string;
   count : int;
-  max_ratio : float option;
-  mean_ratio : float option;
+  max_ratio : float option;  (** over exact-oracle rows only *)
+  mean_ratio : float option;  (** over exact-oracle rows only *)
   exact_opts : int;
   lp_fallbacks : int;
   s_violations : int;
-  worst_file : string option;  (** the per-class worst instance *)
+  worst_file : string option;
+      (** the per-class worst instance among [Exact_opt] rows; an
+          LP-bounded row is never ranked worst (its ratio is measured
+          against an over-estimate of OPT) *)
 }
 
 type report = {
@@ -59,6 +62,24 @@ type report = {
 
 val bounds : (string * float) list
 (** Algorithm name to instantiated proven bound. *)
+
+type path_alg = {
+  pa_name : string;  (** small | medium | large | combine *)
+  pa_bound : float;  (** the instantiated proven bound *)
+  pa_subset : Core.Path.t -> Core.Task.t list -> Core.Task.t list;
+      (** the classified task subset the algorithm is responsible for
+          (identity for [combine]) *)
+  pa_run : Core.Path.t -> Core.Task.t list -> Core.Solution.sap;
+      (** the algorithm itself, at the lab's pinned configuration *)
+}
+
+val path_algs : path_alg list
+(** The four path algorithms exactly as the pipeline measures them —
+    {!Lab.Hunt} scores its candidates through these same runners, so a
+    hunted ratio is the ratio the corpus gate will reproduce. *)
+
+val ring_solve : Core.Ring.t -> Core.Ring.solution
+(** The Theorem 5 ring algorithm at the lab's pinned configuration. *)
 
 val run : ?max_nodes:int -> ?pool:Sap_server.Pool.t -> Corpus.t -> report
 (** Solve every entry.  [max_nodes] and [pool] are forwarded to

@@ -55,6 +55,35 @@ let bb_budget_reports_nonoptimal () =
     (out.Lab.Exact_bb.upper_bound >= out.Lab.Exact_bb.value -. 1e-9);
   Helpers.assert_feasible_sap path out.Lab.Exact_bb.solution
 
+(* A tiny palette of footprints and weights, so exact-duplicate and
+   near-duplicate tasks abound — the regime where the symmetry cut and
+   the dominated-state memo interact.  Promoted from an offline sweep of
+   seeds 0..20000 (0 mismatches); the committed test keeps the first 2000
+   seeds of the same generator. *)
+let bb_brute_palette_sweep () =
+  for seed = 0 to 1999 do
+    let prng = Util.Prng.create seed in
+    let edges = 2 + Util.Prng.int prng 2 in
+    let cap = 3 + Util.Prng.int prng 3 in
+    let path = Gen.Profiles.uniform ~edges ~capacity:cap in
+    let n = 4 + Util.Prng.int prng 5 in
+    let tasks =
+      List.init n (fun id ->
+          let first_edge = Util.Prng.int prng edges in
+          let last_edge = first_edge + Util.Prng.int prng (edges - first_edge) in
+          let demand = 1 + Util.Prng.int prng 2 in
+          let weight = [| 2.0; 3.0; 5.0 |].(Util.Prng.int prng 3) in
+          Task.make ~id ~first_edge ~last_edge ~demand ~weight)
+    in
+    let bb = Lab.Exact_bb.solve path tasks in
+    if not bb.Lab.Exact_bb.optimal then
+      Alcotest.failf "seed %d: palette instance exhausted the node budget" seed;
+    let brute = Exact.Sap_brute.value path tasks in
+    if Float.abs (bb.Lab.Exact_bb.value -. brute) > 1e-6 then
+      Alcotest.failf "seed %d: bb %.6f <> brute %.6f" seed
+        bb.Lab.Exact_bb.value brute
+  done
+
 (* ---------- oracle guards ---------- *)
 
 let over_cap_tasks path n =
@@ -295,6 +324,258 @@ let audit_records_bound_kind () =
   Alcotest.(check bool) "json bound_kind exact" true
     (has_kv (Sap.Combine.audit_json exact_audit) "bound_kind" "exact")
 
+(* LP-bounded rows must stay out of the summary aggregates: a ratio
+   measured against an over-estimate of OPT proves nothing, so it must
+   neither feed max/mean nor rank an instance "worst". *)
+let ratio_summary_excludes_lp_rows () =
+  with_tmp_dir (fun dir ->
+      let t = Lab.Corpus.generate ~dir ~seed:3 ~variants:1 () in
+      let stress =
+        {
+          t with
+          Lab.Corpus.entries =
+            List.filter
+              (fun e -> e.Lab.Corpus.family = "bb-stress")
+              t.Lab.Corpus.entries;
+        }
+      in
+      let report = Lab.Ratio.run ~max_nodes:50 stress in
+      Alcotest.(check bool) "stress entries exist" true
+        (stress.Lab.Corpus.entries <> []);
+      (* The LP rows must still carry a (bound-relative) ratio — the
+         exclusion below is the summary's doing, not a missing value. *)
+      Alcotest.(check bool) "some row degraded to lp with a ratio" true
+        (List.exists
+           (fun (m : Lab.Ratio.measurement) ->
+             m.Lab.Ratio.bound_kind = Lab.Ratio.Lp_opt
+             && m.Lab.Ratio.ratio <> None)
+           report.Lab.Ratio.measurements);
+      (* combine gets all 40 tasks; 50 nodes cannot close that search. *)
+      let combine_row =
+        List.find
+          (fun (s : Lab.Ratio.summary_row) -> s.Lab.Ratio.s_alg = "combine")
+          report.Lab.Ratio.summaries
+      in
+      Alcotest.(check bool) "combine rows all lp" true
+        (combine_row.Lab.Ratio.exact_opts = 0
+        && combine_row.Lab.Ratio.lp_fallbacks = combine_row.Lab.Ratio.count
+        && combine_row.Lab.Ratio.count > 0);
+      List.iter
+        (fun (s : Lab.Ratio.summary_row) ->
+          if s.Lab.Ratio.exact_opts = 0 then begin
+            Alcotest.(check bool)
+              (s.Lab.Ratio.s_alg ^ " max/mean over exact rows only")
+              true
+              (s.Lab.Ratio.max_ratio = None && s.Lab.Ratio.mean_ratio = None);
+            Alcotest.(check bool)
+              (s.Lab.Ratio.s_alg ^ " lp row never ranks worst")
+              true
+              (s.Lab.Ratio.worst_file = None)
+          end)
+        report.Lab.Ratio.summaries)
+
+(* ---------- mutation operators ---------- *)
+
+let check_path_instance ~what path tasks =
+  let n = List.length tasks in
+  List.iteri
+    (fun i (t : Task.t) ->
+      if t.Task.id <> i then Alcotest.failf "%s: ids not 0..n-1" what;
+      if t.Task.weight <= 0.0 then Alcotest.failf "%s: nonpositive weight" what;
+      if
+        t.Task.first_edge < 0
+        || t.Task.last_edge >= Path.num_edges path
+        || t.Task.first_edge > t.Task.last_edge
+      then Alcotest.failf "%s: span out of range" what;
+      if t.Task.demand < 1 || t.Task.demand > Path.bottleneck_of path t then
+        Alcotest.failf "%s: demand outside [1, bottleneck]" what)
+    tasks;
+  Array.iter
+    (fun c -> if c < 1 then Alcotest.failf "%s: nonpositive capacity" what)
+    (Path.capacities path);
+  ignore n
+
+let check_ring_instance ~what (r : Ring.t) =
+  let m = Ring.num_edges r in
+  let best (t : Ring.task) =
+    let route dir =
+      List.fold_left
+        (fun acc e -> min acc r.Ring.capacities.(e))
+        max_int
+        (Ring.edges_of_route ~m ~src:t.Ring.src ~dst:t.Ring.dst dir)
+    in
+    max (route Ring.Cw) (route Ring.Ccw)
+  in
+  Array.iteri
+    (fun i (t : Ring.task) ->
+      if t.Ring.id <> i then Alcotest.failf "%s: ids not 0..n-1" what;
+      if t.Ring.weight <= 0.0 then Alcotest.failf "%s: nonpositive weight" what;
+      if t.Ring.src = t.Ring.dst then Alcotest.failf "%s: src = dst" what;
+      if t.Ring.demand < 1 || t.Ring.demand > best t then
+        Alcotest.failf "%s: demand not routable either way" what)
+    r.Ring.tasks;
+  Array.iter
+    (fun c -> if c < 1 then Alcotest.failf "%s: nonpositive capacity" what)
+    r.Ring.capacities
+
+let perturb_path_mutants_valid =
+  Helpers.seed_property ~count:60 "path mutants stay well-formed" (fun seed ->
+      let path, tasks = Helpers.tiny_instance ~max_tasks:8 seed in
+      let prng = Util.Prng.create (seed + 1) in
+      List.iter
+        (fun op ->
+          for _ = 1 to 4 do
+            match Gen.Perturb.mutate_path ~prng ~max_tasks:12 op path tasks with
+            | None -> ()
+            | Some (path', tasks') ->
+                check_path_instance
+                  ~what:(Gen.Perturb.op_name op)
+                  path' tasks';
+                if tasks' = [] then
+                  Alcotest.failf "%s: emptied the instance"
+                    (Gen.Perturb.op_name op)
+          done)
+        Gen.Perturb.all_ops;
+      true)
+
+let perturb_ring_mutants_valid =
+  Helpers.seed_property ~count:60 "ring mutants stay well-formed" (fun seed ->
+      let prng = Util.Prng.create seed in
+      let r =
+        Gen.Ring_gen.random ~prng
+          ~edges:(4 + (seed mod 3))
+          ~n:(3 + (seed mod 4))
+          ~cap_lo:4 ~cap_hi:12 ~ratio_lo:0.0 ~ratio_hi:0.9
+      in
+      List.iter
+        (fun op ->
+          for _ = 1 to 4 do
+            match Gen.Perturb.mutate_ring ~prng ~max_tasks:12 op r with
+            | None -> ()
+            | Some r' -> check_ring_instance ~what:(Gen.Perturb.op_name op) r'
+          done)
+        Gen.Perturb.all_ops;
+      true)
+
+(* ---------- the hunt ---------- *)
+
+let small_hunt_config =
+  {
+    Lab.Hunt.default_config with
+    Lab.Hunt.alg = "combine";
+    seed = 11;
+    generations = 4;
+    population = 8;
+    max_nodes = 50_000;
+  }
+
+let hunt_deterministic () =
+  let r1 = Lab.Hunt.run small_hunt_config in
+  let r2 = Lab.Hunt.run small_hunt_config in
+  Alcotest.(check string) "identical reports"
+    (Obs.Json.to_string (Lab.Hunt.report_json r1))
+    (Obs.Json.to_string (Lab.Hunt.report_json r2))
+
+let hunt_pool_matches_sequential () =
+  let pool = Sap_server.Pool.create ~workers:3 () in
+  Fun.protect
+    ~finally:(fun () -> Sap_server.Pool.shutdown pool)
+    (fun () ->
+      let seq = Lab.Hunt.run small_hunt_config in
+      let par = Lab.Hunt.run ~pool small_hunt_config in
+      Alcotest.(check string) "pooled = sequential"
+        (Obs.Json.to_string (Lab.Hunt.report_json seq))
+        (Obs.Json.to_string (Lab.Hunt.report_json par)))
+
+let hunt_hof_certified_and_monotone () =
+  let report = Lab.Hunt.run { small_hunt_config with Lab.Hunt.alg = "small" } in
+  Alcotest.(check int) "one log entry per generation"
+    small_hunt_config.Lab.Hunt.generations
+    (List.length report.Lab.Hunt.log);
+  let rec check_monotone prev = function
+    | [] -> ()
+    | (l : Lab.Hunt.generation_log) :: rest ->
+        if l.Lab.Hunt.g_best < prev -. 1e-12 then
+          Alcotest.failf "best ratio regressed at generation %d"
+            l.Lab.Hunt.g_index;
+        check_monotone l.Lab.Hunt.g_best rest
+  in
+  check_monotone 0.0 report.Lab.Hunt.log;
+  let rec check_sorted = function
+    | (a : Lab.Hunt.scored) :: (b :: _ as rest) ->
+        if a.Lab.Hunt.ratio < b.Lab.Hunt.ratio -. 1e-12 then
+          Alcotest.fail "hall of fame not ratio-descending";
+        check_sorted rest
+    | _ -> ()
+  in
+  check_sorted report.Lab.Hunt.hall_of_fame;
+  List.iter
+    (fun (s : Lab.Hunt.scored) ->
+      Alcotest.(check bool) "hof entry exact-certified" true s.Lab.Hunt.exact;
+      (match s.Lab.Hunt.instance with
+      | Lab.Corpus.Path_instance (p, ts) ->
+          check_path_instance ~what:"hof instance" p ts
+      | Lab.Corpus.Ring_instance r -> check_ring_instance ~what:"hof ring" r);
+      Alcotest.(check bool) "hof ratio is opt/alg" true
+        (s.Lab.Hunt.alg_weight > 0.0
+        && Float.abs
+             (s.Lab.Hunt.ratio -. (s.Lab.Hunt.opt /. s.Lab.Hunt.alg_weight))
+           < 1e-9))
+    report.Lab.Hunt.hall_of_fame;
+  match report.Lab.Hunt.hall_of_fame with
+  | [] -> Alcotest.fail "empty hall of fame"
+  | best :: _ ->
+      Alcotest.(check (float 1e-12)) "final log entry is the hof best"
+        best.Lab.Hunt.ratio
+        (List.nth report.Lab.Hunt.log
+           (List.length report.Lab.Hunt.log - 1))
+          .Lab.Hunt.g_best
+
+let hunt_report_schema () =
+  let report = Lab.Hunt.run { small_hunt_config with Lab.Hunt.generations = 2 } in
+  match Obs.Json.of_string (Obs.Json.to_string (Lab.Hunt.report_json report)) with
+  | Error m -> Alcotest.failf "hunt JSON does not re-parse: %s" m
+  | Ok (Obs.Json.Obj fields) ->
+      Alcotest.(check bool) "schema tag" true
+        (List.assoc_opt "schema" fields
+        = Some (Obs.Json.String "sap-hunt v1"));
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) (k ^ " present") true
+            (List.assoc_opt k fields <> None))
+        [
+          "alg"; "seed"; "bound"; "evaluated"; "best_ratio";
+          "generations_log"; "operators"; "hall_of_fame";
+        ]
+  | Ok _ -> Alcotest.fail "hunt JSON is not an object"
+
+let hunt_write_hof_roundtrip () =
+  with_tmp_dir (fun dir ->
+      let hof_dir = Filename.concat dir "hof" in
+      let report = Lab.Hunt.run small_hunt_config in
+      let files = Lab.Hunt.write_hof ~dir:hof_dir report in
+      Alcotest.(check int) "one file per hof entry"
+        (List.length report.Lab.Hunt.hall_of_fame)
+        (List.length files);
+      List.iter
+        (fun f ->
+          let text = Sap_io.Instance_io.read_file (Filename.concat hof_dir f) in
+          match Sap_io.Instance_io.instance_of_string text with
+          | Ok (p, ts) -> check_path_instance ~what:f p ts
+          | Error _ -> (
+              match Sap_io.Instance_io.ring_of_string text with
+              | Ok r -> check_ring_instance ~what:f r
+              | Error m -> Alcotest.failf "%s: %s" f m))
+        files)
+
+let hunt_rejects_unknown_alg () =
+  Alcotest.check_raises "unknown alg"
+    (Invalid_argument
+       "Lab.Hunt: unknown algorithm \"grande\" (have: small, medium, large, \
+        combine, ring)")
+    (fun () ->
+      ignore (Lab.Hunt.run { small_hunt_config with Lab.Hunt.alg = "grande" }))
+
 let run () =
   Alcotest.run "lab"
     [
@@ -304,6 +585,7 @@ let run () =
           bb_matches_brute_pooled;
           bb_ring_matches_brute;
           case "budget reports nonoptimal" bb_budget_reports_nonoptimal;
+          case "palette sweep vs brute (2k seeds)" bb_brute_palette_sweep;
         ] );
       ( "oracle guards",
         [
@@ -322,9 +604,21 @@ let run () =
           case "bounds hold on seeded corpus" ratio_run_respects_bounds;
           case "budget degrades to lp" ratio_budget_degrades_to_lp;
           case "sap-ratio v1 schema" ratio_json_schema;
+          case "summary excludes lp rows" ratio_summary_excludes_lp_rows;
         ] );
       ( "audit",
         [ case "bound_kind recorded" audit_records_bound_kind ] );
+      ( "perturb",
+        [ perturb_path_mutants_valid; perturb_ring_mutants_valid ] );
+      ( "hunt",
+        [
+          case "deterministic" hunt_deterministic;
+          case "pooled = sequential" hunt_pool_matches_sequential;
+          case "hof certified + monotone" hunt_hof_certified_and_monotone;
+          case "sap-hunt v1 schema" hunt_report_schema;
+          case "write_hof round trip" hunt_write_hof_roundtrip;
+          case "unknown alg rejected" hunt_rejects_unknown_alg;
+        ] );
     ]
 
 let () = run ()
