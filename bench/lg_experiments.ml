@@ -1,0 +1,85 @@
+(* LG — closed-loop load-generator scenario over the in-process server:
+   the Lab.Loadgen instance mix (16 distinct uniform-mixed instances,
+   seed 7, cycled over 64 requests) driven one request at a time through
+   Server.handle.  The closed loop makes the shape fully deterministic —
+   the first pass over each distinct instance misses the cache, every
+   revisit hits — so solved/cached/failure counts gate behaviour in
+   bench-diff, while the wall-clock side (achieved rps, latency
+   percentiles) lands in gauges and *latency*/*seconds* leaves the gate
+   only compares under --time-factor. *)
+
+module Server = Sap_server.Server
+module Loadgen = Lab.Loadgen
+
+let c_sent = Obs.Metrics.counter "bench.lg.sent"
+
+let c_solved = Obs.Metrics.counter "bench.lg.solved"
+
+let c_cache_hits = Obs.Metrics.counter "bench.lg.cache_hits"
+
+let c_failures = Obs.Metrics.counter "bench.lg.failures"
+
+let g_rps = Obs.Metrics.gauge "bench.lg.achieved_rps"
+
+let h_run = Obs.Metrics.histogram "bench.lg.run_seconds"
+
+let config =
+  {
+    Loadgen.default_config with
+    Loadgen.rps = 64.0;
+    duration = 1.0;
+    distinct = 16;
+    seed = 7;
+    scrape_stats = false;
+  }
+
+let run () =
+  Bench_util.section "LG   closed-loop load generator (deterministic mix)";
+  let srv =
+    Server.create
+      ~config:{ Server.default_config with Server.workers = Some 4 }
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Server.drain srv) @@ fun () ->
+  let result, dt =
+    Bench_util.timed (fun () ->
+        Obs.Metrics.time h_run (fun () ->
+            Loadgen.run_closed ~handle:(Server.handle srv) config))
+  in
+  match result with
+  | Error m -> failwith ("lg: " ^ m)
+  | Ok r ->
+      let distinct = config.Loadgen.distinct in
+      let n = r.Loadgen.sent in
+      if n <> 64 then failwith (Printf.sprintf "lg: sent %d requests, wanted 64" n);
+      if r.Loadgen.solved <> distinct then
+        failwith
+          (Printf.sprintf "lg: %d fresh solves, wanted %d (one per distinct instance)"
+             r.Loadgen.solved distinct);
+      if r.Loadgen.cached <> n - distinct then
+        failwith
+          (Printf.sprintf "lg: %d cache hits, wanted %d" r.Loadgen.cached
+             (n - distinct));
+      let failures = r.Loadgen.timeouts + r.Loadgen.errors + r.Loadgen.lost in
+      if failures <> 0 then
+        failwith (Printf.sprintf "lg: %d requests failed" failures);
+      Obs.Metrics.add c_sent n;
+      Obs.Metrics.add c_solved r.Loadgen.solved;
+      Obs.Metrics.add c_cache_hits r.Loadgen.cached;
+      Obs.Metrics.add c_failures failures;
+      Obs.Metrics.set g_rps r.Loadgen.achieved_rps;
+      let ms q = 1000.0 *. Obs.Metrics.quantile r.Loadgen.latency q in
+      Util.Table.print
+        ~header:
+          [ "requests"; "solved"; "cached"; "p50 ms"; "p99 ms"; "req/s"; "seconds" ]
+        [
+          [
+            string_of_int n;
+            string_of_int r.Loadgen.solved;
+            string_of_int r.Loadgen.cached;
+            Util.Table.float_cell (ms 0.5);
+            Util.Table.float_cell (ms 0.99);
+            Util.Table.float_cell r.Loadgen.achieved_rps;
+            Util.Table.float_cell dt;
+          ];
+        ]

@@ -50,6 +50,7 @@ let () =
   Scale_experiments.run ();
   Lp_experiments.run ();
   Srv_experiments.run ();
+  Lg_experiments.run ();
   if not quick then Timing.run ();
   let elapsed = Obs.Clock.monotonic_seconds () -. t0 in
   Printf.printf "\nall experiments completed in %.1fs\n" elapsed;

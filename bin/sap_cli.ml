@@ -359,7 +359,8 @@ module Transport = Sap_server.Transport
 module Client = Sap_server.Client
 module Proto = Sap_server.Protocol
 
-let serve_cmd socket stdio workers queue cache_capacity default_timeout_ms quiet =
+let serve_cmd socket stdio workers queue cache_capacity default_timeout_ms log
+    quiet =
   (match (socket, stdio) with
   | None, false ->
       Printf.eprintf "error: serve needs --socket PATH or --stdio\n";
@@ -372,15 +373,45 @@ let serve_cmd socket stdio workers queue cache_capacity default_timeout_ms quiet
      the server's whole lifetime (spans stay off: a long-running service
      must not accumulate an unbounded span tree). *)
   Obs.Metrics.enable ();
+  (* Responses are forced from per-connection domains; one mutex
+     serializes whole log lines. *)
+  let log_sink =
+    match log with
+    | None -> None
+    | Some target ->
+        let oc = if target = "-" then stderr else open_out target in
+        let lock = Mutex.create () in
+        Some
+          (fun line ->
+            Mutex.lock lock;
+            Fun.protect
+              ~finally:(fun () -> Mutex.unlock lock)
+              (fun () ->
+                output_string oc line;
+                output_char oc '\n';
+                flush oc))
+  in
   let config =
-    { Server.workers; queue_capacity = queue; cache_capacity; default_timeout_ms }
+    { Server.workers; queue_capacity = queue; cache_capacity; default_timeout_ms;
+      log = log_sink }
   in
   let server = Server.create ~config () in
   (match socket with
   | Some path ->
-      if not quiet then
-        Printf.eprintf "sap_cli serve: listening on %s\n%!" path;
-      Transport.serve_unix server ~socket_path:path
+      (* SIGINT/SIGTERM flip the stop flag; the accept loop then stops
+         taking connections, every accepted request still gets its
+         response, and the pool drains below — no abrupt kill mid-write. *)
+      let stop = Atomic.make false in
+      (match Sys.os_type with
+      | "Unix" ->
+          let request_stop = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+          Sys.set_signal Sys.sigint request_stop;
+          Sys.set_signal Sys.sigterm request_stop
+      | _ -> ());
+      Transport.serve_unix ~stop
+        ~on_bound:(fun p ->
+          if not quiet then Printf.eprintf "sap_cli serve: listening on %s\n%!" p)
+        server ~socket_path:path
   | None ->
       if not quiet then Printf.eprintf "sap_cli serve: framed requests on stdin\n%!";
       Transport.serve_channels server stdin stdout);
@@ -466,6 +497,58 @@ let batch_cmd socket files algorithm seed timeout_ms no_cache output_dir
       if shutdown && not result.Client.shutdown_acked then
         Printf.eprintf "warning: shutdown not acknowledged\n";
       if !failed = 0 && result.Client.transport_errors = [] then 0 else 1
+
+(* ---------- loadgen ---------- *)
+
+let loadgen_cmd socket rps duration connections profile distinct algorithm seed
+    timeout_ms no_cache no_scrape output quiet =
+  (match Sys.os_type with
+  | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  | _ -> ());
+  let cfg =
+    {
+      Lab.Loadgen.rps;
+      duration;
+      connections;
+      profile;
+      distinct;
+      algorithm;
+      seed;
+      timeout_ms;
+      cache = not no_cache;
+      scrape_stats = not no_scrape;
+    }
+  in
+  match Lab.Loadgen.run ~connect:(fun () -> Client.connect_unix socket) cfg with
+  | Error m ->
+      Printf.eprintf "error: %s\n" m;
+      2
+  | Ok r ->
+      let open Lab.Loadgen in
+      let json = report_json r in
+      (match output with
+      | Some f -> Obs.Report.write_file f json
+      | None -> print_endline (Obs.Json.to_string_pretty json));
+      if not quiet then begin
+        let ms p = 1000.0 *. Obs.Metrics.quantile r.latency p in
+        Printf.eprintf
+          "loadgen: offered %.1f rps, achieved %.1f rps over %.2fs\n" r.offered_rps
+          r.achieved_rps r.elapsed;
+        Printf.eprintf
+          "  requests: %d sent, %d completed (%d solved, %d cached, %d timeouts, %d errors, %d lost)\n"
+          r.sent r.completed r.solved r.cached r.timeouts r.errors r.lost;
+        if r.completed > 0 then
+          Printf.eprintf "  latency: p50 %.3fms  p95 %.3fms  p99 %.3fms  max %.3fms\n"
+            (ms 0.5) (ms 0.95) (ms 0.99)
+            (1000.0 *. r.latency.Obs.Metrics.max);
+        (match cache_hit_rate r with
+        | Some h -> Printf.eprintf "  cache hit rate: %.1f%%\n" (100.0 *. h)
+        | None -> ());
+        if r.server_stats <> None then
+          Printf.eprintf "  stats scrape: ok (mid-run snapshot in report)\n"
+      end;
+      List.iter (fun m -> Printf.eprintf "warning: %s\n" m) r.protocol_errors;
+      if r.protocol_errors = [] && r.lost = 0 then 0 else 1
 
 (* ---------- lab ---------- *)
 
@@ -655,7 +738,7 @@ let solve_term =
   let stats_json =
     Arg.(value & opt (some string) None
          & info [ "stats-json" ]
-             ~doc:"Write a machine-readable sap-stats v2 report (instance stats, \
+             ~doc:"Write a machine-readable sap-stats v3 report (instance stats, \
                    per-part metrics, span tree with GC attribution, audit record) \
                    to this file.")
   in
@@ -766,9 +849,15 @@ let serve_term =
          & info [ "default-timeout-ms" ]
              ~doc:"Deadline applied to solve requests that carry none.")
   in
+  let log =
+    Arg.(value & opt (some string) None
+         & info [ "log" ]
+             ~doc:"Structured request log: one key=value line per response, \
+                   appended to FILE ('-' = stderr).")
+  in
   let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No banner on stderr.") in
   Term.(const serve_cmd $ socket_arg $ stdio $ workers $ queue $ cache_capacity
-        $ default_timeout_ms $ quiet)
+        $ default_timeout_ms $ log $ quiet)
 
 let batch_term =
   let socket =
@@ -815,6 +904,66 @@ let batch_term =
   in
   Term.(const batch_cmd $ socket $ files $ algorithm $ seed $ timeout_ms
         $ no_cache $ output_dir $ want_stats $ shutdown $ quiet)
+
+let loadgen_term =
+  let socket =
+    Arg.(required & opt (some string) None
+         & info [ "socket" ] ~doc:"Socket of a running `sap_cli serve`.")
+  in
+  let rps =
+    Arg.(value & opt float Lab.Loadgen.default_config.Lab.Loadgen.rps
+         & info [ "rps" ] ~doc:"Target offered rate, requests/second.")
+  in
+  let duration =
+    Arg.(value & opt float Lab.Loadgen.default_config.Lab.Loadgen.duration
+         & info [ "duration" ]
+             ~doc:"Run length in seconds (rps x duration requests total).")
+  in
+  let connections =
+    Arg.(value & opt int Lab.Loadgen.default_config.Lab.Loadgen.connections
+         & info [ "connections" ] ~doc:"Persistent pipelined connections.")
+  in
+  let profile =
+    Arg.(value & opt string Lab.Loadgen.default_config.Lab.Loadgen.profile
+         & info [ "profile" ]
+             ~doc:"Task-mix profile: any path family of the ratio-lab corpus \
+                   generator.")
+  in
+  let distinct =
+    Arg.(value & opt int Lab.Loadgen.default_config.Lab.Loadgen.distinct
+         & info [ "distinct" ] ~doc:"Distinct instances cycled through the run.")
+  in
+  let algorithm =
+    Arg.(value & opt string "combine"
+         & info [ "algorithm"; "a" ]
+             ~doc:"combine | small | medium | large | sapu | firstfit | exact")
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Instance-mix PRNG seed.")
+  in
+  let timeout_ms =
+    Arg.(value & opt (some int) None
+         & info [ "timeout-ms" ] ~doc:"Per-request deadline sent on the wire.")
+  in
+  let no_cache =
+    Arg.(value & flag
+         & info [ "no-cache" ] ~doc:"Bypass the server's solution cache.")
+  in
+  let no_scrape =
+    Arg.(value & flag
+         & info [ "no-scrape" ] ~doc:"Skip the mid-run live stats scrape.")
+  in
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ]
+             ~doc:"Write the sap-loadgen v1 report JSON here instead of stdout.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No summary on stderr.")
+  in
+  Term.(const loadgen_cmd $ socket $ rps $ duration $ connections $ profile
+        $ distinct $ algorithm $ seed $ timeout_ms $ no_cache $ no_scrape
+        $ output $ quiet)
 
 let lab_gen_term =
   let dir =
@@ -952,6 +1101,11 @@ let cmds =
       (Cmd.info "batch"
          ~doc:"Submit instance files to a running serve; collect solutions and stats")
       batch_term;
+    Cmd.v
+      (Cmd.info "loadgen"
+         ~doc:"Open-loop fixed-RPS load generator against a running serve; \
+               reports offered vs achieved RPS and latency percentiles")
+      loadgen_term;
     Cmd.v
       (Cmd.info "bench-diff"
          ~doc:"Compare two stats reports metric-by-metric; exit 1 on regression")

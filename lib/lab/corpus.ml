@@ -112,6 +112,8 @@ let gen_ring family prng =
         ~ratio_hi:0.9
   | f -> invalid_arg (Printf.sprintf "Lab.Corpus: unknown ring family %S" f)
 
+let sample_path ~family ~prng = gen_path family prng
+
 let families =
   [
     ("uniform-mixed", Path_kind);
@@ -125,6 +127,11 @@ let families =
     ("bb-stress", Path_kind);
     ("ring-uniform", Ring_kind);
   ]
+
+let path_families =
+  List.filter_map
+    (fun (f, k) -> match k with Path_kind -> Some f | Ring_kind -> None)
+    families
 
 (* ---------- manifest ---------- *)
 

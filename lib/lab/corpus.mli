@@ -39,6 +39,16 @@ type instance =
 val families : (string * kind) list
 (** Every family the generator knows, with its instance kind. *)
 
+val path_families : string list
+(** The path-kind families, in [families] order — the task-mix profiles
+    the load generator can draw from. *)
+
+val sample_path :
+  family:string -> prng:Util.Prng.t -> Core.Path.t * Core.Task.t list
+(** Draw one in-memory instance from a path family (no disk involved;
+    advances [prng], so repeated calls yield distinct instances).
+    @raise Invalid_argument on an unknown or ring family. *)
+
 val generate : dir:string -> seed:int -> ?variants:int -> unit -> t
 (** [generate ~dir ~seed ()] creates the directory (and parents) if
     needed, writes [variants] (default 3) instances per family plus the

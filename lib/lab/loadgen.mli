@@ -1,0 +1,87 @@
+(** Open-loop load generator for the solve service.
+
+    Drives a server with solve requests drawn from a {!Corpus} path
+    family at a fixed target rate.  The open-loop discipline is the one
+    that measures tail latency honestly: a dedicated pacing domain sends
+    request [k] at [t0 + k/rps] {e regardless} of how long earlier
+    requests take, requests are pipelined round-robin over [connections]
+    persistent connections (one reader domain each), and latency is
+    measured from the {e scheduled} send time — so server-side queueing
+    shows up in the percentiles instead of being hidden by a slow client
+    (the coordinated-omission trap of closed-loop drivers).
+
+    The instance mix is deterministic in [seed]: [distinct] instances are
+    drawn from [profile] up front and cycled, so with caching on, the
+    steady state exercises the server's cache hit path at a predictable
+    rate.  Mid-run the generator opens one extra connection and scrapes
+    the [stats] verb ([scrape_stats]), proving live snapshots work while
+    solves are in flight; the parsed snapshot rides along in the report.
+
+    {!run_closed} is the deterministic closed-loop variant used by the
+    [LG] bench scenario: same mix, but each request is sent only after
+    the previous response arrives (via a direct [handle] function), so
+    solved/cached/error counts are reproducible for a fixed seed. *)
+
+type config = {
+  rps : float;  (** target offered rate, requests/second *)
+  duration : float;  (** run length in seconds; [rps * duration] requests *)
+  connections : int;  (** persistent pipelined connections *)
+  profile : string;  (** a {!Corpus.path_families} member *)
+  distinct : int;  (** distinct instances cycled through the run *)
+  algorithm : string;
+  seed : int;
+  timeout_ms : int option;  (** per-request deadline forwarded on the wire *)
+  cache : bool;  (** [cache=0] on the wire when false *)
+  scrape_stats : bool;  (** scrape the [stats] verb mid-run *)
+}
+
+val default_config : config
+(** 50 rps for 2 s on 4 connections, [uniform-mixed], 32 distinct
+    instances, [combine], seed 42, no timeout, cache and scrape on. *)
+
+type report = {
+  r_config : config;
+  offered_rps : float;  (** = [config.rps] *)
+  achieved_rps : float;  (** completions / elapsed *)
+  elapsed : float;  (** first scheduled send -> last completion, seconds *)
+  sent : int;
+  completed : int;  (** responses of any status *)
+  solved : int;  (** fresh solves *)
+  cached : int;  (** cache-served solves *)
+  timeouts : int;
+  errors : int;  (** error responses *)
+  lost : int;  (** sent but never answered *)
+  latency : Obs.Metrics.histogram_summary;
+      (** scheduled send -> completion, seconds *)
+  send_lag : Obs.Metrics.histogram_summary;
+      (** scheduled -> actual send: pacer health; large values mean the
+          offered rate was not actually offered *)
+  protocol_errors : string list;
+  server_stats : Obs.Json.t option;  (** mid-run [stats] snapshot *)
+}
+
+val run :
+  connect:(unit -> (Unix.file_descr, string) result) ->
+  config ->
+  (report, string) result
+(** Run the open-loop generator against a server reachable through
+    [connect] (e.g. [fun () -> Client.connect_unix path]).  [Error] only
+    for a config/connection-setup problem; per-request failures are
+    reported in the counters and [protocol_errors]. *)
+
+val run_closed :
+  handle:(Sap_server.Protocol.request -> Sap_server.Protocol.response) ->
+  config ->
+  (report, string) result
+(** Deterministic closed-loop variant: requests go one at a time through
+    [handle] (e.g. [Server.handle srv]); [rps] only sizes the request
+    count.  No pacing or scraping; counters are reproducible. *)
+
+val cache_hit_rate : report -> float option
+(** [cached / (solved + cached)]; [None] when nothing was served. *)
+
+val report_json : report -> Obs.Json.t
+(** The sap-loadgen v1 report (schema in docs/FORMAT.md): config echo,
+    offered/achieved rps, request outcome counts, cache hit rate,
+    latency and send-lag quantile histograms, protocol errors, and the
+    scraped server stats (or null). *)

@@ -1,4 +1,4 @@
-(* Metric-by-metric comparison of two stats reports (sap-stats v2), the
+(* Metric-by-metric comparison of two stats reports (sap-stats v3), the
    engine behind [sap_cli bench-diff].
 
    Reports are flattened to dotted leaf paths ("metrics.counters.
@@ -7,16 +7,22 @@
    - counter  — "metrics.counters.*" and histogram "*.count" leaves:
                 event counts, deterministic for a fixed seed, compared
                 exactly (or within [counter_tol]);
-   - timing   — any path mentioning seconds/time/duration/start/clock:
-                wall-clock measurements, inherently noisy.  Skipped
+   - timing   — any path mentioning seconds/time/duration/start/clock/
+                latency, plus histogram quantile leaves ending in .p50/
+                .p90/.p95/.p99: wall-clock measurements, inherently noisy.
+                Skipped
                 unless [time_factor > 0]; a faster run is an improvement,
                 never a failure;
    - float    — remaining numeric leaves (gauges, ratio histograms),
                 compared within relative [float_tol];
    - equality — strings, bools, nulls.
 
-   The "spans" subtree is never compared (its timings differ run to run);
-   callers can exclude more with [ignore_prefixes]. *)
+   The "spans" subtree is never compared (its timings differ run to run),
+   and neither is any histogram ".buckets." subtree — which bucket a
+   duration lands in varies with machine speed, so bucket keys would flap
+   between Missing/Added run to run; the deterministic count leaf and the
+   time-factor-gated quantiles carry the signal instead.  Callers can
+   exclude more with [ignore_prefixes]. *)
 
 type thresholds = {
   counter_tol : float;
@@ -87,7 +93,9 @@ let last_segment path =
   | None -> path
   | Some i -> String.sub path (i + 1) (String.length path - i - 1)
 
-let timing_keywords = [ "seconds"; "time"; "duration"; "start"; "clock" ]
+let timing_keywords = [ "seconds"; "time"; "duration"; "start"; "clock"; "latency" ]
+
+let quantile_leaves = [ "p50"; "p90"; "p95"; "p99" ]
 
 let classify path value =
   match value with
@@ -95,7 +103,10 @@ let classify path value =
   | Json.Int _ | Json.Float _ ->
       if has_prefix ~prefix:"metrics.counters" path || last_segment path = "count" then
         Counter
-      else if List.exists (contains_sub path) timing_keywords then Timing
+      else if
+        List.exists (contains_sub path) timing_keywords
+        || List.mem (last_segment path) quantile_leaves
+      then Timing
       else Float_like
   | Json.Obj _ | Json.List _ -> Equality (* unreachable: leaves only *)
 
@@ -154,6 +165,7 @@ let compare_reports ?(thresholds = default_thresholds) ~old_report ~new_report (
   let t = thresholds in
   let ignored path =
     has_prefix ~prefix:"spans" path
+    || contains_sub path ".buckets."
     || List.exists (fun p -> has_prefix ~prefix:p path) t.ignore_prefixes
   in
   let old_leaves = leaves old_report in

@@ -11,18 +11,22 @@
       deterministic for a fixed seed, so they are compared exactly by
       default ([counter_tol]).
     - {b timing} — any path mentioning
-      [seconds]/[time]/[duration]/[start]/[clock].  Wall-clock readings
-      are machine- and load-dependent: they are skipped unless
-      [time_factor > 0], and a faster run is an improvement, never a
-      failure.
+      [seconds]/[time]/[duration]/[start]/[clock]/[latency], plus
+      histogram quantile leaves ending in [.p50]/[.p90]/[.p95]/[.p99].
+      Wall-clock readings are machine- and load-dependent: they are
+      skipped unless [time_factor > 0], and a faster run is an
+      improvement, never a failure.
     - {b float} — remaining numeric leaves (gauges, ratio histogram
       sums/means), compared within relative [float_tol]; the default
       absorbs float summation-order noise from parallel runs.
     - {b equality} — strings, booleans, nulls must match exactly.
 
-    The [spans] subtree is never compared; [ignore_prefixes] excludes
-    more (CI ignores [metrics.gauges]: last-write-wins gauges are
-    schedule-dependent under parallel experiment fan-out). *)
+    The [spans] subtree is never compared, and neither is any histogram
+    [.buckets.] subtree (which bucket a duration lands in varies with
+    machine speed, so bucket keys would flap between Missing and Added);
+    [ignore_prefixes] excludes more (CI ignores [metrics.gauges]:
+    last-write-wins gauges are schedule-dependent under parallel
+    experiment fan-out). *)
 
 type thresholds = {
   counter_tol : float;  (** relative drift allowed on counters (default 0) *)

@@ -1,4 +1,4 @@
-let schema_version = "sap-stats v2"
+let schema_version = "sap-stats v3"
 
 let enable_all () =
   Metrics.enable ();

@@ -1,11 +1,11 @@
-(** The machine-readable stats report ([sap-stats v2]) shared by
+(** The machine-readable stats report ([sap-stats v3]) shared by
     [sap_cli solve --stats-json] and the bench harness, so benchmark
     trajectories can track internal counters with the same schema the CLI
     emits — and so [sap_cli bench-diff] can compare any two of them.
 
     Schema (documented in docs/FORMAT.md):
     {v
-    { "schema":  "sap-stats v2",
+    { "schema":  "sap-stats v3",
       "clock":   { "wall_epoch_seconds": .., "monotonic_seconds": .. },
       ...caller-supplied extra fields...,
       "metrics": { "counters": {..}, "gauges": {..}, "histograms": {..} },
@@ -18,7 +18,7 @@
     wall time. *)
 
 val schema_version : string
-(** ["sap-stats v2"]. *)
+(** ["sap-stats v3"]. *)
 
 val enable_all : unit -> unit
 (** Turn on both {!Metrics} and {!Trace}. *)

@@ -1,19 +1,32 @@
 module P = Protocol
 
-let c_requests = Obs.Metrics.counter "server.requests"
-let c_solved = Obs.Metrics.counter "server.solved"
-let c_errors = Obs.Metrics.counter "server.errors"
-let c_timeouts = Obs.Metrics.counter "server.timeouts"
+(* Latency histograms (seconds).  [total] spans receive -> respond for
+   every request; the [queue]/[solve] phases and the hit/miss split only
+   apply to solve requests.  Request totals (requests/solved/errors/
+   timeouts) live on the server value itself — the per-server [Atomic.t]
+   fields are the single source of truth, surfaced via [stats_json]. *)
+let h_total = Obs.Metrics.histogram "server.latency.total"
+let h_total_hit = Obs.Metrics.histogram "server.latency.total.hit"
+let h_total_miss = Obs.Metrics.histogram "server.latency.total.miss"
+let h_queue = Obs.Metrics.histogram "server.latency.queue"
+let h_solve = Obs.Metrics.histogram "server.latency.solve"
 
 type config = {
   workers : int option;
   queue_capacity : int option;
   cache_capacity : int;
   default_timeout_ms : int option;
+  log : (string -> unit) option;
 }
 
 let default_config =
-  { workers = None; queue_capacity = None; cache_capacity = 1024; default_timeout_ms = None }
+  {
+    workers = None;
+    queue_capacity = None;
+    cache_capacity = 1024;
+    default_timeout_ms = None;
+    log = None;
+  }
 
 type cached_solve = {
   c_scheduled : int;
@@ -27,6 +40,7 @@ type t = {
   cache : cached_solve Cache.t;
   draining_flag : bool Atomic.t;
   started : float;
+  seq : int Atomic.t;
   n_requests : int Atomic.t;
   n_solved : int Atomic.t;
   n_errors : int Atomic.t;
@@ -70,6 +84,7 @@ let create ?(config = default_config) () =
     cache = Cache.create ~capacity:config.cache_capacity;
     draining_flag = Atomic.make false;
     started = Obs.Clock.monotonic_seconds ();
+    seq = Atomic.make 0;
     n_requests = Atomic.make 0;
     n_solved = Atomic.make 0;
     n_errors = Atomic.make 0;
@@ -93,7 +108,7 @@ let stats_json t =
   let uptime = Obs.Clock.monotonic_seconds () -. t.started in
   Obs.Json.Obj
     [
-      ("schema", Obs.Json.String "sap-server-stats v1");
+      ("schema", Obs.Json.String "sap-server-stats v2");
       ("uptime_seconds", Obs.Json.Float uptime);
       ("draining", Obs.Json.Bool (draining t));
       ( "requests",
@@ -111,17 +126,14 @@ let stats_json t =
 
 let fail t ~id code message =
   Atomic.incr t.n_errors;
-  Obs.Metrics.incr c_errors;
   P.Failed { id; code; message }
 
 let timeout t ~id =
   Atomic.incr t.n_timeouts;
-  Obs.Metrics.incr c_timeouts;
   P.Timed_out { id }
 
 let solved t ~id ~cached ~time_ms (c : cached_solve) =
   Atomic.incr t.n_solved;
-  Obs.Metrics.incr c_solved;
   P.Solved
     {
       id;
@@ -130,13 +142,101 @@ let solved t ~id ~cached ~time_ms (c : cached_solve) =
       solution = c.c_solution;
     }
 
-let submit_solve t ~id (params : P.solve_params) path tasks =
+(* ---------- per-request telemetry ---------- *)
+
+(* One record per admitted request, created at receive time.  The worker
+   domain stamps dequeue/solve phases; the forcing domain reads them when
+   the response is produced.  [Atomic.t] floats keep the cross-domain
+   handoff well-defined even on the timeout path (where the job may still
+   be running when the response is forced). *)
+type telemetry = {
+  rid : int;  (* server-assigned, monotonically increasing *)
+  t_recv : float;
+  verb : string;
+  alg : string option;
+  solve_seed : int option;
+  cache_state : string option;  (* "hit" | "miss" | "off"; solves only *)
+  queue_s : float Atomic.t;  (* receive -> dequeue; nan until stamped *)
+  solve_s : float Atomic.t;  (* solver wall time; nan until stamped *)
+  finalized : bool Atomic.t;
+}
+
+let telemetry t ~verb ?alg ?solve_seed ?cache_state () =
+  {
+    rid = Atomic.fetch_and_add t.seq 1;
+    t_recv = Obs.Clock.monotonic_seconds ();
+    verb;
+    alg;
+    solve_seed;
+    cache_state;
+    queue_s = Atomic.make Float.nan;
+    solve_s = Atomic.make Float.nan;
+    finalized = Atomic.make false;
+  }
+
+let response_status = function
+  | P.Solved _ -> "solved"
+  | P.Timed_out _ -> "timeout"
+  | P.Ack _ -> "ack"
+  | P.Stats_reply _ -> "stats"
+  | P.Failed { code; _ } -> "error:" ^ P.error_code_to_string code
+
+let log_line tel resp ~total =
+  let b = Buffer.create 160 in
+  let kv k v =
+    if Buffer.length b > 0 then Buffer.add_char b ' ';
+    Buffer.add_string b k;
+    Buffer.add_char b '=';
+    Buffer.add_string b v
+  in
+  let ms s = Printf.sprintf "%.3f" (s *. 1000.0) in
+  kv "ts" (Printf.sprintf "%.6f" (Unix.gettimeofday ()));
+  kv "req" (string_of_int tel.rid);
+  kv "id" (string_of_int (P.response_id resp));
+  kv "verb" tel.verb;
+  Option.iter (fun a -> kv "alg" a) tel.alg;
+  Option.iter (fun s -> kv "seed" (string_of_int s)) tel.solve_seed;
+  Option.iter (fun c -> kv "cache" c) tel.cache_state;
+  kv "status" (response_status resp);
+  (match resp with
+  | P.Solved { summary; _ } ->
+      kv "scheduled" (string_of_int summary.P.scheduled);
+      kv "weight" (Printf.sprintf "%.6g" summary.P.weight)
+  | _ -> ());
+  let q = Atomic.get tel.queue_s and s = Atomic.get tel.solve_s in
+  if not (Float.is_nan q) then kv "queue_ms" (ms q);
+  if not (Float.is_nan s) then kv "solve_ms" (ms s);
+  kv "total_ms" (ms total);
+  Buffer.contents b
+
+(* Wrap a pending so the respond timestamp, total-latency observations and
+   the structured log line happen exactly once, when the transport forces
+   the response (FIFO flush order = respond order). *)
+let finalize t tel pending =
+  let record resp =
+    if not (Atomic.exchange tel.finalized true) then begin
+      let total = Obs.Clock.monotonic_seconds () -. tel.t_recv in
+      Obs.Metrics.observe h_total total;
+      (match tel.cache_state with
+      | Some "hit" -> Obs.Metrics.observe h_total_hit total
+      | Some _ -> Obs.Metrics.observe h_total_miss total
+      | None -> ());
+      match t.config.log with
+      | Some log -> log (log_line tel resp ~total)
+      | None -> ()
+    end;
+    resp
+  in
+  { ready = pending.ready; force = (fun () -> record (pending.force ())) }
+
+let submit_solve t tel ~id (params : P.solve_params) path tasks =
   match List.assoc_opt params.algorithm (algorithms ~seed:params.seed) with
   | None ->
-      immediate
-        (fail t ~id P.Unknown_algorithm
-           (Printf.sprintf "unknown algorithm %S (have: %s)" params.algorithm
-              (String.concat ", " algorithm_names)))
+      ( tel,
+        immediate
+          (fail t ~id P.Unknown_algorithm
+             (Printf.sprintf "unknown algorithm %S (have: %s)" params.algorithm
+                (String.concat ", " algorithm_names))) )
   | Some solve -> (
       let key =
         if params.cache then
@@ -146,8 +246,13 @@ let submit_solve t ~id (params : P.solve_params) path tasks =
         else None
       in
       match Option.map (Cache.find t.cache) key |> Option.join with
-      | Some hit -> immediate (solved t ~id ~cached:true ~time_ms:0.0 hit)
+      | Some hit ->
+          ( { tel with cache_state = Some "hit" },
+            immediate (solved t ~id ~cached:true ~time_ms:0.0 hit) )
       | None -> (
+          let tel =
+            { tel with cache_state = Some (if key = None then "off" else "miss") }
+          in
           let timeout_ms =
             match params.timeout_ms with
             | Some _ as s -> s
@@ -160,10 +265,11 @@ let submit_solve t ~id (params : P.solve_params) path tasks =
               timeout_ms
           in
           let job () =
+            let t_deq = Obs.Clock.monotonic_seconds () in
+            Atomic.set tel.queue_s (t_deq -. tel.t_recv);
+            Obs.Metrics.observe h_queue (t_deq -. tel.t_recv);
             let expired =
-              match deadline with
-              | Some dl -> Obs.Clock.monotonic_seconds () >= dl
-              | None -> false
+              match deadline with Some dl -> t_deq >= dl | None -> false
             in
             if expired then timeout t ~id
             else
@@ -177,6 +283,8 @@ let submit_solve t ~id (params : P.solve_params) path tasks =
                     (Printf.sprintf "solver raised: %s" (Printexc.to_string e))
               | sol -> (
                   let dt = Obs.Clock.monotonic_seconds () -. t0 in
+                  Atomic.set tel.solve_s dt;
+                  Obs.Metrics.observe h_solve dt;
                   (match List.assoc_opt params.algorithm t.latency with
                   | Some h -> Obs.Metrics.observe h dt
                   | None -> ());
@@ -198,7 +306,7 @@ let submit_solve t ~id (params : P.solve_params) path tasks =
           in
           match Pool.submit t.pool job with
           | exception Pool.Closed ->
-              immediate (fail t ~id P.Shutting_down "server is draining")
+              (tel, immediate (fail t ~id P.Shutting_down "server is draining"))
           | fut ->
               let ready () =
                 Pool.completed fut
@@ -219,7 +327,7 @@ let submit_solve t ~id (params : P.solve_params) path tasks =
                            is a clean timeout. *)
                         timeout t ~id)
               in
-              { ready; force }))
+              (tel, { ready; force })))
 
 let drain_pool t =
   Atomic.set t.draining_flag true;
@@ -227,21 +335,33 @@ let drain_pool t =
 
 let submit t req =
   Atomic.incr t.n_requests;
-  Obs.Metrics.incr c_requests;
   let id = P.request_id req in
-  match req with
-  | P.Ping _ -> immediate (P.Ack { id })
-  | P.Stats _ ->
-      (* Evaluated at force time: a pipelined [stats] frame behind a
-         batch reflects that batch once the transport's in-order flush
-         reaches it. *)
-      { ready = (fun () -> true); force = (fun () -> P.Stats_reply { id; stats = stats_json t }) }
-  | P.Shutdown _ ->
-      Atomic.set t.draining_flag true;
-      { ready = (fun () -> true); force = (fun () -> drain_pool t; P.Ack { id }) }
-  | P.Solve { params; path; tasks; _ } ->
-      if draining t then immediate (fail t ~id P.Shutting_down "server is draining")
-      else submit_solve t ~id params path tasks
+  let tel, pending =
+    match req with
+    | P.Ping _ -> (telemetry t ~verb:"ping" (), immediate (P.Ack { id }))
+    | P.Stats _ ->
+        (* Evaluated at force time: a pipelined [stats] frame behind a
+           batch reflects that batch once the transport's in-order flush
+           reaches it. *)
+        ( telemetry t ~verb:"stats" (),
+          {
+            ready = (fun () -> true);
+            force = (fun () -> P.Stats_reply { id; stats = stats_json t });
+          } )
+    | P.Shutdown _ ->
+        Atomic.set t.draining_flag true;
+        ( telemetry t ~verb:"shutdown" (),
+          { ready = (fun () -> true); force = (fun () -> drain_pool t; P.Ack { id }) } )
+    | P.Solve { params; path; tasks; _ } ->
+        let tel =
+          telemetry t ~verb:"solve" ~alg:params.algorithm
+            ~solve_seed:params.seed ()
+        in
+        if draining t then
+          (tel, immediate (fail t ~id P.Shutting_down "server is draining"))
+        else submit_solve t tel ~id params path tasks
+  in
+  finalize t tel pending
 
 let handle t req = (submit t req).force ()
 

@@ -5,10 +5,25 @@
     lookup ({!Fingerprint.solve_key}) → pool submission (blocking past
     the queue's high-water mark — that block {e is} the backpressure) →
     solve + {!Core.Checker} verification in a worker domain → cache
-    insert.  Every phase is metered: [server.requests],
-    [server.queue_depth], [server.cache.{hits,misses,evictions}],
-    [server.latency_seconds.<algorithm>], and per-request [server.request]
-    spans when tracing is on.
+    insert.  Every request gets a monotonically-assigned server-side id
+    and receive/dequeue/solve/respond timestamps, recorded into quantile
+    latency histograms — [server.latency.total] (every request, plus
+    [.hit]/[.miss] splits for solves), [server.latency.queue]
+    (receive → worker dequeue) and [server.latency.solve] (solver wall
+    time, also split per algorithm as
+    [server.latency_seconds.<algorithm>]) — alongside
+    [server.queue_depth], [server.cache.{hits,misses,evictions}] and
+    per-request [server.request] spans when tracing is on.  Request
+    totals (requests/solved/errors/timeouts) are tracked once, as
+    per-server atomics surfaced by {!stats_json}.
+
+    When [config.log] is set, every response additionally emits one
+    single-line [key=value] record (fields: [ts] wall-clock epoch, [req]
+    server request id, [id] client id, [verb], [alg], [seed], [cache]
+    hit/miss/off, [status], [scheduled], [weight], [queue_ms],
+    [solve_ms], [total_ms]; absent fields are omitted).  The sink is
+    called from whichever domain forces the response — it must be
+    thread-safe.
 
     Responses are never fabricated from unchecked solver output: a
     solution that fails the checker turns into an [infeasible] error, a
@@ -25,10 +40,14 @@ type config = {
   cache_capacity : int;  (** LRU entries; [<= 0] disables caching *)
   default_timeout_ms : int option;
       (** applied to solve requests that carry no [timeout-ms] *)
+  log : (string -> unit) option;
+      (** structured request-log sink, one pre-formatted [key=value] line
+          per response (no trailing newline); must be thread-safe *)
 }
 
 val default_config : config
-(** Default workers and queue, 1024 cache entries, no default timeout. *)
+(** Default workers and queue, 1024 cache entries, no default timeout,
+    no request log. *)
 
 type t
 
@@ -54,9 +73,10 @@ val handle : t -> Protocol.request -> Protocol.response
     single-request callers. *)
 
 val stats_json : t -> Obs.Json.t
-(** The [stats] response payload: request/cache/pool totals plus the
-    current {!Obs.Metrics} snapshot (sap-stats v2 [metrics] shape; empty
-    unless metric collection is enabled). *)
+(** The [stats] response payload (sap-server-stats v2): request/cache/pool
+    totals plus the current {!Obs.Metrics} snapshot (sap-stats v3
+    [metrics] shape with quantile histograms; empty unless metric
+    collection is enabled). *)
 
 val draining : t -> bool
 (** True once a [Shutdown] request was admitted or {!drain} called. *)

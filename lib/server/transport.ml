@@ -57,7 +57,16 @@ let serve_channels t ic oc =
      SIGPIPE ignored); the connection is simply over. *)
   try loop () with Sys_error _ -> ()
 
-let serve_unix t ~socket_path =
+(* One domain per accepted connection, so a pipelined load generator's N
+   connections and a live [stats] scrape all make progress while earlier
+   solves are in flight.  The accept loop polls with a short select
+   timeout so it can notice a drain (shutdown verb, SIGINT-driven [stop]
+   flag) promptly; connection fds are closed by the accept loop after
+   joining their domain, never by the domain itself, so the graceful-stop
+   path can safely [shutdown] a live connection's receive side to unblock
+   its reader (which then drains every admitted request before exiting —
+   no accepted request loses its response). *)
+let serve_unix ?on_bound ?stop t ~socket_path =
   (match Sys.os_type with
   | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
   | _ -> ());
@@ -69,16 +78,74 @@ let serve_unix t ~socket_path =
       try Unix.unlink socket_path with Unix.Unix_error _ -> ())
     (fun () ->
       Unix.bind sock (Unix.ADDR_UNIX socket_path);
-      Unix.listen sock 16;
+      Unix.listen sock 64;
+      Option.iter (fun f -> f socket_path) on_bound;
+      let should_stop () =
+        Server.draining t
+        || match stop with Some s -> Atomic.get s | None -> false
+      in
+      let conns = ref [] in
+      let conns_lock = Mutex.create () in
+      let spawn_conn fd =
+        let finished = Atomic.make false in
+        let dom =
+          Domain.spawn (fun () ->
+              Fun.protect
+                ~finally:(fun () -> Atomic.set finished true)
+                (fun () ->
+                  let ic = Unix.in_channel_of_descr fd in
+                  let oc = Unix.out_channel_of_descr fd in
+                  serve_channels t ic oc;
+                  try flush oc with Sys_error _ -> ()))
+        in
+        Mutex.lock conns_lock;
+        conns := (fd, dom, finished) :: !conns;
+        Mutex.unlock conns_lock
+      in
+      let reap () =
+        Mutex.lock conns_lock;
+        let done_, live =
+          List.partition (fun (_, _, fin) -> Atomic.get fin) !conns
+        in
+        conns := live;
+        Mutex.unlock conns_lock;
+        List.iter
+          (fun (fd, dom, _) ->
+            Domain.join dom;
+            try Unix.close fd with Unix.Unix_error _ -> ())
+          done_
+      in
       let rec accept_loop () =
-        if not (Server.draining t) then begin
-          let fd, _peer = Unix.accept sock in
-          let ic = Unix.in_channel_of_descr fd in
-          let oc = Unix.out_channel_of_descr fd in
-          serve_channels t ic oc;
-          (try flush oc with Sys_error _ -> ());
-          (try Unix.close fd with Unix.Unix_error _ -> ());
+        if not (should_stop ()) then begin
+          (match Unix.select [ sock ] [] [] 0.2 with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+          | [], _, _ -> ()
+          | _ -> (
+              match Unix.accept sock with
+              | exception
+                  Unix.Unix_error
+                    ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.ECONNABORTED), _, _)
+                ->
+                  ()
+              | fd, _peer -> spawn_conn fd));
+          reap ();
           accept_loop ()
         end
       in
-      accept_loop ())
+      accept_loop ();
+      (* Stop accepting; unblock every live reader, then wait for each
+         connection to flush the responses it still owes. *)
+      Mutex.lock conns_lock;
+      let all = !conns in
+      conns := [];
+      Mutex.unlock conns_lock;
+      List.iter
+        (fun (fd, _, fin) ->
+          if not (Atomic.get fin) then
+            try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE with Unix.Unix_error _ -> ())
+        all;
+      List.iter
+        (fun (fd, dom, _) ->
+          Domain.join dom;
+          try Unix.close fd with Unix.Unix_error _ -> ())
+        all)

@@ -19,8 +19,19 @@ val serve_channels : Server.t -> in_channel -> out_channel -> unit
     end of input, after a [shutdown] frame, or when the peer disappears
     mid-write; never raises for transport-level failures. *)
 
-val serve_unix : Server.t -> socket_path:string -> unit
-(** Bind a Unix-domain socket (replacing any stale socket file), then
-    accept and serve connections sequentially until a [shutdown] frame
-    arrives; the socket file is removed on exit.  SIGPIPE is ignored for
-    the process (a dead peer must surface as [EPIPE], not a kill). *)
+val serve_unix :
+  ?on_bound:(string -> unit) ->
+  ?stop:bool Atomic.t ->
+  Server.t ->
+  socket_path:string ->
+  unit
+(** Bind a Unix-domain socket (replacing any stale socket file), call
+    [on_bound] with the bound path, then accept connections until a
+    [shutdown] frame arrives or [stop] is set (e.g. from a SIGINT
+    handler) — each connection is served by its own domain, so pipelined
+    clients and live [stats] scrapes proceed concurrently.  Stopping is
+    graceful: accepting ceases, every live connection's receive side is
+    shut down so its reader unblocks, and each connection drains its
+    admitted requests' responses before the call returns and removes the
+    socket file.  SIGPIPE is ignored for the process (a dead peer must
+    surface as [EPIPE], not a kill). *)

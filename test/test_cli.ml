@@ -127,7 +127,7 @@ let solve_emits_stats_json () =
           (fun sub ->
             Alcotest.(check bool) (sub ^ " present") true (contains_sub s sub))
           [
-            "sap-stats v2";
+            "sap-stats v3";
             "\"clock\"";
             "\"algorithm\"";
             "\"seed\": 7";
@@ -226,7 +226,7 @@ let solve_trace_chrome () =
 let write_json file counters extra =
   let fields =
     [
-      ("schema", Obs.Json.String "sap-stats v2");
+      ("schema", Obs.Json.String "sap-stats v3");
       ( "metrics",
         Obs.Json.Obj
           [
@@ -372,7 +372,7 @@ let serve_batch_socket_smoke () =
                  @ insts));
             let s = Sap_io.Instance_io.read_file out in
             Alcotest.(check bool) "stats json printed" true
-              (contains_sub s "sap-server-stats v1");
+              (contains_sub s "sap-server-stats v2");
             List.iter
               (fun f ->
                 let sol = f ^ ".sol" in

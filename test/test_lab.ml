@@ -576,6 +576,152 @@ let hunt_rejects_unknown_alg () =
     (fun () ->
       ignore (Lab.Hunt.run { small_hunt_config with Lab.Hunt.alg = "grande" }))
 
+(* ---------- loadgen ---------- *)
+
+module Loadgen = Lab.Loadgen
+module Server = Sap_server.Server
+module Transport = Sap_server.Transport
+
+let lg_config =
+  {
+    Loadgen.default_config with
+    Loadgen.rps = 40.0;
+    duration = 1.0;
+    distinct = 8;
+    seed = 11;
+    scrape_stats = false;
+  }
+
+let with_server f =
+  let srv =
+    Server.create
+      ~config:{ Server.default_config with Server.workers = Some 2 } ()
+  in
+  Fun.protect ~finally:(fun () -> Server.drain srv) (fun () -> f srv)
+
+let loadgen_closed_deterministic () =
+  let run () =
+    with_server @@ fun srv ->
+    match Loadgen.run_closed ~handle:(Server.handle srv) lg_config with
+    | Error m -> Alcotest.failf "run_closed: %s" m
+    | Ok r -> r
+  in
+  let a = run () in
+  let b = run () in
+  Alcotest.(check int) "sent = round(rps*duration)" 40 a.Loadgen.sent;
+  Alcotest.(check int) "all completed" 40 a.Loadgen.completed;
+  Alcotest.(check int) "one fresh solve per distinct instance" 8
+    a.Loadgen.solved;
+  Alcotest.(check int) "revisits cached" 32 a.Loadgen.cached;
+  Alcotest.(check int) "no failures" 0
+    (a.Loadgen.timeouts + a.Loadgen.errors + a.Loadgen.lost);
+  Alcotest.(check (list string)) "no protocol errors" []
+    a.Loadgen.protocol_errors;
+  (* The counter shape is a function of the seed alone. *)
+  Alcotest.(check int) "solved reproducible" a.Loadgen.solved b.Loadgen.solved;
+  Alcotest.(check int) "cached reproducible" a.Loadgen.cached b.Loadgen.cached;
+  (match Loadgen.cache_hit_rate a with
+  | Some rate -> Alcotest.(check (float 1e-9)) "hit rate" 0.8 rate
+  | None -> Alcotest.fail "hit rate missing");
+  Alcotest.(check int) "latency samples" 40 a.Loadgen.latency.Obs.Metrics.count;
+  Alcotest.(check bool) "latencies nonnegative" true
+    (a.Loadgen.latency.Obs.Metrics.min >= 0.0);
+  (* The sap-loadgen v1 report parses with our own parser. *)
+  let j = Loadgen.report_json a in
+  (match j with
+  | Obs.Json.Obj fields ->
+      Alcotest.(check bool) "schema" true
+        (List.assoc_opt "schema" fields
+        = Some (Obs.Json.String "sap-loadgen v1"));
+      Alcotest.(check bool) "server_stats null without scrape" true
+        (List.assoc_opt "server_stats" fields = Some Obs.Json.Null)
+  | _ -> Alcotest.fail "report is not an object");
+  Alcotest.(check bool) "report round-trips" true
+    (match Obs.Json.of_string (Obs.Json.to_string j) with
+    | Ok _ -> true
+    | Error _ -> false)
+
+let loadgen_validates_config () =
+  let bad what cfg =
+    match Loadgen.run_closed ~handle:(fun _ -> assert false) cfg with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s: expected a config error" what
+  in
+  bad "unknown profile" { lg_config with Loadgen.profile = "nope" };
+  bad "zero rps" { lg_config with Loadgen.rps = 0.0 };
+  bad "negative duration" { lg_config with Loadgen.duration = -1.0 };
+  bad "zero connections" { lg_config with Loadgen.connections = 0 }
+
+let loadgen_open_loop_over_socketpairs () =
+  (* The full open-loop pipeline — pacer, pipelined connections, reader
+     domains, mid-run stats scrape — against an in-process server: every
+     [connect] hands back one end of a socketpair served by its own
+     domain. *)
+  let srv =
+    Server.create
+      ~config:{ Server.default_config with Server.workers = Some 2 } ()
+  in
+  let doms = ref [] in
+  let lock = Mutex.create () in
+  let connect () =
+    let client_fd, server_fd =
+      Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0
+    in
+    let d =
+      Domain.spawn (fun () ->
+          let ic = Unix.in_channel_of_descr server_fd in
+          let oc = Unix.out_channel_of_descr server_fd in
+          Transport.serve_channels srv ic oc;
+          (try flush oc with Sys_error _ -> ());
+          try Unix.close server_fd with Unix.Unix_error _ -> ())
+    in
+    Mutex.lock lock;
+    doms := d :: !doms;
+    Mutex.unlock lock;
+    Ok client_fd
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter Domain.join !doms;
+      Server.drain srv)
+  @@ fun () ->
+  let cfg =
+    {
+      lg_config with
+      Loadgen.rps = 120.0;
+      duration = 0.5;
+      connections = 2;
+      scrape_stats = true;
+    }
+  in
+  match Loadgen.run ~connect cfg with
+  | Error m -> Alcotest.failf "loadgen run: %s" m
+  | Ok r ->
+      Alcotest.(check int) "sent" 60 r.Loadgen.sent;
+      Alcotest.(check int) "all completed" 60 r.Loadgen.completed;
+      Alcotest.(check int) "no failures" 0
+        (r.Loadgen.timeouts + r.Loadgen.errors + r.Loadgen.lost);
+      Alcotest.(check (list string)) "no protocol errors" []
+        r.Loadgen.protocol_errors;
+      (* Concurrent connections may race the first visit to an instance,
+         so fresh solves can exceed [distinct] — but never undershoot. *)
+      Alcotest.(check bool) "every distinct instance solved" true
+        (r.Loadgen.solved >= 8);
+      Alcotest.(check int) "solved + cached = completed" 60
+        (r.Loadgen.solved + r.Loadgen.cached);
+      Alcotest.(check int) "latency samples" 60
+        r.Loadgen.latency.Obs.Metrics.count;
+      Alcotest.(check bool) "p50 positive" true
+        (Obs.Metrics.quantile r.Loadgen.latency 0.5 > 0.0);
+      Alcotest.(check bool) "achieved rps positive" true
+        (r.Loadgen.achieved_rps > 0.0);
+      (match r.Loadgen.server_stats with
+      | Some (Obs.Json.Obj fields) ->
+          Alcotest.(check bool) "scraped stats schema" true
+            (List.assoc_opt "schema" fields
+            = Some (Obs.Json.String "sap-server-stats v2"))
+      | _ -> Alcotest.fail "mid-run stats scrape missing")
+
 let run () =
   Alcotest.run "lab"
     [
@@ -618,6 +764,12 @@ let run () =
           case "sap-hunt v1 schema" hunt_report_schema;
           case "write_hof round trip" hunt_write_hof_roundtrip;
           case "unknown alg rejected" hunt_rejects_unknown_alg;
+        ] );
+      ( "loadgen",
+        [
+          case "closed loop deterministic" loadgen_closed_deterministic;
+          case "config validation" loadgen_validates_config;
+          case "open loop over socketpairs" loadgen_open_loop_over_socketpairs;
         ] );
     ]
 

@@ -343,6 +343,145 @@ let json_roundtrip_span_trees =
     (QCheck.Test.make ~count:200 ~name:"emit/parse round-trip of span trees"
        (QCheck.make gen_span) prop)
 
+(* ---------- quantile histograms ---------- *)
+
+let bucket_growth = Float.pow 2.0 0.25
+
+(* Positive samples spanning ~1e-6 .. ~1e3: well above the underflow
+   threshold and well inside the regular buckets, where the one-bucket
+   accuracy contract holds. *)
+let gen_samples ~min_size =
+  QCheck.Gen.(
+    list_size (int_range min_size 250)
+      (map
+         (fun i -> 1e-6 *. Float.pow 2.0 (float_of_int i /. 50.0))
+         (int_range 0 1500)))
+
+(* Same rank convention as Metrics.quantile: the smallest sample with at
+   least [ceil (q * n)] samples at or below it. *)
+let exact_quantile vs q =
+  let sorted = List.sort compare vs in
+  let n = List.length sorted in
+  let rank =
+    let r = int_of_float (Float.ceil (q *. float_of_int n)) in
+    if r < 1 then 1 else if r > n then n else r
+  in
+  List.nth sorted (rank - 1)
+
+let hist_quantile_within_bucket =
+  let prop vs =
+    let s = Obs.Metrics.summary_of_values (Array.of_list vs) in
+    List.for_all
+      (fun q ->
+        let est = Obs.Metrics.quantile s q in
+        let exact = exact_quantile vs q in
+        (* The estimate is the geometric midpoint of the exact sample's
+           bucket, so it sits within half a bucket (factor 2^(1/8)); one
+           full bucket width leaves headroom for boundary rounding. *)
+        est <= exact *. bucket_growth *. (1.0 +. 1e-9)
+        && est >= exact /. bucket_growth /. (1.0 +. 1e-9))
+      [ 0.5; 0.9; 0.95; 0.99 ]
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300
+       ~name:"bucketed p50/p90/p95/p99 within one bucket of exact"
+       (QCheck.make (gen_samples ~min_size:1))
+       prop)
+
+let hist_merge_associative =
+  let gen =
+    QCheck.Gen.triple (gen_samples ~min_size:0) (gen_samples ~min_size:0)
+      (gen_samples ~min_size:0)
+  in
+  let prop (a, b, c) =
+    let open Obs.Metrics in
+    let s l = summary_of_values (Array.of_list l) in
+    let sa = s a and sb = s b and sc = s c in
+    let l = merge (merge sa sb) sc in
+    let r = merge sa (merge sb sc) in
+    let whole = s (a @ b @ c) in
+    let eqf x y = x = y || (Float.is_nan x && Float.is_nan y) in
+    let close x y =
+      eqf x y || Float.abs (x -. y) <= 1e-9 *. (Float.abs x +. 1.0)
+    in
+    l.count = r.count
+    && l.count = whole.count
+    && l.buckets = r.buckets
+    && l.buckets = whole.buckets
+    && eqf l.min r.min && eqf l.min whole.min
+    && eqf l.max r.max && eqf l.max whole.max
+    (* sums agree up to float reassociation *)
+    && close l.sum r.sum
+    && close l.sum whole.sum
+    (* empty is an identity on both sides *)
+    && merge empty_summary l = l
+    && merge l empty_summary = l
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:200
+       ~name:"merge is associative and agrees with the pooled summary"
+       (QCheck.make gen) prop)
+
+let hist_summary_json_roundtrip =
+  (* The sap-stats v3 histogram leaf: summary -> JSON text -> parse ->
+     summary must preserve counts and buckets exactly, and the recomputed
+     quantiles must match (the emitter prints floats exactly). *)
+  let prop vs =
+    let open Obs.Metrics in
+    let s = summary_of_values (Array.of_list vs) in
+    let txt = Obs.Json.to_string (summary_json s) in
+    match Obs.Json.of_string txt with
+    | Error _ -> false
+    | Ok j -> (
+        match summary_of_json j with
+        | None -> false
+        | Some s' ->
+            let eqf x y = x = y || (Float.is_nan x && Float.is_nan y) in
+            s'.count = s.count && s'.buckets = s.buckets
+            && eqf s'.sum s.sum && eqf s'.min s.min && eqf s'.max s.max
+            && List.for_all
+                 (fun q -> eqf (quantile s' q) (quantile s q))
+                 [ 0.5; 0.9; 0.95; 0.99 ])
+  in
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:300 ~name:"sap-stats v3 summary JSON round-trip"
+       (QCheck.make (gen_samples ~min_size:0))
+       prop)
+
+let hist_edge_cases () =
+  let open Obs.Metrics in
+  Alcotest.(check bool) "empty quantile is nan" true
+    (Float.is_nan (quantile empty_summary 0.5));
+  Alcotest.(check bool) "no count field rejected" true
+    (summary_of_json (Obs.Json.Obj [ ("sum", Obs.Json.Float 1.0) ]) = None);
+  (* Out-of-range values land in the underflow/overflow buckets but the
+     quantiles still clamp to the exact extremes. *)
+  let s = summary_of_values [| 1e-12; 5.0; 1e9 |] in
+  Alcotest.(check int) "count" 3 s.count;
+  Alcotest.(check int) "underflow bucket" 1 s.buckets.(0);
+  Alcotest.(check int) "overflow bucket" 1 s.buckets.(bucket_count - 1);
+  Alcotest.(check (float 0.0)) "p0 clamps to min" 1e-12 (quantile s 0.0);
+  Alcotest.(check (float 0.0)) "p100 clamps to max" 1e9 (quantile s 1.0);
+  (* summary_observe is the single-step form of summary_of_values. *)
+  let s' =
+    List.fold_left summary_observe empty_summary [ 1e-12; 5.0; 1e9 ]
+  in
+  Alcotest.(check bool) "observe folds to of_values" true (s' = s);
+  (* Grid sanity: the index function is total and monotone. *)
+  Alcotest.(check int) "nan underflows" 0 (bucket_index Float.nan);
+  Alcotest.(check int) "tiny underflows" 0 (bucket_index 1e-10);
+  Alcotest.(check int) "huge overflows" (bucket_count - 1)
+    (bucket_index infinity);
+  let rec monotone i prev =
+    i > 60
+    || begin
+         let v = 1e-9 *. Float.pow 10.0 (float_of_int i /. 4.0) in
+         let k = bucket_index v in
+         k >= prev && k >= 0 && k < bucket_count && monotone (i + 1) k
+       end
+  in
+  Alcotest.(check bool) "bucket_index monotone" true (monotone 0 0)
+
 (* ---------- Chrome trace ---------- *)
 
 let mk_span ?(domain = 0) ?(attrs = []) ?(children = []) name start duration =
@@ -421,7 +560,7 @@ let chrome_trace_structure () =
 let diff_report counters extras =
   Obs.Json.Obj
     [
-      ("schema", Obs.Json.String "sap-stats v2");
+      ("schema", Obs.Json.String "sap-stats v3");
       ( "metrics",
         Obs.Json.Obj
           [
@@ -526,6 +665,92 @@ let diff_table_renders () =
      let rec go i = i + m <= n && (String.sub s i m = "1 regressed" || go (i + 1)) in
      go 0)
 
+let diff_hist_report hists =
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String "sap-stats v3");
+      ( "metrics",
+        Obs.Json.Obj
+          [
+            ("counters", Obs.Json.Obj []);
+            ("gauges", Obs.Json.Obj []);
+            ("histograms", Obs.Json.Obj hists);
+          ] );
+      ("spans", Obs.Json.List []);
+    ]
+
+let diff_quantile_leaves_are_timing () =
+  (* A histogram whose name carries no timing keyword: its p50 leaf must
+     still classify as timing (ungated by default, factor-gated under
+     --time-factor), while its count stays a gated counter. *)
+  let report p50 =
+    diff_hist_report
+      [
+        ( "lab.ratio",
+          Obs.Json.Obj
+            [ ("count", Obs.Json.Int 4); ("p50", Obs.Json.Float p50) ] );
+      ]
+  in
+  let findings =
+    Obs.Diff.compare_reports ~old_report:(report 1.0) ~new_report:(report 40.0)
+      ()
+  in
+  Alcotest.(check int) "10x p50 drift ungated by default" 0
+    (List.length (failures findings));
+  let gated = { Obs.Diff.default_thresholds with Obs.Diff.time_factor = 1.5 } in
+  let findings =
+    Obs.Diff.compare_reports ~thresholds:gated ~old_report:(report 1.0)
+      ~new_report:(report 40.0) ()
+  in
+  (match failures findings with
+  | [ f ] ->
+      Alcotest.(check string) "p50 path"
+        "metrics.histograms.lab.ratio.p50" f.Obs.Diff.path
+  | l -> Alcotest.failf "expected one failure, got %d" (List.length l));
+  let findings =
+    Obs.Diff.compare_reports ~thresholds:gated ~old_report:(report 40.0)
+      ~new_report:(report 1.0) ()
+  in
+  Alcotest.(check int) "speedup never fails" 0 (List.length (failures findings));
+  Alcotest.(check int) "speedup marked improved" 1
+    (Obs.Diff.count Obs.Diff.Improved findings)
+
+let diff_buckets_subtree_ignored () =
+  (* Bucket keys flap between machines of different speeds (the same
+     latency lands one bucket over), so the sparse .buckets. subtree must
+     never produce Missing/Added findings. *)
+  let report idx =
+    diff_hist_report
+      [
+        ( "server.latency.total",
+          Obs.Json.Obj
+            [
+              ("count", Obs.Json.Int 7);
+              ("buckets", Obs.Json.Obj [ (idx, Obs.Json.Int 7) ]);
+            ] );
+      ]
+  in
+  let findings =
+    Obs.Diff.compare_reports ~old_report:(report "42") ~new_report:(report "55")
+      ()
+  in
+  Alcotest.(check int) "disjoint bucket keys: no failures" 0
+    (List.length (failures findings));
+  List.iter
+    (fun f ->
+      let p = f.Obs.Diff.path in
+      let is_bucket =
+        let n = String.length p and m = String.length ".buckets." in
+        let rec go i =
+          i + m <= n && (String.sub p i m = ".buckets." || go (i + 1))
+        in
+        go 0
+      in
+      if is_bucket then
+        Alcotest.(check bool) (p ^ " skipped") true
+          (f.Obs.Diff.status = Obs.Diff.Skipped))
+    findings
+
 (* ---------- atomic writes ---------- *)
 
 let report_write_is_atomic () =
@@ -569,7 +794,7 @@ let report_schema_and_extras () =
   List.iter
     (fun sub -> Alcotest.(check bool) (sub ^ " present") true (contains sub))
     [
-      {|"schema":"sap-stats v2"|};
+      {|"schema":"sap-stats v3"|};
       {|"clock":{"wall_epoch_seconds":|};
       {|"command":"test"|};
       {|"counters"|};
@@ -616,6 +841,13 @@ let () =
           case "parse errors" json_parse_errors;
           json_roundtrip_span_trees;
         ] );
+      ( "histogram",
+        [
+          hist_quantile_within_bucket;
+          hist_merge_associative;
+          hist_summary_json_roundtrip;
+          case "edge cases and grid sanity" hist_edge_cases;
+        ] );
       ( "chrome-trace", [ case "structure and ordering" chrome_trace_structure ] );
       ( "diff",
         [
@@ -623,6 +855,8 @@ let () =
           case "counter regression fails" diff_counter_regression;
           case "missing and added metrics" diff_missing_and_added;
           case "timing semantics" diff_timing_semantics;
+          case "quantile leaves gate as timing" diff_quantile_leaves_are_timing;
+          case "bucket subtrees ignored" diff_buckets_subtree_ignored;
           case "ignore prefixes" diff_ignore_prefixes;
           case "table rendering" diff_table_renders;
         ] );

@@ -457,6 +457,124 @@ let e2e_shutdown_under_load () =
       | _ -> Alcotest.failf "request %d lost by drain" i)
     pendings
 
+(* ---------- per-request telemetry ---------- *)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let telemetry_histograms_and_log () =
+  Obs.Metrics.reset ();
+  Obs.Metrics.enable ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.disable ();
+      Obs.Metrics.reset ())
+  @@ fun () ->
+  let lines = ref [] in
+  let lock = Mutex.create () in
+  let log line =
+    Mutex.lock lock;
+    lines := line :: !lines;
+    Mutex.unlock lock
+  in
+  let srv =
+    Server.create
+      ~config:
+        { Server.default_config with Server.workers = Some 2; log = Some log }
+      ()
+  in
+  Fun.protect ~finally:(fun () -> Server.drain srv) @@ fun () ->
+  let path, tasks = Helpers.tiny_instance 3 in
+  let solve id =
+    Server.handle srv (Proto.Solve { id; params = default_params; path; tasks })
+  in
+  (match solve 1 with
+  | Proto.Solved { summary; _ } ->
+      Alcotest.(check bool) "first solve is fresh" false summary.Proto.cached
+  | _ -> Alcotest.fail "first solve failed");
+  (match solve 2 with
+  | Proto.Solved { summary; _ } ->
+      Alcotest.(check bool) "second solve cached" true summary.Proto.cached
+  | _ -> Alcotest.fail "second solve failed");
+  (match Server.handle srv (Proto.Ping { id = 3 }) with
+  | Proto.Ack { id = 3 } -> ()
+  | _ -> Alcotest.fail "ping failed");
+  (match Server.handle srv (Proto.Stats { id = 4 }) with
+  | Proto.Stats_reply { stats = Obs.Json.Obj fields; _ } ->
+      Alcotest.(check bool) "stats schema v2" true
+        (List.assoc_opt "schema" fields
+        = Some (Obs.Json.String "sap-server-stats v2"))
+  | _ -> Alcotest.fail "stats failed");
+  (* Latency histograms: every verb lands in .total, solves split into
+     .hit/.miss, and only the fresh solve crosses the queue + solver. *)
+  let hist name =
+    let snap = Obs.Metrics.snapshot () in
+    match List.assoc_opt name snap.Obs.Metrics.histograms with
+    | Some h -> h
+    | None -> Alcotest.failf "histogram %s missing" name
+  in
+  let total = hist "server.latency.total" in
+  Alcotest.(check int) "total count" 4 total.Obs.Metrics.count;
+  Alcotest.(check int) "hit count" 1 (hist "server.latency.total.hit").Obs.Metrics.count;
+  Alcotest.(check int) "miss count" 1 (hist "server.latency.total.miss").Obs.Metrics.count;
+  Alcotest.(check int) "queue count" 1 (hist "server.latency.queue").Obs.Metrics.count;
+  Alcotest.(check int) "solve count" 1 (hist "server.latency.solve").Obs.Metrics.count;
+  Alcotest.(check bool) "latencies nonnegative" true (total.Obs.Metrics.min >= 0.0);
+  Alcotest.(check bool) "some latency nonzero" true (total.Obs.Metrics.max > 0.0);
+  (* Structured log: one line per request, in respond order, with the
+     fields docs/SERVER.md promises. *)
+  let lines = List.rev !lines in
+  Alcotest.(check int) "four log lines" 4 (List.length lines);
+  List.iter
+    (fun line ->
+      List.iter
+        (fun key ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%S in %S" key line)
+            true
+            (contains_sub line (key ^ "=")))
+        [ "ts"; "req"; "id"; "verb"; "status"; "total_ms" ])
+    lines;
+  let expect i subs =
+    let line = List.nth lines i in
+    List.iter
+      (fun sub ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%S in line %d" sub i)
+          true (contains_sub line sub))
+      subs
+  in
+  expect 0
+    [ "verb=solve"; "cache=miss"; "status=solved"; "queue_ms="; "solve_ms=";
+      "scheduled="; "weight=" ];
+  expect 1 [ "verb=solve"; "cache=hit"; "status=solved" ];
+  expect 2 [ "verb=ping"; "status=ack"; "id=3" ];
+  expect 3 [ "verb=stats"; "status=stats"; "id=4" ];
+  (* Server-assigned request ids are strictly increasing. *)
+  let rid line =
+    let marker = " req=" in
+    let rec find i =
+      if i + String.length marker > String.length line then
+        Alcotest.failf "no req= in %S" line
+      else if String.sub line i (String.length marker) = marker then
+        i + String.length marker
+      else find (i + 1)
+    in
+    let start = find 0 in
+    let stop = ref start in
+    while
+      !stop < String.length line && line.[!stop] >= '0' && line.[!stop] <= '9'
+    do
+      incr stop
+    done;
+    int_of_string (String.sub line start (!stop - start))
+  in
+  let rids = List.map rid lines in
+  Alcotest.(check bool) "req ids strictly increasing" true
+    (List.for_all2 ( < ) (List.filteri (fun i _ -> i < 3) rids) (List.tl rids))
+
 (* ---------- transport over pipes ---------- *)
 
 let with_served_session f =
@@ -542,6 +660,97 @@ let client_batch_over_pipes () =
           | _ -> Alcotest.failf "instance %d: no solved response" i)
         result.Client.responses)
 
+(* ---------- unix socket transport ---------- *)
+
+let serve_unix_concurrent_and_stop () =
+  let dir = Filename.temp_file "sap_sock" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let socket_path = Filename.concat dir "s.sock" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove socket_path with Sys_error _ -> ());
+      try Sys.rmdir dir with Sys_error _ -> ())
+  @@ fun () ->
+  let srv =
+    Server.create
+      ~config:{ Server.default_config with Server.workers = Some 2 } ()
+  in
+  let stop = Atomic.make false in
+  let bound = Atomic.make false in
+  let server_dom =
+    Domain.spawn (fun () ->
+        Transport.serve_unix
+          ~on_bound:(fun _ -> Atomic.set bound true)
+          ~stop srv ~socket_path)
+  in
+  let rec wait_bound n =
+    if not (Atomic.get bound) then
+      if n = 0 then Alcotest.fail "server never bound"
+      else begin
+        Unix.sleepf 0.01;
+        wait_bound (n - 1)
+      end
+  in
+  wait_bound 500;
+  (* A full session: solve + stats on one connection. *)
+  let session i =
+    match Client.connect_unix socket_path with
+    | Error m -> Alcotest.failf "connect: %s" m
+    | Ok fd ->
+        Fun.protect
+          ~finally:(fun () ->
+            try Unix.close fd with Unix.Unix_error _ -> ())
+          (fun () ->
+            let ic = Unix.in_channel_of_descr fd in
+            let oc = Unix.out_channel_of_descr fd in
+            let path, tasks = Helpers.tiny_instance (100 + i) in
+            output_string oc
+              (Proto.request_to_string
+                 (Proto.Solve { id = i; params = default_params; path; tasks }));
+            output_string oc
+              (Proto.request_to_string (Proto.Stats { id = 1000 + i }));
+            flush oc;
+            (* Pipeline-then-half-close, like Client.run_batch: responses
+               are flushed in FIFO order on new input or end-of-input, so
+               a client that stops sending must close its send side
+               before waiting. *)
+            (try Unix.shutdown fd Unix.SHUTDOWN_SEND
+             with Unix.Unix_error _ -> ());
+            let read_line () =
+              try Some (input_line ic) with End_of_file -> None
+            in
+            let tasks_for id = if id = i then Some tasks else None in
+            let read_resp () =
+              match Proto.read_frame ~read_line with
+              | None -> Alcotest.failf "session %d: eof before reply" i
+              | Some lines -> (
+                  match Proto.response_of_lines ~tasks_for lines with
+                  | Ok r -> r
+                  | Error m -> Alcotest.failf "session %d: %s" i m)
+            in
+            let first = read_resp () in
+            let second = read_resp () in
+            (match first with
+            | Proto.Solved { id; solution; _ } ->
+                Alcotest.(check int) "solve id echoed" i id;
+                Helpers.assert_feasible_sap path solution
+            | _ -> Alcotest.failf "session %d: expected solved" i);
+            match second with
+            | Proto.Stats_reply { id; _ } ->
+                Alcotest.(check int) "stats id echoed" (1000 + i) id
+            | _ -> Alcotest.failf "session %d: expected stats" i)
+  in
+  (* Two sessions in flight at once: the accept loop must serve both. *)
+  let other = Domain.spawn (fun () -> session 1) in
+  session 2;
+  Domain.join other;
+  (* The stop flag shuts the listener down and removes the socket. *)
+  Atomic.set stop true;
+  Domain.join server_dom;
+  Alcotest.(check bool) "socket removed" false (Sys.file_exists socket_path);
+  Server.drain srv
+
 let () =
   Alcotest.run "server"
     [
@@ -579,9 +788,12 @@ let () =
           case "error + timeout responses" e2e_error_responses;
           case "graceful drain under load" e2e_shutdown_under_load;
         ] );
+      ( "telemetry",
+        [ case "latency histograms + structured log" telemetry_histograms_and_log ] );
       ( "transport",
         [
           case "serve_channels session" serve_channels_session;
           case "client batch over pipes" client_batch_over_pipes;
+          case "unix socket: concurrent sessions + stop" serve_unix_concurrent_and_stop;
         ] );
     ]
