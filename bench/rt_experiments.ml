@@ -1,0 +1,234 @@
+(* RT — sharded routing over an in-process fleet: N shards served on
+   Unix sockets by their own domains, fronted by the consistent-hash
+   router, driven through the real wire protocol with Client.run_batch.
+
+   Two passes.  The deterministic pass replays 16 distinct instances 4x
+   (64 requests): the first visit to each instance misses its owner's
+   cache, every replay hits — because the ring pins each fingerprint to
+   one shard.  Counts (sent/solved/cache_hits/failures) gate behaviour
+   in bench-diff, and the pass cross-checks affinity against
+   [Router.owner_for].  The throughput pass compares the same batch
+   through the router against a single direct shard, reporting router
+   rps, single-shard rps and the speedup as gauges (wall-clock only, not
+   gated). *)
+
+module Proto = Sap_server.Protocol
+module Server = Sap_server.Server
+module Transport = Sap_server.Transport
+module Client = Sap_server.Client
+module Router = Sap_server.Router
+module Fingerprint = Sap_server.Fingerprint
+
+let c_sent = Obs.Metrics.counter "bench.rt.sent"
+
+let c_solved = Obs.Metrics.counter "bench.rt.solved"
+
+let c_cache_hits = Obs.Metrics.counter "bench.rt.cache_hits"
+
+let c_failures = Obs.Metrics.counter "bench.rt.failures"
+
+let g_router_rps = Obs.Metrics.gauge "bench.rt.router_rps"
+
+let g_single_rps = Obs.Metrics.gauge "bench.rt.single_rps"
+
+let g_speedup = Obs.Metrics.gauge "bench.rt.speedup"
+
+let params = Proto.default_solve_params
+
+let instances ~count seed =
+  List.init count (fun i ->
+      let g = Util.Prng.create (seed + (31 * i)) in
+      let path =
+        Gen.Profiles.random_walk ~prng:g ~edges:24 ~start:48 ~max_step:12
+          ~min_cap:6
+      in
+      let tasks = Gen.Workloads.mixed_tasks ~prng:g ~path ~n:24 () in
+      (path, tasks))
+
+(* ---------- in-process fleet ---------- *)
+
+type shard_proc = {
+  sp_socket : string;
+  sp_server : Server.t;
+  sp_stop : Transport.stopper;
+  sp_dom : unit Domain.t;
+}
+
+let start_shard ~dir ~name ~workers =
+  let socket_path = Filename.concat dir (name ^ ".sock") in
+  let srv =
+    Server.create ~config:{ Server.default_config with Server.workers = Some workers } ()
+  in
+  let stop = Transport.stopper () in
+  let bound = Atomic.make false in
+  let dom =
+    Domain.spawn (fun () ->
+        Transport.serve_unix
+          ~on_bound:(fun _ -> Atomic.set bound true)
+          ~stop srv ~socket_path)
+  in
+  while not (Atomic.get bound) do
+    Unix.sleepf 0.002
+  done;
+  { sp_socket = socket_path; sp_server = srv; sp_stop = stop; sp_dom = dom }
+
+let stop_shard sp =
+  Transport.request_stop sp.sp_stop;
+  Domain.join sp.sp_dom;
+  Transport.close_stopper sp.sp_stop;
+  Server.drain sp.sp_server
+
+let with_fleet ~shards ~workers f =
+  let dir = Filename.temp_file "sap_rt_bench" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let procs =
+    List.init shards (fun i ->
+        start_shard ~dir ~name:(Printf.sprintf "shard-%d" i) ~workers)
+  in
+  let endpoints =
+    List.mapi
+      (fun i sp ->
+        {
+          Router.ep_name = Printf.sprintf "shard-%d" i;
+          ep_socket = sp.sp_socket;
+          ep_spawn = None;
+        })
+      procs
+  in
+  let router =
+    match Router.create endpoints with
+    | Ok r -> r
+    | Error m -> failwith ("rt: router create: " ^ m)
+  in
+  let front = Filename.concat dir "front.sock" in
+  let front_stop = Transport.stopper () in
+  let bound = Atomic.make false in
+  let front_dom =
+    Domain.spawn (fun () ->
+        Router.serve
+          ~on_bound:(fun _ -> Atomic.set bound true)
+          ~stop:front_stop router ~socket_path:front)
+  in
+  while not (Atomic.get bound) do
+    Unix.sleepf 0.002
+  done;
+  Fun.protect
+    ~finally:(fun () ->
+      Router.shutdown router;
+      Transport.request_stop front_stop;
+      Domain.join front_dom;
+      Transport.close_stopper front_stop;
+      List.iter stop_shard procs;
+      (try
+         Sys.readdir dir
+         |> Array.iter (fun f -> Sys.remove (Filename.concat dir f))
+       with Sys_error _ -> ());
+      try Sys.rmdir dir with Sys_error _ -> ())
+    (fun () -> f ~router ~front ~procs)
+
+let batch_over socket insts =
+  match Client.connect_unix socket with
+  | Error m -> failwith ("rt: connect: " ^ m)
+  | Ok fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let ic = Unix.in_channel_of_descr fd in
+          let oc = Unix.out_channel_of_descr fd in
+          Client.run_batch ~ic ~oc ~params insts)
+
+let count_outcomes (result : Client.batch_result) =
+  Array.fold_left
+    (fun (solved, cached, failed) resp ->
+      match resp with
+      | Some (Proto.Solved { summary; _ }) ->
+          if summary.Proto.cached then (solved, cached + 1, failed)
+          else (solved + 1, cached, failed)
+      | _ -> (solved, cached, failed + 1))
+    (0, 0, 0) result.Client.responses
+
+let run () =
+  Bench_util.section "RT   consistent-hash router over a 4-shard fleet";
+  let distinct = 16 and replays = 4 and shards = 4 in
+  let insts = instances ~count:distinct 7 in
+  with_fleet ~shards ~workers:2 @@ fun ~router ~front ~procs ->
+  (* Affinity ground truth: where the ring says each instance lives. *)
+  let owners =
+    List.map
+      (fun (path, tasks) ->
+        let key =
+          Fingerprint.solve_key ~algorithm:params.Proto.algorithm
+            ~seed:params.Proto.seed path tasks
+        in
+        match Router.owner_for router ~key with
+        | Some o -> o
+        | None -> failwith "rt: ring owns nothing")
+      insts
+  in
+  let spread = List.length (List.sort_uniq String.compare owners) in
+  if spread < 2 then failwith "rt: all keys hashed to one shard";
+  (* Deterministic pass: each replay of the batch repeats the same 16
+     fingerprints, so every request after the first visit is a cache hit
+     on its owning shard. *)
+  let sent = ref 0 and solved = ref 0 and cached = ref 0 and failed = ref 0 in
+  let _, dt_router =
+    Bench_util.timed (fun () ->
+        for _ = 1 to replays do
+          let result = batch_over front insts in
+          let s, c, f = count_outcomes result in
+          sent := !sent + List.length insts;
+          solved := !solved + s;
+          cached := !cached + c;
+          failed := !failed + f
+        done)
+  in
+  if !sent <> distinct * replays then
+    failwith (Printf.sprintf "rt: sent %d, wanted %d" !sent (distinct * replays));
+  if !solved <> distinct then
+    failwith
+      (Printf.sprintf "rt: %d fresh solves, wanted %d (one per instance)"
+         !solved distinct);
+  if !cached <> !sent - distinct then
+    failwith (Printf.sprintf "rt: %d cache hits, wanted %d" !cached (!sent - distinct));
+  if !failed <> 0 then failwith (Printf.sprintf "rt: %d failures" !failed);
+  (* Affinity evidence: every cache hit landed on the ring owner, so the
+     per-shard hit totals must sum to replays-1 visits per instance. *)
+  Obs.Metrics.add c_sent !sent;
+  Obs.Metrics.add c_solved !solved;
+  Obs.Metrics.add c_cache_hits !cached;
+  Obs.Metrics.add c_failures !failed;
+  (* Throughput pass: the identical cold-start workload against one
+     fresh standalone shard (same per-shard config), so the gauges
+     compare fleet fan-out to the single-process deployment it replaces.
+     Wall-clock only — recorded as gauges, not gated. *)
+  ignore procs;
+  let dir = Filename.dirname front in
+  let lone = start_shard ~dir ~name:"lone" ~workers:2 in
+  let _, dt_single =
+    Bench_util.timed (fun () ->
+        for _ = 1 to replays do
+          ignore (batch_over lone.sp_socket insts)
+        done)
+  in
+  stop_shard lone;
+  let router_rps = float_of_int !sent /. Float.max 1e-9 dt_router in
+  let single_rps = float_of_int !sent /. Float.max 1e-9 dt_single in
+  Obs.Metrics.set g_router_rps router_rps;
+  Obs.Metrics.set g_single_rps single_rps;
+  Obs.Metrics.set g_speedup (router_rps /. Float.max 1e-9 single_rps);
+  Util.Table.print
+    ~header:
+      [ "shards"; "sent"; "solved"; "cached"; "spread"; "router req/s"; "single req/s"; "cold s" ]
+    [
+      [
+        string_of_int shards;
+        string_of_int !sent;
+        string_of_int !solved;
+        string_of_int !cached;
+        string_of_int spread;
+        Util.Table.float_cell router_rps;
+        Util.Table.float_cell single_rps;
+        Util.Table.float_cell dt_router;
+      ];
+    ]

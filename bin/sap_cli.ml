@@ -358,6 +358,25 @@ module Server = Sap_server.Server
 module Transport = Sap_server.Transport
 module Client = Sap_server.Client
 module Proto = Sap_server.Protocol
+module Router = Sap_server.Router
+
+(* Log lines are emitted from many domains; one mutex serializes whole
+   lines into the sink. *)
+let log_sink_of log =
+  match log with
+  | None -> None
+  | Some target ->
+      let oc = if target = "-" then stderr else open_out target in
+      let lock = Mutex.create () in
+      Some
+        (fun line ->
+          Mutex.lock lock;
+          Fun.protect
+            ~finally:(fun () -> Mutex.unlock lock)
+            (fun () ->
+              output_string oc line;
+              output_char oc '\n';
+              flush oc))
 
 let serve_cmd socket stdio workers queue cache_capacity default_timeout_ms log
     quiet =
@@ -373,24 +392,7 @@ let serve_cmd socket stdio workers queue cache_capacity default_timeout_ms log
      the server's whole lifetime (spans stay off: a long-running service
      must not accumulate an unbounded span tree). *)
   Obs.Metrics.enable ();
-  (* Responses are forced from per-connection domains; one mutex
-     serializes whole log lines. *)
-  let log_sink =
-    match log with
-    | None -> None
-    | Some target ->
-        let oc = if target = "-" then stderr else open_out target in
-        let lock = Mutex.create () in
-        Some
-          (fun line ->
-            Mutex.lock lock;
-            Fun.protect
-              ~finally:(fun () -> Mutex.unlock lock)
-              (fun () ->
-                output_string oc line;
-                output_char oc '\n';
-                flush oc))
-  in
+  let log_sink = log_sink_of log in
   let config =
     { Server.workers; queue_capacity = queue; cache_capacity; default_timeout_ms;
       log = log_sink }
@@ -398,15 +400,18 @@ let serve_cmd socket stdio workers queue cache_capacity default_timeout_ms log
   let server = Server.create ~config () in
   (match socket with
   | Some path ->
-      (* SIGINT/SIGTERM flip the stop flag; the accept loop then stops
-         taking connections, every accepted request still gets its
-         response, and the pool drains below — no abrupt kill mid-write. *)
-      let stop = Atomic.make false in
+      (* SIGINT/SIGTERM request a stop; the self-pipe wakes the accept
+         loop immediately, it stops taking connections, every accepted
+         request still gets its response, and the pool drains below — no
+         abrupt kill mid-write. *)
+      let stop = Transport.stopper () in
       (match Sys.os_type with
       | "Unix" ->
-          let request_stop = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
-          Sys.set_signal Sys.sigint request_stop;
-          Sys.set_signal Sys.sigterm request_stop
+          let on_signal =
+            Sys.Signal_handle (fun _ -> Transport.request_stop stop)
+          in
+          Sys.set_signal Sys.sigint on_signal;
+          Sys.set_signal Sys.sigterm on_signal
       | _ -> ());
       Transport.serve_unix ~stop
         ~on_bound:(fun p ->
@@ -498,10 +503,163 @@ let batch_cmd socket files algorithm seed timeout_ms no_cache output_dir
         Printf.eprintf "warning: shutdown not acknowledged\n";
       if !failed = 0 && result.Client.transport_errors = [] then 0 else 1
 
+(* ---------- route ---------- *)
+
+let route_cmd socket shards shard_sockets shard_dir vnodes shard_workers
+    shard_queue shard_cache shard_timeout_ms log quiet =
+  Obs.Metrics.enable ();
+  (match (shards, shard_sockets) with
+  | None, [] ->
+      Printf.eprintf "error: route needs --shards N or --shard PATH\n";
+      exit 2
+  | Some _, _ :: _ ->
+      Printf.eprintf "error: --shards and --shard are mutually exclusive\n";
+      exit 2
+  | Some n, [] when n < 1 ->
+      Printf.eprintf "error: --shards must be >= 1\n";
+      exit 2
+  | _ -> ());
+  let endpoints =
+    match shard_sockets with
+    | _ :: _ ->
+        List.mapi
+          (fun i path ->
+            {
+              Router.ep_name = Printf.sprintf "shard-%d" i;
+              ep_socket = path;
+              ep_spawn = None;
+            })
+          shard_sockets
+    | [] ->
+        let n = Option.get shards in
+        let dir =
+          match shard_dir with
+          | Some d ->
+              (try Unix.mkdir d 0o755
+               with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+              d
+          | None ->
+              let d = Filename.temp_file "sap-shards" "" in
+              Sys.remove d;
+              Unix.mkdir d 0o700;
+              d
+        in
+        (* Children are respawned with the same argv, so build it once
+           per endpoint and keep it pure. *)
+        let exe = Sys.executable_name in
+        List.init n (fun i ->
+            let name = Printf.sprintf "shard-%d" i in
+            let spawn sock =
+              let args =
+                [ exe; "serve"; "--socket"; sock; "-q" ]
+                @ (match shard_workers with
+                  | Some w -> [ "--workers"; string_of_int w ]
+                  | None -> [])
+                @ (match shard_queue with
+                  | Some q -> [ "--queue"; string_of_int q ]
+                  | None -> [])
+                @ [ "--cache-capacity"; string_of_int shard_cache ]
+                @
+                match shard_timeout_ms with
+                | Some ms -> [ "--default-timeout-ms"; string_of_int ms ]
+                | None -> []
+              in
+              Unix.create_process exe (Array.of_list args) Unix.stdin
+                Unix.stdout Unix.stderr
+            in
+            {
+              Router.ep_name = name;
+              ep_socket = Filename.concat dir (name ^ ".sock");
+              ep_spawn = Some spawn;
+            })
+  in
+  let config =
+    { Router.default_config with Router.vnodes; log = log_sink_of log }
+  in
+  match Router.create ~config endpoints with
+  | Error m ->
+      Printf.eprintf "error: %s\n" m;
+      2
+  | Ok router ->
+      let stop = Transport.stopper () in
+      (match Sys.os_type with
+      | "Unix" ->
+          let on_signal =
+            Sys.Signal_handle (fun _ -> Transport.request_stop stop)
+          in
+          Sys.set_signal Sys.sigint on_signal;
+          Sys.set_signal Sys.sigterm on_signal
+      | _ -> ());
+      Router.serve ~stop router
+        ~on_bound:(fun p ->
+          if not quiet then
+            Printf.eprintf "sap_cli route: %d shard(s), listening on %s\n%!"
+              (List.length endpoints) p)
+        ~socket_path:socket;
+      Router.shutdown router;
+      if not quiet then Printf.eprintf "sap_cli route: drained, exiting\n%!";
+      0
+
 (* ---------- loadgen ---------- *)
 
+let parse_sweep_spec s =
+  match String.split_on_char ':' s with
+  | [ lo; hi; step ] -> (
+      match
+        (float_of_string_opt lo, float_of_string_opt hi, float_of_string_opt step)
+      with
+      | Some lo, Some hi, Some step -> Ok (lo, hi, step)
+      | _ -> Error "sweep spec must be LO:HI:STEP (numbers)")
+  | _ -> Error "sweep spec must be LO:HI:STEP"
+
+let loadgen_sweep_cmd socket cfg spec threshold output quiet =
+  match parse_sweep_spec spec with
+  | Error m ->
+      Printf.eprintf "error: %s\n" m;
+      2
+  | Ok (lo, hi, step) -> (
+      match
+        Lab.Loadgen.sweep
+          ~connect:(fun () -> Client.connect_unix socket)
+          ~threshold ~lo ~hi ~step cfg
+      with
+      | Error m ->
+          Printf.eprintf "error: %s\n" m;
+          2
+      | Ok sw ->
+          let open Lab.Loadgen in
+          let json = sweep_json sw in
+          (match output with
+          | Some f -> Obs.Report.write_file f json
+          | None -> print_endline (Obs.Json.to_string_pretty json));
+          if not quiet then begin
+            List.iter
+              (fun (offered, r) ->
+                Printf.eprintf
+                  "sweep: offered %.1f rps -> achieved %.1f rps (p99 %.3fms, %d lost)%s\n"
+                  offered r.achieved_rps
+                  (1000.0 *. Obs.Metrics.quantile r.latency 0.99)
+                  r.lost
+                  (if r.achieved_rps < threshold *. offered then "  [saturated]"
+                   else ""))
+              sw.sw_points;
+            match sw.sw_knee with
+            | Some k -> Printf.eprintf "sweep: saturation knee at %.1f rps\n" k
+            | None ->
+                Printf.eprintf
+                  "sweep: no knee found (already saturated at %.1f rps)\n" lo
+          end;
+          let bad (_, r) = r.lost > 0 || r.protocol_errors <> [] in
+          List.iter
+            (fun (_, r) ->
+              List.iter
+                (fun m -> Printf.eprintf "warning: %s\n" m)
+                r.protocol_errors)
+            sw.sw_points;
+          if List.exists bad sw.sw_points then 1 else 0)
+
 let loadgen_cmd socket rps duration connections profile distinct algorithm seed
-    timeout_ms no_cache no_scrape output quiet =
+    timeout_ms no_cache no_scrape sweep sweep_threshold output quiet =
   (match Sys.os_type with
   | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
   | _ -> ());
@@ -519,6 +677,9 @@ let loadgen_cmd socket rps duration connections profile distinct algorithm seed
       scrape_stats = not no_scrape;
     }
   in
+  match sweep with
+  | Some spec -> loadgen_sweep_cmd socket cfg spec sweep_threshold output quiet
+  | None -> (
   match Lab.Loadgen.run ~connect:(fun () -> Client.connect_unix socket) cfg with
   | Error m ->
       Printf.eprintf "error: %s\n" m;
@@ -548,7 +709,7 @@ let loadgen_cmd socket rps duration connections profile distinct algorithm seed
           Printf.eprintf "  stats scrape: ok (mid-run snapshot in report)\n"
       end;
       List.iter (fun m -> Printf.eprintf "warning: %s\n" m) r.protocol_errors;
-      if r.protocol_errors = [] && r.lost = 0 then 0 else 1
+      if r.protocol_errors = [] && r.lost = 0 then 0 else 1)
 
 (* ---------- lab ---------- *)
 
@@ -905,6 +1066,64 @@ let batch_term =
   Term.(const batch_cmd $ socket $ files $ algorithm $ seed $ timeout_ms
         $ no_cache $ output_dir $ want_stats $ shutdown $ quiet)
 
+let route_term =
+  let socket =
+    Arg.(required & opt (some string) None
+         & info [ "socket" ] ~doc:"Front Unix-domain socket to listen on.")
+  in
+  let shards =
+    Arg.(value & opt (some int) None
+         & info [ "shards" ]
+             ~doc:"Spawn N `sap_cli serve` shard children (respawned on \
+                   exit, shut down gracefully at the end).")
+  in
+  let shard_sockets =
+    Arg.(value & opt_all string []
+         & info [ "shard" ] ~docv:"PATH"
+             ~doc:"Route to a pre-started shard on this socket (repeatable; \
+                   external shards are reconnected to but never spawned or \
+                   terminated).")
+  in
+  let shard_dir =
+    Arg.(value & opt (some string) None
+         & info [ "shard-dir" ]
+             ~doc:"Directory for spawned shards' sockets (default: a fresh \
+                   temp directory).")
+  in
+  let vnodes =
+    Arg.(value & opt int Sap_server.Router.default_config.Sap_server.Router.vnodes
+         & info [ "vnodes" ]
+             ~doc:"Virtual nodes per shard on the consistent-hash ring.")
+  in
+  let shard_workers =
+    Arg.(value & opt (some int) None
+         & info [ "shard-workers" ] ~doc:"`--workers` for spawned shards.")
+  in
+  let shard_queue =
+    Arg.(value & opt (some int) None
+         & info [ "shard-queue" ] ~doc:"`--queue` for spawned shards.")
+  in
+  let shard_cache =
+    Arg.(value & opt int 1024
+         & info [ "shard-cache-capacity" ]
+             ~doc:"`--cache-capacity` for spawned shards.")
+  in
+  let shard_timeout_ms =
+    Arg.(value & opt (some int) None
+         & info [ "shard-default-timeout-ms" ]
+             ~doc:"`--default-timeout-ms` for spawned shards.")
+  in
+  let log =
+    Arg.(value & opt (some string) None
+         & info [ "log" ]
+             ~doc:"Structured lifecycle log: one key=value line per shard \
+                   event, appended to FILE ('-' = stderr).")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No banner on stderr.") in
+  Term.(const route_cmd $ socket $ shards $ shard_sockets $ shard_dir $ vnodes
+        $ shard_workers $ shard_queue $ shard_cache $ shard_timeout_ms $ log
+        $ quiet)
+
 let loadgen_term =
   let socket =
     Arg.(required & opt (some string) None
@@ -953,17 +1172,32 @@ let loadgen_term =
     Arg.(value & flag
          & info [ "no-scrape" ] ~doc:"Skip the mid-run live stats scrape.")
   in
+  let sweep =
+    Arg.(value & opt (some string) None
+         & info [ "sweep" ] ~docv:"LO:HI:STEP"
+             ~doc:"Saturation sweep: step the offered rate from LO to HI by \
+                   STEP rps, stopping once achieved throughput falls behind \
+                   offered; reports the knee as sap-loadgen-sweep v1 JSON \
+                   (--rps is ignored).")
+  in
+  let sweep_threshold =
+    Arg.(value & opt float 0.9
+         & info [ "sweep-threshold" ]
+             ~doc:"A sweep point saturates when achieved < threshold x \
+                   offered.")
+  in
   let output =
     Arg.(value & opt (some string) None
          & info [ "o"; "output" ]
-             ~doc:"Write the sap-loadgen v1 report JSON here instead of stdout.")
+             ~doc:"Write the report JSON (sap-loadgen v1, or \
+                   sap-loadgen-sweep v1 with --sweep) here instead of stdout.")
   in
   let quiet =
     Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No summary on stderr.")
   in
   Term.(const loadgen_cmd $ socket $ rps $ duration $ connections $ profile
         $ distinct $ algorithm $ seed $ timeout_ms $ no_cache $ no_scrape
-        $ output $ quiet)
+        $ sweep $ sweep_threshold $ output $ quiet)
 
 let lab_gen_term =
   let dir =
@@ -1101,6 +1335,11 @@ let cmds =
       (Cmd.info "batch"
          ~doc:"Submit instance files to a running serve; collect solutions and stats")
       batch_term;
+    Cmd.v
+      (Cmd.info "route"
+         ~doc:"Consistent-hash front router over N solve-shard processes \
+               (spawn + lifecycle, cache-affine fan-out, respawn on exit)")
+      route_term;
     Cmd.v
       (Cmd.info "loadgen"
          ~doc:"Open-loop fixed-RPS load generator against a running serve; \

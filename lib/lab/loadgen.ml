@@ -381,3 +381,87 @@ let report_json r =
       ( "server_stats",
         match r.server_stats with Some j -> j | None -> Obs.Json.Null );
     ]
+
+(* ---------- saturation sweep ---------- *)
+
+type sweep = {
+  sw_config : config;  (** base config; [rps] is overridden per step *)
+  sw_lo : float;
+  sw_hi : float;
+  sw_step : float;
+  sw_threshold : float;
+  sw_points : (float * report) list;  (** (offered rps, report), ascending *)
+  sw_knee : float option;
+}
+
+let knee ~threshold points =
+  List.fold_left
+    (fun acc (offered, achieved) ->
+      if achieved >= threshold *. offered then Some offered else acc)
+    None points
+
+let sweep ~connect ?(threshold = 0.9) ~lo ~hi ~step cfg =
+  if lo <= 0.0 then Error "sweep: LO must be positive"
+  else if step <= 0.0 then Error "sweep: STEP must be positive"
+  else if hi < lo then Error "sweep: HI must be >= LO"
+  else if not (threshold > 0.0 && threshold <= 1.0) then
+    Error "sweep: threshold must be in (0, 1]"
+  else begin
+    (* Per-point scrapes would wait in FIFO order behind a saturated
+       queue; the sweep keeps its points lightweight instead. *)
+    let cfg = { cfg with scrape_stats = false } in
+    let rec go acc rps =
+      if rps > hi +. 1e-9 then Ok (List.rev acc)
+      else
+        match run ~connect { cfg with rps } with
+        | Error _ as e -> e
+        | Ok r ->
+            let acc = (rps, r) :: acc in
+            if r.achieved_rps < threshold *. rps then Ok (List.rev acc)
+            else go acc (rps +. step)
+    in
+    match go [] lo with
+    | Error _ as e -> e
+    | Ok points ->
+        let pairs = List.map (fun (o, r) -> (o, r.achieved_rps)) points in
+        Ok
+          {
+            sw_config = { cfg with rps = lo };
+            sw_lo = lo;
+            sw_hi = hi;
+            sw_step = step;
+            sw_threshold = threshold;
+            sw_points = points;
+            sw_knee = knee ~threshold pairs;
+          }
+  end
+
+let sweep_json sw =
+  let point (offered, r) =
+    Obs.Json.Obj
+      [
+        ("offered_rps", Obs.Json.Float offered);
+        ("achieved_rps", Obs.Json.Float r.achieved_rps);
+        ("elapsed_seconds", Obs.Json.Float r.elapsed);
+        ("sent", Obs.Json.Int r.sent);
+        ("completed", Obs.Json.Int r.completed);
+        ("lost", Obs.Json.Int r.lost);
+        ("errors", Obs.Json.Int r.errors);
+        ("timeouts", Obs.Json.Int r.timeouts);
+        ("latency_seconds", Obs.Metrics.summary_json r.latency);
+      ]
+  in
+  Obs.Json.Obj
+    [
+      ("schema", Obs.Json.String "sap-loadgen-sweep v1");
+      ("config", config_json sw.sw_config);
+      ("lo_rps", Obs.Json.Float sw.sw_lo);
+      ("hi_rps", Obs.Json.Float sw.sw_hi);
+      ("step_rps", Obs.Json.Float sw.sw_step);
+      ("threshold", Obs.Json.Float sw.sw_threshold);
+      ("points", Obs.Json.List (List.map point sw.sw_points));
+      ( "knee_rps",
+        match sw.sw_knee with
+        | Some k -> Obs.Json.Float k
+        | None -> Obs.Json.Null );
+    ]

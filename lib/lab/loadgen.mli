@@ -85,3 +85,43 @@ val report_json : report -> Obs.Json.t
     offered/achieved rps, request outcome counts, cache hit rate,
     latency and send-lag quantile histograms, protocol errors, and the
     scraped server stats (or null). *)
+
+(** {2 Saturation sweep}
+
+    Step the offered rate from [lo] to [hi] by [step], running the
+    open-loop generator at each point, and stop early once achieved
+    throughput falls below [threshold * offered] — the server is past its
+    knee; offering more only inflates queues.  The knee is the highest
+    offered rate that still kept up. *)
+
+type sweep = {
+  sw_config : config;  (** base config; [rps] is overridden per step *)
+  sw_lo : float;
+  sw_hi : float;
+  sw_step : float;
+  sw_threshold : float;
+  sw_points : (float * report) list;  (** (offered rps, report), ascending *)
+  sw_knee : float option;  (** highest keeping-up offered rate *)
+}
+
+val knee : threshold:float -> (float * float) list -> float option
+(** Pure knee rule over [(offered, achieved)] pairs in sweep order: the
+    last offered rate with [achieved >= threshold * offered]; [None] if
+    no point kept up. *)
+
+val sweep :
+  connect:(unit -> (Unix.file_descr, string) result) ->
+  ?threshold:float ->
+  lo:float ->
+  hi:float ->
+  step:float ->
+  config ->
+  (sweep, string) result
+(** Run the sweep ([threshold] defaults to [0.9]; [cfg.rps] is ignored;
+    mid-run stats scraping is disabled for every point).  [Error] on an
+    invalid range or a setup failure at any point. *)
+
+val sweep_json : sweep -> Obs.Json.t
+(** The [sap-loadgen-sweep v1] report (schema in docs/FORMAT.md):
+    range, threshold, per-point offered/achieved/counts/latency, and
+    [knee_rps] (null when even [lo] was past the knee). *)

@@ -1,0 +1,57 @@
+type t = {
+  q : (unit -> unit) Queue.t;
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable closed : bool;
+  mutable dom : unit Domain.t option;
+}
+
+let run p =
+  let rec loop () =
+    Mutex.lock p.lock;
+    while Queue.is_empty p.q && not p.closed do
+      Condition.wait p.cond p.lock
+    done;
+    match Queue.take_opt p.q with
+    | None ->
+        (* Empty and closed: drained. *)
+        Mutex.unlock p.lock
+    | Some thunk ->
+        Mutex.unlock p.lock;
+        (* The thunk blocks until its response is ready, then writes it.
+           A vanished peer (EPIPE with SIGPIPE ignored) must not stop the
+           drain: later thunks still complete their slots. *)
+        (try thunk () with Sys_error _ -> ());
+        loop ()
+  in
+  loop ()
+
+let create () =
+  let p =
+    {
+      q = Queue.create ();
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      closed = false;
+      dom = None;
+    }
+  in
+  p.dom <- Some (Domain.spawn (fun () -> run p));
+  p
+
+let push p thunk =
+  Mutex.lock p.lock;
+  if not p.closed then begin
+    Queue.push thunk p.q;
+    Condition.signal p.cond
+  end;
+  Mutex.unlock p.lock
+
+let finish p =
+  Mutex.lock p.lock;
+  p.closed <- true;
+  Condition.signal p.cond;
+  let dom = p.dom in
+  p.dom <- None;
+  Mutex.unlock p.lock;
+  match dom with None -> () | Some d -> Domain.join d

@@ -1,0 +1,29 @@
+(** Per-connection response writer.
+
+    A pipelined session must answer in FIFO order, but responses finish
+    out of band (worker pool, remote shard).  Flushing only when the next
+    request arrives strands the tail: on a persistent connection that
+    goes quiet — a router's shard link after a load burst — the last
+    response would wait forever for inbound traffic to trigger a flush.
+
+    A pump is a dedicated writer domain per connection: the reader pushes
+    one thunk per request {e in arrival order}, each thunk blocks until
+    its response is ready and writes it.  The writer drains the queue as
+    completions land, so a response is sent the moment it is ready and
+    every earlier one is out — no inbound traffic required. *)
+
+type t
+
+val create : unit -> t
+(** Spawn the writer domain (idle until the first {!push}). *)
+
+val push : t -> (unit -> unit) -> unit
+(** Enqueue the next response's force-and-write thunk.  Thunks run on
+    the writer domain, strictly in push order; a raised [Sys_error]
+    (peer gone mid-write) is swallowed and draining continues.  No-op
+    after {!finish}. *)
+
+val finish : t -> unit
+(** No more pushes; run every queued thunk to completion, then join the
+    writer domain.  Every admitted request is answered before this
+    returns.  Idempotent. *)

@@ -1,0 +1,842 @@
+module P = Protocol
+
+let now () = Obs.Clock.monotonic_seconds ()
+let c_requests = Obs.Metrics.counter "router.requests"
+let c_forwarded = Obs.Metrics.counter "router.forwarded"
+let c_retries = Obs.Metrics.counter "router.retries"
+let c_respawns = Obs.Metrics.counter "router.respawns"
+let c_bad_upstream = Obs.Metrics.counter "router.bad_upstream_frames"
+let c_connections = Obs.Metrics.counter "router.connections"
+
+(* ---------- consistent-hash ring ---------- *)
+
+module Ring = struct
+  type t = {
+    ring_vnodes : int;
+    points : (int64 * string) array;  (* sorted by unsigned hash *)
+    ring_members : string list;  (* sorted, distinct *)
+  }
+
+  let point name i = Fingerprint.fnv1a64 (name ^ "#" ^ string_of_int i)
+
+  let create ?(vnodes = 64) names =
+    let ring_members = List.sort_uniq String.compare names in
+    let points =
+      List.concat_map
+        (fun n -> List.init vnodes (fun i -> (point n i, n)))
+        ring_members
+      |> Array.of_list
+    in
+    Array.sort
+      (fun (a, an) (b, bn) ->
+        let c = Int64.unsigned_compare a b in
+        if c <> 0 then c else String.compare an bn)
+      points;
+    { ring_vnodes = vnodes; points; ring_members }
+
+  let vnodes t = t.ring_vnodes
+  let members t = t.ring_members
+
+  let owner t key =
+    let n = Array.length t.points in
+    if n = 0 then None
+    else begin
+      let h = Fingerprint.fnv1a64 key in
+      (* First point at or clockwise-after [h]; the array is sorted by
+         unsigned hash, so that is a binary search with wraparound. *)
+      let lo = ref 0 and hi = ref n in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if Int64.unsigned_compare (fst t.points.(mid)) h < 0 then lo := mid + 1
+        else hi := mid
+      done;
+      Some (snd t.points.(if !lo = n then 0 else !lo))
+    end
+
+  let add t name = create ~vnodes:t.ring_vnodes (name :: t.ring_members)
+
+  let remove t name =
+    create ~vnodes:t.ring_vnodes
+      (List.filter (fun m -> not (String.equal m name)) t.ring_members)
+end
+
+(* ---------- configuration ---------- *)
+
+type endpoint = {
+  ep_name : string;
+  ep_socket : string;
+  ep_spawn : (string -> int) option;
+}
+
+type config = {
+  vnodes : int;
+  connect_attempts : int;
+  backoff_min : float;
+  backoff_max : float;
+  retry_limit : int;
+  log : (string -> unit) option;
+}
+
+let default_config =
+  {
+    vnodes = 64;
+    connect_attempts = 100;
+    backoff_min = 0.05;
+    backoff_max = 2.0;
+    retry_limit = 5;
+    log = None;
+  }
+
+(* ---------- response slots ---------- *)
+
+(* A slot is completed exactly once, with the full response frame text
+   (client id already in place); the client session blocks on it when the
+   response reaches the head of its FIFO. *)
+type slot = {
+  sl_lock : Mutex.t;
+  sl_cond : Condition.t;
+  mutable sl_text : string option;
+}
+
+let slot () =
+  { sl_lock = Mutex.create (); sl_cond = Condition.create (); sl_text = None }
+
+let complete sl text =
+  Mutex.lock sl.sl_lock;
+  if sl.sl_text = None then sl.sl_text <- Some text;
+  Condition.broadcast sl.sl_cond;
+  Mutex.unlock sl.sl_lock
+
+let await sl =
+  Mutex.lock sl.sl_lock;
+  while sl.sl_text = None do
+    Condition.wait sl.sl_cond sl.sl_lock
+  done;
+  let text = Option.get sl.sl_text in
+  Mutex.unlock sl.sl_lock;
+  text
+
+(* ---------- shards ---------- *)
+
+type entry = {
+  e_key : string;  (** consistent-hash key; "" for direct sends *)
+  e_req : P.request;  (** as the client sent it (client id) *)
+  e_slot : slot;
+  e_client_id : int;
+  e_t0 : float;
+  e_solve : bool;
+      (** solves are pure: re-home on shard death.  Direct sends (stats,
+          shutdown) fail instead — retrying them elsewhere would answer a
+          different question. *)
+  mutable e_attempts : int;
+}
+
+type state = Up | Down | Draining | Drained
+
+let state_name = function
+  | Up -> "up"
+  | Down -> "down"
+  | Draining -> "draining"
+  | Drained -> "drained"
+
+type conn = {
+  cn_fd : Unix.file_descr;
+  cn_oc : out_channel;
+  cn_reader : unit Domain.t option Atomic.t;
+  cn_joined : bool Atomic.t;
+}
+
+type shard = {
+  sh_name : string;
+  sh_socket : string;
+  sh_spawn : (string -> int) option;
+  sh_lock : Mutex.t;
+  sh_inflight : (int, entry) Hashtbl.t;  (* guarded by sh_lock *)
+  mutable sh_pid : int option;
+  mutable sh_state : state;
+  mutable sh_conn : conn option;
+  mutable sh_requests : int;  (* solves forwarded *)
+  mutable sh_errors : int;  (* error/timeout responses relayed *)
+  mutable sh_connects : int;
+  mutable sh_respawns : int;
+  mutable sh_latency : Obs.Metrics.histogram_summary;
+}
+
+type t = {
+  cfg : config;
+  shards : shard array;
+  ring_lock : Mutex.t;
+  mutable ring : Ring.t;  (* guarded by ring_lock; only Up shards *)
+  stopping : bool Atomic.t;
+  shut_done : bool Atomic.t;
+  seq : int Atomic.t;  (* shard-side request ids, unique router-wide *)
+  n_requests : int Atomic.t;
+  n_errors : int Atomic.t;
+  n_retried : int Atomic.t;
+  started : float;
+  aux_lock : Mutex.t;
+  mutable aux : unit Domain.t list;  (* recovery domains, joined at shutdown *)
+}
+
+let logf t msg =
+  match t.cfg.log with
+  | None -> ()
+  | Some f -> f (Printf.sprintf "ts=%.6f %s" (Obs.Clock.wall_seconds ()) msg)
+
+let shard_by_name t name =
+  Array.fold_left
+    (fun acc sh -> if String.equal sh.sh_name name then Some sh else acc)
+    None t.shards
+
+let remove_from_ring t name =
+  Mutex.lock t.ring_lock;
+  t.ring <- Ring.remove t.ring name;
+  Mutex.unlock t.ring_lock
+
+let add_to_ring t name =
+  Mutex.lock t.ring_lock;
+  t.ring <- Ring.add t.ring name;
+  Mutex.unlock t.ring_lock
+
+let with_id req id =
+  match req with
+  | P.Solve { id = _; params; path; tasks } -> P.Solve { id; params; path; tasks }
+  | P.Stats _ -> P.Stats { id }
+  | P.Ping _ -> P.Ping { id }
+  | P.Shutdown _ -> P.Shutdown { id }
+
+(* ---------- response-header surgery ----------
+
+   The router relays shard responses without re-parsing bodies (a parse
+   would need the instance's tasks, and re-serialisation is pure waste):
+   only the third header token — the id — is rewritten.  [msg=]
+   attributes swallow the rest of the line including consecutive spaces,
+   so the rewrite splices byte spans instead of splitting and rejoining
+   tokens. *)
+
+let header_spans line =
+  let n = String.length line in
+  let rec tok i = if i < n && line.[i] <> ' ' then tok (i + 1) else i in
+  let rec sp i = if i < n && line.[i] = ' ' then sp (i + 1) else i in
+  let a = tok (sp 0) in
+  let b = tok (sp a) in
+  let c = sp b in
+  let d = tok c in
+  if c >= n || d = c then None else Some (c, d)
+
+let header_sid line =
+  match header_spans line with
+  | None -> None
+  | Some (c, d) -> int_of_string_opt (String.sub line c (d - c))
+
+(* (status, rewritten header) of a response header line. *)
+let rewrite_header line client_id =
+  match header_spans line with
+  | None -> None
+  | Some (c, d) ->
+      let rewritten =
+        String.sub line 0 c ^ string_of_int client_id
+        ^ String.sub line d (String.length line - d)
+      in
+      let rest = String.sub line d (String.length line - d) in
+      let status =
+        match
+          String.split_on_char ' ' (String.trim rest)
+          |> List.filter (fun s -> s <> "")
+        with
+        | s :: _ -> s
+        | [] -> ""
+      in
+      Some (status, rewritten)
+
+let frame_text lines = String.concat "\n" lines ^ "\nend\n"
+
+let fail_entry t entry code message =
+  Atomic.incr t.n_errors;
+  complete entry.e_slot
+    (P.response_to_string (P.Failed { id = entry.e_client_id; code; message }))
+
+(* Tear a connection down: wake its reader (EOF), which then runs the
+   single shared death path.  The fd itself is closed by whoever joins
+   the reader. *)
+let kill_conn conn =
+  try Unix.shutdown conn.cn_fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
+let join_conn conn =
+  if Atomic.compare_and_set conn.cn_joined false true then begin
+    (match Atomic.get conn.cn_reader with
+    | Some d -> ( try Domain.join d with _ -> ())
+    | None -> ());
+    try Unix.close conn.cn_fd with Unix.Unix_error _ -> ()
+  end
+
+let sleep_interruptible t d =
+  let deadline = now () +. d in
+  while (not (Atomic.get t.stopping)) && now () < deadline do
+    Unix.sleepf (Float.min 0.05 (Float.max 0.001 (deadline -. now ())))
+  done
+
+(* ---------- dispatch, death, recovery ---------- *)
+
+let rec dispatch t entry =
+  entry.e_attempts <- entry.e_attempts + 1;
+  if entry.e_attempts > t.cfg.retry_limit then
+    fail_entry t entry P.Internal "router: retry limit exceeded"
+  else begin
+    Mutex.lock t.ring_lock;
+    let owner = Ring.owner t.ring entry.e_key in
+    Mutex.unlock t.ring_lock;
+    match owner with
+    | None ->
+        if Atomic.get t.stopping then
+          fail_entry t entry P.Shutting_down "router draining"
+        else fail_entry t entry P.Internal "router: no shard available"
+    | Some name -> (
+        match shard_by_name t name with
+        | None -> fail_entry t entry P.Internal ("router: unknown shard " ^ name)
+        | Some sh -> forward t sh entry)
+  end
+
+and forward t sh entry =
+  Mutex.lock sh.sh_lock;
+  match (sh.sh_state, sh.sh_conn) with
+  | Up, Some conn ->
+      let sid = Atomic.fetch_and_add t.seq 1 in
+      Hashtbl.replace sh.sh_inflight sid entry;
+      sh.sh_requests <- sh.sh_requests + 1;
+      let text = P.request_to_string (with_id entry.e_req sid) in
+      let wrote =
+        try
+          output_string conn.cn_oc text;
+          flush conn.cn_oc;
+          true
+        with Sys_error _ -> false
+      in
+      if wrote then Mutex.unlock sh.sh_lock
+      else begin
+        Hashtbl.remove sh.sh_inflight sid;
+        sh.sh_requests <- sh.sh_requests - 1;
+        Mutex.unlock sh.sh_lock;
+        kill_conn conn;
+        Obs.Metrics.incr c_retries;
+        Atomic.incr t.n_retried;
+        dispatch t entry
+      end
+  | _ ->
+      Mutex.unlock sh.sh_lock;
+      (* Raced with a death or drain; make sure the ring agrees, pick
+         again.  [e_attempts] bounds the loop. *)
+      remove_from_ring t sh.sh_name;
+      dispatch t entry
+
+(* Runs exactly once per connection, as the final act of its reader
+   domain: clear the shard, re-home orphaned solves, start recovery. *)
+and conn_dead t sh conn =
+  Mutex.lock sh.sh_lock;
+  let current = match sh.sh_conn with Some c -> c == conn | None -> false in
+  if not current then Mutex.unlock sh.sh_lock
+  else begin
+    sh.sh_conn <- None;
+    let was = sh.sh_state in
+    sh.sh_state <-
+      (match was with
+      | Draining | Drained -> Drained
+      | Up | Down -> if Atomic.get t.stopping then Drained else Down);
+    let orphans = Hashtbl.fold (fun _ e acc -> e :: acc) sh.sh_inflight [] in
+    Hashtbl.reset sh.sh_inflight;
+    let next = sh.sh_state in
+    Mutex.unlock sh.sh_lock;
+    remove_from_ring t sh.sh_name;
+    logf t
+      (Printf.sprintf "event=shard-%s shard=%s orphans=%d" (state_name next)
+         sh.sh_name (List.length orphans));
+    List.iter
+      (fun e ->
+        if e.e_solve then begin
+          Obs.Metrics.incr c_retries;
+          Atomic.incr t.n_retried;
+          dispatch t e
+        end
+        else fail_entry t e P.Internal ("router: shard " ^ sh.sh_name ^ " lost"))
+      orphans;
+    if next = Down then start_recovery t sh conn
+  end
+
+and start_recovery t sh old_conn =
+  let dom = Domain.spawn (fun () -> recover t sh old_conn) in
+  Mutex.lock t.aux_lock;
+  t.aux <- dom :: t.aux;
+  Mutex.unlock t.aux_lock
+
+and recover t sh old_conn =
+  join_conn old_conn;
+  let backoff = ref t.cfg.backoff_min in
+  let rec attempt () =
+    if not (Atomic.get t.stopping) then begin
+      sleep_interruptible t !backoff;
+      if not (Atomic.get t.stopping) then begin
+        (match sh.sh_spawn with
+        | Some spawn ->
+            let alive =
+              match sh.sh_pid with
+              | Some pid -> (
+                  match Unix.waitpid [ Unix.WNOHANG ] pid with
+                  | 0, _ -> true
+                  | _ -> false
+                  | exception Unix.Unix_error _ -> false)
+              | None -> false
+            in
+            if not alive then begin
+              let pid = spawn sh.sh_socket in
+              Mutex.lock sh.sh_lock;
+              sh.sh_pid <- Some pid;
+              sh.sh_respawns <- sh.sh_respawns + 1;
+              Mutex.unlock sh.sh_lock;
+              Obs.Metrics.incr c_respawns;
+              logf t
+                (Printf.sprintf "event=shard-respawn shard=%s pid=%d"
+                   sh.sh_name pid)
+            end
+        | None -> ());
+        if not (try_connect t sh) then begin
+          backoff := Float.min (!backoff *. 2.0) t.cfg.backoff_max;
+          attempt ()
+        end
+      end
+    end
+  in
+  attempt ()
+
+and try_connect t sh =
+  match Client.connect_unix sh.sh_socket with
+  | Error _ -> false
+  | Ok fd ->
+      (* Respawned shard children must not inherit this connection: a
+         leaked copy would keep the shard's session open after we close
+         ours, hiding our EOF (and theirs from us). *)
+      Unix.set_close_on_exec fd;
+      let conn =
+        {
+          cn_fd = fd;
+          cn_oc = Unix.out_channel_of_descr fd;
+          cn_reader = Atomic.make None;
+          cn_joined = Atomic.make false;
+        }
+      in
+      (* Install before spawning the reader, so an instant EOF still finds
+         [sh_conn == conn] and runs the death path. *)
+      Mutex.lock sh.sh_lock;
+      sh.sh_conn <- Some conn;
+      sh.sh_state <- Up;
+      sh.sh_connects <- sh.sh_connects + 1;
+      Mutex.unlock sh.sh_lock;
+      let reader = Domain.spawn (fun () -> reader_loop t sh conn fd) in
+      Atomic.set conn.cn_reader (Some reader);
+      add_to_ring t sh.sh_name;
+      logf t (Printf.sprintf "event=shard-up shard=%s" sh.sh_name);
+      true
+
+and reader_loop t sh conn fd =
+  (* Wait until the spawner has recorded us, so [join_conn] can always
+     find the reader to join. *)
+  while Atomic.get conn.cn_reader = None do
+    Domain.cpu_relax ()
+  done;
+  let ic = Unix.in_channel_of_descr fd in
+  let read_line () =
+    try Some (input_line ic) with End_of_file | Sys_error _ -> None
+  in
+  let rec loop () =
+    match P.read_frame ~read_line with
+    | None -> ()
+    | Some [] -> loop ()
+    | Some (header :: _ as lines) ->
+        (match header_sid header with
+        | None -> Obs.Metrics.incr c_bad_upstream
+        | Some sid -> (
+            Mutex.lock sh.sh_lock;
+            let entry = Hashtbl.find_opt sh.sh_inflight sid in
+            if entry <> None then Hashtbl.remove sh.sh_inflight sid;
+            Mutex.unlock sh.sh_lock;
+            match entry with
+            | None -> Obs.Metrics.incr c_bad_upstream
+            | Some e -> (
+                match rewrite_header header e.e_client_id with
+                | None ->
+                    Obs.Metrics.incr c_bad_upstream;
+                    fail_entry t e P.Internal "router: malformed shard response"
+                | Some (status, header') ->
+                    if e.e_solve then begin
+                      let dt = now () -. e.e_t0 in
+                      Mutex.lock sh.sh_lock;
+                      sh.sh_latency <-
+                        Obs.Metrics.summary_observe sh.sh_latency dt;
+                      if String.equal status "error"
+                         || String.equal status "timeout"
+                      then begin
+                        sh.sh_errors <- sh.sh_errors + 1;
+                        Atomic.incr t.n_errors
+                      end;
+                      Mutex.unlock sh.sh_lock
+                    end;
+                    complete e.e_slot (frame_text (header' :: List.tl lines)))));
+        loop ()
+  in
+  (try loop () with _ -> ());
+  conn_dead t sh conn
+
+(* Send [req] straight to one shard (bypassing the ring) and complete
+   [sl] with its answer.  Allowed while Up or Draining — [drain_shard]
+   marks the shard Draining before sending it the shutdown frame. *)
+let send_direct t sh req sl =
+  Mutex.lock sh.sh_lock;
+  match (sh.sh_state, sh.sh_conn) with
+  | (Up | Draining), Some conn ->
+      let sid = Atomic.fetch_and_add t.seq 1 in
+      let entry =
+        {
+          e_key = "";
+          e_req = req;
+          e_slot = sl;
+          e_client_id = P.request_id req;
+          e_t0 = now ();
+          e_solve = false;
+          e_attempts = 0;
+        }
+      in
+      Hashtbl.replace sh.sh_inflight sid entry;
+      let wrote =
+        try
+          output_string conn.cn_oc (P.request_to_string (with_id req sid));
+          flush conn.cn_oc;
+          true
+        with Sys_error _ -> false
+      in
+      if not wrote then Hashtbl.remove sh.sh_inflight sid;
+      Mutex.unlock sh.sh_lock;
+      if not wrote then kill_conn conn;
+      wrote
+  | _ ->
+      Mutex.unlock sh.sh_lock;
+      false
+
+(* ---------- lifecycle ---------- *)
+
+let mk_shard ep =
+  {
+    sh_name = ep.ep_name;
+    sh_socket = ep.ep_socket;
+    sh_spawn = ep.ep_spawn;
+    sh_lock = Mutex.create ();
+    sh_inflight = Hashtbl.create 64;
+    sh_pid = None;
+    sh_state = Down;
+    sh_conn = None;
+    sh_requests = 0;
+    sh_errors = 0;
+    sh_connects = 0;
+    sh_respawns = 0;
+    sh_latency = Obs.Metrics.empty_summary;
+  }
+
+let reap_child sh =
+  match sh.sh_pid with
+  | None -> ()
+  | Some pid ->
+      (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+      sh.sh_pid <- None
+
+let retire t sh =
+  remove_from_ring t sh.sh_name;
+  Mutex.lock sh.sh_lock;
+  let conn = sh.sh_conn and state = sh.sh_state in
+  Mutex.unlock sh.sh_lock;
+  (match (conn, state) with
+  | Some c, (Up | Draining) ->
+      if sh.sh_spawn <> None then begin
+        (* Graceful: the shard answers everything it admitted, acks, and
+           exits; the EOF runs the shared death path (stopping is set, so
+           no recovery starts). *)
+        let sl = slot () in
+        if send_direct t sh (P.Shutdown { id = 0 }) sl then ignore (await sl)
+      end
+      else kill_conn c;
+      join_conn c
+  | Some c, _ ->
+      kill_conn c;
+      join_conn c
+  | None, _ -> (
+      (* A spawned child we never connected to (failed create) or that is
+         mid-recovery: terminate it directly. *)
+      match (sh.sh_spawn, sh.sh_pid) with
+      | Some _, Some pid -> (
+          try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ())
+      | _ -> ()));
+  Mutex.lock sh.sh_lock;
+  reap_child sh;
+  Mutex.unlock sh.sh_lock;
+  logf t (Printf.sprintf "event=shard-retired shard=%s" sh.sh_name)
+
+let shutdown t =
+  Atomic.set t.stopping true;
+  if Atomic.compare_and_set t.shut_done false true then begin
+    logf t "event=router-shutdown";
+    (* Recovery domains first: they check [stopping] and exit, and none
+       may re-add a shard to the ring while we retire the fleet. *)
+    Mutex.lock t.aux_lock;
+    let doms = t.aux in
+    t.aux <- [];
+    Mutex.unlock t.aux_lock;
+    List.iter (fun d -> try Domain.join d with _ -> ()) doms;
+    Array.iter (fun sh -> retire t sh) t.shards
+  end
+
+let create ?(config = default_config) endpoints =
+  let names = List.map (fun e -> e.ep_name) endpoints in
+  if endpoints = [] then Error "router: no shard endpoints"
+  else if List.length (List.sort_uniq String.compare names) <> List.length names
+  then Error "router: duplicate shard names"
+  else begin
+    let t =
+      {
+        cfg = config;
+        shards = Array.of_list (List.map mk_shard endpoints);
+        ring_lock = Mutex.create ();
+        ring = Ring.create ~vnodes:config.vnodes [];
+        stopping = Atomic.make false;
+        shut_done = Atomic.make false;
+        seq = Atomic.make 0;
+        n_requests = Atomic.make 0;
+        n_errors = Atomic.make 0;
+        n_retried = Atomic.make 0;
+        started = now ();
+        aux_lock = Mutex.create ();
+        aux = [];
+      }
+    in
+    Array.iter
+      (fun sh ->
+        match sh.sh_spawn with
+        | Some spawn ->
+            let pid = spawn sh.sh_socket in
+            sh.sh_pid <- Some pid;
+            logf t
+              (Printf.sprintf "event=shard-spawn shard=%s pid=%d" sh.sh_name pid)
+        | None -> ())
+      t.shards;
+    let connected =
+      Array.for_all
+        (fun sh ->
+          let rec go n =
+            if try_connect t sh then true
+            else if n <= 1 then false
+            else begin
+              Unix.sleepf 0.05;
+              go (n - 1)
+            end
+          in
+          go (max 1 config.connect_attempts))
+        t.shards
+    in
+    if connected then Ok t
+    else begin
+      let missing =
+        Array.to_list t.shards
+        |> List.filter (fun sh -> sh.sh_state <> Up)
+        |> List.map (fun sh -> sh.sh_name)
+      in
+      shutdown t;
+      Error
+        (Printf.sprintf "router: could not reach shard(s): %s"
+           (String.concat ", " missing))
+    end
+  end
+
+let drain_shard t name =
+  match shard_by_name t name with
+  | None -> Error ("router: unknown shard " ^ name)
+  | Some sh -> (
+      remove_from_ring t name;
+      Mutex.lock sh.sh_lock;
+      let was_up = sh.sh_state = Up in
+      if was_up then sh.sh_state <- Draining;
+      let conn = sh.sh_conn in
+      Mutex.unlock sh.sh_lock;
+      match (was_up, conn) with
+      | true, Some c ->
+          logf t (Printf.sprintf "event=shard-drain shard=%s" name);
+          let sl = slot () in
+          if send_direct t sh (P.Shutdown { id = 0 }) sl then ignore (await sl);
+          join_conn c;
+          Mutex.lock sh.sh_lock;
+          reap_child sh;
+          Mutex.unlock sh.sh_lock;
+          Ok ()
+      | _ -> Error ("router: shard " ^ name ^ " is not up"))
+
+(* ---------- stats ---------- *)
+
+(* One shard's own [sap-server-stats] report, fetched over the live
+   connection (the shard answers after everything admitted before the
+   scrape, FIFO — same semantics as scraping a single serve process). *)
+let scrape_shard t sh =
+  let sl = slot () in
+  if not (send_direct t sh (P.Stats { id = 0 }) sl) then Obs.Json.Null
+  else begin
+    let text = await sl in
+    match String.split_on_char '\n' text with
+    | header :: body
+      when (match rewrite_header header 0 with
+           | Some ("stats", _) -> true
+           | _ -> false) -> (
+        match List.filter (fun l -> l <> "end" && l <> "") body with
+        | [ json_line ] -> (
+            match Obs.Json.of_string json_line with
+            | Ok j -> j
+            | Error _ -> Obs.Json.Null)
+        | _ -> Obs.Json.Null)
+    | _ -> Obs.Json.Null
+  end
+
+let stats_json t =
+  let open Obs.Json in
+  Mutex.lock t.ring_lock;
+  let members = Ring.members t.ring and vn = Ring.vnodes t.ring in
+  Mutex.unlock t.ring_lock;
+  let shards =
+    Array.to_list t.shards
+    |> List.map (fun sh ->
+           Mutex.lock sh.sh_lock;
+           let state = sh.sh_state
+           and pid = sh.sh_pid
+           and requests = sh.sh_requests
+           and errors = sh.sh_errors
+           and connects = sh.sh_connects
+           and respawns = sh.sh_respawns
+           and inflight = Hashtbl.length sh.sh_inflight
+           and latency = sh.sh_latency in
+           Mutex.unlock sh.sh_lock;
+           let server_stats =
+             if state = Up then scrape_shard t sh else Null
+           in
+           Obj
+             [
+               ("name", String sh.sh_name);
+               ("socket", String sh.sh_socket);
+               ("pid", match pid with Some p -> Int p | None -> Null);
+               ("state", String (state_name state));
+               ("connects", Int connects);
+               ("respawns", Int respawns);
+               ("requests", Int requests);
+               ("errors", Int errors);
+               ("inflight", Int inflight);
+               ("latency_seconds", Obs.Metrics.summary_json latency);
+               ("server_stats", server_stats);
+             ])
+  in
+  Obj
+    [
+      ("schema", String "sap-router-stats v1");
+      ("uptime_seconds", Float (now () -. t.started));
+      ("draining", Bool (Atomic.get t.stopping));
+      ("requests", Int (Atomic.get t.n_requests));
+      ("errors", Int (Atomic.get t.n_errors));
+      ("retried", Int (Atomic.get t.n_retried));
+      ( "ring",
+        Obj
+          [
+            ("vnodes", Int vn);
+            ("members", List (Stdlib.List.map (fun m -> String m) members));
+          ] );
+      ("shards", List shards);
+    ]
+
+let owner_for t ~key =
+  Mutex.lock t.ring_lock;
+  let o = Ring.owner t.ring key in
+  Mutex.unlock t.ring_lock;
+  o
+
+let shard_pids t =
+  Array.to_list t.shards
+  |> List.map (fun sh ->
+         Mutex.lock sh.sh_lock;
+         let pid = sh.sh_pid in
+         Mutex.unlock sh.sh_lock;
+         (sh.sh_name, pid))
+
+let draining t = Atomic.get t.stopping
+
+(* ---------- client sessions ---------- *)
+
+
+(* Responses drain on a per-connection {!Pump.t}, written the moment
+   they (and everything queued before them) are ready — see
+   {!Transport.serve_channels} for why flushing from the read loop
+   instead would strand the tail of a quiet connection. *)
+let handle_session t ic oc =
+  Obs.Metrics.incr c_connections;
+  let pump = Pump.create () in
+  let push_text force =
+    Pump.push pump (fun () ->
+        output_string oc (force ());
+        flush oc)
+  in
+  let immediate resp = push_text (fun () -> P.response_to_string resp) in
+  let read_line () = try Some (input_line ic) with End_of_file -> None in
+  let rec loop () =
+    match P.read_frame ~read_line with
+    | None -> ()
+    | Some lines -> (
+        match P.request_of_lines lines with
+        | Error m ->
+            immediate (P.Failed { id = -1; code = P.Bad_request; message = m });
+            loop ()
+        | Ok req ->
+            Obs.Metrics.incr c_requests;
+            Atomic.incr t.n_requests;
+            (match req with
+            | P.Solve { id; params; path; tasks } ->
+                if Atomic.get t.stopping then
+                  immediate
+                    (P.Failed
+                       { id; code = P.Shutting_down; message = "router draining" })
+                else begin
+                  let key =
+                    Fingerprint.solve_key ~algorithm:params.P.algorithm
+                      ~seed:params.P.seed path tasks
+                  in
+                  let sl = slot () in
+                  let entry =
+                    {
+                      e_key = key;
+                      e_req = req;
+                      e_slot = sl;
+                      e_client_id = id;
+                      e_t0 = now ();
+                      e_solve = true;
+                      e_attempts = 0;
+                    }
+                  in
+                  Obs.Metrics.incr c_forwarded;
+                  dispatch t entry;
+                  push_text (fun () -> await sl)
+                end
+            | P.Ping { id } -> immediate (P.Ack { id })
+            | P.Stats { id } ->
+                push_text (fun () ->
+                    P.response_to_string (P.Stats_reply { id; stats = stats_json t }))
+            | P.Shutdown { id } ->
+                push_text (fun () ->
+                    shutdown t;
+                    P.response_to_string (P.Ack { id })));
+            (match req with P.Shutdown _ -> () | _ -> loop ()))
+  in
+  (try loop () with Sys_error _ -> ());
+  Pump.finish pump
+
+let serve ?on_bound ?stop t ~socket_path =
+  Transport.serve_unix_sessions ?on_bound ?stop
+    ~draining:(fun () -> Atomic.get t.stopping)
+    (fun ic oc -> handle_session t ic oc)
+    ~socket_path

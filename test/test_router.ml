@@ -1,0 +1,335 @@
+(* Consistent-hash router: ring properties, end-to-end fan-out over
+   in-process shards, drain under load, and the completion-flush
+   regression (a quiet connection must still receive its tail). *)
+
+module Proto = Sap_server.Protocol
+module Server = Sap_server.Server
+module Transport = Sap_server.Transport
+module Client = Sap_server.Client
+module Router = Sap_server.Router
+module Fingerprint = Sap_server.Fingerprint
+
+let case name f = Alcotest.test_case name `Quick f
+let default_params = Proto.default_solve_params
+
+let solve_key path tasks =
+  Fingerprint.solve_key ~algorithm:default_params.Proto.algorithm
+    ~seed:default_params.Proto.seed path tasks
+
+let keys n = List.init n (fun i -> Printf.sprintf "key-%d" (i * 7919))
+
+(* ---------- ring ---------- *)
+
+let ring_stable_ownership () =
+  let members = [ "a"; "b"; "c"; "d" ] in
+  let r1 = Router.Ring.create members and r2 = Router.Ring.create members in
+  Alcotest.(check (list string)) "members sorted" members (Router.Ring.members r1);
+  List.iter
+    (fun k ->
+      Alcotest.(check (option string))
+        ("owner stable for " ^ k)
+        (Router.Ring.owner r1 k) (Router.Ring.owner r2 k))
+    (keys 200);
+  Alcotest.(check (option string))
+    "empty ring owns nothing" None
+    (Router.Ring.owner (Router.Ring.create []) "x")
+
+let ring_add_steals_only_for_new () =
+  let base = Router.Ring.create [ "a"; "b"; "c" ] in
+  let grown = Router.Ring.add base "d" in
+  let moved =
+    List.filter
+      (fun k -> Router.Ring.owner base k <> Router.Ring.owner grown k)
+      (keys 400)
+  in
+  List.iter
+    (fun k ->
+      Alcotest.(check (option string))
+        "moved key goes to the new member" (Some "d")
+        (Router.Ring.owner grown k))
+    moved;
+  (* Expectation is 1/4 of the keyspace; allow generous slack. *)
+  Alcotest.(check bool)
+    "re-homed fraction bounded" true
+    (List.length moved < 400 / 2)
+
+let ring_remove_moves_only_from_removed () =
+  let base = Router.Ring.create [ "a"; "b"; "c"; "d" ] in
+  let shrunk = Router.Ring.remove base "b" in
+  List.iter
+    (fun k ->
+      let before = Router.Ring.owner base k in
+      let after = Router.Ring.owner shrunk k in
+      if before <> Some "b" then
+        Alcotest.(check (option string)) ("unmoved: " ^ k) before after
+      else
+        Alcotest.(check bool)
+          ("re-homed off b: " ^ k)
+          true
+          (after <> Some "b" && after <> None))
+    (keys 400)
+
+let ring_rehoming_fraction_qcheck =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~name:"ring add re-homes ~1/n of keys" ~count:30
+       QCheck.(pair (int_range 2 8) (int_range 0 1000))
+       (fun (n, salt) ->
+         let members = List.init n (Printf.sprintf "m%d") in
+         let base = Router.Ring.create members in
+         let grown = Router.Ring.add base "extra" in
+         let ks =
+           List.init 300 (fun i -> Printf.sprintf "s%d-%d" salt (i * 31))
+         in
+         let moved =
+           List.filter
+             (fun k -> Router.Ring.owner base k <> Router.Ring.owner grown k)
+             ks
+         in
+         (* All moved keys belong to the new member, and the moved share
+            stays within 3x the ideal 1/(n+1). *)
+         List.for_all
+           (fun k -> Router.Ring.owner grown k = Some "extra")
+           moved
+         && List.length moved * (n + 1) <= 3 * 300))
+
+(* ---------- in-process fleet ---------- *)
+
+type fleet = {
+  fl_dir : string;
+  fl_router : Router.t;
+  fl_front : string;
+  fl_stops : Transport.stopper list;
+  fl_doms : unit Domain.t list;
+  fl_servers : Server.t list;
+}
+
+let start_shard ~dir ~name =
+  let socket_path = Filename.concat dir (name ^ ".sock") in
+  let srv =
+    Server.create
+      ~config:{ Server.default_config with Server.workers = Some 2 } ()
+  in
+  let stop = Transport.stopper () in
+  let bound = Atomic.make false in
+  let dom =
+    Domain.spawn (fun () ->
+        Transport.serve_unix
+          ~on_bound:(fun _ -> Atomic.set bound true)
+          ~stop srv ~socket_path)
+  in
+  let rec wait n =
+    if not (Atomic.get bound) then
+      if n = 0 then Alcotest.fail (name ^ " never bound")
+      else (Unix.sleepf 0.01; wait (n - 1))
+  in
+  wait 500;
+  (socket_path, srv, stop, dom)
+
+let start_fleet ?(shards = 3) () =
+  let dir = Filename.temp_file "sap_router" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o700;
+  let started =
+    List.init shards (fun i ->
+        let name = Printf.sprintf "shard-%d" i in
+        (name, start_shard ~dir ~name))
+  in
+  let endpoints =
+    List.map
+      (fun (name, (sock, _, _, _)) ->
+        { Router.ep_name = name; ep_socket = sock; ep_spawn = None })
+      started
+  in
+  let router =
+    match Router.create endpoints with
+    | Ok r -> r
+    | Error m -> Alcotest.failf "router create: %s" m
+  in
+  let front = Filename.concat dir "front.sock" in
+  let front_stop = Transport.stopper () in
+  let front_bound = Atomic.make false in
+  let front_dom =
+    Domain.spawn (fun () ->
+        Router.serve
+          ~on_bound:(fun _ -> Atomic.set front_bound true)
+          ~stop:front_stop router ~socket_path:front)
+  in
+  let rec wait n =
+    if not (Atomic.get front_bound) then
+      if n = 0 then Alcotest.fail "front never bound"
+      else (Unix.sleepf 0.01; wait (n - 1))
+  in
+  wait 500;
+  {
+    fl_dir = dir;
+    fl_router = router;
+    fl_front = front;
+    fl_stops = front_stop :: List.map (fun (_, (_, _, s, _)) -> s) started;
+    fl_doms = front_dom :: List.map (fun (_, (_, _, _, d)) -> d) started;
+    fl_servers = List.map (fun (_, (_, srv, _, _)) -> srv) started;
+  }
+
+let stop_fleet fl =
+  Router.shutdown fl.fl_router;
+  List.iter Transport.request_stop fl.fl_stops;
+  List.iter Domain.join fl.fl_doms;
+  List.iter Transport.close_stopper fl.fl_stops;
+  List.iter Server.drain fl.fl_servers;
+  (try
+     Sys.readdir fl.fl_dir
+     |> Array.iter (fun f -> Sys.remove (Filename.concat fl.fl_dir f))
+   with Sys_error _ -> ());
+  try Sys.rmdir fl.fl_dir with Sys_error _ -> ()
+
+let with_fleet ?shards f =
+  let fl = start_fleet ?shards () in
+  Fun.protect ~finally:(fun () -> stop_fleet fl) @@ fun () -> f fl
+
+let batch_through_front fl instances =
+  match Client.connect_unix fl.fl_front with
+  | Error m -> Alcotest.failf "connect front: %s" m
+  | Ok fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let ic = Unix.in_channel_of_descr fd in
+          let oc = Unix.out_channel_of_descr fd in
+          Client.run_batch ~ic ~oc ~params:default_params instances)
+
+let assert_all_solved instances (result : Client.batch_result) =
+  Alcotest.(check (list string)) "no transport errors" []
+    result.Client.transport_errors;
+  Array.iteri
+    (fun i resp ->
+      let path, _ = List.nth instances i in
+      match resp with
+      | Some (Proto.Solved { solution; _ }) ->
+          Helpers.assert_feasible_sap path solution
+      | _ -> Alcotest.failf "instance %d: no solved response" i)
+    result.Client.responses
+
+let router_end_to_end () =
+  with_fleet @@ fun fl ->
+  let instances = List.init 12 (fun i -> Helpers.tiny_instance (500 + (13 * i))) in
+  (* Every instance solved and feasible through the front socket. *)
+  assert_all_solved instances (batch_through_front fl instances);
+  (* Keys spread across members, and owner_for is ring-consistent. *)
+  let owners =
+    List.map
+      (fun (path, tasks) ->
+        match Router.owner_for fl.fl_router ~key:(solve_key path tasks) with
+        | Some o -> o
+        | None -> Alcotest.fail "no owner")
+      instances
+  in
+  Alcotest.(check bool)
+    "at least two shards own keys" true
+    (List.length (List.sort_uniq String.compare owners) >= 2);
+  (* Affinity: a repeat of the same batch hits each owner's LRU cache.
+     The hit counter is process-global, which is exactly the sum over
+     the in-process shards. *)
+  Obs.Metrics.enable ();
+  let hits () = Obs.Metrics.counter_value (Obs.Metrics.counter "server.cache.hits") in
+  let before = hits () in
+  assert_all_solved instances (batch_through_front fl instances);
+  let after = hits () in
+  Alcotest.(check bool)
+    (Printf.sprintf "repeat batch is cached (%d -> %d)" before after)
+    true
+    (after - before >= List.length instances)
+
+(* The pump regression: a client that pipelines one request and then
+   goes quiet (no half-close, no further frames) must still receive the
+   response as soon as it completes.  Before the per-connection pump,
+   the reply sat in the session's FIFO until new inbound traffic. *)
+let router_flushes_without_inbound () =
+  with_fleet ~shards:2 @@ fun fl ->
+  match Client.connect_unix fl.fl_front with
+  | Error m -> Alcotest.failf "connect front: %s" m
+  | Ok fd ->
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let oc = Unix.out_channel_of_descr fd in
+          let path, tasks = Helpers.tiny_instance 4242 in
+          output_string oc
+            (Proto.request_to_string
+               (Proto.Solve { id = 7; params = default_params; path; tasks }));
+          flush oc;
+          (* No half-close: wait on the bare socket for the reply. *)
+          (match Unix.select [ fd ] [] [] 10.0 with
+          | [], _, _ -> Alcotest.fail "no response within 10s (stranded tail)"
+          | _ -> ());
+          let ic = Unix.in_channel_of_descr fd in
+          let read_line () =
+            try Some (input_line ic) with End_of_file -> None
+          in
+          match Proto.read_frame ~read_line with
+          | None -> Alcotest.fail "eof instead of response"
+          | Some lines -> (
+              let tasks_for id = if id = 7 then Some tasks else None in
+              match Proto.response_of_lines ~tasks_for lines with
+              | Ok (Proto.Solved { id; solution; _ }) ->
+                  Alcotest.(check int) "id echoed" 7 id;
+                  Helpers.assert_feasible_sap path solution
+              | Ok _ -> Alcotest.fail "expected solved"
+              | Error m -> Alcotest.failf "bad response: %s" m))
+
+let drain_under_load_loses_nothing () =
+  with_fleet @@ fun fl ->
+  let instances = List.init 16 (fun i -> Helpers.tiny_instance (900 + (7 * i))) in
+  (* Concurrent batches while a shard drains: every request answered. *)
+  let worker =
+    Domain.spawn (fun () ->
+        List.init 3 (fun _ -> batch_through_front fl instances))
+  in
+  Unix.sleepf 0.02;
+  (match Router.drain_shard fl.fl_router "shard-1" with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "drain: %s" m);
+  let results = Domain.join worker in
+  List.iter (assert_all_solved instances) results;
+  (* The drained shard is out of the ring: no key re-homes onto it. *)
+  List.iter
+    (fun k ->
+      match Router.owner_for fl.fl_router ~key:k with
+      | Some "shard-1" -> Alcotest.fail "drained shard still owns keys"
+      | _ -> ())
+    (keys 100);
+  (* And a fresh batch still fully succeeds on the survivors. *)
+  assert_all_solved instances (batch_through_front fl instances)
+
+(* ---------- loadgen sweep knee ---------- *)
+
+let knee_detection () =
+  let knee pts = Lab.Loadgen.knee ~threshold:0.9 pts in
+  Alcotest.(check (option (float 1e-9)))
+    "knee at last keeping-up point" (Some 20.)
+    (knee [ (10., 10.); (20., 19.5); (30., 21.) ]);
+  Alcotest.(check (option (float 1e-9)))
+    "all keep up: knee at the top" (Some 30.)
+    (knee [ (10., 10.); (20., 20.); (30., 29.) ]);
+  Alcotest.(check (option (float 1e-9)))
+    "never keeps up: no knee" None
+    (knee [ (10., 5.); (20., 4.) ])
+
+let () =
+  Alcotest.run "router"
+    [
+      ( "ring",
+        [
+          case "stable ownership" ring_stable_ownership;
+          case "add steals only for the new member" ring_add_steals_only_for_new;
+          case "remove moves only the removed member's keys"
+            ring_remove_moves_only_from_removed;
+          ring_rehoming_fraction_qcheck;
+        ] );
+      ( "routing",
+        [
+          case "end-to-end fan-out + cache affinity" router_end_to_end;
+          case "response flushes without inbound traffic"
+            router_flushes_without_inbound;
+          case "drain under load loses nothing" drain_under_load_loses_nothing;
+        ] );
+      ("sweep", [ case "knee detection" knee_detection ]);
+    ]

@@ -676,7 +676,7 @@ let serve_unix_concurrent_and_stop () =
     Server.create
       ~config:{ Server.default_config with Server.workers = Some 2 } ()
   in
-  let stop = Atomic.make false in
+  let stop = Transport.stopper () in
   let bound = Atomic.make false in
   let server_dom =
     Domain.spawn (fun () ->
@@ -711,10 +711,9 @@ let serve_unix_concurrent_and_stop () =
             output_string oc
               (Proto.request_to_string (Proto.Stats { id = 1000 + i }));
             flush oc;
-            (* Pipeline-then-half-close, like Client.run_batch: responses
-               are flushed in FIFO order on new input or end-of-input, so
-               a client that stops sending must close its send side
-               before waiting. *)
+            (* Pipeline-then-half-close, like Client.run_batch.  (Since
+               the response pump, half-closing is optional — responses
+               flush as they complete — but it remains the batch idiom.) *)
             (try Unix.shutdown fd Unix.SHUTDOWN_SEND
              with Unix.Unix_error _ -> ());
             let read_line () =
@@ -745,9 +744,13 @@ let serve_unix_concurrent_and_stop () =
   let other = Domain.spawn (fun () -> session 1) in
   session 2;
   Domain.join other;
-  (* The stop flag shuts the listener down and removes the socket. *)
-  Atomic.set stop true;
+  (* A stop request wakes the idle listener immediately (self-pipe, not
+     a poll timeout) and removes the socket. *)
+  let t0 = Unix.gettimeofday () in
+  Transport.request_stop stop;
   Domain.join server_dom;
+  Transport.close_stopper stop;
+  Alcotest.(check bool) "stop was prompt" true (Unix.gettimeofday () -. t0 < 2.0);
   Alcotest.(check bool) "socket removed" false (Sys.file_exists socket_path);
   Server.drain srv
 
