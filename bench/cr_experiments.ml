@@ -1,0 +1,172 @@
+(* CR — online-session churn replay: a deterministic single-task
+   arrival/departure trace resolved warm (band-local repair + simplex
+   warm starts) against the identical trace resolved cold (every band
+   repacked from scratch).  The instance stacks eight bottleneck bands
+   of 30 tasks each, so a cold resolve pays eight band LPs where a warm
+   resolve pays one warm-seeded LP — the speedup the session subsystem
+   exists to buy.  Wall time lands in *seconds* histograms (timing-only
+   under bench-diff); the shape of the run — events, resolves, bands
+   repacked, warm-seeded LPs — lands in exact counters, so a repair or
+   warm-start regression that changes behaviour trips the gate even on a
+   faster machine.  The speedup itself is a gauge plus an in-scenario
+   floor assertion. *)
+
+module Session = Sap_server.Session
+module Task = Core.Task
+
+let h_cold = Obs.Metrics.histogram "bench.cr.cold_seconds"
+
+let h_warm = Obs.Metrics.histogram "bench.cr.warm_seconds"
+
+let g_speedup = Obs.Metrics.gauge "bench.cr.speedup"
+
+let c_events = Obs.Metrics.counter "bench.cr.events"
+
+let c_resolves = Obs.Metrics.counter "bench.cr.resolves"
+
+let c_warm_seeded = Obs.Metrics.counter "bench.cr.warm_seeded"
+
+let c_repacked_warm = Obs.Metrics.counter "bench.cr.repacked_warm"
+
+let c_repacked_cold = Obs.Metrics.counter "bench.cr.repacked_cold"
+
+let c_scheduled = Obs.Metrics.counter "bench.cr.scheduled_final"
+
+(* Two adjacent edges per capacity level: a task confined to one segment
+   has that level as its bottleneck, so each level is its own
+   strip-pack band and a single-task delta dirties exactly one band. *)
+let levels = [| 4; 8; 16; 32; 64; 128; 256; 512 |]
+
+let make_path () =
+  Core.Path.create
+    (Array.concat (List.map (fun c -> [| c; c |]) (Array.to_list levels)))
+
+let make_task prng ~id ~level =
+  let first_edge = 2 * level in
+  let last_edge = first_edge + Util.Prng.int prng 2 in
+  let demand = 1 + Util.Prng.int prng levels.(level) in
+  let weight = 1.0 +. Util.Prng.float prng 99.0 in
+  Task.make ~id ~first_edge ~last_edge ~demand ~weight
+
+let base_tasks prng ~per_band =
+  List.concat
+    (List.init (Array.length levels) (fun level ->
+         List.init per_band (fun k ->
+             make_task prng ~id:((level * per_band) + k) ~level)))
+
+(* The trace alternates arrival and departure of the same task, walking
+   the bands round-robin: every event is a single-task delta against one
+   band, and the instance returns to the base after each pair. *)
+type event = Arrive of Task.t | Depart of int
+
+let make_trace prng ~first_id ~pairs =
+  List.concat
+    (List.init pairs (fun i ->
+         let id = first_id + i in
+         let j = make_task prng ~id ~level:(i mod Array.length levels) in
+         [ Arrive j; Depart id ]))
+
+let apply sess = function
+  | Arrive j -> Session.add_task sess j
+  | Depart id -> Session.remove_task sess id
+
+(* Replay the trace, timing only the per-delta resolves (the initial
+   full solve is common to both passes).  Every resolve is
+   checker-verified inside [Session.resolve]; an [Error] here is a bug,
+   not a measurement. *)
+let run_pass ~cold ~seed path base trace =
+  let sess =
+    match Session.create ~seed path base with
+    | Ok s -> s
+    | Error m -> failwith ("cr: session create failed: " ^ m)
+  in
+  (match Session.resolve ~cold:true sess with
+  | Ok _ -> ()
+  | Error m -> failwith ("cr: initial resolve failed: " ^ m));
+  let total = ref 0.0 in
+  let warm_seeded = ref 0 and repacked = ref 0 and scheduled = ref 0 in
+  List.iter
+    (fun ev ->
+      (match apply sess ev with
+      | Ok () -> ()
+      | Error m -> failwith ("cr: delta failed: " ^ m));
+      let (_, s), dt =
+        Bench_util.timed (fun () ->
+            match Session.resolve ~cold sess with
+            | Ok r -> r
+            | Error m -> failwith ("cr: resolve failed: " ^ m))
+      in
+      total := !total +. dt;
+      warm_seeded := !warm_seeded + s.Session.warm_seeded;
+      repacked := !repacked + s.Session.repacked;
+      scheduled := s.Session.scheduled)
+    trace;
+  Session.close sess;
+  (!total, !warm_seeded, !repacked, !scheduled)
+
+let run () =
+  Bench_util.section "CR  online-session churn (warm repair vs cold re-solve)";
+  let prng = Util.Prng.create 11 in
+  let path = make_path () in
+  let per_band = 30 in
+  let base = base_tasks prng ~per_band in
+  let trace =
+    make_trace prng ~first_id:(Array.length levels * per_band) ~pairs:8
+  in
+  let n = List.length trace in
+  let cold_dt, cold_warm, cold_repacked, cold_sched =
+    Obs.Metrics.time h_cold (fun () ->
+        run_pass ~cold:true ~seed:11 path base trace)
+  in
+  let warm_dt, warm_warm, warm_repacked, warm_sched =
+    Obs.Metrics.time h_warm (fun () ->
+        run_pass ~cold:false ~seed:11 path base trace)
+  in
+  if cold_warm <> 0 then failwith "cr: cold pass warm-seeded an LP";
+  if warm_warm <> n then
+    failwith
+      (Printf.sprintf "cr: warm pass seeded %d/%d resolves" warm_warm n);
+  if warm_repacked <> n then
+    failwith
+      (Printf.sprintf "cr: warm pass repacked %d bands over %d single-band deltas"
+         warm_repacked n);
+  (* The final trace state equals the base instance, but warm and cold
+     LPs may stop at different optimal vertices, so rounded placements
+     (and thus scheduled counts) are not required to coincide — only
+     checker validity and objective equality are, and those are asserted
+     inside [Session.resolve] / the qcheck property.  Both counts are
+     still deterministic, so both are gate-able. *)
+  ignore cold_sched;
+  let speedup = cold_dt /. warm_dt in
+  if speedup < 5.0 then
+    failwith
+      (Printf.sprintf "cr: warm resolve only %.2fx faster than cold (floor 5x)"
+         speedup);
+  Obs.Metrics.add c_events n;
+  Obs.Metrics.add c_resolves (2 * n);
+  Obs.Metrics.add c_warm_seeded warm_warm;
+  Obs.Metrics.add c_repacked_warm warm_repacked;
+  Obs.Metrics.add c_repacked_cold cold_repacked;
+  Obs.Metrics.add c_scheduled warm_sched;
+  Obs.Metrics.set g_speedup speedup;
+  Util.Table.print
+    ~header:[ "pass"; "resolves"; "bands repacked"; "warm LPs"; "seconds"; "ms/resolve" ]
+    [
+      [
+        "cold";
+        string_of_int n;
+        string_of_int cold_repacked;
+        "0";
+        Util.Table.float_cell cold_dt;
+        Util.Table.float_cell (1000.0 *. cold_dt /. float_of_int n);
+      ];
+      [
+        "warm";
+        string_of_int n;
+        string_of_int warm_repacked;
+        string_of_int warm_warm;
+        Util.Table.float_cell warm_dt;
+        Util.Table.float_cell (1000.0 *. warm_dt /. float_of_int n);
+      ];
+    ];
+  Printf.printf "\nwarm-vs-cold speedup on single-task deltas: %.2fx\n%!" speedup

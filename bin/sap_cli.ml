@@ -503,6 +503,226 @@ let batch_cmd socket files algorithm seed timeout_ms no_cache output_dir
         Printf.eprintf "warning: shutdown not acknowledged\n";
       if !failed = 0 && result.Client.transport_errors = [] then 0 else 1
 
+(* ---------- session ---------- *)
+
+(* Drive one online session over a socket: open, replay a churn trace as
+   add/remove deltas (a resize is remove + add under the same id),
+   resolve every N events, close.  Every returned solution is re-checked
+   client-side — the server already checker-verifies, so a failure here
+   means wire corruption, not a solver bug. *)
+let session_cmd socket input churn_file resolve_every cold seed output quiet =
+  (match Sys.os_type with
+  | "Unix" -> Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  | _ -> ());
+  if resolve_every < 1 then begin
+    Printf.eprintf "error: --resolve-every must be >= 1\n";
+    exit 2
+  end;
+  let path, base, events =
+    match (input, churn_file) with
+    | Some _, Some _ ->
+        Printf.eprintf "error: -i and --churn are mutually exclusive\n";
+        exit 2
+    | None, None ->
+        Printf.eprintf "error: session needs -i INSTANCE or --churn TRACE\n";
+        exit 2
+    | Some file, None ->
+        let path, tasks = read_instance file in
+        (path, tasks, [])
+    | None, Some file -> (
+        match Lab.Corpus.churn_of_string (read_text_file file) with
+        | Ok c ->
+            (c.Lab.Corpus.churn_path, c.Lab.Corpus.churn_base, c.Lab.Corpus.churn_events)
+        | Error m ->
+            Printf.eprintf "error: %s: %s\n" file m;
+            exit 2)
+  in
+  match Client.connect_unix socket with
+  | Error m ->
+      Printf.eprintf "error: cannot connect: %s\n" m;
+      2
+  | Ok fd ->
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      let live = Hashtbl.create 64 in
+      List.iter (fun (j : Task.t) -> Hashtbl.replace live j.Task.id j) base;
+      (* Solution bodies are parsed against the client's view of the
+         session task set as of the request — snapshotted per id. *)
+      let snapshots = Hashtbl.create 8 in
+      let tasks_for id = Hashtbl.find_opt snapshots id in
+      let next_id = ref 0 in
+      let fresh () =
+        let id = !next_id in
+        incr next_id;
+        id
+      in
+      let failures = ref 0 in
+      let fail fmt =
+        Printf.ksprintf
+          (fun m ->
+            incr failures;
+            Printf.eprintf "error: %s\n" m)
+          fmt
+      in
+      let deltas = ref 0 and resolves = ref 0 in
+      let solve_ms = ref 0.0 in
+      let warm = ref 0 and repacked = ref 0 and reused = ref 0 in
+      let last = ref None in
+      let request req =
+        let id = Proto.request_id req in
+        Hashtbl.replace snapshots id
+          (Hashtbl.fold (fun _ j acc -> j :: acc) live []);
+        let r = Client.request ~ic ~oc ~tasks_for req in
+        Hashtbl.remove snapshots id;
+        r
+      in
+      let record what (s : Proto.session_summary) solution =
+        (match Core.Checker.sap_feasible path solution with
+        | Ok () -> ()
+        | Error m -> fail "%s returned a checker-rejected solution: %s" what m);
+        incr resolves;
+        solve_ms := !solve_ms +. s.Proto.s_time_ms;
+        warm := !warm + s.Proto.s_warm;
+        repacked := !repacked + s.Proto.s_repacked;
+        reused := !reused + s.Proto.s_reused;
+        last := Some s;
+        if not quiet then
+          Printf.printf
+            "%-8s scheduled=%d/%d weight=%.3f bands=%d repacked=%d reused=%d \
+             warm=%d time=%.3fms\n"
+            what s.Proto.s_scheduled s.Proto.s_tasks s.Proto.s_weight
+            s.Proto.s_bands s.Proto.s_repacked s.Proto.s_reused s.Proto.s_warm
+            s.Proto.s_time_ms
+      in
+      let sid =
+        match
+          request (Proto.Session_open { id = fresh (); seed; path; tasks = base })
+        with
+        | Ok
+            (Proto.Session_reply
+              { session; event = Proto.Sess_opened; summary = Some s; solution; _ })
+          ->
+            record "open" s solution;
+            Some session
+        | Ok (Proto.Failed { code; message; _ }) ->
+            fail "open failed: [%s] %s" (Proto.error_code_to_string code) message;
+            None
+        | Ok _ ->
+            fail "open: unexpected response";
+            None
+        | Error m ->
+            fail "open: %s" m;
+            None
+      in
+      (match sid with
+      | None -> ()
+      | Some sid ->
+          let expect_ack what = function
+            | Ok (Proto.Session_reply { event = Proto.Sess_ack; _ }) -> ()
+            | Ok (Proto.Failed { code; message; _ }) ->
+                fail "%s failed: [%s] %s" what
+                  (Proto.error_code_to_string code)
+                  message
+            | Ok _ -> fail "%s: unexpected response" what
+            | Error m -> fail "%s: %s" what m
+          in
+          let add_task (j : Task.t) =
+            incr deltas;
+            Hashtbl.replace live j.Task.id j;
+            expect_ack "add-task"
+              (request (Proto.Session_add { id = fresh (); session = sid; task = j }))
+          in
+          let remove_task tid =
+            incr deltas;
+            Hashtbl.remove live tid;
+            expect_ack "remove-task"
+              (request
+                 (Proto.Session_remove { id = fresh (); session = sid; task_id = tid }))
+          in
+          let resolve () =
+            match
+              request (Proto.Session_resolve { id = fresh (); session = sid; cold })
+            with
+            | Ok
+                (Proto.Session_reply
+                  { event = Proto.Sess_resolved; summary = Some s; solution; _ }) ->
+                record "resolve" s solution
+            | Ok (Proto.Failed { code; message; _ }) ->
+                fail "resolve failed: [%s] %s"
+                  (Proto.error_code_to_string code)
+                  message
+            | Ok _ -> fail "resolve: unexpected response"
+            | Error m -> fail "resolve: %s" m
+          in
+          let pending = ref 0 in
+          List.iter
+            (fun ev ->
+              (match ev with
+              | Lab.Corpus.Churn_add j -> add_task j
+              | Lab.Corpus.Churn_remove tid -> remove_task tid
+              | Lab.Corpus.Churn_resize (tid, demand) -> (
+                  match Hashtbl.find_opt live tid with
+                  | None -> fail "resize of unknown task %d" tid
+                  | Some j ->
+                      remove_task tid;
+                      add_task
+                        (Task.make ~id:tid ~first_edge:j.Task.first_edge
+                           ~last_edge:j.Task.last_edge ~demand
+                           ~weight:j.Task.weight)));
+              incr pending;
+              if !pending >= resolve_every then begin
+                pending := 0;
+                resolve ()
+              end)
+            events;
+          if !pending > 0 || events = [] then resolve ();
+          (match
+             request (Proto.Session_close { id = fresh (); session = sid })
+           with
+          | Ok (Proto.Session_reply { event = Proto.Sess_closed; _ }) -> ()
+          | Ok (Proto.Failed { code; message; _ }) ->
+              fail "close failed: [%s] %s"
+                (Proto.error_code_to_string code)
+                message
+          | Ok _ -> fail "close: unexpected response"
+          | Error m -> fail "close: %s" m));
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      if not quiet then
+        Printf.printf
+          "session: %d events, %d deltas, %d resolves (%s), %.3fms total solve, \
+           %d warm-seeded, %d repacked, %d reused, %d failures\n"
+          (List.length events) !deltas !resolves
+          (if cold then "cold" else "warm")
+          !solve_ms !warm !repacked !reused !failures;
+      (match output with
+      | None -> ()
+      | Some file ->
+          let scheduled, weight =
+            match !last with
+            | Some s -> (s.Proto.s_scheduled, s.Proto.s_weight)
+            | None -> (0, 0.0)
+          in
+          let json =
+            Obs.Json.Obj
+              [
+                ("schema", Obs.Json.String "sap-session-report v1");
+                ("cold", Obs.Json.Bool cold);
+                ("events", Obs.Json.Int (List.length events));
+                ("deltas", Obs.Json.Int !deltas);
+                ("resolves", Obs.Json.Int !resolves);
+                ("solve_ms", Obs.Json.Float !solve_ms);
+                ("warm_seeded", Obs.Json.Int !warm);
+                ("bands_repacked", Obs.Json.Int !repacked);
+                ("bands_reused", Obs.Json.Int !reused);
+                ("final_scheduled", Obs.Json.Int scheduled);
+                ("final_weight", Obs.Json.Float weight);
+                ("failures", Obs.Json.Int !failures);
+              ]
+          in
+          Sap_io.Instance_io.write_file file
+            (Obs.Json.to_string_pretty json ^ "\n"));
+      if !failures = 0 then 0 else 1
+
 (* ---------- route ---------- *)
 
 let route_cmd socket shards shard_sockets shard_dir vnodes shard_workers
@@ -713,12 +933,26 @@ let loadgen_cmd socket rps duration connections profile distinct algorithm seed
 
 (* ---------- lab ---------- *)
 
-let lab_gen_cmd dir seed variants =
+let lab_gen_cmd dir seed variants churn =
   let t = Lab.Corpus.generate ~dir ~seed ~variants () in
   Printf.printf "wrote %d instances (%d families, seed %d) + %s to %s\n"
     (List.length t.Lab.Corpus.entries)
     (List.length Lab.Corpus.families)
     seed Lab.Corpus.manifest_file dir;
+  (match churn with
+  | None -> ()
+  | Some steps ->
+      if steps < 0 then begin
+        Printf.eprintf "error: --churn must be >= 0\n";
+        exit 2
+      end;
+      let c = Lab.Corpus.generate_churn ~seed ~steps in
+      let file = Filename.concat dir "churn.trace" in
+      Sap_io.Instance_io.write_file file (Lab.Corpus.churn_to_string c);
+      Printf.printf "wrote churn trace (%d base tasks, %d events, seed %d) to %s\n"
+        (List.length c.Lab.Corpus.churn_base)
+        (List.length c.Lab.Corpus.churn_events)
+        seed file);
   0
 
 let lab_run_cmd dir output max_nodes jobs gate quiet =
@@ -1066,6 +1300,52 @@ let batch_term =
   Term.(const batch_cmd $ socket $ files $ algorithm $ seed $ timeout_ms
         $ no_cache $ output_dir $ want_stats $ shutdown $ quiet)
 
+let session_term =
+  let socket =
+    Arg.(required & opt (some string) None
+         & info [ "socket" ]
+             ~doc:"Socket of a running `sap_cli serve` or `sap_cli route`.")
+  in
+  let input =
+    Arg.(value & opt (some string) None
+         & info [ "i"; "input" ]
+             ~doc:"Base instance file: open a session on it, resolve once, \
+                   close (a smoke run with no deltas).")
+  in
+  let churn =
+    Arg.(value & opt (some string) None
+         & info [ "churn" ]
+             ~doc:"A sap-churn v1 trace (from `lab gen --churn`): open a \
+                   session on its base instance and replay its events as \
+                   deltas.  Mutually exclusive with -i.")
+  in
+  let resolve_every =
+    Arg.(value & opt int 1
+         & info [ "resolve-every" ] ~docv:"N"
+             ~doc:"Resolve after every N churn events (default 1).")
+  in
+  let cold =
+    Arg.(value & flag
+         & info [ "cold" ]
+             ~doc:"Ask for cold resolves (every band repacked from scratch) — \
+                   the baseline warm replays are compared against.")
+  in
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~doc:"Per-band rounding seed for the session.")
+  in
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ]
+             ~doc:"Write a sap-session-report v1 JSON (event/resolve totals, \
+                   solve ms, warm/repack counts) to this file.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only errors on stderr.")
+  in
+  Term.(const session_cmd $ socket $ input $ churn $ resolve_every $ cold $ seed
+        $ output $ quiet)
+
 let route_term =
   let socket =
     Arg.(required & opt (some string) None
@@ -1208,7 +1488,14 @@ let lab_gen_term =
   let variants =
     Arg.(value & opt int 3 & info [ "variants" ] ~doc:"Instances per family.")
   in
-  Term.(const lab_gen_cmd $ dir $ seed $ variants)
+  let churn =
+    Arg.(value & opt (some int) None
+         & info [ "churn" ] ~docv:"STEPS"
+             ~doc:"Additionally write a deterministic sap-churn v1 trace with \
+                   STEPS add/remove/resize events to DIR/churn.trace (replay \
+                   it with `sap_cli session --churn`).")
+  in
+  Term.(const lab_gen_cmd $ dir $ seed $ variants $ churn)
 
 let lab_run_term =
   let corpus =
@@ -1335,6 +1622,12 @@ let cmds =
       (Cmd.info "batch"
          ~doc:"Submit instance files to a running serve; collect solutions and stats")
       batch_term;
+    Cmd.v
+      (Cmd.info "session"
+         ~doc:"Open an online session against a running serve or route and \
+               replay a churn trace (incremental re-solves, client-side \
+               verification)")
+      session_term;
     Cmd.v
       (Cmd.info "route"
          ~doc:"Consistent-hash front router over N solve-shard processes \

@@ -222,6 +222,213 @@ let generate ~dir ~seed ?(variants = 3) () =
     (manifest_to_string t);
   t
 
+(* ---------- churn traces ---------- *)
+
+let churn_version = "sap-churn v1"
+
+type churn_event =
+  | Churn_add of Task.t
+  | Churn_remove of int
+  | Churn_resize of int * int
+
+type churn = {
+  churn_seed : int;
+  churn_path : Path.t;
+  churn_base : Task.t list;
+  churn_events : churn_event list;
+}
+
+(* Two adjacent edges per capacity level: tasks confined to one segment
+   keep that level as their bottleneck, so the base instance populates
+   six distinct strip-pack bands and a single-task delta dirties exactly
+   one of them. *)
+let churn_levels = [| 4; 8; 16; 32; 64; 128 |]
+
+let churn_path () =
+  Path.create
+    (Array.concat (List.map (fun c -> [| c; c |]) (Array.to_list churn_levels)))
+
+let churn_task prng ~id path =
+  let level = Prng.int prng (Array.length churn_levels) in
+  let first_edge = 2 * level in
+  let last_edge = first_edge + Prng.int prng 2 in
+  let b = Path.bottleneck path ~first:first_edge ~last:last_edge in
+  let demand = 1 + Prng.int prng b in
+  let weight = 1.0 +. Prng.float prng 99.0 in
+  Task.make ~id ~first_edge ~last_edge ~demand ~weight
+
+let generate_churn ~seed ~steps =
+  if steps < 0 then invalid_arg "Lab.Corpus.generate_churn: negative steps";
+  let prng = Prng.create ((seed * 48271) + 11) in
+  let path = churn_path () in
+  let n_base = 24 in
+  let base = List.init n_base (fun i -> churn_task prng ~id:i path) in
+  let live = Hashtbl.create 64 in
+  List.iter (fun (j : Task.t) -> Hashtbl.replace live j.Task.id j) base;
+  let next_id = ref n_base in
+  let fresh_add () =
+    let id = !next_id in
+    incr next_id;
+    let j = churn_task prng ~id path in
+    Hashtbl.replace live id j;
+    Churn_add j
+  in
+  (* Sorted fold keeps the pick independent of hash-table iteration
+     order, so a trace is a pure function of the seed. *)
+  let pick_live () =
+    let ids = Hashtbl.fold (fun id _ acc -> id :: acc) live [] in
+    let ids = Array.of_list (List.sort compare ids) in
+    ids.(Prng.int prng (Array.length ids))
+  in
+  let events =
+    List.init steps (fun _ ->
+        let roll = Prng.int prng 10 in
+        if roll < 5 || Hashtbl.length live = 0 then fresh_add ()
+        else if roll < 8 then begin
+          let id = pick_live () in
+          Hashtbl.remove live id;
+          Churn_remove id
+        end
+        else begin
+          let id = pick_live () in
+          let j = Hashtbl.find live id in
+          let b =
+            Path.bottleneck path ~first:j.Task.first_edge ~last:j.Task.last_edge
+          in
+          let demand = 1 + Prng.int prng b in
+          Hashtbl.replace live id
+            (Task.make ~id ~first_edge:j.Task.first_edge
+               ~last_edge:j.Task.last_edge ~demand ~weight:j.Task.weight);
+          Churn_resize (id, demand)
+        end)
+  in
+  { churn_seed = seed; churn_path = path; churn_base = base; churn_events = events }
+
+let task_fields (j : Task.t) =
+  Printf.sprintf "%d %d %d %d %.17g" j.Task.id j.Task.first_edge j.Task.last_edge
+    j.Task.demand j.Task.weight
+
+let churn_to_string c =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (churn_version ^ "\n");
+  Buffer.add_string buf (Printf.sprintf "seed %d\n" c.churn_seed);
+  Buffer.add_string buf
+    (Printf.sprintf "steps %d\n" (List.length c.churn_events));
+  Buffer.add_string buf "capacities";
+  Array.iter
+    (fun cap -> Buffer.add_string buf (" " ^ string_of_int cap))
+    (Path.capacities c.churn_path);
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun j -> Buffer.add_string buf (Printf.sprintf "task %s\n" (task_fields j)))
+    c.churn_base;
+  List.iter
+    (fun ev ->
+      Buffer.add_string buf
+        (match ev with
+        | Churn_add j -> Printf.sprintf "event add %s\n" (task_fields j)
+        | Churn_remove id -> Printf.sprintf "event remove %d\n" id
+        | Churn_resize (id, d) -> Printf.sprintf "event resize %d %d\n" id d))
+    c.churn_events;
+  Buffer.contents buf
+
+let parse_int what s =
+  match int_of_string_opt s with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "expected integer for %s, got %S" what s)
+
+let parse_float what s =
+  match float_of_string_opt s with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "expected number for %s, got %S" what s)
+
+let parse_task_fields ~edges = function
+  | [ id; first; last; demand; weight ] ->
+      let* id = parse_int "id" id in
+      let* first_edge = parse_int "first_edge" first in
+      let* last_edge = parse_int "last_edge" last in
+      let* demand = parse_int "demand" demand in
+      let* weight = parse_float "weight" weight in
+      let* j =
+        try Ok (Task.make ~id ~first_edge ~last_edge ~demand ~weight)
+        with Invalid_argument m -> Error m
+      in
+      if j.Task.last_edge < edges then Ok j else Error "task leaves the path"
+  | _ -> Error "malformed task fields"
+
+let churn_of_string s =
+  let rec map_result f = function
+    | [] -> Ok []
+    | x :: rest ->
+        let* y = f x in
+        let* ys = map_result f rest in
+        Ok (y :: ys)
+  in
+  match meaningful_lines s with
+  | header :: seed_line :: steps_line :: caps_line :: rest
+    when String.trim header = churn_version ->
+      let* seed =
+        match String.split_on_char ' ' seed_line |> List.filter (( <> ) "") with
+        | [ "seed"; v ] -> parse_int "seed" v
+        | _ -> Error (Printf.sprintf "expected seed line, got %S" seed_line)
+      in
+      let* steps =
+        match String.split_on_char ' ' steps_line |> List.filter (( <> ) "") with
+        | [ "steps"; v ] -> parse_int "steps" v
+        | _ -> Error (Printf.sprintf "expected steps line, got %S" steps_line)
+      in
+      let* caps =
+        match String.split_on_char ' ' caps_line |> List.filter (( <> ) "") with
+        | "capacities" :: values when values <> [] ->
+            map_result (parse_int "capacity") values
+        | _ -> Error "malformed capacities line"
+      in
+      let* path =
+        try Ok (Path.create (Array.of_list caps))
+        with Invalid_argument m -> Error m
+      in
+      let edges = Path.num_edges path in
+      let parse_line line =
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | "task" :: fields ->
+            let* j = parse_task_fields ~edges fields in
+            Ok (`Task j)
+        | [ "event"; "remove"; id ] ->
+            let* id = parse_int "id" id in
+            Ok (`Event (Churn_remove id))
+        | [ "event"; "resize"; id; demand ] ->
+            let* id = parse_int "id" id in
+            let* demand = parse_int "demand" demand in
+            let* () = if demand > 0 then Ok () else Error "resize demand must be positive" in
+            Ok (`Event (Churn_resize (id, demand)))
+        | "event" :: "add" :: fields ->
+            let* j = parse_task_fields ~edges fields in
+            Ok (`Event (Churn_add j))
+        | _ -> Error (Printf.sprintf "malformed churn line %S" line)
+      in
+      let* items = map_result parse_line rest in
+      let base = List.filter_map (function `Task j -> Some j | _ -> None) items in
+      let events =
+        List.filter_map (function `Event e -> Some e | _ -> None) items
+      in
+      let* () =
+        if List.length events = steps then Ok ()
+        else
+          Error
+            (Printf.sprintf "steps %d does not match %d event lines" steps
+               (List.length events))
+      in
+      Ok
+        {
+          churn_seed = seed;
+          churn_path = path;
+          churn_base = base;
+          churn_events = events;
+        }
+  | header :: _ when String.trim header <> churn_version ->
+      Error (Printf.sprintf "bad churn header %S" header)
+  | _ -> Error "truncated churn trace"
+
 let load ~dir =
   let path = Filename.concat dir manifest_file in
   let* contents =

@@ -54,6 +54,59 @@ val generate : dir:string -> seed:int -> ?variants:int -> unit -> t
     needed, writes [variants] (default 3) instances per family plus the
     manifest, and returns the corpus. *)
 
+(** {1 Churn traces}
+
+    A churn trace is the input of an online-SAP session replay: one base
+    instance plus a deterministic add/remove/resize event list, carried
+    in the [sap-churn v1] text format:
+
+    {v
+    sap-churn v1
+    seed 42
+    steps 64
+    capacities 4 4 8 8 16 16 32 32 64 64 128 128
+    task 0 2 3 5 17.25
+    ...
+    event add 24 6 7 3 41.5
+    event remove 7
+    event resize 3 9
+    v}
+
+    [task] and [event add] lines share the instance-carrier field order
+    (id, first edge, last edge, demand, weight).  A [resize] is replayed
+    against a session as remove-then-add under the same id.  Generation
+    is deterministic in the seed; the base path stacks two adjacent
+    edges per capacity level (4..128), so the instance spans six
+    bottleneck bands and a single-task event dirties exactly one. *)
+
+val churn_version : string
+(** ["sap-churn v1"]. *)
+
+type churn_event =
+  | Churn_add of Core.Task.t
+  | Churn_remove of int  (** by task id *)
+  | Churn_resize of int * int  (** task id, new demand *)
+
+type churn = {
+  churn_seed : int;
+  churn_path : Core.Path.t;
+  churn_base : Core.Task.t list;
+  churn_events : churn_event list;
+}
+
+val generate_churn : seed:int -> steps:int -> churn
+(** Deterministic in [seed]: a 24-task base instance and [steps] events
+    (about half adds, the rest removes and resizes of live tasks).
+    Fresh tasks get monotonically increasing ids, so an id is never
+    reused after a remove.
+    @raise Invalid_argument on negative [steps]. *)
+
+val churn_to_string : churn -> string
+
+val churn_of_string : string -> (churn, string) result
+(** Rejects a header mismatch, malformed lines, tasks leaving the path,
+    and a [steps] count disagreeing with the event lines. *)
+
 val load : dir:string -> (t, string) result
 (** Parse [dir]'s manifest (instance files are read lazily by {!read}). *)
 

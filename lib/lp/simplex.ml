@@ -13,10 +13,32 @@ let m_bound_flips = Obs.Metrics.counter "simplex.bound_flips"
 
 let m_cells = Obs.Metrics.counter "simplex.pivots_cells_touched"
 
+let m_warm_restarts = Obs.Metrics.counter "simplex.warm_restarts"
+
+let m_warm_saved = Obs.Metrics.counter "simplex.warm_pivots_saved"
+
 let h_row_nnz = Obs.Metrics.histogram "simplex.row_nnz"
 
+type basis = {
+  b_n : int;
+  b_r : int;
+  b_basic : int array;  (** per-row basic variable ([< b_n] structural) *)
+  b_flipped : bool array;  (** structural variables stored as [u - x] *)
+}
+
+type warm = {
+  w_basis : basis;
+  w_cols : int array;
+  w_rows : int array;
+}
+
 type outcome =
-  | Optimal of { value : float; solution : float array; iterations : int }
+  | Optimal of {
+      value : float;
+      solution : float array;
+      iterations : int;
+      basis : basis;
+    }
   | Unbounded
 
 let box_row ~n j ub =
@@ -44,8 +66,15 @@ let box_row ~n j ub =
    nnz_i U nnz_p).  Entries that cancel to zero stay tracked — the lists
    only ever overapproximate.  [simplex.pivots_cells_touched] counts the
    cells the pivots actually visit; with dense rows it would be
-   iterations * (r+1) * width. *)
-let solve_core ~eps ~max_iterations ~objective ~upper ~rows =
+   iterations * (r+1) * width.
+
+   A warm start replays a prior optimal basis onto the fresh tableau:
+   surviving flipped columns are re-flipped, then each surviving basic
+   structural variable is force-pivoted into the basis (no pricing, no
+   ratio test — that is the work being saved).  The resulting basic
+   solution is validated for primal feasibility; any failure falls back
+   to the cold all-slack start by rebuilding from scratch. *)
+let rec solve_core ?warm ~eps ~max_iterations ~objective ~upper ~rows () =
   let n = Array.length objective in
   let r = Array.length rows in
   let nvars = n + r in
@@ -205,6 +234,106 @@ let solve_core ~eps ~max_iterations ~objective ~upper ~rows =
     done;
     basis.(row) <- col
   in
+  (* Warm-basis install.  Returns [false] (caller rebuilds cold) when the
+     basis does not match the patched problem or the inherited basic
+     solution is primal-infeasible; partial installs are fine — a basic
+     variable we cannot re-seat just stays nonbasic at 0 and normal
+     pricing will reconsider it. *)
+  let install { w_basis = wb; w_cols; w_rows } =
+    let shape_ok =
+      Array.length wb.b_basic = wb.b_r
+      && Array.length wb.b_flipped = wb.b_n
+      && Array.length w_cols = wb.b_n
+      && Array.length w_rows = wb.b_r
+      && Array.for_all (fun c -> c < n) w_cols
+      && Array.for_all (fun i -> i < r) w_rows
+    in
+    if not shape_ok then false
+    else begin
+      for j0 = 0 to wb.b_n - 1 do
+        if wb.b_flipped.(j0) then begin
+          let j = w_cols.(j0) in
+          if j >= 0 && upper.(j) > 0.0 && upper.(j) < infinity then begin
+            flip_column j upper.(j);
+            flipped.(j) <- true
+          end
+        end
+      done;
+      (* Which new slacks the old basis keeps basic, and which structural
+         columns it wants basic (with their preferred row). *)
+      let slack_wanted = Array.make r false in
+      let want = ref [] in
+      for i0 = wb.b_r - 1 downto 0 do
+        let i = w_rows.(i0) in
+        if i >= 0 then begin
+          let v0 = wb.b_basic.(i0) in
+          if v0 >= wb.b_n then begin
+            let k = w_rows.(v0 - wb.b_n) in
+            if k >= 0 then slack_wanted.(k) <- true
+          end
+          else begin
+            let v = w_cols.(v0) in
+            if v >= 0 && bound v > 0.0 then want := (v, i) :: !want
+          end
+        end
+      done;
+      let in_basis = Array.make nvars false in
+      Array.iter (fun v -> in_basis.(v) <- true) basis;
+      let tol = Float.max (100.0 *. eps) 1e-7 in
+      let replaceable i col =
+        basis.(i) >= n
+        && (not slack_wanted.(basis.(i) - n))
+        && Float.abs t.((i * width) + col) > tol
+      in
+      let installed = ref 0 in
+      List.iter
+        (fun (v, pref) ->
+          if not in_basis.(v) then begin
+            let row =
+              if replaceable pref v then Some pref
+              else begin
+                let best = ref (-1) and best_a = ref tol in
+                for i = 0 to r - 1 do
+                  if basis.(i) >= n && not slack_wanted.(basis.(i) - n) then begin
+                    let a = Float.abs t.((i * width) + v) in
+                    if a > !best_a then begin
+                      best := i;
+                      best_a := a
+                    end
+                  end
+                done;
+                if !best >= 0 then Some !best else None
+              end
+            in
+            match row with
+            | Some i ->
+                in_basis.(basis.(i)) <- false;
+                pivot i v;
+                in_basis.(v) <- true;
+                incr installed
+            | None -> ()
+          end)
+        !want;
+      (* Primal feasibility of the inherited basic solution; tiny
+         excursions (same magnitude as ordinary pivot rounding) are
+         clamped back onto the bound. *)
+      let feas_tol = Float.max (10.0 *. eps) 1e-8 in
+      let feasible = ref true in
+      for i = 0 to r - 1 do
+        let k = (i * width) + nvars in
+        let beta = t.(k) in
+        let ub = bound basis.(i) in
+        if beta < -.feas_tol || beta > ub +. feas_tol then feasible := false
+        else if beta < 0.0 then t.(k) <- 0.0
+        else if beta > ub then t.(k) <- ub
+      done;
+      if !feasible then begin
+        Obs.Metrics.incr m_warm_restarts;
+        Obs.Metrics.add m_warm_saved !installed
+      end;
+      !feasible
+    end
+  in
   let degenerate_streak = ref 0 in
   let bland_active = ref false in
   let bland_counted = ref false in
@@ -239,7 +368,19 @@ let solve_core ~eps ~max_iterations ~objective ~upper ~rows =
           if flipped.(j) then solution.(j) <- upper.(j) -. solution.(j)
         done;
         finish iter
-          (Optimal { value = t.((r * width) + nvars); solution; iterations = iter })
+          (Optimal
+             {
+               value = t.((r * width) + nvars);
+               solution;
+               iterations = iter;
+               basis =
+                 {
+                   b_n = n;
+                   b_r = r;
+                   b_basic = Array.copy basis;
+                   b_flipped = Array.copy flipped;
+                 };
+             })
     | Some col -> (
         match leaving col bland with
         | `Unbounded -> finish iter Unbounded
@@ -268,14 +409,19 @@ let solve_core ~eps ~max_iterations ~objective ~upper ~rows =
             else degenerate_streak := 0;
             loop (iter + 1))
   in
-  loop 0
+  match warm with
+  | Some w when not (install w) ->
+      (* Unusable basis: rebuild the tableau from scratch and run cold. *)
+      solve_core ~eps ~max_iterations ~objective ~upper ~rows ()
+  | _ -> loop 0
 
 let validate_sparse ~n (cols, coefs, b) =
   if Array.length cols <> Array.length coefs then invalid_arg "Simplex: ragged row";
   Array.iter (fun c -> if c < 0 || c >= n then invalid_arg "Simplex: column out of range") cols;
   if b < 0.0 then invalid_arg "Simplex: negative rhs"
 
-let maximize_bounded ?(eps = 1e-9) ?max_iterations ~objective ~upper ~rows () =
+let maximize_bounded ?(eps = 1e-9) ?max_iterations ?warm_basis ~objective ~upper
+    ~rows () =
   let n = Array.length objective in
   if Array.length upper <> n then invalid_arg "Simplex: upper bound length";
   Array.iter
@@ -287,7 +433,7 @@ let maximize_bounded ?(eps = 1e-9) ?max_iterations ~objective ~upper ~rows () =
   let max_iterations =
     match max_iterations with Some k -> k | None -> 50 * (n + r + 1)
   in
-  solve_core ~eps ~max_iterations ~objective ~upper ~rows
+  solve_core ?warm:warm_basis ~eps ~max_iterations ~objective ~upper ~rows ()
 
 (* Dense adapter: same interface and [Optimal]/[Unbounded] semantics as the
    historical dense solver.  Rows with a single positive coefficient are
@@ -332,4 +478,4 @@ let maximize ?(eps = 1e-9) ?max_iterations problem =
     | Some k -> k
     | None -> 50 * (n + r + List.length problem.rows + 1)
   in
-  solve_core ~eps ~max_iterations ~objective:problem.objective ~upper ~rows
+  solve_core ~eps ~max_iterations ~objective:problem.objective ~upper ~rows ()

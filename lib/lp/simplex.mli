@@ -15,7 +15,8 @@
 
     Emits counters [simplex.solves], [simplex.iterations],
     [simplex.bland_activations] (at most once per solve),
-    [simplex.bound_flips], [simplex.pivots_cells_touched] and the
+    [simplex.bound_flips], [simplex.pivots_cells_touched],
+    [simplex.warm_restarts], [simplex.warm_pivots_saved] and the
     histogram [simplex.row_nnz]. *)
 
 type problem = {
@@ -23,8 +24,29 @@ type problem = {
   rows : (float array * float) list;  (** [(a_i, b_i)] with [b_i >= 0] *)
 }
 
+type basis
+(** Opaque snapshot of an optimal basis: which variable is basic in each
+    row and which structural variables sit flipped at their upper bound.
+    Obtained from an {!Optimal} outcome; feed it back through {!warm} to
+    restart a patched problem near the old optimum. *)
+
+type warm = {
+  w_basis : basis;  (** basis of a previous solve of a related problem *)
+  w_cols : int array;
+      (** old structural column -> new column index, [-1] if the column
+          was dropped.  Length must equal the old problem's column count. *)
+  w_rows : int array;
+      (** old row -> new row index, [-1] if the row was dropped.  Length
+          must equal the old problem's row count. *)
+}
+
 type outcome =
-  | Optimal of { value : float; solution : float array; iterations : int }
+  | Optimal of {
+      value : float;
+      solution : float array;
+      iterations : int;
+      basis : basis;  (** warm-start seed for a patched re-solve *)
+    }
   | Unbounded
 
 val maximize : ?eps:float -> ?max_iterations:int -> problem -> outcome
@@ -39,6 +61,7 @@ val maximize : ?eps:float -> ?max_iterations:int -> problem -> outcome
 val maximize_bounded :
   ?eps:float ->
   ?max_iterations:int ->
+  ?warm_basis:warm ->
   objective:float array ->
   upper:float array ->
   rows:(int array * float array * float) list ->
@@ -48,7 +71,19 @@ val maximize_bounded :
     ([infinity] allowed; [0] fixes the variable).  Each row is
     [(cols, coefs, b)] listing only the nonzero columns; [b >= 0].
     Raises like {!maximize}, plus [Invalid_argument] on out-of-range
-    columns or negative/NaN upper bounds. *)
+    columns or negative/NaN upper bounds.
+
+    [warm_basis] restarts from a prior basis after the problem was
+    patched: surviving flipped columns are re-flipped and surviving
+    basic structural variables are force-pivoted back into the basis
+    without pricing or ratio tests, then ordinary iterations run to
+    optimality from there.  If the basis no longer matches the problem
+    (shape mismatch, out-of-range map, vanished pivot) or the inherited
+    basic solution is primal-infeasible, the solver silently falls back
+    to a cold start — a warm call never raises where a cold one would
+    not.  [simplex.warm_restarts] counts solves where the basis was
+    actually used; [simplex.warm_pivots_saved] counts the force-installed
+    basis rows (pivots that skipped pricing and the ratio test). *)
 
 val box_row : n:int -> int -> float -> float array * float
 (** [box_row ~n j ub] is the row encoding [x_j <= ub]. *)

@@ -4,7 +4,16 @@ type t = {
   solution : float array;
 }
 
-let solve_scaled path ~scale ts =
+(* A warm handle keys the simplex basis by stable identifiers — task ids
+   for columns, edge indices for rows — so it survives the column/row
+   renumbering a delta causes. *)
+type warm = {
+  w_basis : Simplex.basis;
+  w_ids : int array;  (* column c of the solved LP -> task id *)
+  w_edges : int array;  (* row i of the solved LP -> edge index *)
+}
+
+let solve_scaled_warm path ~scale ?warm ts =
   let tasks = Array.of_list ts in
   let n_all = Array.length tasks in
   let cap e = scale *. float_of_int (Core.Path.capacity path e) in
@@ -14,7 +23,7 @@ let solve_scaled path ~scale ts =
   in
   let cols = Array.to_list tasks |> List.filter fits |> Array.of_list in
   let n = Array.length cols in
-  if n = 0 then { tasks; value = 0.0; solution = Array.make n_all 0.0 }
+  if n = 0 then ({ tasks; value = 0.0; solution = Array.make n_all 0.0 }, None)
   else begin
     let objective = Array.map (fun (j : Core.Task.t) -> j.Core.Task.weight) cols in
     let m = Core.Path.num_edges path in
@@ -29,6 +38,7 @@ let solve_scaled path ~scale ts =
       done
     done;
     let capacity_rows = ref [] in
+    let row_edges = ref [] in
     for e = m - 1 downto 0 do
       match ecols.(e) with
       | [] -> ()
@@ -39,24 +49,54 @@ let solve_scaled path ~scale ts =
               (fun c -> float_of_int cols.(c).Core.Task.demand)
               row_cols
           in
-          capacity_rows := (row_cols, coefs, cap e) :: !capacity_rows
+          capacity_rows := (row_cols, coefs, cap e) :: !capacity_rows;
+          row_edges := e :: !row_edges
     done;
+    let row_edges = Array.of_list !row_edges in
+    let by_id = Hashtbl.create n in
+    Array.iteri (fun c (j : Core.Task.t) -> Hashtbl.replace by_id j.Core.Task.id c) cols;
+    let warm_basis =
+      match warm with
+      | None -> None
+      | Some w ->
+          let by_edge = Hashtbl.create (Array.length row_edges) in
+          Array.iteri (fun i e -> Hashtbl.replace by_edge e i) row_edges;
+          let lookup tbl k =
+            match Hashtbl.find_opt tbl k with Some v -> v | None -> -1
+          in
+          Some
+            {
+              Simplex.w_basis = w.w_basis;
+              w_cols = Array.map (lookup by_id) w.w_ids;
+              w_rows = Array.map (lookup by_edge) w.w_edges;
+            }
+    in
     let upper = Array.make n 1.0 in
-    match Simplex.maximize_bounded ~objective ~upper ~rows:!capacity_rows () with
+    match
+      Simplex.maximize_bounded ?warm_basis ~objective ~upper
+        ~rows:!capacity_rows ()
+    with
     | Simplex.Unbounded -> assert false (* upper bounds every variable *)
-    | Simplex.Optimal { value; solution = x; iterations = _ } ->
+    | Simplex.Optimal { value; solution = x; basis; _ } ->
         (* Scatter column values back to input-task order. *)
         let solution = Array.make n_all 0.0 in
-        let by_id = Hashtbl.create n in
-        Array.iteri (fun c (j : Core.Task.t) -> Hashtbl.replace by_id j.Core.Task.id c) cols;
         Array.iteri
           (fun i (j : Core.Task.t) ->
             match Hashtbl.find_opt by_id j.Core.Task.id with
             | Some c -> solution.(i) <- x.(c)
             | None -> ())
           tasks;
-        { tasks; value; solution }
+        let next =
+          {
+            w_basis = basis;
+            w_ids = Array.map (fun (j : Core.Task.t) -> j.Core.Task.id) cols;
+            w_edges = row_edges;
+          }
+        in
+        ({ tasks; value; solution }, Some next)
   end
+
+let solve_scaled path ~scale ts = fst (solve_scaled_warm path ~scale ts)
 
 let solve path ts = solve_scaled path ~scale:1.0 ts
 

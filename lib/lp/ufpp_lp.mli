@@ -28,6 +28,20 @@ val solve_scaled : Core.Path.t -> scale:float -> Core.Task.t list -> t
 (** Like {!solve} but with every capacity multiplied by [scale] (used to
     express "load at most B/2" targets as an LP over the same tasks). *)
 
+type warm
+(** Warm-start handle from a previous solve: the simplex basis keyed by
+    task id (columns) and edge index (rows), so it remains valid after
+    tasks are added, removed, or resized between solves over the same
+    path.  An unusable handle degrades to a cold solve — never an
+    error. *)
+
+val solve_scaled_warm :
+  Core.Path.t -> scale:float -> ?warm:warm -> Core.Task.t list -> t * warm option
+(** Like {!solve_scaled}, plus warm restarts: pass the [warm] handle of
+    the previous solve to seed {!Simplex.maximize_bounded} with its
+    basis, and keep the returned handle for the next delta.  [None] is
+    returned only when the LP is empty (no task fits). *)
+
 val upper_bound : Core.Path.t -> Core.Task.t list -> float
 (** The LP optimum: an upper bound on both [OPT_UFPP] and [OPT_SAP]. *)
 

@@ -1,6 +1,7 @@
 let m_hits = Obs.Metrics.counter "server.cache.hits"
 let m_misses = Obs.Metrics.counter "server.cache.misses"
 let m_evictions = Obs.Metrics.counter "server.cache.evictions"
+let m_hit_ratio = Obs.Metrics.gauge "server.cache.hit_ratio"
 
 (* Classic Hashtbl + doubly-linked recency list; the list head is the
    most recently used entry, the tail the eviction candidate. *)
@@ -104,13 +105,25 @@ let stats (t : _ t) : stats =
         capacity = t.capacity;
       })
 
+let hit_ratio (s : stats) =
+  let total = s.hits + s.misses in
+  if total = 0 then None else Some (float_of_int s.hits /. float_of_int total)
+
 let stats_json t =
   let s = stats t in
+  let ratio =
+    match hit_ratio s with
+    | None -> Obs.Json.Null
+    | Some r ->
+        Obs.Metrics.set m_hit_ratio r;
+        Obs.Json.Float r
+  in
   Obs.Json.Obj
     [
       ("hits", Obs.Json.Int s.hits);
       ("misses", Obs.Json.Int s.misses);
       ("evictions", Obs.Json.Int s.evictions);
+      ("hit_ratio", ratio);
       ("entries", Obs.Json.Int s.entries);
       ("capacity", Obs.Json.Int s.capacity);
     ]

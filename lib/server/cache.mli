@@ -10,7 +10,9 @@
     in cache-local atomics (always on, reported by the server's [stats]
     response) and mirrored into the [server.cache.{hits,misses,evictions}]
     {!Obs.Metrics} counters (live only while metric collection is
-    enabled). *)
+    enabled).  Each {!stats_json} scrape additionally derives
+    [hits / (hits + misses)] and publishes it as the
+    [server.cache.hit_ratio] gauge. *)
 
 type 'v t
 
@@ -29,4 +31,7 @@ val add : 'v t -> string -> 'v -> unit
 val stats : 'v t -> stats
 
 val stats_json : 'v t -> Obs.Json.t
-(** [{"hits", "misses", "evictions", "entries", "capacity"}]. *)
+(** [{"hits", "misses", "evictions", "hit_ratio", "entries",
+    "capacity"}].  [hit_ratio] is [null] until the first lookup; when a
+    ratio exists the scrape also refreshes the [server.cache.hit_ratio]
+    gauge. *)

@@ -89,6 +89,18 @@ let run_batch ~ic ~oc ~params ?(request_stats = false) ?(request_shutdown = fals
     transport_errors = List.rev !errors @ List.rev !write_errors;
   }
 
+let request ~ic ~oc ~tasks_for req =
+  match
+    output_string oc (P.request_to_string req);
+    flush oc
+  with
+  | exception Sys_error m -> Error ("write failed: " ^ m)
+  | () -> (
+      let read_line () = try Some (input_line ic) with End_of_file -> None in
+      match P.read_frame ~read_line with
+      | None -> Error "connection closed before a response arrived"
+      | Some lines -> P.response_of_lines ~tasks_for lines)
+
 let connect_unix socket_path =
   let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   match Unix.connect sock (Unix.ADDR_UNIX socket_path) with

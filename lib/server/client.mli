@@ -32,5 +32,20 @@ val run_batch :
     drain.  Returns once every expected response arrived or the stream
     ended.  Does not close the channels — the caller owns the fd. *)
 
+val request :
+  ic:in_channel ->
+  oc:out_channel ->
+  tasks_for:(int -> Core.Task.t list option) ->
+  Protocol.request ->
+  (Protocol.response, string) result
+(** Synchronous single round-trip: write one frame, block for one
+    response frame.  This is what the session verbs use ([sap_cli
+    session] drives open → deltas → resolve → close strictly in order),
+    where pipelining buys nothing and an in-order conversation keeps the
+    client trivial.  [tasks_for] resolves solution bodies exactly as in
+    {!run_batch} — for session replies, pass the client's view of the
+    session's current task set.  The error is printable (write failure,
+    closed stream, or an unparseable frame). *)
+
 val connect_unix : string -> (Unix.file_descr, string) result
 (** Connect to a Unix-domain socket; the error is printable. *)

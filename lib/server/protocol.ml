@@ -1,6 +1,7 @@
 type error_code =
   | Bad_request
   | Unknown_algorithm
+  | Unknown_session
   | Infeasible
   | Shutting_down
   | Internal
@@ -25,6 +26,16 @@ type request =
   | Stats of { id : int }
   | Ping of { id : int }
   | Shutdown of { id : int }
+  | Session_open of {
+      id : int;
+      seed : int;
+      path : Core.Path.t;
+      tasks : Core.Task.t list;
+    }
+  | Session_add of { id : int; session : int; task : Core.Task.t }
+  | Session_remove of { id : int; session : int; task_id : int }
+  | Session_resolve of { id : int; session : int; cold : bool }
+  | Session_close of { id : int; session : int }
 
 type solve_summary = {
   scheduled : int;
@@ -33,27 +44,83 @@ type solve_summary = {
   time_ms : float;
 }
 
+(* The sap-session v1 response payload: resolve accounting a client can
+   assert on (and the CI smoke does) without scraping server stats. *)
+type session_summary = {
+  s_tasks : int;
+  s_scheduled : int;
+  s_weight : float;
+  s_bands : int;
+  s_repacked : int;
+  s_reused : int;
+  s_warm : int;
+  s_time_ms : float;
+}
+
+type session_event = Sess_opened | Sess_ack | Sess_resolved | Sess_closed
+
 type response =
   | Solved of { id : int; summary : solve_summary; solution : Core.Solution.sap }
   | Stats_reply of { id : int; stats : Obs.Json.t }
   | Ack of { id : int }
   | Failed of { id : int; code : error_code; message : string }
   | Timed_out of { id : int }
+  | Session_reply of {
+      id : int;
+      session : int;
+      event : session_event;
+      summary : session_summary option;
+          (** present exactly on [Sess_opened] / [Sess_resolved] *)
+      solution : Core.Solution.sap;
+          (** body; empty on [Sess_ack] / [Sess_closed] *)
+    }
 
 let request_id = function
-  | Solve { id; _ } | Stats { id } | Ping { id } | Shutdown { id } -> id
+  | Solve { id; _ }
+  | Stats { id }
+  | Ping { id }
+  | Shutdown { id }
+  | Session_open { id; _ }
+  | Session_add { id; _ }
+  | Session_remove { id; _ }
+  | Session_resolve { id; _ }
+  | Session_close { id; _ } ->
+      id
+
+let request_session = function
+  | Session_add { session; _ }
+  | Session_remove { session; _ }
+  | Session_resolve { session; _ }
+  | Session_close { session; _ } ->
+      Some session
+  | Solve _ | Stats _ | Ping _ | Shutdown _ | Session_open _ -> None
 
 let response_id = function
   | Solved { id; _ }
   | Stats_reply { id; _ }
   | Ack { id }
   | Failed { id; _ }
-  | Timed_out { id } ->
+  | Timed_out { id }
+  | Session_reply { id; _ } ->
       id
+
+let session_event_to_string = function
+  | Sess_opened -> "opened"
+  | Sess_ack -> "ack"
+  | Sess_resolved -> "resolved"
+  | Sess_closed -> "closed"
+
+let session_event_of_string = function
+  | "opened" -> Some Sess_opened
+  | "ack" -> Some Sess_ack
+  | "resolved" -> Some Sess_resolved
+  | "closed" -> Some Sess_closed
+  | _ -> None
 
 let error_code_to_string = function
   | Bad_request -> "bad-request"
   | Unknown_algorithm -> "unknown-algorithm"
+  | Unknown_session -> "unknown-session"
   | Infeasible -> "infeasible"
   | Shutting_down -> "shutting-down"
   | Internal -> "internal"
@@ -61,6 +128,7 @@ let error_code_to_string = function
 let error_code_of_string = function
   | "bad-request" -> Some Bad_request
   | "unknown-algorithm" -> Some Unknown_algorithm
+  | "unknown-session" -> Some Unknown_session
   | "infeasible" -> Some Infeasible
   | "shutting-down" -> Some Shutting_down
   | "internal" -> Some Internal
@@ -84,7 +152,30 @@ let request_to_string req =
   | Stats { id } -> Buffer.add_string buf (Printf.sprintf "sap-request v1 %d stats\n" id)
   | Ping { id } -> Buffer.add_string buf (Printf.sprintf "sap-request v1 %d ping\n" id)
   | Shutdown { id } ->
-      Buffer.add_string buf (Printf.sprintf "sap-request v1 %d shutdown\n" id));
+      Buffer.add_string buf (Printf.sprintf "sap-request v1 %d shutdown\n" id)
+  | Session_open { id; seed; path; tasks } ->
+      Buffer.add_string buf
+        (Printf.sprintf "sap-request v1 %d session-open seed=%d\n" id seed);
+      Buffer.add_string buf (Sap_io.Instance_io.instance_to_string path tasks)
+  | Session_add { id; session; task } ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "sap-request v1 %d add-task session=%d task-id=%d first=%d last=%d \
+            demand=%d weight=%.17g\n"
+           id session task.Core.Task.id task.Core.Task.first_edge
+           task.Core.Task.last_edge task.Core.Task.demand task.Core.Task.weight)
+  | Session_remove { id; session; task_id } ->
+      Buffer.add_string buf
+        (Printf.sprintf "sap-request v1 %d remove-task session=%d task-id=%d\n"
+           id session task_id)
+  | Session_resolve { id; session; cold } ->
+      Buffer.add_string buf
+        (Printf.sprintf "sap-request v1 %d resolve session=%d%s\n" id session
+           (if cold then " cold=1" else ""))
+  | Session_close { id; session } ->
+      Buffer.add_string buf
+        (Printf.sprintf "sap-request v1 %d session-close session=%d\n" id
+           session));
   Buffer.add_string buf "end\n";
   Buffer.contents buf
 
@@ -108,7 +199,25 @@ let response_to_string resp =
         (Printf.sprintf "sap-response v1 %d error code=%s msg=%s\n" id
            (error_code_to_string code) (String.escaped message))
   | Timed_out { id } ->
-      Buffer.add_string buf (Printf.sprintf "sap-response v1 %d timeout\n" id));
+      Buffer.add_string buf (Printf.sprintf "sap-response v1 %d timeout\n" id)
+  | Session_reply { id; session; event; summary; solution } -> (
+      Buffer.add_string buf
+        (Printf.sprintf "sap-response v1 %d session session=%d event=%s" id
+           session (session_event_to_string event));
+      (match summary with
+      | Some s ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               " tasks=%d scheduled=%d weight=%.17g bands=%d repacked=%d \
+                reused=%d warm=%d time-ms=%.17g"
+               s.s_tasks s.s_scheduled s.s_weight s.s_bands s.s_repacked
+               s.s_reused s.s_warm s.s_time_ms)
+      | None -> ());
+      Buffer.add_char buf '\n';
+      match event with
+      | Sess_opened | Sess_resolved ->
+          Buffer.add_string buf (Sap_io.Instance_io.solution_to_string solution)
+      | Sess_ack | Sess_closed -> ()));
   Buffer.add_string buf "end\n";
   Buffer.contents buf
 
@@ -146,6 +255,14 @@ let parse_attrs ~allowed toks =
   go [] toks
 
 let attr attrs k = List.assoc_opt k attrs
+
+let require what = function
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing attribute %s" what)
+
+let parse_attr_int attrs k =
+  let* v = require k (attr attrs k) in
+  parse_int k v
 
 let parse_bool what s =
   match s with
@@ -210,6 +327,64 @@ let request_of_lines lines =
           | "shutdown" ->
               let* () = no_body "shutdown" body in
               Ok (Shutdown { id })
+          | "session-open" ->
+              let* attrs = parse_attrs ~allowed:[ "seed" ] attr_toks in
+              let* seed =
+                match attr attrs "seed" with
+                | Some s -> parse_int "seed" s
+                | None -> Ok default_solve_params.seed
+              in
+              let* path, tasks =
+                Sap_io.Instance_io.instance_of_string (String.concat "\n" body)
+              in
+              Ok (Session_open { id; seed; path; tasks })
+          | "add-task" ->
+              let* attrs =
+                parse_attrs
+                  ~allowed:
+                    [ "session"; "task-id"; "first"; "last"; "demand"; "weight" ]
+                  attr_toks
+              in
+              let* () = no_body "add-task" body in
+              let* session = parse_attr_int attrs "session" in
+              let* task_id = parse_attr_int attrs "task-id" in
+              let* first = parse_attr_int attrs "first" in
+              let* last = parse_attr_int attrs "last" in
+              let* demand = parse_attr_int attrs "demand" in
+              let* weight = require "weight" (attr attrs "weight") in
+              let* weight = parse_float "weight" weight in
+              let* task =
+                match
+                  Core.Task.make ~id:task_id ~first_edge:first ~last_edge:last
+                    ~demand ~weight
+                with
+                | t -> Ok t
+                | exception Invalid_argument m -> Error ("invalid task: " ^ m)
+              in
+              Ok (Session_add { id; session; task })
+          | "remove-task" ->
+              let* attrs =
+                parse_attrs ~allowed:[ "session"; "task-id" ] attr_toks
+              in
+              let* () = no_body "remove-task" body in
+              let* session = parse_attr_int attrs "session" in
+              let* task_id = parse_attr_int attrs "task-id" in
+              Ok (Session_remove { id; session; task_id })
+          | "resolve" ->
+              let* attrs = parse_attrs ~allowed:[ "session"; "cold" ] attr_toks in
+              let* () = no_body "resolve" body in
+              let* session = parse_attr_int attrs "session" in
+              let* cold =
+                match attr attrs "cold" with
+                | Some s -> parse_bool "cold" s
+                | None -> Ok false
+              in
+              Ok (Session_resolve { id; session; cold })
+          | "session-close" ->
+              let* attrs = parse_attrs ~allowed:[ "session" ] attr_toks in
+              let* () = no_body "session-close" body in
+              let* session = parse_attr_int attrs "session" in
+              Ok (Session_close { id; session })
           | other -> Error (Printf.sprintf "unknown verb %S" other))
       | _ -> Error (Printf.sprintf "malformed request header %S" header))
 
@@ -275,6 +450,79 @@ let response_of_lines ~tasks_for lines =
                   | Ok stats -> Ok (Stats_reply { id; stats })
                   | Error m -> Error ("stats body: " ^ m))
               | _ -> Error "stats response body must be one JSON line")
+          | "session" -> (
+              let* attrs =
+                parse_attrs
+                  ~allowed:
+                    [
+                      "session";
+                      "event";
+                      "tasks";
+                      "scheduled";
+                      "weight";
+                      "bands";
+                      "repacked";
+                      "reused";
+                      "warm";
+                      "time-ms";
+                    ]
+                  attr_toks
+              in
+              let* session = parse_attr_int attrs "session" in
+              let* event = require "event" (attr attrs "event") in
+              let* event =
+                match session_event_of_string event with
+                | Some e -> Ok e
+                | None -> Error (Printf.sprintf "unknown session event %S" event)
+              in
+              match event with
+              | Sess_ack | Sess_closed ->
+                  let* () = no_body "session ack" body in
+                  Ok
+                    (Session_reply
+                       { id; session; event; summary = None; solution = [] })
+              | Sess_opened | Sess_resolved ->
+                  let* s_tasks = parse_attr_int attrs "tasks" in
+                  let* s_scheduled = parse_attr_int attrs "scheduled" in
+                  let* weight = require "weight" (attr attrs "weight") in
+                  let* s_weight = parse_float "weight" weight in
+                  let* s_bands = parse_attr_int attrs "bands" in
+                  let* s_repacked = parse_attr_int attrs "repacked" in
+                  let* s_reused = parse_attr_int attrs "reused" in
+                  let* s_warm = parse_attr_int attrs "warm" in
+                  let* time_ms = require "time-ms" (attr attrs "time-ms") in
+                  let* s_time_ms = parse_float "time-ms" time_ms in
+                  let* tasks =
+                    match tasks_for id with
+                    | Some ts -> Ok ts
+                    | None ->
+                        Error
+                          (Printf.sprintf "no instance known for response id %d" id)
+                  in
+                  let* solution =
+                    Sap_io.Instance_io.solution_of_string ~tasks
+                      (String.concat "\n" body)
+                  in
+                  Ok
+                    (Session_reply
+                       {
+                         id;
+                         session;
+                         event;
+                         summary =
+                           Some
+                             {
+                               s_tasks;
+                               s_scheduled;
+                               s_weight;
+                               s_bands;
+                               s_repacked;
+                               s_reused;
+                               s_warm;
+                               s_time_ms;
+                             };
+                         solution;
+                       }))
           | "ok" ->
               let* () = no_body "ok" body in
               Ok (Ack { id })

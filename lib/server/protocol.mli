@@ -14,12 +14,19 @@
     v}
 
     Request verbs: [solve] (body: an instance), [stats], [ping],
-    [shutdown] (no body).  Response statuses: [solved] (body: a
-    solution), [stats] (body: one line of compact JSON), [ok] (bare
-    acknowledgement), [error], [timeout] (no body).  Ids are
-    client-chosen non-negative integers echoed verbatim, so pipelined
-    clients can match responses to requests; the server answers a frame
-    whose header cannot be parsed with id [-1].
+    [shutdown] (no body), plus the session family — [session-open]
+    (body: the base instance), [add-task], [remove-task], [resolve],
+    [session-close] (attribute-only).  Response statuses: [solved]
+    (body: a solution), [stats] (body: one line of compact JSON), [ok]
+    (bare acknowledgement), [error], [timeout] (no body), and [session]
+    — the sap-session v1 schema: [session=<sid> event=<opened|ack|
+    resolved|closed>], with resolve accounting attributes and a solution
+    body on [opened]/[resolved].  Ids are client-chosen non-negative
+    integers echoed verbatim, so pipelined clients can match responses
+    to requests; the server answers a frame whose header cannot be
+    parsed with id [-1].  Session ids are server-assigned and globally
+    unique across shards, so a router can pin follow-up session verbs to
+    the shard that owns the session.
 
     Header attributes are [key=value] tokens; [msg=] (error responses
     only) must come last and swallows the rest of the line,
@@ -31,6 +38,8 @@
 type error_code =
   | Bad_request  (** unparseable frame or malformed instance *)
   | Unknown_algorithm
+  | Unknown_session
+      (** session id not (or no longer) live on this server/shard *)
   | Infeasible  (** the solver returned a checker-rejected solution *)
   | Shutting_down  (** admission closed by graceful drain *)
   | Internal  (** solver raised *)
@@ -54,6 +63,18 @@ type request =
   | Stats of { id : int }
   | Ping of { id : int }
   | Shutdown of { id : int }
+  | Session_open of {
+      id : int;
+      seed : int;  (** per-band rounding seed; default [42] *)
+      path : Core.Path.t;
+      tasks : Core.Task.t list;
+    }
+  | Session_add of { id : int; session : int; task : Core.Task.t }
+  | Session_remove of { id : int; session : int; task_id : int }
+  | Session_resolve of { id : int; session : int; cold : bool }
+      (** [cold=1] repacks every band from scratch (the baseline a warm
+          resolve is benchmarked against) *)
+  | Session_close of { id : int; session : int }
 
 type solve_summary = {
   scheduled : int;
@@ -62,16 +83,47 @@ type solve_summary = {
   time_ms : float;  (** solver wall time; [0] when served from cache *)
 }
 
+type session_summary = {
+  s_tasks : int;  (** tasks currently in the session instance *)
+  s_scheduled : int;
+  s_weight : float;
+  s_bands : int;
+  s_repacked : int;  (** bands repacked by this resolve *)
+  s_reused : int;  (** bands reused bit-identically *)
+  s_warm : int;  (** repacked bands whose LP was seeded with a basis *)
+  s_time_ms : float;
+}
+
+type session_event = Sess_opened | Sess_ack | Sess_resolved | Sess_closed
+
 type response =
   | Solved of { id : int; summary : solve_summary; solution : Core.Solution.sap }
   | Stats_reply of { id : int; stats : Obs.Json.t }
   | Ack of { id : int }  (** [ping] and [shutdown] acknowledgement *)
   | Failed of { id : int; code : error_code; message : string }
   | Timed_out of { id : int }
+  | Session_reply of {
+      id : int;
+      session : int;
+      event : session_event;
+      summary : session_summary option;
+          (** present exactly on [Sess_opened] / [Sess_resolved] *)
+      solution : Core.Solution.sap;
+          (** body; empty on [Sess_ack] / [Sess_closed] *)
+    }
 
 val request_id : request -> int
 
+val request_session : request -> int option
+(** The session a follow-up verb addresses ([None] for [session-open]
+    and the stateless verbs) — what a router keys shard pinning on. *)
+
 val response_id : response -> int
+
+val session_event_to_string : session_event -> string
+(** Wire names: [opened], [ack], [resolved], [closed]. *)
+
+val session_event_of_string : string -> session_event option
 
 val error_code_to_string : error_code -> string
 (** Wire names: [bad-request], [unknown-algorithm], [infeasible],

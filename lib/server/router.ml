@@ -126,8 +126,12 @@ type entry = {
   e_t0 : float;
   e_solve : bool;
       (** solves are pure: re-home on shard death.  Direct sends (stats,
-          shutdown) fail instead — retrying them elsewhere would answer a
-          different question. *)
+          shutdown) and session verbs fail instead — retrying them
+          elsewhere would answer a different question (session state is
+          not re-homeable). *)
+  e_open : bool;
+      (** a [session-open]: the reader parses the reply's [session=]
+          attribute and pins the new sid to the answering shard *)
   mutable e_attempts : int;
 }
 
@@ -176,6 +180,11 @@ type t = {
   started : float;
   aux_lock : Mutex.t;
   mutable aux : unit Domain.t list;  (* recovery domains, joined at shutdown *)
+  sess_lock : Mutex.t;
+  sess_owners : (int, string) Hashtbl.t;
+      (* session id -> owning shard name; guarded by sess_lock.  Entries
+         die with their shard (sessions are not re-homeable) or on
+         session-close. *)
 }
 
 let logf t msg =
@@ -204,6 +213,14 @@ let with_id req id =
   | P.Stats _ -> P.Stats { id }
   | P.Ping _ -> P.Ping { id }
   | P.Shutdown _ -> P.Shutdown { id }
+  | P.Session_open { id = _; seed; path; tasks } ->
+      P.Session_open { id; seed; path; tasks }
+  | P.Session_add { id = _; session; task } -> P.Session_add { id; session; task }
+  | P.Session_remove { id = _; session; task_id } ->
+      P.Session_remove { id; session; task_id }
+  | P.Session_resolve { id = _; session; cold } ->
+      P.Session_resolve { id; session; cold }
+  | P.Session_close { id = _; session } -> P.Session_close { id; session }
 
 (* ---------- response-header surgery ----------
 
@@ -250,6 +267,19 @@ let rewrite_header line client_id =
       Some (status, rewritten)
 
 let frame_text lines = String.concat "\n" lines ^ "\nend\n"
+
+(* Value of [key=] among a response header's attribute tokens ([msg=] is
+   last on error headers, which carry no session attribute — so the naive
+   token split is safe here). *)
+let header_attr line key =
+  let prefix = key ^ "=" in
+  String.split_on_char ' ' line
+  |> List.find_map (fun tok ->
+         if String.starts_with ~prefix tok then
+           Some
+             (String.sub tok (String.length prefix)
+                (String.length tok - String.length prefix))
+         else None)
 
 let fail_entry t entry code message =
   Atomic.incr t.n_errors;
@@ -347,6 +377,13 @@ and conn_dead t sh conn =
     let next = sh.sh_state in
     Mutex.unlock sh.sh_lock;
     remove_from_ring t sh.sh_name;
+    (* Sessions die with their shard: drop the pins so follow-up verbs
+       answer [unknown-session] instead of hanging on a dead owner. *)
+    Mutex.protect t.sess_lock (fun () ->
+        Hashtbl.filter_map_inplace
+          (fun _ owner ->
+            if String.equal owner sh.sh_name then None else Some owner)
+          t.sess_owners);
     logf t
       (Printf.sprintf "event=shard-%s shard=%s orphans=%d" (state_name next)
          sh.sh_name (List.length orphans));
@@ -466,6 +503,18 @@ and reader_loop t sh conn fd =
                     Obs.Metrics.incr c_bad_upstream;
                     fail_entry t e P.Internal "router: malformed shard response"
                 | Some (status, header') ->
+                    (* A successful session-open names the new session;
+                       pin it to this shard for follow-up verbs. *)
+                    if e.e_open && String.equal status "session" then begin
+                      match
+                        Option.bind (header_attr header' "session")
+                          int_of_string_opt
+                      with
+                      | Some new_sid ->
+                          Mutex.protect t.sess_lock (fun () ->
+                              Hashtbl.replace t.sess_owners new_sid sh.sh_name)
+                      | None -> ()
+                    end;
                     if e.e_solve then begin
                       let dt = now () -. e.e_t0 in
                       Mutex.lock sh.sh_lock;
@@ -501,6 +550,7 @@ let send_direct t sh req sl =
           e_client_id = P.request_id req;
           e_t0 = now ();
           e_solve = false;
+          e_open = false;
           e_attempts = 0;
         }
       in
@@ -612,6 +662,8 @@ let create ?(config = default_config) endpoints =
         started = now ();
         aux_lock = Mutex.create ();
         aux = [];
+        sess_lock = Mutex.create ();
+        sess_owners = Hashtbl.create 16;
       }
     in
     Array.iter
@@ -742,6 +794,9 @@ let stats_json t =
       ("requests", Int (Atomic.get t.n_requests));
       ("errors", Int (Atomic.get t.n_errors));
       ("retried", Int (Atomic.get t.n_retried));
+      ( "sessions",
+        Int (Mutex.protect t.sess_lock (fun () -> Hashtbl.length t.sess_owners))
+      );
       ( "ring",
         Obj
           [
@@ -815,6 +870,7 @@ let handle_session t ic oc =
                       e_client_id = id;
                       e_t0 = now ();
                       e_solve = true;
+                      e_open = false;
                       e_attempts = 0;
                     }
                   in
@@ -822,6 +878,76 @@ let handle_session t ic oc =
                   dispatch t entry;
                   push_text (fun () -> await sl)
                 end
+            | P.Session_open { id; seed; path; tasks } ->
+                if Atomic.get t.stopping then
+                  immediate
+                    (P.Failed
+                       { id; code = P.Shutting_down; message = "router draining" })
+                else begin
+                  (* Hash the base instance like a solve would: the
+                     session lives on (is pinned to) the owning shard. *)
+                  let key =
+                    Fingerprint.solve_key ~algorithm:"session-open" ~seed path
+                      tasks
+                  in
+                  let sl = slot () in
+                  let entry =
+                    {
+                      e_key = key;
+                      e_req = req;
+                      e_slot = sl;
+                      e_client_id = id;
+                      e_t0 = now ();
+                      e_solve = false;
+                      e_open = true;
+                      e_attempts = 0;
+                    }
+                  in
+                  Obs.Metrics.incr c_forwarded;
+                  dispatch t entry;
+                  push_text (fun () -> await sl)
+                end
+            | P.Session_add _ | P.Session_remove _ | P.Session_resolve _
+            | P.Session_close _ -> (
+                let id = P.request_id req in
+                let sid = Option.get (P.request_session req) in
+                let owner =
+                  Mutex.protect t.sess_lock (fun () ->
+                      Hashtbl.find_opt t.sess_owners sid)
+                in
+                match Option.bind owner (shard_by_name t) with
+                | None ->
+                    immediate
+                      (P.Failed
+                         {
+                           id;
+                           code = P.Unknown_session;
+                           message =
+                             Printf.sprintf "router: unknown session %d" sid;
+                         })
+                | Some sh ->
+                    let sl = slot () in
+                    if send_direct t sh req sl then
+                      let is_close =
+                        match req with P.Session_close _ -> true | _ -> false
+                      in
+                      push_text (fun () ->
+                          let text = await sl in
+                          if is_close then
+                            Mutex.protect t.sess_lock (fun () ->
+                                Hashtbl.remove t.sess_owners sid);
+                          text)
+                    else
+                      immediate
+                        (P.Failed
+                           {
+                             id;
+                             code = P.Unknown_session;
+                             message =
+                               Printf.sprintf
+                                 "router: session %d owner %s unavailable" sid
+                                 sh.sh_name;
+                           }))
             | P.Ping { id } -> immediate (P.Ack { id })
             | P.Stats { id } ->
                 push_text (fun () ->

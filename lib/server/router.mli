@@ -10,6 +10,15 @@
     count).  Responses are relayed back preserving per-client FIFO order,
     with only the header id rewritten; bodies pass through verbatim.
 
+    Session verbs pin by sid: a [session-open] routes by instance
+    fingerprint like a solve, and the sid the shard mints (globally
+    unique — pid in the high bits) is pinned to that shard, so every
+    follow-up [add-task]/[remove-task]/[resolve]/[session-close]
+    carrying [session=SID] is forwarded to the owning shard.  Sessions
+    are not re-homed: when the owning shard dies its pins are dropped
+    and follow-up verbs answer [unknown-session] — the state died with
+    the shard; the client re-opens.
+
     Shard lifecycle lives here.  Shards are either {e spawned} (the
     router forks a child per endpoint via [ep_spawn], shuts it down
     gracefully and reaps it) or {e external} (pre-started sockets the

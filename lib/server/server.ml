@@ -34,6 +34,12 @@ type cached_solve = {
   c_solution : Core.Solution.sap;
 }
 
+(* A registered session: the state machine plus its own lock — resolves
+   run on pool workers and deltas on the transport domain, so per-session
+   mutual exclusion is what serializes them (the registry lock only
+   guards the table itself). *)
+type session_entry = { se : Session.t; se_lock : Mutex.t }
+
 type t = {
   config : config;
   pool : Pool.t;
@@ -45,6 +51,9 @@ type t = {
   n_solved : int Atomic.t;
   n_errors : int Atomic.t;
   n_timeouts : int Atomic.t;
+  sessions : (int, session_entry) Hashtbl.t;
+  sessions_lock : Mutex.t;
+  sid_seq : int Atomic.t;
   latency : (string * Obs.Metrics.histogram) list;
 }
 
@@ -89,6 +98,9 @@ let create ?(config = default_config) () =
     n_solved = Atomic.make 0;
     n_errors = Atomic.make 0;
     n_timeouts = Atomic.make 0;
+    sessions = Hashtbl.create 16;
+    sessions_lock = Mutex.create ();
+    sid_seq = Atomic.make 0;
     latency =
       List.map
         (fun a -> (a, Obs.Metrics.histogram ("server.latency_seconds." ^ a)))
@@ -121,6 +133,14 @@ let stats_json t =
           ] );
       ("cache", Cache.stats_json t.cache);
       ("pool", Pool.stats_json t.pool);
+      ( "sessions",
+        Obs.Json.Obj
+          [
+            ( "open",
+              Obs.Json.Int
+                (Mutex.protect t.sessions_lock (fun () ->
+                     Hashtbl.length t.sessions)) );
+          ] );
       ("metrics", Obs.Metrics.snapshot_json ());
     ]
 
@@ -141,6 +161,107 @@ let solved t ~id ~cached ~time_ms (c : cached_solve) =
         { scheduled = c.c_scheduled; weight = c.c_weight; cached; time_ms };
       solution = c.c_solution;
     }
+
+(* ---------- sessions ---------- *)
+
+(* Session ids are globally unique across shard processes (pid in the
+   high bits, a per-process counter below), so a router can pin a sid to
+   its owning shard without rewriting session attributes. *)
+let fresh_sid t =
+  ((Unix.getpid () land 0xFFFFFF) lsl 24) lor (Atomic.fetch_and_add t.sid_seq 1)
+
+let find_session t sid =
+  Mutex.protect t.sessions_lock (fun () -> Hashtbl.find_opt t.sessions sid)
+
+let session_summary (s : Session.summary) : P.session_summary =
+  {
+    P.s_tasks = s.Session.n_tasks;
+    s_scheduled = s.Session.scheduled;
+    s_weight = s.Session.weight;
+    s_bands = s.Session.bands;
+    s_repacked = s.Session.repacked;
+    s_reused = s.Session.reused;
+    s_warm = s.Session.warm_seeded;
+    s_time_ms = s.Session.time_ms;
+  }
+
+let session_solved t ~id ~session ~event (sol, summary) =
+  Atomic.incr t.n_solved;
+  P.Session_reply
+    {
+      id;
+      session;
+      event;
+      summary = Some (session_summary summary);
+      solution = sol;
+    }
+
+let no_session t ~id sid =
+  fail t ~id P.Unknown_session (Printf.sprintf "unknown session %d" sid)
+
+(* [session-open] and [resolve] do solver work, so they run as pool jobs
+   like [solve] does; the attribute-only deltas mutate session state
+   inline at admission time, which keeps a pipelined open/add/resolve
+   sequence ordered without a pool round-trip per delta. *)
+let submit_session_open t ~id ~seed path tasks =
+  let job () =
+    match Session.create ~seed path tasks with
+    | Error m -> fail t ~id P.Bad_request m
+    | Ok ses -> (
+        match Session.resolve ~cold:true ses with
+        | Error m -> fail t ~id P.Internal m
+        | Ok result ->
+            let sid = fresh_sid t in
+            Mutex.protect t.sessions_lock (fun () ->
+                Hashtbl.replace t.sessions sid
+                  { se = ses; se_lock = Mutex.create () });
+            session_solved t ~id ~session:sid ~event:P.Sess_opened result)
+  in
+  match Pool.submit t.pool job with
+  | exception Pool.Closed ->
+      immediate (fail t ~id P.Shutting_down "server is draining")
+  | fut -> { ready = (fun () -> Pool.completed fut); force = (fun () -> Pool.await fut) }
+
+let submit_session_resolve t ~id ~session ~cold =
+  match find_session t session with
+  | None -> immediate (no_session t ~id session)
+  | Some entry -> (
+      let job () =
+        Mutex.protect entry.se_lock (fun () ->
+            match Session.resolve ~cold entry.se with
+            | Error m -> fail t ~id P.Internal m
+            | Ok result ->
+                session_solved t ~id ~session ~event:P.Sess_resolved result)
+      in
+      match Pool.submit t.pool job with
+      | exception Pool.Closed ->
+          immediate (fail t ~id P.Shutting_down "server is draining")
+      | fut ->
+          { ready = (fun () -> Pool.completed fut); force = (fun () -> Pool.await fut) })
+
+let session_delta t ~id ~session apply =
+  match find_session t session with
+  | None -> no_session t ~id session
+  | Some entry -> (
+      match Mutex.protect entry.se_lock (fun () -> apply entry.se) with
+      | Error m -> fail t ~id P.Bad_request m
+      | Ok () ->
+          P.Session_reply
+            { id; session; event = P.Sess_ack; summary = None; solution = [] })
+
+let session_close t ~id ~session =
+  let entry =
+    Mutex.protect t.sessions_lock (fun () ->
+        let e = Hashtbl.find_opt t.sessions session in
+        Hashtbl.remove t.sessions session;
+        e)
+  in
+  match entry with
+  | None -> no_session t ~id session
+  | Some entry ->
+      Mutex.protect entry.se_lock (fun () -> Session.close entry.se);
+      P.Session_reply
+        { id; session; event = P.Sess_closed; summary = None; solution = [] }
 
 (* ---------- per-request telemetry ---------- *)
 
@@ -180,6 +301,8 @@ let response_status = function
   | P.Ack _ -> "ack"
   | P.Stats_reply _ -> "stats"
   | P.Failed { code; _ } -> "error:" ^ P.error_code_to_string code
+  | P.Session_reply { event; _ } ->
+      "session:" ^ P.session_event_to_string event
 
 let log_line tel resp ~total =
   let b = Buffer.create 160 in
@@ -202,6 +325,14 @@ let log_line tel resp ~total =
   | P.Solved { summary; _ } ->
       kv "scheduled" (string_of_int summary.P.scheduled);
       kv "weight" (Printf.sprintf "%.6g" summary.P.weight)
+  | P.Session_reply { session; summary = Some s; _ } ->
+      kv "session" (string_of_int session);
+      kv "scheduled" (string_of_int s.P.s_scheduled);
+      kv "weight" (Printf.sprintf "%.6g" s.P.s_weight);
+      kv "repacked" (string_of_int s.P.s_repacked);
+      kv "reused" (string_of_int s.P.s_reused)
+  | P.Session_reply { session; summary = None; _ } ->
+      kv "session" (string_of_int session)
   | _ -> ());
   let q = Atomic.get tel.queue_s and s = Atomic.get tel.solve_s in
   if not (Float.is_nan q) then kv "queue_ms" (ms q);
@@ -360,6 +491,29 @@ let submit t req =
         if draining t then
           (tel, immediate (fail t ~id P.Shutting_down "server is draining"))
         else submit_solve t tel ~id params path tasks
+    | P.Session_open { seed; path; tasks; _ } ->
+        let tel = telemetry t ~verb:"session-open" ~solve_seed:seed () in
+        if draining t then
+          (tel, immediate (fail t ~id P.Shutting_down "server is draining"))
+        else (tel, submit_session_open t ~id ~seed path tasks)
+    | P.Session_add { session; task; _ } ->
+        ( telemetry t ~verb:"add-task" (),
+          immediate
+            (session_delta t ~id ~session (fun ses -> Session.add_task ses task))
+        )
+    | P.Session_remove { session; task_id; _ } ->
+        ( telemetry t ~verb:"remove-task" (),
+          immediate
+            (session_delta t ~id ~session (fun ses ->
+                 Session.remove_task ses task_id)) )
+    | P.Session_resolve { session; cold; _ } ->
+        let tel = telemetry t ~verb:"resolve" () in
+        if draining t then
+          (tel, immediate (fail t ~id P.Shutting_down "server is draining"))
+        else (tel, submit_session_resolve t ~id ~session ~cold)
+    | P.Session_close { session; _ } ->
+        ( telemetry t ~verb:"session-close" (),
+          immediate (session_close t ~id ~session) )
   in
   finalize t tel pending
 

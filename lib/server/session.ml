@@ -1,0 +1,237 @@
+module Task = Core.Task
+module Path = Core.Path
+
+let m_opened = Obs.Metrics.counter "session.opened"
+
+let m_closed = Obs.Metrics.counter "session.closed"
+
+let m_deltas = Obs.Metrics.counter "session.deltas"
+
+let m_resolves = Obs.Metrics.counter "session.resolves"
+
+let m_repacked = Obs.Metrics.counter "session.bands_repacked"
+
+let m_reused = Obs.Metrics.counter "session.bands_reused"
+
+let h_resolve = Obs.Metrics.histogram "session.resolve_seconds"
+
+(* One bottleneck band [J_t = { j : 2^t <= b(j) < 2^(t+1) }] of the
+   session's instance.  The band owns everything a repack needs: its
+   current tasks, the warm handle of its last LP solve, and the lifted
+   placements of its last pack.  [b_dirty] is the repair frontier — a
+   resolve repacks exactly the dirty bands and reuses the rest
+   verbatim, which is what keeps untouched bands bit-identical. *)
+type band = {
+  bt : int;  (* band exponent t; B = 2^t *)
+  mutable b_tasks : Task.t list;  (* kept sorted by id *)
+  mutable b_dirty : bool;
+  mutable b_warm : Lp.Ufpp_lp.warm option;
+  mutable b_placed : Core.Solution.sap;  (* lifted into [B/2, B) *)
+}
+
+type t = {
+  s_path : Path.t;
+  s_seed : int;
+  s_trials : int;
+  s_tasks : (int, Task.t) Hashtbl.t;
+  s_bands : (int, band) Hashtbl.t;
+  mutable s_last : Core.Solution.sap;
+  mutable s_resolves : int;
+}
+
+type summary = {
+  n_tasks : int;
+  scheduled : int;
+  weight : float;
+  bands : int;
+  repacked : int;
+  reused : int;
+  warm_seeded : int;
+  time_ms : float;
+}
+
+let path t = t.s_path
+
+let tasks t = Hashtbl.fold (fun _ j acc -> j :: acc) t.s_tasks []
+
+let n_tasks t = Hashtbl.length t.s_tasks
+
+let last_solution t = t.s_last
+
+(* Tasks that cannot fit alone ([d_j > b(j)]) belong to no band: they can
+   never be scheduled, exactly like [Small.strip_pack]'s input filter. *)
+let band_exponent t (j : Task.t) =
+  let bj = Path.bottleneck_of t.s_path j in
+  if j.Task.demand > bj then None else Some (Core.Classify.floor_log2 bj)
+
+let band_for t bt =
+  match Hashtbl.find_opt t.s_bands bt with
+  | Some band -> band
+  | None ->
+      let band =
+        { bt; b_tasks = []; b_dirty = true; b_warm = None; b_placed = [] }
+      in
+      Hashtbl.replace t.s_bands bt band;
+      band
+
+let validate_task t (j : Task.t) =
+  if j.Task.first_edge < 0 || j.Task.last_edge >= Path.num_edges t.s_path then
+    Error
+      (Printf.sprintf "task %d spans edges [%d, %d] outside the path"
+         j.Task.id j.Task.first_edge j.Task.last_edge)
+  else Ok ()
+
+let add_task t (j : Task.t) =
+  match validate_task t j with
+  | Error _ as e -> e
+  | Ok () ->
+      if Hashtbl.mem t.s_tasks j.Task.id then
+        Error (Printf.sprintf "duplicate task id %d" j.Task.id)
+      else begin
+        Hashtbl.replace t.s_tasks j.Task.id j;
+        (match band_exponent t j with
+        | None -> ()
+        | Some bt ->
+            let band = band_for t bt in
+            band.b_tasks <-
+              List.merge
+                (fun (a : Task.t) b -> compare a.Task.id b.Task.id)
+                [ j ] band.b_tasks;
+            band.b_dirty <- true);
+        Obs.Metrics.incr m_deltas;
+        Ok ()
+      end
+
+let remove_task t id =
+  match Hashtbl.find_opt t.s_tasks id with
+  | None -> Error (Printf.sprintf "unknown task id %d" id)
+  | Some j ->
+      Hashtbl.remove t.s_tasks id;
+      (match band_exponent t j with
+      | None -> ()
+      | Some bt ->
+          let band = band_for t bt in
+          band.b_tasks <-
+            List.filter (fun (x : Task.t) -> x.Task.id <> id) band.b_tasks;
+          band.b_dirty <- true);
+      Obs.Metrics.incr m_deltas;
+      Ok ()
+
+(* One band of [Small.solve_band]'s LP pipeline, with two session
+   twists: the LP restarts from the band's previous basis (warm), and
+   the rounding generator is derived from (session seed, band exponent)
+   only — never from other bands' draw counts — so a band's placements
+   are a pure function of its own task set and the session seed. *)
+let pack_band t band ~cold =
+  let b = 1 lsl band.bt in
+  let budget = b / 2 in
+  if budget = 0 || band.b_tasks = [] then ([], None, false)
+  else begin
+    let clipped =
+      if 2 * b >= Path.max_capacity t.s_path then t.s_path
+      else Path.clip t.s_path (2 * b)
+    in
+    let warm = if cold then None else band.b_warm in
+    let seeded = warm <> None in
+    let lp, warm' =
+      Lp.Ufpp_lp.solve_scaled_warm clipped ~scale:1.0 ?warm band.b_tasks
+    in
+    let fractional =
+      Array.to_list lp.Lp.Ufpp_lp.tasks
+      |> List.mapi (fun i j -> (j, 0.25 *. lp.Lp.Ufpp_lp.solution.(i)))
+    in
+    let prng = Util.Prng.create ((t.s_seed * 1_000_003) + band.bt) in
+    let strip =
+      Ufpp.Lp_rounding.round ~budget ~trials:t.s_trials ~prng t.s_path
+        fractional
+    in
+    let r =
+      Dsa.Strip_transform.transform ~height:budget
+        ~edges:(Path.num_edges t.s_path) strip
+    in
+    (Core.Solution.lift r.Dsa.Strip_transform.packed budget, warm', seeded)
+  end
+
+let sorted_bands t =
+  Hashtbl.fold (fun _ band acc -> band :: acc) t.s_bands []
+  |> List.sort (fun a b -> compare a.bt b.bt)
+
+let resolve ?(cold = false) t =
+  let t0 = Obs.Clock.monotonic_seconds () in
+  Obs.Metrics.time h_resolve @@ fun () ->
+  Obs.Metrics.incr m_resolves;
+  let repacked = ref 0 and reused = ref 0 and warm_seeded = ref 0 in
+  let bands = sorted_bands t in
+  List.iter
+    (fun band ->
+      if cold || band.b_dirty then begin
+        let placed, warm', seeded = pack_band t band ~cold in
+        band.b_placed <- placed;
+        band.b_warm <- warm';
+        band.b_dirty <- false;
+        incr repacked;
+        if seeded then incr warm_seeded
+      end
+      else incr reused)
+    bands;
+  Obs.Metrics.add m_repacked !repacked;
+  Obs.Metrics.add m_reused !reused;
+  let merged =
+    List.fold_left
+      (fun acc band -> Core.Solution.union acc band.b_placed)
+      [] bands
+  in
+  (* Band independence makes the merge sound, but no response leaves the
+     session on faith: the full merged placement is machine-checked. *)
+  match Core.Checker.sap_feasible t.s_path merged with
+  | Error m -> Error ("session produced an infeasible solution: " ^ m)
+  | Ok () ->
+      t.s_last <- merged;
+      t.s_resolves <- t.s_resolves + 1;
+      let time_ms = (Obs.Clock.monotonic_seconds () -. t0) *. 1000.0 in
+      Ok
+        ( merged,
+          {
+            n_tasks = n_tasks t;
+            scheduled = List.length merged;
+            weight = Core.Solution.sap_weight merged;
+            bands = List.length bands;
+            repacked = !repacked;
+            reused = !reused;
+            warm_seeded = !warm_seeded;
+            time_ms;
+          } )
+
+let create ?(seed = Sap.Combine.default_config.Sap.Combine.seed) ?trials path
+    ts =
+  let trials =
+    match trials with
+    | Some k -> k
+    | None -> (
+        match Sap.Combine.default_config.Sap.Combine.rounding with
+        | `Lp k -> k
+        | `Local_ratio -> 16)
+  in
+  let t =
+    {
+      s_path = path;
+      s_seed = seed;
+      s_trials = trials;
+      s_tasks = Hashtbl.create 64;
+      s_bands = Hashtbl.create 8;
+      s_last = [];
+      s_resolves = 0;
+    }
+  in
+  let rec add = function
+    | [] -> Ok t
+    | j :: rest -> (
+        match add_task t j with Error _ as e -> e | Ok () -> add rest)
+  in
+  Result.map
+    (fun t ->
+      Obs.Metrics.incr m_opened;
+      t)
+    (add ts)
+
+let close _t = Obs.Metrics.incr m_closed

@@ -309,6 +309,52 @@ let ufpp_lp_integral_when_disjoint () =
   let r = Lp.Ufpp_lp.solve path [ mk 0 0 1; mk 1 2 3 ] in
   Alcotest.(check bool) "value 4" true (Helpers.close_enough r.Lp.Ufpp_lp.value 4.0)
 
+let ufpp_lp_warm_matches_cold =
+  (* A warm-started re-solve after a task delta must reach the same LP
+     optimum as a cold solve of the patched instance — a warm basis buys
+     pivots, never a different answer.  Chains deltas so the basis handed
+     forward is itself the product of a warm solve. *)
+  Helpers.seed_property ~count:40 "warm-started re-solve = cold re-solve"
+    (fun seed ->
+      let prng = Util.Prng.create (seed + 1) in
+      let path, tasks = Helpers.tiny_instance seed in
+      let tasks = ref tasks in
+      let next_id = ref 1000 in
+      let warm = ref None in
+      let ok = ref true in
+      for _step = 1 to 5 do
+        (match !tasks with
+        | _ :: _ when Util.Prng.bool prng ->
+            let ts = !tasks in
+            let victim = List.nth ts (Util.Prng.int prng (List.length ts)) in
+            tasks :=
+              List.filter (fun (j : Task.t) -> j.Task.id <> victim.Task.id) ts
+        | _ ->
+            let edges = Path.num_edges path in
+            let first_edge = Util.Prng.int prng edges in
+            let last_edge =
+              first_edge + Util.Prng.int prng (edges - first_edge)
+            in
+            let b = Path.bottleneck path ~first:first_edge ~last:last_edge in
+            let demand = 1 + Util.Prng.int prng b in
+            let weight = 1.0 +. Util.Prng.float prng 9.0 in
+            let id = !next_id in
+            incr next_id;
+            tasks :=
+              Task.make ~id ~first_edge ~last_edge ~demand ~weight :: !tasks);
+        let r_warm, w =
+          Lp.Ufpp_lp.solve_scaled_warm path ~scale:1.0 ?warm:!warm !tasks
+        in
+        warm := w;
+        let r_cold = Lp.Ufpp_lp.solve_scaled path ~scale:1.0 !tasks in
+        if
+          not
+            (Helpers.close_enough ~tol:1e-6 r_warm.Lp.Ufpp_lp.value
+               r_cold.Lp.Ufpp_lp.value)
+        then ok := false
+      done;
+      !ok)
+
 let () =
   Alcotest.run "lp"
     [
@@ -337,5 +383,6 @@ let () =
           case "scaled" ufpp_lp_scaled;
           ufpp_lp_matches_dense_reference;
           case "integral disjoint" ufpp_lp_integral_when_disjoint;
+          ufpp_lp_warm_matches_cold;
         ] );
     ]
