@@ -53,6 +53,7 @@ let () =
   Lg_experiments.run ();
   Rt_experiments.run ();
   Cr_experiments.run ();
+  Rd_experiments.run ();
   if not quick then Timing.run ();
   let elapsed = Obs.Clock.monotonic_seconds () -. t0 in
   Printf.printf "\nall experiments completed in %.1fs\n" elapsed;

@@ -1,0 +1,186 @@
+(* RD — ROUND-SAP packing: every solver from [Round.Solvers] plus the
+   exact branch-and-bound over a deterministic nine-instance sweep (three
+   seeds of three generator families mirroring the lab corpus: power-of-
+   two demand classes, just-over-half-capacity cliques, and a staircase
+   profile).  Wall time lands in *seconds* histograms (timing-only under
+   bench-diff); the shape of the run — instances, tasks, rounds per
+   algorithm, certified lower-bound mass, B&B nodes — lands in exact
+   counters, so a packing regression that costs rounds trips the gate
+   even on a faster machine.  In-scenario assertions pin the invariants
+   the lab gate checks: every packing checker-feasible, no algorithm
+   below the certified bound, bands no worse than first-fit on this
+   sweep, and the exact search optimal on every instance. *)
+
+module Task = Core.Task
+module Path = Core.Path
+
+let h_heuristic = Obs.Metrics.histogram "bench.rd.heuristic_seconds"
+
+let h_exact = Obs.Metrics.histogram "bench.rd.exact_seconds"
+
+let c_instances = Obs.Metrics.counter "bench.rd.instances"
+
+let c_tasks = Obs.Metrics.counter "bench.rd.tasks"
+
+let c_lb = Obs.Metrics.counter "bench.rd.lb_total"
+
+let c_bb_nodes = Obs.Metrics.counter "bench.rd.bb_nodes"
+
+let c_exact_optimal = Obs.Metrics.counter "bench.rd.exact_optimal"
+
+let round_counter alg = Obs.Metrics.counter ("bench.rd.rounds." ^ alg)
+
+let g_bands_over_lb = Obs.Metrics.gauge "bench.rd.bands_over_lb"
+
+(* ---------- the instance families ---------- *)
+
+let span prng ~edges =
+  let a = Util.Prng.int prng edges in
+  let b = Util.Prng.int prng edges in
+  (min a b, max a b)
+
+(* Power-of-two demand classes on a flat profile: the bands solver's home
+   turf (each class packs [floor(b / 2^k)] surrogate levels per round). *)
+let classes_instance seed =
+  let prng = Util.Prng.create seed in
+  let edges = 8 in
+  let path = Path.create (Array.make edges 32) in
+  let tasks =
+    List.init 12 (fun id ->
+        let first_edge, last_edge = span prng ~edges in
+        let demand = 1 lsl Util.Prng.int prng 5 in
+        Task.make ~id ~first_edge ~last_edge ~demand ~weight:1.0)
+  in
+  Round.Instance.create_exn path tasks
+
+(* Demands just over half capacity: any two overlapping tasks conflict,
+   so the pairwise clique bound is the binding one. *)
+let halfcap_instance seed =
+  let prng = Util.Prng.create (seed + 100) in
+  let edges = 6 in
+  let path = Path.create (Array.make edges 50) in
+  let tasks =
+    List.init 9 (fun id ->
+        let first_edge, last_edge = span prng ~edges in
+        let demand = 26 + Util.Prng.int prng 9 in
+        Task.make ~id ~first_edge ~last_edge ~demand ~weight:1.0)
+  in
+  Round.Instance.create_exn path tasks
+
+(* A staircase profile with tasks pinned near their bottleneck edge. *)
+let staircase_instance seed =
+  let prng = Util.Prng.create (seed + 200) in
+  let caps = [| 8; 16; 32; 64 |] in
+  let path = Path.create caps in
+  let tasks =
+    List.init 10 (fun id ->
+        let first_edge = Util.Prng.int prng (Array.length caps) in
+        let last_edge =
+          min (Array.length caps - 1) (first_edge + Util.Prng.int prng 2)
+        in
+        let demand = 1 + Util.Prng.int prng caps.(first_edge) in
+        Task.make ~id ~first_edge ~last_edge ~demand ~weight:1.0)
+  in
+  Round.Instance.create_exn path tasks
+
+let instances =
+  List.concat_map
+    (fun seed ->
+      [
+        ("classes", classes_instance seed);
+        ("halfcap", halfcap_instance seed);
+        ("staircase", staircase_instance seed);
+      ])
+    [ 1; 2; 3 ]
+
+(* ---------- the sweep ---------- *)
+
+let heuristics = [ "first-fit"; "next-fit"; "bands" ]
+
+let solver name =
+  match Round.Solvers.find name with
+  | Some s -> s.Round.Solvers.solve
+  | None -> failwith ("rd: unknown round solver " ^ name)
+
+let run () =
+  Bench_util.section "RD  ROUND-SAP packing (heuristics vs exact, vs certified LB)";
+  let totals = Hashtbl.create 8 in
+  let add alg k =
+    Hashtbl.replace totals alg (k + Option.value ~default:0 (Hashtbl.find_opt totals alg))
+  in
+  let n_tasks = ref 0 and lb_total = ref 0 in
+  let bb_nodes = ref 0 and exact_optimal = ref 0 in
+  let heuristic_dt = ref 0.0 and exact_dt = ref 0.0 in
+  List.iter
+    (fun (family, inst) ->
+      n_tasks := !n_tasks + Round.Instance.task_count inst;
+      let lb = Round.Lower_bound.certified inst in
+      lb_total := !lb_total + lb;
+      List.iter
+        (fun alg ->
+          let rounds, dt = Bench_util.timed (fun () -> solver alg inst) in
+          heuristic_dt := !heuristic_dt +. dt;
+          (match Round.Checker.check inst rounds with
+          | Ok () -> ()
+          | Error m ->
+              failwith (Printf.sprintf "rd: %s infeasible on %s: %s" alg family m));
+          let k = List.length rounds in
+          if k < lb then
+            failwith
+              (Printf.sprintf "rd: %s packed %s below the certified bound (%d < %d)"
+                 alg family k lb);
+          add alg k)
+        heuristics;
+      let out, dt = Bench_util.timed (fun () -> Round.Exact.solve inst) in
+      exact_dt := !exact_dt +. dt;
+      Round.Checker.expect_ok (Round.Checker.check inst out.Round.Exact.rounds);
+      if not out.Round.Exact.optimal then
+        failwith (Printf.sprintf "rd: exact search ran out of budget on %s" family);
+      incr exact_optimal;
+      bb_nodes := !bb_nodes + out.Round.Exact.nodes;
+      add "exact" out.Round.Exact.value)
+    instances;
+  let total alg = Option.value ~default:0 (Hashtbl.find_opt totals alg) in
+  (* The invariants the lab gate enforces, asserted in-scenario so the
+     bench fails loudly rather than committing a regressed baseline. *)
+  if total "bands" > total "first-fit" then
+    failwith
+      (Printf.sprintf "rd: bands used %d rounds vs first-fit's %d on the sweep"
+         (total "bands") (total "first-fit"));
+  List.iter
+    (fun alg ->
+      if total "exact" > total alg then
+        failwith
+          (Printf.sprintf "rd: exact (%d rounds) beaten by %s (%d)"
+             (total "exact") alg (total alg)))
+    heuristics;
+  Obs.Metrics.add c_instances (List.length instances);
+  Obs.Metrics.add c_tasks !n_tasks;
+  Obs.Metrics.add c_lb !lb_total;
+  Obs.Metrics.add c_bb_nodes !bb_nodes;
+  Obs.Metrics.add c_exact_optimal !exact_optimal;
+  List.iter
+    (fun alg -> Obs.Metrics.add (round_counter alg) (total alg))
+    ("exact" :: heuristics);
+  Obs.Metrics.observe h_heuristic !heuristic_dt;
+  Obs.Metrics.observe h_exact !exact_dt;
+  Obs.Metrics.set g_bands_over_lb
+    (float_of_int (total "bands") /. float_of_int !lb_total);
+  Util.Table.print
+    ~header:[ "alg"; "instances"; "rounds"; "lb"; "rounds/lb"; "seconds" ]
+    (List.map
+       (fun alg ->
+         [
+           alg;
+           string_of_int (List.length instances);
+           string_of_int (total alg);
+           string_of_int !lb_total;
+           Util.Table.float_cell
+             (float_of_int (total alg) /. float_of_int !lb_total);
+           Util.Table.float_cell
+             (if alg = "exact" then !exact_dt else !heuristic_dt);
+         ])
+       ("exact" :: heuristics));
+  Printf.printf
+    "\n%d instances, %d tasks: exact optimal on all (%d B&B nodes)\n%!"
+    (List.length instances) !n_tasks !bb_nodes

@@ -158,8 +158,8 @@ let run () =
     List.map
       (fun (path, tasks) ->
         let key =
-          Fingerprint.solve_key ~algorithm:params.Proto.algorithm
-            ~seed:params.Proto.seed path tasks
+          Fingerprint.solve_key ~problem:"sap"
+            ~algorithm:params.Proto.algorithm ~seed:params.Proto.seed path tasks
         in
         match Router.owner_for router ~key with
         | Some o -> o

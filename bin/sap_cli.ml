@@ -1082,6 +1082,106 @@ let lab_worst_cmd report_file top =
           Printf.eprintf "error: %s: not a sap-ratio v1 report\n" report_file;
           2)
 
+(* ---------- round ---------- *)
+
+let read_round_instance file =
+  match Sap_io.Instance_io.round_instance_of_string (read_text_file file) with
+  | Error m ->
+      Printf.eprintf "error: %s: %s\n" file m;
+      exit 2
+  | Ok (path, tasks) -> (
+      match Round.Instance.create path tasks with
+      | Ok inst -> inst
+      | Error m ->
+          Printf.eprintf "error: %s: %s\n" file m;
+          exit 2)
+
+let round_gen_cmd dir seed variants =
+  let t = Lab.Corpus.generate_round ~dir ~seed ~variants () in
+  Printf.printf "wrote %d round instances (%d families, seed %d) + %s to %s\n"
+    (List.length t.Lab.Corpus.entries)
+    (List.length Lab.Corpus.round_families)
+    seed Lab.Corpus.manifest_file dir;
+  0
+
+let round_solve_cmd input algorithm output quiet =
+  let inst = read_round_instance input in
+  match Round.Solvers.find algorithm with
+  | None ->
+      Printf.eprintf "error: unknown round algorithm %S (have: %s)\n" algorithm
+        (String.concat ", " Round.Solvers.names);
+      2
+  | Some s ->
+      let t0 = Obs.Clock.monotonic_seconds () in
+      let rounds = s.Round.Solvers.solve inst in
+      let dt = (Obs.Clock.monotonic_seconds () -. t0) *. 1000.0 in
+      (match Round.Checker.check inst rounds with
+      | Error m ->
+          Printf.eprintf "error: %s produced an infeasible packing: %s\n"
+            algorithm m;
+          1
+      | Ok () ->
+          if not quiet then
+            Printf.printf
+              "%s: %d tasks into %d rounds (certified LB %d) in %.1f ms\n"
+              algorithm
+              (Round.Instance.task_count inst)
+              (List.length rounds)
+              (Round.Lower_bound.certified inst)
+              dt;
+          output_string_to output
+            (Sap_io.Instance_io.round_solution_to_string rounds);
+          0)
+
+let round_check_cmd input solution_file =
+  let inst = read_round_instance input in
+  match
+    Sap_io.Instance_io.round_solution_of_string
+      ~tasks:inst.Round.Instance.tasks
+      (read_text_file solution_file)
+  with
+  | Error m ->
+      Printf.eprintf "error: %s: %s\n" solution_file m;
+      exit 2
+  | Ok rounds -> (
+      match Round.Checker.check inst rounds with
+      | Ok () ->
+          Printf.printf "OK: %d tasks packed into %d rounds\n"
+            (Round.Instance.task_count inst)
+            (List.length rounds);
+          0
+      | Error m ->
+          Printf.printf "INFEASIBLE: %s\n" m;
+          1)
+
+let round_lab_cmd dir output max_nodes gate quiet =
+  match Lab.Corpus.load ~dir with
+  | Error m ->
+      Printf.eprintf "error: %s: %s\n" dir m;
+      2
+  | Ok corpus ->
+      Obs.Metrics.enable ();
+      let report = Lab.Round_lab.run ?max_nodes corpus in
+      if not quiet then Format.printf "%a" Lab.Round_lab.pp_summary report;
+      (match output with
+      | None -> ()
+      | Some file -> (
+          try
+            Sap_io.Instance_io.write_file file
+              (Obs.Json.to_string_pretty (Lab.Round_lab.report_json report)
+              ^ "\n")
+          with Sys_error m ->
+            Printf.eprintf "error: cannot write round report: %s\n" m;
+            exit 2));
+      if gate then
+        match Lab.Round_lab.gate_failures report with
+        | [] -> 0
+        | fails ->
+            Printf.printf "round lab: GATE FAILED (%s)\n"
+              (String.concat "; " fails);
+            1
+      else 0
+
 (* ---------- cmdliner plumbing ---------- *)
 
 open Cmdliner
@@ -1607,6 +1707,88 @@ let lab_cmd =
         lab_worst_term;
     ]
 
+let round_gen_term =
+  let dir =
+    Arg.(required & opt (some string) None
+         & info [ "dir" ] ~doc:"Corpus directory (created if missing).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Corpus PRNG seed.") in
+  let variants =
+    Arg.(value & opt int 3 & info [ "variants" ] ~doc:"Instances per family.")
+  in
+  Term.(const round_gen_cmd $ dir $ seed $ variants)
+
+let round_solve_term =
+  let algorithm =
+    Arg.(value & opt string "bands"
+         & info [ "a"; "algorithm" ]
+             ~doc:"first-fit | next-fit | bands | exact")
+  in
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ]
+             ~doc:"Write the round-solution v1 here (default: stdout).")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No summary line.") in
+  Term.(const round_solve_cmd $ input_arg $ algorithm $ output $ quiet)
+
+let round_check_term =
+  let sol =
+    Arg.(required & opt (some string) None
+         & info [ "s"; "solution" ] ~doc:"A round-solution v1 file.")
+  in
+  Term.(const round_check_cmd $ input_arg $ sol)
+
+let round_lab_term =
+  let corpus =
+    Arg.(required & opt (some string) None
+         & info [ "corpus" ] ~doc:"Corpus directory holding a manifest.txt.")
+  in
+  let output =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ]
+             ~doc:"Write the round-report v1 JSON here.")
+  in
+  let max_nodes =
+    Arg.(value & opt (some int) None
+         & info [ "max-nodes" ]
+             ~doc:"Branch-and-bound node budget per oracle solve; past it the \
+                   row's bound degrades from exact to certified.")
+  in
+  let gate =
+    Arg.(value & flag
+         & info [ "gate" ]
+             ~doc:"Exit 1 when any solver goes below the certified lower \
+                   bound (or packs infeasibly), the branch and bound \
+                   disagrees with the brute oracle, or bands beats first-fit \
+                   on no family.")
+  in
+  let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"No summary table.") in
+  Term.(const round_lab_cmd $ corpus $ output $ max_nodes $ gate $ quiet)
+
+let round_cmd =
+  Cmd.group
+    (Cmd.info "round"
+       ~doc:"ROUND-SAP: pack every task into the minimum number of capacity \
+             rounds (the second problem on the shared substrate)")
+    [
+      Cmd.v
+        (Cmd.info "gen" ~doc:"Generate the deterministic round corpus")
+        round_gen_term;
+      Cmd.v
+        (Cmd.info "solve"
+           ~doc:"Solve one round-instance v1 file; print or write the packing")
+        round_solve_term;
+      Cmd.v
+        (Cmd.info "check" ~doc:"Verify a round-solution against its instance")
+        round_check_term;
+      Cmd.v
+        (Cmd.info "lab"
+           ~doc:"Measure every round solver against the certified lower bound \
+                 over a corpus")
+        round_lab_term;
+    ]
+
 let cmds =
   [
     Cmd.v (Cmd.info "gen" ~doc:"Generate a random instance") gen_term;
@@ -1643,6 +1825,7 @@ let cmds =
          ~doc:"Compare two stats reports metric-by-metric; exit 1 on regression")
       bench_diff_term;
     lab_cmd;
+    round_cmd;
   ]
 
 let () =

@@ -1,10 +1,27 @@
 module Task = Core.Task
 module Path = Core.Path
 
+let check_height_limit height_limit =
+  if height_limit < 0 then
+    invalid_arg
+      (Printf.sprintf "First_fit: negative height_limit %d" height_limit)
+
+(* Task.make already rejects non-positive demands, but first-fit's
+   correctness (candidate positions = tops of placed tasks) silently
+   assumes it: a zero-demand task would "conflict" with nothing and
+   stack infinitely.  Guard here so a future non-private constructor
+   cannot re-open the hole. *)
+let check_task (j : Task.t) =
+  if j.Task.demand <= 0 then
+    invalid_arg
+      (Printf.sprintf "First_fit: task %d has non-positive demand %d" j.Task.id
+         j.Task.demand)
+
 let conflicts (j : Task.t) p ((i : Task.t), hi) =
   Task.overlaps j i && p < hi + i.Task.demand && hi < p + j.Task.demand
 
 let lowest_position path ~height_limit placed (j : Task.t) =
+  check_task j;
   let ceiling = min (Path.bottleneck_of path j) height_limit in
   let overlapping = List.filter (fun (i, _) -> Task.overlaps j i) placed in
   let candidates =
@@ -15,7 +32,12 @@ let lowest_position path ~height_limit placed (j : Task.t) =
     (fun p -> p + j.Task.demand <= ceiling && not (List.exists (conflicts j p) overlapping))
     candidates
 
+let insert path ?(height_limit = max_int) placed j =
+  check_height_limit height_limit;
+  lowest_position path ~height_limit placed j
+
 let pack_in_order path ?(height_limit = max_int) ts =
+  check_height_limit height_limit;
   let rec go placed dropped = function
     | [] -> (List.rev placed, List.rev dropped)
     | j :: rest -> (

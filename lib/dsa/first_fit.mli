@@ -4,7 +4,14 @@
     id) and placed at the lowest height that conflicts with no already
     placed task and respects every capacity on the task's path, optionally
     clipped by a uniform [height_limit].  Tasks with no feasible position
-    are returned unplaced. *)
+    are returned unplaced.
+
+    Edge cases are explicit: a negative [height_limit] raises
+    [Invalid_argument] (it is a caller bug, not an empty packing), as does
+    a non-positive demand (unconstructible via {!Core.Task.make}, but the
+    candidate-position sweep silently depends on it).  [height_limit = 0],
+    tasks with [demand = capacity] (placed only at height 0), and
+    single-point spans ([first_edge = last_edge]) are all well-defined. *)
 
 val pack :
   Core.Path.t ->
@@ -21,3 +28,14 @@ val pack_in_order :
   Core.Solution.sap * Core.Task.t list
 (** Same, but respects the given list order (used by the retry passes of
     {!Strip_transform}, which order by weight). *)
+
+val insert :
+  Core.Path.t ->
+  ?height_limit:int ->
+  Core.Solution.sap ->
+  Core.Task.t ->
+  int option
+(** Lowest feasible height for one task against an already placed set,
+    moving nothing: the incremental step [pack_in_order] iterates, exposed
+    so round packers (ROUND-SAP first-fit over rounds) can probe "does this
+    task fit in this round as-is".  [None] when no height works. *)

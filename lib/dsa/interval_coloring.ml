@@ -5,6 +5,11 @@ let color ts =
   | [] -> ()
   | j :: rest ->
       let d = j.Task.demand in
+      if d <= 0 then
+        invalid_arg
+          (Printf.sprintf
+             "Interval_coloring.color: non-positive demand %d (task %d)" d
+             j.Task.id);
       if List.exists (fun (i : Task.t) -> i.Task.demand <> d) rest then
         invalid_arg "Interval_coloring.color: demands not uniform");
   let by_start =

@@ -7,8 +7,12 @@
     special case the paper's related work (Sect. 1.1) starts from. *)
 
 val color : Core.Task.t list -> (Core.Task.t * int) list
-(** Requires all demands equal (raises [Invalid_argument] otherwise).
-    Returns each task with its color in [0 .. chi-1]. *)
+(** Requires all demands equal and positive (raises [Invalid_argument]
+    otherwise — a zero demand would make every height collide at color
+    boundaries in {!to_sap}).  Returns each task with its color in
+    [0 .. chi-1].  Single-point spans ([first_edge = last_edge]) are
+    ordinary intervals: expiry is strict ([last < first]), so two tasks
+    meeting at one edge still conflict, matching {!Core.Task.overlaps}. *)
 
 val to_sap : Core.Task.t list -> Core.Solution.sap
 (** Heights [color * d]; makespan equals the max load, i.e. optimal. *)

@@ -1,9 +1,9 @@
 module Task = Core.Task
 module Path = Core.Path
 
-let instance_to_string path tasks =
+let instance_to_string_as ~header path tasks =
   let buf = Buffer.create 256 in
-  Buffer.add_string buf "sap-instance v1\n";
+  Buffer.add_string buf (header ^ "\n");
   Buffer.add_string buf "capacities";
   Array.iter (fun c -> Buffer.add_string buf (" " ^ string_of_int c)) (Path.capacities path);
   Buffer.add_char buf '\n';
@@ -14,6 +14,9 @@ let instance_to_string path tasks =
            j.Task.last_edge j.Task.demand j.Task.weight))
     tasks;
   Buffer.contents buf
+
+let instance_to_string path tasks =
+  instance_to_string_as ~header:"sap-instance v1" path tasks
 
 let solution_to_string sol =
   let buf = Buffer.create 128 in
@@ -48,12 +51,12 @@ let rec map_result f = function
       let* ys = map_result f rest in
       Ok (y :: ys)
 
-let instance_of_string s =
+let instance_of_string_as ~header:expected s =
   match meaningful_lines s with
   | [] -> Error "empty input"
   | header :: rest ->
       let* () =
-        if String.trim header = "sap-instance v1" then Ok ()
+        if String.trim header = expected then Ok ()
         else Error (Printf.sprintf "bad header %S" header)
       in
       let* caps_line, task_lines =
@@ -90,6 +93,81 @@ let instance_of_string s =
         else Error "task leaves the path"
       in
       Ok (path, tasks)
+
+let instance_of_string s = instance_of_string_as ~header:"sap-instance v1" s
+
+(* ---------- round instances / solutions ---------- *)
+
+(* The round-instance carrier is deliberately isomorphic to
+   sap-instance: only the header differs, so every generator, pretty
+   printer and fuzzer transfers.  Validation beyond shape (unique ids,
+   fits-alone) lives in Round.Instance.create, exactly as Path/Task
+   validation lives in Core here. *)
+
+let round_instance_to_string path tasks =
+  instance_to_string_as ~header:"round-instance v1" path tasks
+
+let round_instance_of_string s =
+  instance_of_string_as ~header:"round-instance v1" s
+
+let round_solution_to_string rounds =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "round-solution v1\n";
+  Buffer.add_string buf (Printf.sprintf "rounds %d\n" (List.length rounds));
+  List.iteri
+    (fun r sol ->
+      List.iter
+        (fun ((j : Task.t), h) ->
+          Buffer.add_string buf (Printf.sprintf "place %d %d %d\n" j.Task.id r h))
+        (Core.Solution.sort_by_id sol))
+    rounds;
+  Buffer.contents buf
+
+let round_solution_of_string ~tasks s =
+  let by_id = Hashtbl.create 32 in
+  List.iter (fun (j : Task.t) -> Hashtbl.replace by_id j.Task.id j) tasks;
+  match meaningful_lines s with
+  | [] -> Error "empty input"
+  | header :: rest ->
+      let* () =
+        if String.trim header = "round-solution v1" then Ok ()
+        else Error (Printf.sprintf "bad header %S" header)
+      in
+      let* count_line, place_lines =
+        match rest with
+        | c :: p -> Ok (c, p)
+        | [] -> Error "missing rounds line"
+      in
+      let* n =
+        match String.split_on_char ' ' count_line |> List.filter (( <> ) "") with
+        | [ "rounds"; n ] -> parse_int "round count" n
+        | _ -> Error (Printf.sprintf "malformed rounds line %S" count_line)
+      in
+      let* () =
+        if n >= 0 then Ok () else Error "negative round count"
+      in
+      let parse_place line =
+        match String.split_on_char ' ' line |> List.filter (( <> ) "") with
+        | [ "place"; id; r; h ] ->
+            let* id = parse_int "task id" id in
+            let* r = parse_int "round" r in
+            let* h = parse_int "height" h in
+            let* j =
+              match Hashtbl.find_opt by_id id with
+              | Some j -> Ok j
+              | None -> Error (Printf.sprintf "unknown task id %d" id)
+            in
+            let* () =
+              if r >= 0 && r < n then Ok ()
+              else Error (Printf.sprintf "round %d out of range [0, %d)" r n)
+            in
+            Ok (j, r, h)
+        | _ -> Error (Printf.sprintf "malformed place line %S" line)
+      in
+      let* places = map_result parse_place place_lines in
+      let buckets = Array.make n [] in
+      List.iter (fun (j, r, h) -> buckets.(r) <- (j, h) :: buckets.(r)) places;
+      Ok (Array.to_list (Array.map List.rev buckets))
 
 let solution_of_string ~tasks s =
   let by_id = Hashtbl.create 32 in

@@ -45,6 +45,41 @@ val ring_to_string : Core.Ring.t -> string
 
 val ring_of_string : string -> (Core.Ring.t, string) result
 
+val round_instance_to_string : Core.Path.t -> Core.Task.t list -> string
+(** ROUND-SAP instances are carrier-isomorphic to [sap-instance v1] —
+    only the header differs, declaring the all-tasks-mandatory
+    minimum-rounds objective:
+
+    {v
+    round-instance v1
+    capacities 5 10 10 5
+    task <id> <first_edge> <last_edge> <demand> <weight>
+    ...
+    v}
+
+    Semantic validation (unique ids, every task fits alone) lives in
+    [Round.Instance.create]; this layer only checks shape, like
+    everything else here. *)
+
+val round_instance_of_string :
+  string -> (Core.Path.t * Core.Task.t list, string) result
+
+val round_solution_to_string : Core.Solution.sap list -> string
+(** {v
+    round-solution v1
+    rounds <n>
+    place <task_id> <round> <height>
+    ...
+    v} *)
+
+val round_solution_of_string :
+  tasks:Core.Task.t list ->
+  string ->
+  (Core.Solution.sap list, string) result
+(** Reconstructs exactly [rounds n] rounds (possibly empty lists if a
+    round index is unused — the round checker rejects those).  Unknown
+    task ids and out-of-range round indices are errors. *)
+
 val write_file : string -> string -> unit
 
 val read_file : string -> string

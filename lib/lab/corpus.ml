@@ -7,7 +7,7 @@ let version = "sap-corpus v1"
 
 let manifest_file = "manifest.txt"
 
-type kind = Path_kind | Ring_kind
+type kind = Path_kind | Ring_kind | Round_kind
 
 type entry = { file : string; kind : kind; family : string }
 
@@ -16,12 +16,17 @@ type t = { dir : string; seed : int; entries : entry list }
 type instance =
   | Path_instance of Path.t * Task.t list
   | Ring_instance of Ring.t
+  | Round_instance of Round.Instance.t
 
-let kind_to_string = function Path_kind -> "path" | Ring_kind -> "ring"
+let kind_to_string = function
+  | Path_kind -> "path"
+  | Ring_kind -> "ring"
+  | Round_kind -> "round"
 
 let kind_of_string = function
   | "path" -> Ok Path_kind
   | "ring" -> Ok Ring_kind
+  | "round" -> Ok Round_kind
   | s -> Error (Printf.sprintf "unknown instance kind %S" s)
 
 (* ---------- the families ---------- *)
@@ -104,6 +109,61 @@ let gen_path family prng =
       (path, Gen.Workloads.mixed_tasks ~prng ~path ~n:40 ())
   | f -> invalid_arg (Printf.sprintf "Lab.Corpus: unknown path family %S" f)
 
+(* ---------- round families ----------
+
+   ROUND-SAP instances: every task is mandatory, so generators must only
+   emit tasks that fit alone (d <= b(j)) — Round.Instance.create rejects
+   anything else at read time.  Families are chosen to exercise each
+   solver's regime: uniform demands (interval coloring's optimum),
+   power-of-two classes (the bands transform is lossless), just-over-half
+   capacity demands (the pairwise bound certifies ratio 1), staircase
+   bottlenecks (the "tight" subgroup), and a tiny family sized under
+   Round.Exact.task_cap so the lab gate can cross-check the
+   branch-and-bound against the partition brute force. *)
+
+let round_task prng ~path ~id ~demand_of =
+  let edges = Path.num_edges path in
+  let first_edge, last_edge =
+    Gen.Workloads.random_span ~prng ~edges ~max_span:edges
+  in
+  let b = Path.bottleneck path ~first:first_edge ~last:last_edge in
+  let weight = 1.0 +. Prng.float prng 99.0 in
+  Task.make ~id ~first_edge ~last_edge ~demand:(demand_of b) ~weight
+
+let round_tasks prng ~path ~n ~demand_of =
+  List.init n (fun id -> round_task prng ~path ~id ~demand_of)
+
+let gen_round family prng =
+  match family with
+  | "round-uniform" ->
+      let path = Gen.Profiles.uniform ~edges:6 ~capacity:12 in
+      (path, round_tasks prng ~path ~n:10 ~demand_of:(fun _ -> 3))
+  | "round-classes" ->
+      let path = Gen.Profiles.uniform ~edges:7 ~capacity:16 in
+      let classes = [| 1; 2; 4; 8 |] in
+      ( path,
+        round_tasks prng ~path ~n:12 ~demand_of:(fun _ ->
+            classes.(Prng.int prng (Array.length classes))) )
+  | "round-halfcap" ->
+      let path = Gen.Profiles.uniform ~edges:6 ~capacity:11 in
+      ( path,
+        round_tasks prng ~path ~n:8 ~demand_of:(fun b ->
+            (b / 2) + 1 + Prng.int prng (b - (b / 2))) )
+  | "round-staircase" ->
+      let path =
+        Gen.Profiles.staircase ~edges:8 ~steps:3 ~base:(Prng.int_in prng 4 6)
+      in
+      ( path,
+        round_tasks prng ~path ~n:10 ~demand_of:(fun b -> 1 + Prng.int prng b) )
+  | "round-tiny" ->
+      let path =
+        Gen.Profiles.uniform ~edges:5 ~capacity:(Prng.int_in prng 6 10)
+      in
+      ( path,
+        round_tasks prng ~path ~n:(Prng.int_in prng 3 6)
+          ~demand_of:(fun b -> 1 + Prng.int prng b) )
+  | f -> invalid_arg (Printf.sprintf "Lab.Corpus: unknown round family %S" f)
+
 let gen_ring family prng =
   match family with
   | "ring-uniform" ->
@@ -126,11 +186,21 @@ let families =
     ("ring-cut", Path_kind);
     ("bb-stress", Path_kind);
     ("ring-uniform", Ring_kind);
+    ("round-uniform", Round_kind);
+    ("round-classes", Round_kind);
+    ("round-halfcap", Round_kind);
+    ("round-staircase", Round_kind);
+    ("round-tiny", Round_kind);
   ]
 
 let path_families =
   List.filter_map
-    (fun (f, k) -> match k with Path_kind -> Some f | Ring_kind -> None)
+    (fun (f, k) -> match k with Path_kind -> Some f | _ -> None)
+    families
+
+let round_families =
+  List.filter_map
+    (fun (f, k) -> match k with Round_kind -> Some f | _ -> None)
     families
 
 (* ---------- manifest ---------- *)
@@ -197,30 +267,45 @@ let rec mkdir_p dir =
     try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
   end
 
-let generate ~dir ~seed ?(variants = 3) () =
+(* The per-family prng seed depends on the family's position in
+   [families], so appending new families never reshuffles the instances
+   existing corpora were generated from. *)
+let generate_families ~dir ~seed ~variants selected =
   mkdir_p dir;
   let entries = ref [] in
   List.iteri
     (fun fi (family, kind) ->
-      for k = 0 to variants - 1 do
-        let prng = Prng.create ((seed * 10007) + (fi * 101) + k) in
-        let file = Printf.sprintf "%s-%d.inst" family k in
-        let contents =
-          match kind with
-          | Path_kind ->
-              let path, tasks = gen_path family prng in
-              Sap_io.Instance_io.instance_to_string path tasks
-          | Ring_kind -> Sap_io.Instance_io.ring_to_string (gen_ring family prng)
-        in
-        Sap_io.Instance_io.write_file (Filename.concat dir file) contents;
-        entries := { file; kind; family } :: !entries
-      done)
+      if List.mem_assoc family selected then
+        for k = 0 to variants - 1 do
+          let prng = Prng.create ((seed * 10007) + (fi * 101) + k) in
+          let file = Printf.sprintf "%s-%d.inst" family k in
+          let contents =
+            match kind with
+            | Path_kind ->
+                let path, tasks = gen_path family prng in
+                Sap_io.Instance_io.instance_to_string path tasks
+            | Ring_kind ->
+                Sap_io.Instance_io.ring_to_string (gen_ring family prng)
+            | Round_kind ->
+                let path, tasks = gen_round family prng in
+                Sap_io.Instance_io.round_instance_to_string path tasks
+          in
+          Sap_io.Instance_io.write_file (Filename.concat dir file) contents;
+          entries := { file; kind; family } :: !entries
+        done)
     families;
   let t = { dir; seed; entries = List.rev !entries } in
   Sap_io.Instance_io.write_file
     (Filename.concat dir manifest_file)
     (manifest_to_string t);
   t
+
+let generate ~dir ~seed ?(variants = 3) () =
+  generate_families ~dir ~seed ~variants families
+
+let generate_round ~dir ~seed ?(variants = 3) () =
+  generate_families ~dir ~seed ~variants
+    (List.filter (fun (_, k) -> k = Round_kind) families)
 
 (* ---------- churn traces ---------- *)
 
@@ -449,3 +534,7 @@ let read t entry =
   | Ring_kind ->
       let* r = Sap_io.Instance_io.ring_of_string contents in
       Ok (Ring_instance r)
+  | Round_kind ->
+      let* path, tasks = Sap_io.Instance_io.round_instance_of_string contents in
+      let* inst = Round.Instance.create path tasks in
+      Ok (Round_instance inst)

@@ -26,7 +26,7 @@ val version : string
 val manifest_file : string
 (** ["manifest.txt"]. *)
 
-type kind = Path_kind | Ring_kind
+type kind = Path_kind | Ring_kind | Round_kind
 
 type entry = { file : string; kind : kind; family : string }
 
@@ -35,6 +35,7 @@ type t = { dir : string; seed : int; entries : entry list }
 type instance =
   | Path_instance of Core.Path.t * Core.Task.t list
   | Ring_instance of Core.Ring.t
+  | Round_instance of Round.Instance.t
 
 val families : (string * kind) list
 (** Every family the generator knows, with its instance kind. *)
@@ -42,6 +43,14 @@ val families : (string * kind) list
 val path_families : string list
 (** The path-kind families, in [families] order — the task-mix profiles
     the load generator can draw from. *)
+
+val round_families : string list
+(** The ROUND-SAP families ([round-instance v1] carriers, kind [round]):
+    uniform demands, power-of-two classes, just-over-half-capacity
+    demands, staircase bottlenecks, and a tiny family sized under
+    [Round.Exact.task_cap] for brute-force cross-checks.  Generators only
+    emit tasks that fit alone — mandatory tasks that fit nowhere would
+    make the instance unreadable ([Round.Instance.create] rejects it). *)
 
 val sample_path :
   family:string -> prng:Util.Prng.t -> Core.Path.t * Core.Task.t list
@@ -52,7 +61,13 @@ val sample_path :
 val generate : dir:string -> seed:int -> ?variants:int -> unit -> t
 (** [generate ~dir ~seed ()] creates the directory (and parents) if
     needed, writes [variants] (default 3) instances per family plus the
-    manifest, and returns the corpus. *)
+    manifest, and returns the corpus.  Per-family prng seeds depend on
+    the family's position in {!families}, so appending families never
+    changes the instances existing corpora were generated from. *)
+
+val generate_round : dir:string -> seed:int -> ?variants:int -> unit -> t
+(** [generate] restricted to the round families — what [sap_cli round
+    lab gen] writes and the committed round corpus is built from. *)
 
 (** {1 Churn traces}
 

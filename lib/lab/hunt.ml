@@ -173,6 +173,11 @@ let evaluate ~alg ~max_nodes instance =
           opt,
           w,
           out.Exact_bb.ring_nodes )
+    | Corpus.Round_instance _ ->
+        (* The hunt maximizes weight ratios against a max-weight oracle;
+           ROUND-SAP's min-rounds objective needs its own mutation set
+           and scoring before it can be hunted. *)
+        invalid_arg (Printf.sprintf "Lab.Hunt: cannot hunt round instances (alg %s)" alg)
   in
   let _, exact, _, _, _ = r in
   if exact then Obs.Metrics.incr c_exact else Obs.Metrics.incr c_lp;
@@ -183,6 +188,9 @@ let evaluate ~alg ~max_nodes instance =
 let instance_key = function
   | Corpus.Path_instance (p, ts) -> Sap_io.Instance_io.instance_to_string p ts
   | Corpus.Ring_instance r -> Sap_io.Instance_io.ring_to_string r
+  | Corpus.Round_instance i ->
+      Sap_io.Instance_io.round_instance_to_string i.Round.Instance.path
+        i.Round.Instance.tasks
 
 let compare_scored a b =
   (* Ratio-descending with a deterministic tiebreak, so elitism and the
@@ -273,6 +281,7 @@ let run ?pool config =
               Option.map
                 (fun r' -> Corpus.Ring_instance r')
                 (Perturb.mutate_ring ~prng ~max_tasks:config.max_tasks op r)
+          | Corpus.Round_instance _ -> None
         in
         match mutant with
         | Some inst -> Some (Perturb.op_name op, inst)
@@ -357,6 +366,8 @@ let instance_dims = function
   | Corpus.Path_instance (p, ts) -> (Path.num_edges p, List.length ts, "path")
   | Corpus.Ring_instance r ->
       (Ring.num_edges r, Array.length r.Ring.tasks, "ring")
+  | Corpus.Round_instance i ->
+      (Path.num_edges i.Round.Instance.path, Round.Instance.task_count i, "round")
 
 let scored_json rank s =
   let edges, tasks, kind = instance_dims s.instance in

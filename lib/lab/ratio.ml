@@ -39,11 +39,22 @@ type summary_row = {
   worst_file : string option;
 }
 
+type family_row = {
+  f_family : string;
+  f_alg : string;
+  f_count : int;
+  f_max_ratio : float option;
+  f_mean_ratio : float option;
+  f_exact_opts : int;
+  f_violations : int;
+}
+
 type report = {
   corpus_dir : string;
   corpus_seed : int;
   measurements : measurement list;
   summaries : summary_row list;
+  families : family_row list;
   violations : int;
   disagreements : int;
 }
@@ -270,6 +281,54 @@ let summarise measurements =
       })
     algs
 
+let family_rows measurements =
+  let distinct key ms =
+    List.fold_left
+      (fun acc m -> if List.mem (key m) acc then acc else acc @ [ key m ])
+      [] ms
+  in
+  List.concat_map
+    (fun family ->
+      let fam = List.filter (fun m -> m.family = family) measurements in
+      List.map
+        (fun alg ->
+          let ms = List.filter (fun m -> m.alg = alg) fam in
+          (* Same discipline as [summarise]: only exact-oracle rows feed
+             the ratio statistics. *)
+          let ratios =
+            List.filter_map
+              (fun m ->
+                match (m.bound_kind, m.ratio) with
+                | Exact_opt, Some r -> Some r
+                | _ -> None)
+              ms
+          in
+          {
+            f_family = family;
+            f_alg = alg;
+            f_count = List.length ms;
+            f_max_ratio =
+              List.fold_left
+                (fun acc r ->
+                  match acc with
+                  | Some a -> Some (Float.max a r)
+                  | None -> Some r)
+                None ratios;
+            f_mean_ratio =
+              (match ratios with
+              | [] -> None
+              | _ ->
+                  Some
+                    (List.fold_left ( +. ) 0.0 ratios
+                    /. float_of_int (List.length ratios)));
+            f_exact_opts =
+              List.length (List.filter (fun m -> m.bound_kind = Exact_opt) ms);
+            f_violations =
+              List.length (List.filter (fun m -> not m.within_bound) ms);
+          })
+        (distinct (fun m -> m.alg) fam))
+    (distinct (fun m -> m.family) measurements)
+
 let run ?max_nodes ?pool (t : Corpus.t) =
   Obs.Trace.with_span "lab.ratio.run"
     ~attrs:[ ("corpus", t.Corpus.dir) ]
@@ -284,7 +343,11 @@ let run ?max_nodes ?pool (t : Corpus.t) =
                  entry.Corpus.file msg)
         | Ok (Corpus.Path_instance (path, tasks)) ->
             run_path_entry ?max_nodes ?pool t entry path tasks
-        | Ok (Corpus.Ring_instance r) -> run_ring_entry ?max_nodes entry r)
+        | Ok (Corpus.Ring_instance r) -> run_ring_entry ?max_nodes entry r
+        (* ROUND-SAP entries are measured by Round_lab (rounds vs. a
+           lower bound, not weight vs. OPT); in a mixed corpus they are
+           simply not this pipeline's rows. *)
+        | Ok (Corpus.Round_instance _) -> [])
       t.Corpus.entries
   in
   let violations =
@@ -300,6 +363,7 @@ let run ?max_nodes ?pool (t : Corpus.t) =
     corpus_seed = t.Corpus.seed;
     measurements;
     summaries = summarise measurements;
+    families = family_rows measurements;
     violations;
     disagreements;
   }
@@ -341,6 +405,20 @@ let summary_json s =
         match s.worst_file with Some f -> Json.String f | None -> Json.Null );
     ]
 
+let family_json f =
+  Json.Obj
+    [
+      ("family", Json.String f.f_family);
+      ("alg", Json.String f.f_alg);
+      ("count", Json.Int f.f_count);
+      ( "max_ratio",
+        match f.f_max_ratio with Some r -> Json.Float r | None -> Json.Null );
+      ( "mean_ratio",
+        match f.f_mean_ratio with Some r -> Json.Float r | None -> Json.Null );
+      ("exact_opts", Json.Int f.f_exact_opts);
+      ("violations", Json.Int f.f_violations);
+    ]
+
 let report_json r =
   Json.Obj
     [
@@ -362,6 +440,7 @@ let report_json r =
           ] );
       ("measurements", Json.List (List.map measurement_json r.measurements));
       ("summary", Json.List (List.map summary_json r.summaries));
+      ("families", Json.List (List.map family_json r.families));
       ("violations", Json.Int r.violations);
       ("disagreements", Json.Int r.disagreements);
     ]
@@ -381,6 +460,15 @@ let pp_summary ppf r =
         s.exact_opts s.lp_fallbacks
         (Option.value ~default:"-" s.worst_file))
     r.summaries;
+  Format.fprintf ppf "@.%-16s %-8s %5s %9s %9s %5s %4s@." "family" "alg"
+    "count" "max" "mean" "exact" "viol";
+  List.iter
+    (fun f ->
+      let fo = function Some r -> Printf.sprintf "%.4f" r | None -> "-" in
+      Format.fprintf ppf "%-16s %-8s %5d %9s %9s %5d %4d@." f.f_family
+        f.f_alg f.f_count (fo f.f_max_ratio) (fo f.f_mean_ratio)
+        f.f_exact_opts f.f_violations)
+    r.families;
   if r.violations > 0 then
     Format.fprintf ppf "BOUND VIOLATIONS: %d@." r.violations;
   if r.disagreements > 0 then

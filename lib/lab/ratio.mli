@@ -51,11 +51,26 @@ type summary_row = {
           against an over-estimate of OPT) *)
 }
 
+type family_row = {
+  f_family : string;
+  f_alg : string;
+  f_count : int;
+  f_max_ratio : float option;  (** over exact-oracle rows only *)
+  f_mean_ratio : float option;  (** over exact-oracle rows only *)
+  f_exact_opts : int;
+  f_violations : int;
+}
+(** One (corpus family, algorithm) cell of the breakdown — the aggregate
+    summary hides which generator family produced the worst ratios, so
+    the report also carries the full cross-tabulation. *)
+
 type report = {
   corpus_dir : string;
   corpus_seed : int;
   measurements : measurement list;
   summaries : summary_row list;
+  families : family_row list;
+      (** per-(family, alg) breakdown, in first-seen corpus order *)
   violations : int;  (** exact-OPT rows exceeding their proven bound *)
   disagreements : int;  (** brute cross-checks that failed *)
 }

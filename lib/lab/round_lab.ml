@@ -1,0 +1,314 @@
+module Json = Obs.Json
+
+let schema = "round-report v1"
+
+let c_violations = Obs.Metrics.counter "round.lab.violations"
+
+let c_disagreements = Obs.Metrics.counter "round.lab.disagreements"
+
+type measurement = {
+  file : string;
+  family : string;
+  alg : string;
+  tasks : int;
+  rounds : int;
+  lb : int;
+  lb_kind : string;
+  ratio : float option;
+  feasible : bool;
+  bb_agrees : bool option;
+  bb_nodes : int;
+}
+
+type summary_row = {
+  s_alg : string;
+  count : int;
+  max_ratio : float option;
+  mean_ratio : float option;
+  exact_lbs : int;
+  s_violations : int;
+  worst_file : string option;
+}
+
+type family_row = {
+  f_family : string;
+  f_alg : string;
+  f_count : int;
+  f_rounds : int;
+  f_lb : int;
+  f_max_ratio : float option;
+}
+
+type report = {
+  corpus_dir : string;
+  corpus_seed : int;
+  measurements : measurement list;
+  summaries : summary_row list;
+  families : family_row list;
+  violations : int;
+  disagreements : int;
+  bands_competitive : bool;
+}
+
+let violated m = (not m.feasible) || m.rounds < m.lb
+
+(* ---------- one entry ---------- *)
+
+let run_entry ?max_nodes (entry : Corpus.entry) (inst : Round.Instance.t) =
+  let n = Round.Instance.task_count inst in
+  let static_lb = Round.Lower_bound.certified inst in
+  let out = Round.Exact.solve ?max_nodes inst in
+  let lb, lb_kind =
+    if out.Round.Exact.optimal then (out.Round.Exact.value, "exact")
+    else (max static_lb out.Round.Exact.lower_bound, "certified")
+  in
+  let bb_agrees =
+    if out.Round.Exact.optimal && n <= Round.Exact.task_cap then
+      Some (Round.Exact.brute_rounds inst = out.Round.Exact.value)
+    else None
+  in
+  List.map
+    (fun (s : Round.Solvers.t) ->
+      let rounds = s.Round.Solvers.solve inst in
+      let feasible =
+        match Round.Checker.check inst rounds with Ok () -> true | Error _ -> false
+      in
+      let k = List.length rounds in
+      {
+        file = entry.Corpus.file;
+        family = entry.Corpus.family;
+        alg = s.Round.Solvers.name;
+        tasks = n;
+        rounds = k;
+        lb;
+        lb_kind;
+        ratio = (if lb > 0 then Some (float_of_int k /. float_of_int lb) else None);
+        feasible;
+        bb_agrees;
+        bb_nodes = out.Round.Exact.nodes;
+      })
+    Round.Solvers.all
+
+(* ---------- aggregation ---------- *)
+
+let distinct key ms =
+  List.fold_left
+    (fun acc m -> if List.mem (key m) acc then acc else acc @ [ key m ])
+    [] ms
+
+let summarise measurements =
+  List.map
+    (fun alg ->
+      let ms = List.filter (fun m -> m.alg = alg) measurements in
+      let ratios = List.filter_map (fun m -> Option.map (fun r -> (m, r)) m.ratio) ms in
+      let worst =
+        List.fold_left
+          (fun acc (m, r) ->
+            match acc with
+            | Some (_, r') when r' >= r -> acc
+            | _ -> Some (m, r))
+          None ratios
+      in
+      {
+        s_alg = alg;
+        count = List.length ms;
+        max_ratio = Option.map snd worst;
+        mean_ratio =
+          (match ratios with
+          | [] -> None
+          | _ ->
+              Some
+                (List.fold_left (fun a (_, r) -> a +. r) 0.0 ratios
+                /. float_of_int (List.length ratios)));
+        exact_lbs = List.length (List.filter (fun m -> m.lb_kind = "exact") ms);
+        s_violations = List.length (List.filter violated ms);
+        worst_file = Option.map (fun (m, _) -> m.file) worst;
+      })
+    (distinct (fun m -> m.alg) measurements)
+
+let family_rows measurements =
+  List.concat_map
+    (fun family ->
+      let fam = List.filter (fun m -> m.family = family) measurements in
+      List.map
+        (fun alg ->
+          let ms = List.filter (fun m -> m.alg = alg) fam in
+          {
+            f_family = family;
+            f_alg = alg;
+            f_count = List.length ms;
+            f_rounds = List.fold_left (fun a m -> a + m.rounds) 0 ms;
+            f_lb = List.fold_left (fun a m -> a + m.lb) 0 ms;
+            f_max_ratio =
+              List.fold_left
+                (fun acc m ->
+                  match (acc, m.ratio) with
+                  | Some a, Some r -> Some (Float.max a r)
+                  | None, r -> r
+                  | a, None -> a)
+                None ms;
+          })
+        (distinct (fun m -> m.alg) fam))
+    (distinct (fun m -> m.family) measurements)
+
+let bands_competitive families =
+  let totals alg f =
+    List.find_opt (fun r -> r.f_family = f && r.f_alg = alg) families
+  in
+  let fams = distinct (fun r -> r.f_family) families in
+  let comparable =
+    List.filter_map
+      (fun f ->
+        match (totals "bands" f, totals "first-fit" f) with
+        | Some b, Some ff -> Some (b.f_rounds, ff.f_rounds)
+        | _ -> None)
+      fams
+  in
+  comparable = [] || List.exists (fun (b, ff) -> b <= ff) comparable
+
+let run ?max_nodes (t : Corpus.t) =
+  Obs.Trace.with_span "round.lab.run" ~attrs:[ ("corpus", t.Corpus.dir) ]
+  @@ fun () ->
+  let measurements =
+    List.concat_map
+      (fun entry ->
+        match entry.Corpus.kind with
+        | Corpus.Path_kind | Corpus.Ring_kind -> []
+        | Corpus.Round_kind -> (
+            match Corpus.read t entry with
+            | Error msg ->
+                invalid_arg
+                  (Printf.sprintf "Lab.Round_lab: corpus entry %s: %s"
+                     entry.Corpus.file msg)
+            | Ok (Corpus.Round_instance inst) -> run_entry ?max_nodes entry inst
+            | Ok _ ->
+                invalid_arg
+                  (Printf.sprintf
+                     "Lab.Round_lab: entry %s declared round, parsed otherwise"
+                     entry.Corpus.file)))
+      t.Corpus.entries
+  in
+  let violations = List.length (List.filter violated measurements) in
+  let disagreements =
+    List.length (List.filter (fun m -> m.bb_agrees = Some false) measurements)
+  in
+  for _ = 1 to violations do Obs.Metrics.incr c_violations done;
+  for _ = 1 to disagreements do Obs.Metrics.incr c_disagreements done;
+  let families = family_rows measurements in
+  {
+    corpus_dir = t.Corpus.dir;
+    corpus_seed = t.Corpus.seed;
+    measurements;
+    summaries = summarise measurements;
+    families;
+    violations;
+    disagreements;
+    bands_competitive = bands_competitive families;
+  }
+
+let gate_failures r =
+  List.concat
+    [
+      (if r.violations > 0 then
+         [ Printf.sprintf "%d lower-bound/checker violations" r.violations ]
+       else []);
+      (if r.disagreements > 0 then
+         [ Printf.sprintf "%d bb/brute disagreements" r.disagreements ]
+       else []);
+      (if not r.bands_competitive then
+         [ "bands beats first-fit on no family" ]
+       else []);
+    ]
+
+(* ---------- JSON ---------- *)
+
+let measurement_json m =
+  Json.Obj
+    [
+      ("file", Json.String m.file);
+      ("family", Json.String m.family);
+      ("alg", Json.String m.alg);
+      ("tasks", Json.Int m.tasks);
+      ("rounds", Json.Int m.rounds);
+      ("lb", Json.Int m.lb);
+      ("lb_kind", Json.String m.lb_kind);
+      ("ratio", match m.ratio with Some r -> Json.Float r | None -> Json.Null);
+      ("feasible", Json.Bool m.feasible);
+      ( "bb_agrees",
+        match m.bb_agrees with Some b -> Json.Bool b | None -> Json.Null );
+      ("bb_nodes", Json.Int m.bb_nodes);
+    ]
+
+let summary_json s =
+  Json.Obj
+    [
+      ("alg", Json.String s.s_alg);
+      ("count", Json.Int s.count);
+      ( "max_ratio",
+        match s.max_ratio with Some r -> Json.Float r | None -> Json.Null );
+      ( "mean_ratio",
+        match s.mean_ratio with Some r -> Json.Float r | None -> Json.Null );
+      ("exact_lbs", Json.Int s.exact_lbs);
+      ("violations", Json.Int s.s_violations);
+      ( "worst_file",
+        match s.worst_file with Some f -> Json.String f | None -> Json.Null );
+    ]
+
+let family_json f =
+  Json.Obj
+    [
+      ("family", Json.String f.f_family);
+      ("alg", Json.String f.f_alg);
+      ("count", Json.Int f.f_count);
+      ("rounds", Json.Int f.f_rounds);
+      ("lb", Json.Int f.f_lb);
+      ( "max_ratio",
+        match f.f_max_ratio with Some r -> Json.Float r | None -> Json.Null );
+    ]
+
+let report_json r =
+  Json.Obj
+    [
+      ("schema", Json.String schema);
+      ( "corpus",
+        Json.Obj
+          [
+            ("dir", Json.String r.corpus_dir);
+            ("seed", Json.Int r.corpus_seed);
+            ("entries", Json.Int (List.length r.measurements));
+          ] );
+      ("measurements", Json.List (List.map measurement_json r.measurements));
+      ("summary", Json.List (List.map summary_json r.summaries));
+      ("families", Json.List (List.map family_json r.families));
+      ("violations", Json.Int r.violations);
+      ("disagreements", Json.Int r.disagreements);
+      ("bands_competitive", Json.Bool r.bands_competitive);
+    ]
+
+let pp_summary ppf r =
+  Format.fprintf ppf "corpus %s (seed %d): %d round measurements@."
+    r.corpus_dir r.corpus_seed
+    (List.length r.measurements);
+  Format.fprintf ppf "%-10s %5s %9s %9s %6s %5s  %s@." "alg" "count" "max"
+    "mean" "exact" "viol" "worst";
+  List.iter
+    (fun s ->
+      let fo = function Some r -> Printf.sprintf "%.4f" r | None -> "-" in
+      Format.fprintf ppf "%-10s %5d %9s %9s %6d %5d  %s@." s.s_alg s.count
+        (fo s.max_ratio) (fo s.mean_ratio) s.exact_lbs s.s_violations
+        (Option.value ~default:"-" s.worst_file))
+    r.summaries;
+  Format.fprintf ppf "@.%-16s %-10s %5s %7s %5s %9s@." "family" "alg" "count"
+    "rounds" "lb" "max";
+  List.iter
+    (fun f ->
+      let fo = function Some r -> Printf.sprintf "%.4f" r | None -> "-" in
+      Format.fprintf ppf "%-16s %-10s %5d %7d %5d %9s@." f.f_family f.f_alg
+        f.f_count f.f_rounds f.f_lb (fo f.f_max_ratio))
+    r.families;
+  if r.violations > 0 then
+    Format.fprintf ppf "LB/CHECKER VIOLATIONS: %d@." r.violations;
+  if r.disagreements > 0 then
+    Format.fprintf ppf "BB/BRUTE DISAGREEMENTS: %d@." r.disagreements;
+  if not r.bands_competitive then
+    Format.fprintf ppf "BANDS UNCOMPETITIVE: beats first-fit on no family@."

@@ -1,0 +1,77 @@
+(** The ROUND-SAP analogue of {!Ratio}: run every registered solver over
+    a corpus's round entries and measure rounds against the certified
+    lower bound ({!Round.Lower_bound} raised by {!Round.Exact} where the
+    search closes).
+
+    The semantics differ from {!Ratio} in one load-bearing way: the
+    denominator is a true {e lower} bound, so [rounds < lb] is never a
+    lucky packing — it proves a checker or bound bug, and the gate treats
+    it (plus any checker failure or branch-and-bound/brute-force
+    disagreement) as fatal.  Ratios are honest but conservative: against
+    a non-exact [lb] the real approximation factor can only be smaller.
+
+    The report carries a per-family breakdown so the gate can ask
+    structural questions — e.g. "does bands beat or match first-fit on at
+    least one family", the acceptance criterion of the bands transform. *)
+
+type measurement = {
+  file : string;
+  family : string;
+  alg : string;
+  tasks : int;
+  rounds : int;
+  lb : int;
+  lb_kind : string;  (** ["exact"] when the B&B closed, else ["certified"] *)
+  ratio : float option;  (** [rounds / lb]; [None] on the empty instance *)
+  feasible : bool;  (** {!Round.Checker} accepted the solution *)
+  bb_agrees : bool option;
+      (** B&B vs {!Round.Exact.brute_rounds}, on instances under
+          {!Round.Exact.task_cap} where the B&B closed *)
+  bb_nodes : int;
+}
+
+type summary_row = {
+  s_alg : string;
+  count : int;
+  max_ratio : float option;
+  mean_ratio : float option;
+  exact_lbs : int;
+  s_violations : int;  (** infeasible or [rounds < lb] rows *)
+  worst_file : string option;
+}
+
+type family_row = {
+  f_family : string;
+  f_alg : string;
+  f_count : int;
+  f_rounds : int;  (** total rounds over the family's entries *)
+  f_lb : int;  (** total lower bound over the family's entries *)
+  f_max_ratio : float option;
+}
+
+type report = {
+  corpus_dir : string;
+  corpus_seed : int;
+  measurements : measurement list;
+  summaries : summary_row list;
+  families : family_row list;
+  violations : int;
+  disagreements : int;
+  bands_competitive : bool;
+      (** bands' total rounds <= first-fit's on at least one family *)
+}
+
+val run : ?max_nodes:int -> Corpus.t -> report
+(** Measures every [Round_kind] entry (others are skipped, mirroring how
+    {!Ratio} skips round entries).  @raise Invalid_argument on an
+    unreadable entry. *)
+
+val gate_failures : report -> string list
+(** Empty iff the gate passes: no violations, no disagreements, and
+    [bands_competitive] (vacuously true on a corpus without both
+    algorithms). *)
+
+val report_json : report -> Obs.Json.t
+(** Schema [round-report v1]. *)
+
+val pp_summary : Format.formatter -> report -> unit

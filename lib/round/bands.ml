@@ -1,0 +1,125 @@
+module Task = Core.Task
+module Path = Core.Path
+
+let c_classes = Obs.Metrics.counter "round.bands.classes"
+
+let c_dissolved = Obs.Metrics.counter "round.bands.dissolved"
+
+let ceil_pow2 d =
+  let rec go u = if u >= d then u else go (2 * u) in
+  go 1
+
+(* Surrogate with the class-ceiling demand; id is preserved so colored
+   surrogates map back to the originals. *)
+let surrogate ~u (j : Task.t) =
+  Task.make ~id:j.Task.id ~first_edge:j.Task.first_edge
+    ~last_edge:j.Task.last_edge ~demand:u ~weight:j.Task.weight
+
+let area (j : Task.t) = j.Task.demand * Task.span j
+
+let round_area sol =
+  List.fold_left (fun acc (j, _) -> acc + area j) 0 sol
+
+(* Pack one demand class (all demands in (u/2, u]) into class-private
+   rounds; see the .mli for why each piece is feasible. *)
+let pack_class path ~u cls =
+  let by_id = Hashtbl.create 16 in
+  List.iter (fun (j : Task.t) -> Hashtbl.replace by_id j.Task.id j) cls;
+  let original (s : Task.t) = Hashtbl.find by_id s.Task.id in
+  let full, tight =
+    List.partition (fun j -> Path.bottleneck_of path j >= u) cls
+  in
+  let full_rounds =
+    match full with
+    | [] -> []
+    | _ ->
+        let levels =
+          List.fold_left
+            (fun acc j -> min acc (Path.bottleneck_of path j / u))
+            max_int full
+        in
+        let colored =
+          Dsa.Interval_coloring.color (List.map (surrogate ~u) full)
+        in
+        let chi = Dsa.Interval_coloring.colors_used colored in
+        let buckets = Array.make ((chi + levels - 1) / levels) [] in
+        List.iter
+          (fun (s, c) ->
+            let r = c / levels and level = c mod levels in
+            buckets.(r) <- (original s, level * u) :: buckets.(r))
+          colored;
+        Array.to_list buckets
+  in
+  let tight_rounds =
+    match tight with
+    | [] -> []
+    | _ ->
+        let colored =
+          Dsa.Interval_coloring.color (List.map (surrogate ~u) tight)
+        in
+        let chi = Dsa.Interval_coloring.colors_used colored in
+        let buckets = Array.make chi [] in
+        List.iter
+          (fun (s, c) -> buckets.(c) <- (original s, 0) :: buckets.(c))
+          colored;
+        Array.to_list buckets
+  in
+  full_rounds @ tight_rounds
+
+(* Try to relocate every task of [sol] into the kept rounds; [None] when
+   any task fits nowhere (the round survives unchanged). *)
+let dissolve path kept sol =
+  let rec place kept = function
+    | [] -> Some kept
+    | ((j : Task.t), _) :: rest ->
+        let rec try_rounds acc = function
+          | [] -> None
+          | r :: more -> (
+              match Dsa.First_fit.insert path r j with
+              | Some h -> Some (List.rev_append acc (((j, h) :: r) :: more))
+              | None -> try_rounds (r :: acc) more)
+        in
+        Option.bind (try_rounds [] kept) (fun kept -> place kept rest)
+  in
+  let by_demand =
+    List.sort
+      (fun ((a : Task.t), _) ((b : Task.t), _) ->
+        match Int.compare b.Task.demand a.Task.demand with
+        | 0 -> Int.compare a.Task.id b.Task.id
+        | c -> c)
+      sol
+  in
+  place kept by_demand
+
+let solve (inst : Instance.t) =
+  let path = inst.Instance.path in
+  let classes = Hashtbl.create 8 in
+  List.iter
+    (fun (j : Task.t) ->
+      let u = ceil_pow2 j.Task.demand in
+      Hashtbl.replace classes u
+        (j :: Option.value ~default:[] (Hashtbl.find_opt classes u)))
+    inst.Instance.tasks;
+  let keys = List.sort (fun a b -> Int.compare b a) (Hashtbl.fold (fun k _ acc -> k :: acc) classes []) in
+  Obs.Metrics.add c_classes (List.length keys);
+  let rounds =
+    List.concat_map
+      (fun u -> pack_class path ~u (Hashtbl.find classes u))
+      keys
+  in
+  (* Compaction: biggest rounds anchor; each smaller round dissolves into
+     the survivors when every one of its tasks relocates. *)
+  let by_area =
+    List.sort (fun a b -> Int.compare (round_area b) (round_area a)) rounds
+  in
+  List.fold_left
+    (fun kept sol ->
+      match kept with
+      | [] -> [ sol ]
+      | _ -> (
+          match dissolve path kept sol with
+          | Some kept ->
+              Obs.Metrics.incr c_dissolved;
+              kept
+          | None -> kept @ [ sol ]))
+    [] by_area

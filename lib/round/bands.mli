@@ -1,0 +1,24 @@
+(** Paper-style bands-plus-coloring round packing (after the ROUND-SAP
+    constant-factor scheme of arXiv:2202.03492, honestly simplified).
+
+    Tasks are classified by demand into geometric bands: class [k] holds
+    demands in [(2^(k-1), 2^k]].  Each class is strip-transformed — the
+    mandatory-task analogue of {!Dsa.Strip_transform}: every demand
+    rounds up to the class ceiling [u = 2^k] (at most doubling load), so
+    the class becomes a uniform-demand instance and
+    {!Dsa.Interval_coloring} colors it {e optimally} (colors = max
+    class-load / u).  Colors then map to rounds:
+
+    - tasks whose bottleneck admits [L = min_class floor(b(j)/u)] full
+      strips stack [L] colors per round at heights [0, u, ..., (L-1) u];
+    - "tight" tasks ([d <= b(j) < u]) get one color per round at height
+      0 — provably no two overlapping tight tasks of a class can share a
+      round at any heights, so this is optimal within the subgroup.
+
+    A final compaction pass tries to dissolve each round (smallest
+    remaining area first) into the others via {!Dsa.First_fit.insert},
+    which is what lets bands beat plain first-fit on mixed-demand
+    families without ever risking feasibility — every placement is
+    re-probed against the true capacity profile. *)
+
+val solve : Instance.t -> Core.Solution.sap list

@@ -1,0 +1,63 @@
+module Task = Core.Task
+
+let ( let* ) = Result.bind
+
+let check (inst : Instance.t) rounds =
+  let by_id = Hashtbl.create 32 in
+  List.iter (fun (j : Task.t) -> Hashtbl.replace by_id j.Task.id j) inst.Instance.tasks;
+  let placed = Hashtbl.create 32 in
+  let* () =
+    let rec per_round r = function
+      | [] -> Ok ()
+      | sol :: rest ->
+          let* () =
+            if sol = [] then Error (Printf.sprintf "round %d is empty" r)
+            else Ok ()
+          in
+          let* () =
+            let rec per_task = function
+              | [] -> Ok ()
+              | ((j : Task.t), _) :: tl -> (
+                  match Hashtbl.find_opt by_id j.Task.id with
+                  | None ->
+                      Error
+                        (Printf.sprintf "round %d places unknown task id %d" r
+                           j.Task.id)
+                  | Some orig when orig <> j ->
+                      Error
+                        (Printf.sprintf "round %d mutated task %d" r j.Task.id)
+                  | Some _ ->
+                      if Hashtbl.mem placed j.Task.id then
+                        Error
+                          (Printf.sprintf
+                             "task %d placed more than once (again in round %d)"
+                             j.Task.id r)
+                      else begin
+                        Hashtbl.add placed j.Task.id r;
+                        per_task tl
+                      end)
+            in
+            per_task sol
+          in
+          let* () =
+            Result.map_error
+              (fun m -> Printf.sprintf "round %d infeasible: %s" r m)
+              (Core.Checker.sap_feasible inst.Instance.path sol)
+          in
+          per_round (r + 1) rest
+    in
+    per_round 0 rounds
+  in
+  let missing =
+    List.filter
+      (fun (j : Task.t) -> not (Hashtbl.mem placed j.Task.id))
+      inst.Instance.tasks
+  in
+  match missing with
+  | [] -> Ok ()
+  | j :: _ ->
+      Error
+        (Printf.sprintf "%d task(s) unplaced (first: id %d)" (List.length missing)
+           j.Task.id)
+
+let expect_ok = function Ok () -> () | Error m -> failwith m

@@ -1,0 +1,15 @@
+(** Machine checking of ROUND-SAP solutions, in the house style of
+    {!Core.Checker}: no feasibility claim is taken on faith.
+
+    A solution is a list of rounds, each a SAP placement on the shared
+    capacity profile.  [check] verifies (a) every instance task appears
+    in exactly one round and is field-identical to the instance's copy,
+    (b) no round is empty (an empty round inflates the objective and
+    always indicates a bug), and (c) every round is SAP-feasible on the
+    profile per {!Core.Checker.sap_feasible}. *)
+
+val check :
+  Instance.t -> Core.Solution.sap list -> (unit, string) result
+
+val expect_ok : (unit, string) result -> unit
+(** Raises [Failure] with the carried reason; assertion helper. *)

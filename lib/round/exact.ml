@@ -1,0 +1,203 @@
+module Task = Core.Task
+module Path = Core.Path
+
+(* ---------- one-round realizability ---------- *)
+
+let conflicts (j : Task.t) h ((i : Task.t), hi) =
+  Task.overlaps j i && h < hi + i.Task.demand && hi < h + j.Task.demand
+
+(* Candidate heights: subset sums of the round's demands, bounded by the
+   largest bottleneck.  Complete by the gravity/normal-form argument
+   (see .mli). *)
+let subset_sums ~cap demands =
+  let module S = Set.Make (Int) in
+  let sums =
+    List.fold_left
+      (fun acc d ->
+        S.fold
+          (fun s acc -> if s + d <= cap then S.add (s + d) acc else acc)
+          acc acc)
+      (S.singleton 0) demands
+  in
+  S.elements sums
+
+let realizable path ts =
+  match ts with
+  | [] -> Some []
+  | _ ->
+      let by_demand =
+        List.sort
+          (fun (a : Task.t) (b : Task.t) ->
+            match Int.compare b.Task.demand a.Task.demand with
+            | 0 -> Int.compare a.Task.id b.Task.id
+            | c -> c)
+          ts
+      in
+      let cap =
+        List.fold_left
+          (fun acc j -> max acc (Path.bottleneck_of path j))
+          0 by_demand
+      in
+      let sums = subset_sums ~cap (List.map (fun (j : Task.t) -> j.Task.demand) by_demand) in
+      let rec go placed = function
+        | [] -> Some (List.rev placed)
+        | (j : Task.t) :: rest ->
+            let ceiling = Path.bottleneck_of path j - j.Task.demand in
+            let rec try_heights = function
+              | [] -> None
+              | h :: more ->
+                  if h > ceiling then None (* sums ascend: nothing above fits *)
+                  else if List.exists (conflicts j h) placed then
+                    try_heights more
+                  else begin
+                    match go ((j, h) :: placed) rest with
+                    | Some _ as ok -> ok
+                    | None -> try_heights more
+                  end
+            in
+            try_heights sums
+      in
+      go [] by_demand
+
+(* Verdicts keyed by the round's sorted id set; placements are cheap to
+   recompute for the few winning rounds, so only the boolean is kept. *)
+let realizable_memo memo path ts =
+  let key = List.sort Int.compare (List.map (fun (j : Task.t) -> j.Task.id) ts) in
+  match Hashtbl.find_opt memo key with
+  | Some v -> v
+  | None ->
+      let v = realizable path ts <> None in
+      Hashtbl.add memo key v;
+      v
+
+(* ---------- branch and bound ---------- *)
+
+type outcome = {
+  rounds : Core.Solution.sap list;
+  value : int;
+  lower_bound : int;
+  optimal : bool;
+  nodes : int;
+}
+
+let default_max_nodes = 200_000
+
+let by_demand_desc ts =
+  List.sort
+    (fun (a : Task.t) (b : Task.t) ->
+      match Int.compare b.Task.demand a.Task.demand with
+      | 0 -> Int.compare a.Task.id b.Task.id
+      | c -> c)
+    ts
+
+let greedy_incumbent inst =
+  let a = Greedy.first_fit inst in
+  let b = Bands.solve inst in
+  if List.length b <= List.length a then b else a
+
+let solve ?(max_nodes = default_max_nodes) (inst : Instance.t) =
+  let path = inst.Instance.path in
+  let tasks = Array.of_list (by_demand_desc inst.Instance.tasks) in
+  let n = Array.length tasks in
+  if n = 0 then
+    { rounds = []; value = 0; lower_bound = 0; optimal = true; nodes = 0 }
+  else begin
+    let inc = greedy_incumbent inst in
+    let ub = List.length inc in
+    let memo = Hashtbl.create 256 in
+    let nodes = ref 0 in
+    let budget_hit = ref false in
+    (* Feasibility of packing all tasks into exactly <= r rounds; groups
+       are built RGS-style (open round k only when 0..k-1 occupied). *)
+    let try_r r =
+      let groups = Array.make r [] in
+      let rec go i used =
+        if i = n then true
+        else
+          let limit = min (used + 1) r in
+          let rec try_round k =
+            if k >= limit || !budget_hit then false
+            else begin
+              incr nodes;
+              if !nodes > max_nodes then begin
+                budget_hit := true;
+                false
+              end
+              else begin
+                groups.(k) <- tasks.(i) :: groups.(k);
+                let ok =
+                  realizable_memo memo path groups.(k)
+                  && go (i + 1) (max used (k + 1))
+                in
+                if ok then true
+                else begin
+                  groups.(k) <- List.tl groups.(k);
+                  try_round (k + 1)
+                end
+              end
+            end
+          in
+          try_round 0
+      in
+      if go 0 0 then
+        Some
+          (Array.to_list groups
+          |> List.filter (fun ts -> ts <> [])
+          |> List.map (fun ts ->
+                 match realizable path ts with
+                 | Some sol -> sol
+                 | None -> assert false (* memo said yes *)))
+      else None
+    in
+    let rec loop r =
+      if r >= ub then
+        { rounds = inc; value = ub; lower_bound = ub; optimal = true; nodes = !nodes }
+      else
+        match try_r r with
+        | Some sols ->
+            { rounds = sols; value = r; lower_bound = r; optimal = true; nodes = !nodes }
+        | None when !budget_hit ->
+            { rounds = inc; value = ub; lower_bound = r; optimal = false; nodes = !nodes }
+        | None -> loop (r + 1)
+    in
+    loop (max 1 (Lower_bound.certified inst))
+  end
+
+(* ---------- brute force ---------- *)
+
+let task_cap = 8
+
+let brute_rounds (inst : Instance.t) =
+  let n = Instance.task_count inst in
+  if n > task_cap then
+    invalid_arg
+      (Printf.sprintf "Round.Exact.brute_rounds: %d tasks exceeds cap %d" n
+         task_cap);
+  if n = 0 then 0
+  else begin
+    let path = inst.Instance.path in
+    let tasks = Array.of_list inst.Instance.tasks in
+    let memo = Hashtbl.create 256 in
+    let best = ref n in
+    (* Restricted-growth strings: every set partition exactly once, in
+       input id order — deliberately a different search shape than
+       [solve]'s demand-ordered deepening, so agreement means something. *)
+    let assign = Array.make n 0 in
+    let rec enum i blocks =
+      if blocks >= !best then () (* can only get worse *)
+      else if i = n then best := min !best blocks
+      else
+        for k = 0 to min blocks (n - 1) do
+          assign.(i) <- k;
+          let block =
+            List.filteri (fun idx _ -> idx <= i && assign.(idx) = k)
+              (Array.to_list tasks)
+          in
+          (* only the block that changed needs re-checking *)
+          if realizable_memo memo path block then
+            enum (i + 1) (max blocks (k + 1))
+        done
+    in
+    enum 0 0;
+    !best
+  end

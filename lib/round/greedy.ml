@@ -1,0 +1,40 @@
+module Task = Core.Task
+
+let c_rounds_opened = Obs.Metrics.counter "round.greedy.rounds_opened"
+
+let ffd_order ts =
+  List.sort
+    (fun (a : Task.t) (b : Task.t) ->
+      match Int.compare b.Task.demand a.Task.demand with
+      | 0 -> (
+          match Int.compare a.Task.first_edge b.Task.first_edge with
+          | 0 -> Int.compare a.Task.id b.Task.id
+          | c -> c)
+      | c -> c)
+    ts
+
+(* Rounds are kept newest-first so next-fit is "try the head"; reversed
+   on exit so round 0 is the first opened. *)
+let pack ~probe_all (inst : Instance.t) =
+  let path = inst.Instance.path in
+  let place rounds j =
+    let rec try_rounds acc = function
+      | [] -> None
+      | sol :: rest -> (
+          match Dsa.First_fit.insert path sol j with
+          | Some h -> Some (List.rev_append acc (((j, h) :: sol) :: rest))
+          | None -> if probe_all then try_rounds (sol :: acc) rest else None)
+    in
+    match try_rounds [] rounds with
+    | Some rounds -> rounds
+    | None ->
+        Obs.Metrics.incr c_rounds_opened;
+        (* Instance.create guarantees the task fits alone, so height 0
+           always works in a fresh round. *)
+        [ (j, 0) ] :: rounds
+  in
+  List.rev (List.fold_left place [] (ffd_order inst.Instance.tasks))
+
+let first_fit inst = pack ~probe_all:true inst
+
+let next_fit inst = pack ~probe_all:false inst

@@ -1,0 +1,13 @@
+(** First-fit and next-fit round packing — the bin-packing baselines
+    lifted to capacity profiles via {!Dsa.First_fit.insert}.
+
+    Both process tasks in decreasing-demand order (the FFD flavour; ties
+    by left endpoint then id, so runs are deterministic).  First-fit
+    probes every open round in order and opens a new one only when no
+    round admits the task as-is; next-fit probes only the newest round,
+    trading quality for an O(n) scan — it exists as the weak baseline
+    the lab ratios are read against. *)
+
+val first_fit : Instance.t -> Core.Solution.sap list
+
+val next_fit : Instance.t -> Core.Solution.sap list

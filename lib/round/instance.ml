@@ -1,0 +1,40 @@
+module Task = Core.Task
+module Path = Core.Path
+
+type t = { path : Path.t; tasks : Task.t list }
+
+let create path tasks =
+  let seen = Hashtbl.create 32 in
+  let rec validate = function
+    | [] -> Ok ()
+    | (j : Task.t) :: rest ->
+        if Hashtbl.mem seen j.Task.id then
+          Error (Printf.sprintf "duplicate task id %d" j.Task.id)
+        else if j.Task.last_edge >= Path.num_edges path then
+          Error
+            (Printf.sprintf "task %d leaves the path (last_edge %d, %d edges)"
+               j.Task.id j.Task.last_edge (Path.num_edges path))
+        else if j.Task.demand > Path.bottleneck_of path j then
+          Error
+            (Printf.sprintf
+               "task %d cannot fit in any round alone (demand %d > bottleneck %d)"
+               j.Task.id j.Task.demand
+               (Path.bottleneck_of path j))
+        else begin
+          Hashtbl.add seen j.Task.id ();
+          validate rest
+        end
+  in
+  match validate tasks with
+  | Ok () -> Ok { path; tasks }
+  | Error _ as e -> e
+
+let create_exn path tasks =
+  match create path tasks with
+  | Ok t -> t
+  | Error m -> invalid_arg ("Round.Instance.create: " ^ m)
+
+let task_count t = List.length t.tasks
+
+let find_task t id =
+  List.find_opt (fun (j : Task.t) -> j.Task.id = id) t.tasks

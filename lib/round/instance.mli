@@ -1,0 +1,25 @@
+(** A ROUND-SAP instance: the same capacitated path and task set as SAP,
+    but every task is mandatory and the objective flips — pack {e all}
+    tasks into the minimum number of rounds, where each round is a fresh
+    copy of the capacity profile and must hold a feasible SAP packing of
+    the tasks assigned to it (arXiv:2202.03492).
+
+    Weights ride along in the carrier (the text format is deliberately
+    isomorphic to [sap-instance v1]) but no ROUND-SAP algorithm reads
+    them. *)
+
+type t = private { path : Core.Path.t; tasks : Core.Task.t list }
+
+val create : Core.Path.t -> Core.Task.t list -> (t, string) result
+(** Validates that task ids are unique, every task lies on the path, and
+    every task fits alone ([d_j <= b(j)]) — a task that cannot be packed
+    in any round by itself makes the instance infeasible, which ROUND-SAP
+    has no way to express. *)
+
+val create_exn : Core.Path.t -> Core.Task.t list -> t
+(** [create] or [Invalid_argument]. *)
+
+val task_count : t -> int
+
+val find_task : t -> int -> Core.Task.t option
+(** Lookup by id (ids are unique by construction). *)

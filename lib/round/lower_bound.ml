@@ -1,0 +1,28 @@
+module Task = Core.Task
+module Path = Core.Path
+
+let congestion (inst : Instance.t) =
+  let path = inst.Instance.path in
+  let load = Core.Instance.load_profile path inst.Instance.tasks in
+  let best = ref 0 in
+  Array.iteri
+    (fun e l ->
+      let c = Path.capacity path e in
+      (* ceil division; capacities are positive by Path.create *)
+      best := max !best ((l + c - 1) / c))
+    load;
+  !best
+
+let pairwise (inst : Instance.t) =
+  let path = inst.Instance.path in
+  let m = Path.num_edges path in
+  let big = Array.make m 0 in
+  List.iter
+    (fun (j : Task.t) ->
+      for e = j.Task.first_edge to j.Task.last_edge do
+        if 2 * j.Task.demand > Path.capacity path e then big.(e) <- big.(e) + 1
+      done)
+    inst.Instance.tasks;
+  Array.fold_left max 0 big
+
+let certified inst = max (congestion inst) (pairwise inst)

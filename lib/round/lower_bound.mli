@@ -1,0 +1,25 @@
+(** Certified lower bounds on the optimal number of rounds.
+
+    Both bounds are per-edge counting arguments, so they hold for every
+    feasible solution unconditionally — the lab gate leans on that: an
+    algorithm reporting fewer rounds than [certified] is a checker bug by
+    definition, never a lucky packing.
+
+    - {b congestion}: edge [e] carries total demand [load(e)] but only
+      [c_e] per round, so at least [ceil(load(e) / c_e)] rounds are
+      needed (the ROUND-UFP/ROUND-SAP papers' baseline bound).
+    - {b pairwise}: two tasks through [e] with [2 d_j > c_e] can never
+      share a round — stacked they exceed [c_e] — so the count of such
+      tasks at any edge is a clique lower bound the congestion bound can
+      miss by a factor of ~2 (many demands just over half capacity). *)
+
+val congestion : Instance.t -> int
+(** [max_e ceil(load(e) / c_e)]; 0 for the empty instance. *)
+
+val pairwise : Instance.t -> int
+(** [max_e |{j : e in I_j, 2 d_j > c_e}|]; 0 for the empty instance. *)
+
+val certified : Instance.t -> int
+(** [max congestion pairwise] — the strongest bound this oracle certifies
+    without search.  {!Exact.solve} can raise it further on small
+    instances. *)

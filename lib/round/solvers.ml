@@ -1,0 +1,33 @@
+type t = {
+  name : string;
+  solve : Instance.t -> Core.Solution.sap list;
+  description : string;
+}
+
+let all =
+  [
+    {
+      name = "first-fit";
+      solve = Greedy.first_fit;
+      description = "FFD over rounds via Dsa.First_fit.insert";
+    };
+    {
+      name = "next-fit";
+      solve = Greedy.next_fit;
+      description = "FFD probing only the newest round";
+    };
+    {
+      name = "bands";
+      solve = Bands.solve;
+      description = "demand classes + interval coloring + compaction";
+    };
+    {
+      name = "exact";
+      solve = (fun inst -> (Exact.solve inst).Exact.rounds);
+      description = "anytime branch-and-bound (greedy incumbent past budget)";
+    };
+  ]
+
+let find name = List.find_opt (fun s -> s.name = name) all
+
+let names = List.map (fun s -> s.name) all

@@ -1,0 +1,19 @@
+(** The uniform algorithm registry for ROUND-SAP — name-keyed dispatch so
+    the server, the CLI, the lab and the bench enumerate the same list
+    instead of hand-writing match arms (the Solver-module-type pattern the
+    ROADMAP wants for the SAP side too). *)
+
+type t = {
+  name : string;
+  solve : Instance.t -> Core.Solution.sap list;
+  description : string;
+}
+
+val all : t list
+(** ["first-fit"], ["next-fit"], ["bands"], ["exact"] (the anytime
+    {!Exact.solve} under its default budget — optimal on small instances,
+    a checked incumbent past the budget). *)
+
+val find : string -> t option
+
+val names : string list

@@ -31,9 +31,11 @@ let canonical_task_order (a : Task.t) (b : Task.t) =
         let c = compare a.Task.weight b.Task.weight in
         if c <> 0 then c else compare a.Task.id b.Task.id
 
-let solve_key ~algorithm ~seed path tasks =
+let solve_key ~problem ~algorithm ~seed path tasks =
   let buf = Buffer.create 256 in
-  Buffer.add_string buf "sap-key v1\x00";
+  Buffer.add_string buf "sap-key v2\x00";
+  Buffer.add_string buf problem;
+  Buffer.add_char buf '\x00';
   Buffer.add_string buf algorithm;
   Buffer.add_char buf '\x00';
   Buffer.add_string buf (string_of_int seed);

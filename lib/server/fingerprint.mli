@@ -1,12 +1,16 @@
 (** Content-addressed solve keys.
 
     Two solve requests are interchangeable exactly when they agree on the
-    path capacities, the task multiset, the algorithm and the seed — task
-    {e order} is presentation, not content.  [solve_key] therefore hashes
-    a canonical serialization: capacities in edge order, then tasks sorted
-    by (first_edge, last_edge, demand, weight, id), then the algorithm
-    name and seed.  The hash is FNV-1a/64, rendered as 16 lowercase hex
-    digits; {!Server.Cache} uses it directly as the cache key.
+    problem kind, the path capacities, the task multiset, the algorithm
+    and the seed — task {e order} is presentation, not content.
+    [solve_key] therefore hashes a canonical serialization: the problem
+    kind (["sap"] for [solve], ["round"] for [round-solve] — the kind is
+    part of the key precisely so the two verbs can never collide in the
+    shared LRU cache, even on an identical instance and algorithm name),
+    then the algorithm name and seed, capacities in edge order, then
+    tasks sorted by (first_edge, last_edge, demand, weight, id).  The
+    hash is FNV-1a/64, rendered as 16 lowercase hex digits;
+    {!Server.Cache} uses it directly as the cache key.
 
     Keys are equal-content ⇒ equal-key by construction; the converse
     holds up to 64-bit hash collisions, which the cache accepts (a
@@ -18,6 +22,12 @@ val fnv1a64 : string -> int64
 (** The raw FNV-1a 64-bit hash of a byte string. *)
 
 val solve_key :
-  algorithm:string -> seed:int -> Core.Path.t -> Core.Task.t list -> string
+  problem:string ->
+  algorithm:string ->
+  seed:int ->
+  Core.Path.t ->
+  Core.Task.t list ->
+  string
 (** 16-hex-digit content key; invariant under task reordering, sensitive
-    to every capacity, every task field, the algorithm and the seed. *)
+    to the problem kind, every capacity, every task field, the algorithm
+    and the seed. *)

@@ -23,6 +23,13 @@ type request =
       path : Core.Path.t;
       tasks : Core.Task.t list;
     }
+  | Round_solve of {
+      id : int;
+      algorithm : string;
+      cache : bool;
+      path : Core.Path.t;
+      tasks : Core.Task.t list;
+    }
   | Stats of { id : int }
   | Ping of { id : int }
   | Shutdown of { id : int }
@@ -44,6 +51,8 @@ type solve_summary = {
   time_ms : float;
 }
 
+type round_summary = { r_rounds : int; r_cached : bool; r_time_ms : float }
+
 (* The sap-session v1 response payload: resolve accounting a client can
    assert on (and the CI smoke does) without scraping server stats. *)
 type session_summary = {
@@ -61,6 +70,11 @@ type session_event = Sess_opened | Sess_ack | Sess_resolved | Sess_closed
 
 type response =
   | Solved of { id : int; summary : solve_summary; solution : Core.Solution.sap }
+  | Round_solved of {
+      id : int;
+      summary : round_summary;
+      rounds : Core.Solution.sap list;
+    }
   | Stats_reply of { id : int; stats : Obs.Json.t }
   | Ack of { id : int }
   | Failed of { id : int; code : error_code; message : string }
@@ -77,6 +91,7 @@ type response =
 
 let request_id = function
   | Solve { id; _ }
+  | Round_solve { id; _ }
   | Stats { id }
   | Ping { id }
   | Shutdown { id }
@@ -93,10 +108,12 @@ let request_session = function
   | Session_resolve { session; _ }
   | Session_close { session; _ } ->
       Some session
-  | Solve _ | Stats _ | Ping _ | Shutdown _ | Session_open _ -> None
+  | Solve _ | Round_solve _ | Stats _ | Ping _ | Shutdown _ | Session_open _ ->
+      None
 
 let response_id = function
   | Solved { id; _ }
+  | Round_solved { id; _ }
   | Stats_reply { id; _ }
   | Ack { id }
   | Failed { id; _ }
@@ -149,6 +166,13 @@ let request_to_string req =
       if not params.cache then Buffer.add_string buf " cache=0";
       Buffer.add_char buf '\n';
       Buffer.add_string buf (Sap_io.Instance_io.instance_to_string path tasks)
+  | Round_solve { id; algorithm; cache; path; tasks } ->
+      Buffer.add_string buf
+        (Printf.sprintf "sap-request v1 %d round-solve algorithm=%s" id algorithm);
+      if not cache then Buffer.add_string buf " cache=0";
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf
+        (Sap_io.Instance_io.round_instance_to_string path tasks)
   | Stats { id } -> Buffer.add_string buf (Printf.sprintf "sap-request v1 %d stats\n" id)
   | Ping { id } -> Buffer.add_string buf (Printf.sprintf "sap-request v1 %d ping\n" id)
   | Shutdown { id } ->
@@ -189,6 +213,14 @@ let response_to_string resp =
            (if summary.cached then 1 else 0)
            summary.time_ms);
       Buffer.add_string buf (Sap_io.Instance_io.solution_to_string solution)
+  | Round_solved { id; summary; rounds } ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "sap-response v1 %d round-solved rounds=%d cached=%d time-ms=%.17g\n"
+           id summary.r_rounds
+           (if summary.r_cached then 1 else 0)
+           summary.r_time_ms);
+      Buffer.add_string buf (Sap_io.Instance_io.round_solution_to_string rounds)
   | Stats_reply { id; stats } ->
       Buffer.add_string buf (Printf.sprintf "sap-response v1 %d stats\n" id);
       Buffer.add_string buf (Obs.Json.to_string stats);
@@ -318,6 +350,23 @@ let request_of_lines lines =
               Ok
                 (Solve
                    { id; params = { algorithm; seed; timeout_ms; cache }; path; tasks })
+          | "round-solve" ->
+              let* attrs =
+                parse_attrs ~allowed:[ "algorithm"; "cache" ] attr_toks
+              in
+              let algorithm =
+                match attr attrs "algorithm" with Some a -> a | None -> "bands"
+              in
+              let* cache =
+                match attr attrs "cache" with
+                | Some s -> parse_bool "cache" s
+                | None -> Ok true
+              in
+              let* path, tasks =
+                Sap_io.Instance_io.round_instance_of_string
+                  (String.concat "\n" body)
+              in
+              Ok (Round_solve { id; algorithm; cache; path; tasks })
           | "stats" ->
               let* () = no_body "stats" body in
               Ok (Stats { id })
@@ -443,6 +492,35 @@ let response_of_lines ~tasks_for lines =
               Ok
                 (Solved
                    { id; summary = { scheduled; weight; cached; time_ms }; solution })
+          | "round-solved" ->
+              let* attrs =
+                parse_attrs ~allowed:[ "rounds"; "cached"; "time-ms" ] attr_toks
+              in
+              let* r_rounds = parse_attr_int attrs "rounds" in
+              let* cached = require "cached" (attr attrs "cached") in
+              let* r_cached = parse_bool "cached" cached in
+              let* time_ms = require "time-ms" (attr attrs "time-ms") in
+              let* r_time_ms = parse_float "time-ms" time_ms in
+              let* tasks =
+                match tasks_for id with
+                | Some ts -> Ok ts
+                | None ->
+                    Error (Printf.sprintf "no instance known for response id %d" id)
+              in
+              let* rounds =
+                Sap_io.Instance_io.round_solution_of_string ~tasks
+                  (String.concat "\n" body)
+              in
+              let* () =
+                if List.length rounds = r_rounds then Ok ()
+                else
+                  Error
+                    (Printf.sprintf "round count mismatch: header %d, body %d"
+                       r_rounds (List.length rounds))
+              in
+              Ok
+                (Round_solved
+                   { id; summary = { r_rounds; r_cached; r_time_ms }; rounds })
           | "stats" -> (
               match body with
               | [ json_line ] -> (

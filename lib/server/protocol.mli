@@ -13,11 +13,14 @@
     end
     v}
 
-    Request verbs: [solve] (body: an instance), [stats], [ping],
-    [shutdown] (no body), plus the session family — [session-open]
-    (body: the base instance), [add-task], [remove-task], [resolve],
-    [session-close] (attribute-only).  Response statuses: [solved]
-    (body: a solution), [stats] (body: one line of compact JSON), [ok]
+    Request verbs: [solve] (body: an instance), [round-solve] (body: a
+    [round-instance v1] — the ROUND-SAP verb: pack {e all} tasks into
+    minimum capacity rounds), [stats], [ping], [shutdown] (no body),
+    plus the session family — [session-open] (body: the base instance),
+    [add-task], [remove-task], [resolve], [session-close]
+    (attribute-only).  Response statuses: [solved] (body: a solution),
+    [round-solved] (body: a [round-solution v1]), [stats] (body: one
+    line of compact JSON), [ok]
     (bare acknowledgement), [error], [timeout] (no body), and [session]
     — the sap-session v1 schema: [session=<sid> event=<opened|ack|
     resolved|closed>], with resolve accounting attributes and a solution
@@ -60,6 +63,14 @@ type request =
       path : Core.Path.t;
       tasks : Core.Task.t list;
     }
+  | Round_solve of {
+      id : int;
+      algorithm : string;
+          (** a {!Round.Solvers} registry name; default ["bands"] *)
+      cache : bool;  (** default [true] *)
+      path : Core.Path.t;
+      tasks : Core.Task.t list;
+    }
   | Stats of { id : int }
   | Ping of { id : int }
   | Shutdown of { id : int }
@@ -83,6 +94,12 @@ type solve_summary = {
   time_ms : float;  (** solver wall time; [0] when served from cache *)
 }
 
+type round_summary = {
+  r_rounds : int;
+  r_cached : bool;
+  r_time_ms : float;  (** solver wall time; [0] when served from cache *)
+}
+
 type session_summary = {
   s_tasks : int;  (** tasks currently in the session instance *)
   s_scheduled : int;
@@ -98,6 +115,11 @@ type session_event = Sess_opened | Sess_ack | Sess_resolved | Sess_closed
 
 type response =
   | Solved of { id : int; summary : solve_summary; solution : Core.Solution.sap }
+  | Round_solved of {
+      id : int;
+      summary : round_summary;
+      rounds : Core.Solution.sap list;  (** body: [round-solution v1] *)
+    }
   | Stats_reply of { id : int; stats : Obs.Json.t }
   | Ack of { id : int }  (** [ping] and [shutdown] acknowledgement *)
   | Failed of { id : int; code : error_code; message : string }

@@ -17,7 +17,19 @@ module Ring = struct
     ring_members : string list;  (* sorted, distinct *)
   }
 
-  let point name i = Fingerprint.fnv1a64 (name ^ "#" ^ string_of_int i)
+  (* FNV-1a barely diffuses the last few input bytes: vnode labels that
+     differ only in the trailing index ("m0#17" vs "m0#18") hash to
+     near-adjacent values, so without extra mixing every member's vnodes
+     clump into one arc and shard shares become wildly uneven. A murmur3
+     fmix64 finalizer restores uniform placement. *)
+  let mix64 h =
+    let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+    let h = Int64.mul h 0xff51afd7ed558ccdL in
+    let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+    let h = Int64.mul h 0xc4ceb9fe1a85ec53L in
+    Int64.logxor h (Int64.shift_right_logical h 33)
+
+  let point name i = mix64 (Fingerprint.fnv1a64 (name ^ "#" ^ string_of_int i))
 
   let create ?(vnodes = 64) names =
     let ring_members = List.sort_uniq String.compare names in
@@ -41,7 +53,7 @@ module Ring = struct
     let n = Array.length t.points in
     if n = 0 then None
     else begin
-      let h = Fingerprint.fnv1a64 key in
+      let h = mix64 (Fingerprint.fnv1a64 key) in
       (* First point at or clockwise-after [h]; the array is sorted by
          unsigned hash, so that is a binary search with wraparound. *)
       let lo = ref 0 and hi = ref n in
@@ -210,6 +222,8 @@ let add_to_ring t name =
 let with_id req id =
   match req with
   | P.Solve { id = _; params; path; tasks } -> P.Solve { id; params; path; tasks }
+  | P.Round_solve { id = _; algorithm; cache; path; tasks } ->
+      P.Round_solve { id; algorithm; cache; path; tasks }
   | P.Stats _ -> P.Stats { id }
   | P.Ping _ -> P.Ping { id }
   | P.Shutdown _ -> P.Shutdown { id }
@@ -858,8 +872,39 @@ let handle_session t ic oc =
                        { id; code = P.Shutting_down; message = "router draining" })
                 else begin
                   let key =
-                    Fingerprint.solve_key ~algorithm:params.P.algorithm
-                      ~seed:params.P.seed path tasks
+                    Fingerprint.solve_key ~problem:"sap"
+                      ~algorithm:params.P.algorithm ~seed:params.P.seed path
+                      tasks
+                  in
+                  let sl = slot () in
+                  let entry =
+                    {
+                      e_key = key;
+                      e_req = req;
+                      e_slot = sl;
+                      e_client_id = id;
+                      e_t0 = now ();
+                      e_solve = true;
+                      e_open = false;
+                      e_attempts = 0;
+                    }
+                  in
+                  Obs.Metrics.incr c_forwarded;
+                  dispatch t entry;
+                  push_text (fun () -> await sl)
+                end
+            | P.Round_solve { id; algorithm; path; tasks; _ } ->
+                if Atomic.get t.stopping then
+                  immediate
+                    (P.Failed
+                       { id; code = P.Shutting_down; message = "router draining" })
+                else begin
+                  (* Same consistent-hash placement as [solve]; the
+                     problem kind in the key keeps the two verbs' cache
+                     populations disjoint on the shards too. *)
+                  let key =
+                    Fingerprint.solve_key ~problem:"round" ~algorithm ~seed:0
+                      path tasks
                   in
                   let sl = slot () in
                   let entry =
@@ -887,8 +932,8 @@ let handle_session t ic oc =
                   (* Hash the base instance like a solve would: the
                      session lives on (is pinned to) the owning shard. *)
                   let key =
-                    Fingerprint.solve_key ~algorithm:"session-open" ~seed path
-                      tasks
+                    Fingerprint.solve_key ~problem:"sap"
+                      ~algorithm:"session-open" ~seed path tasks
                   in
                   let sl = slot () in
                   let entry =

@@ -34,6 +34,14 @@ type cached_solve = {
   c_solution : Core.Solution.sap;
 }
 
+(* One LRU serves both problems.  {!Fingerprint.solve_key} embeds the
+   problem kind, so a [solve] and a [round-solve] entry can never share a
+   key; the variant additionally keeps even a 64-bit hash collision
+   across problems from serving a round packing as a SAP solution. *)
+type cache_entry =
+  | Sap_result of cached_solve
+  | Round_result of Core.Solution.sap list
+
 (* A registered session: the state machine plus its own lock — resolves
    run on pool workers and deltas on the transport domain, so per-session
    mutual exclusion is what serializes them (the registry lock only
@@ -43,7 +51,7 @@ type session_entry = { se : Session.t; se_lock : Mutex.t }
 type t = {
   config : config;
   pool : Pool.t;
-  cache : cached_solve Cache.t;
+  cache : cache_entry Cache.t;
   draining_flag : bool Atomic.t;
   started : float;
   seq : int Atomic.t;
@@ -160,6 +168,20 @@ let solved t ~id ~cached ~time_ms (c : cached_solve) =
       summary =
         { scheduled = c.c_scheduled; weight = c.c_weight; cached; time_ms };
       solution = c.c_solution;
+    }
+
+let round_solved t ~id ~cached ~time_ms rounds =
+  Atomic.incr t.n_solved;
+  P.Round_solved
+    {
+      id;
+      summary =
+        {
+          P.r_rounds = List.length rounds;
+          r_cached = cached;
+          r_time_ms = time_ms;
+        };
+      rounds;
     }
 
 (* ---------- sessions ---------- *)
@@ -297,6 +319,7 @@ let telemetry t ~verb ?alg ?solve_seed ?cache_state () =
 
 let response_status = function
   | P.Solved _ -> "solved"
+  | P.Round_solved _ -> "round-solved"
   | P.Timed_out _ -> "timeout"
   | P.Ack _ -> "ack"
   | P.Stats_reply _ -> "stats"
@@ -325,6 +348,8 @@ let log_line tel resp ~total =
   | P.Solved { summary; _ } ->
       kv "scheduled" (string_of_int summary.P.scheduled);
       kv "weight" (Printf.sprintf "%.6g" summary.P.weight)
+  | P.Round_solved { summary; _ } ->
+      kv "rounds" (string_of_int summary.P.r_rounds)
   | P.Session_reply { session; summary = Some s; _ } ->
       kv "session" (string_of_int session);
       kv "scheduled" (string_of_int s.P.s_scheduled);
@@ -372,15 +397,15 @@ let submit_solve t tel ~id (params : P.solve_params) path tasks =
       let key =
         if params.cache then
           Some
-            (Fingerprint.solve_key ~algorithm:params.algorithm ~seed:params.seed
-               path tasks)
+            (Fingerprint.solve_key ~problem:"sap" ~algorithm:params.algorithm
+               ~seed:params.seed path tasks)
         else None
       in
       match Option.map (Cache.find t.cache) key |> Option.join with
-      | Some hit ->
+      | Some (Sap_result hit) ->
           ( { tel with cache_state = Some "hit" },
             immediate (solved t ~id ~cached:true ~time_ms:0.0 hit) )
-      | None -> (
+      | Some (Round_result _) | None -> (
           let tel =
             { tel with cache_state = Some (if key = None then "off" else "miss") }
           in
@@ -431,7 +456,7 @@ let submit_solve t tel ~id (params : P.solve_params) path tasks =
                         }
                       in
                       (match key with
-                      | Some k -> Cache.add t.cache k entry
+                      | Some k -> Cache.add t.cache k (Sap_result entry)
                       | None -> ());
                       solved t ~id ~cached:false ~time_ms:(dt *. 1000.0) entry)
           in
@@ -459,6 +484,80 @@ let submit_solve t tel ~id (params : P.solve_params) path tasks =
                         timeout t ~id)
               in
               (tel, { ready; force })))
+
+(* [round-solve]: same lifecycle as [solve] — cache lookup, pool job,
+   checker verification, cache insert — for the ROUND-SAP objective.  The
+   round algorithms are deterministic (no seed) and fast enough that the
+   verb carries no deadline; a client that needs one can layer it on top
+   of the pipelined transport. *)
+let submit_round_solve t tel ~id ~algorithm ~cache path tasks =
+  match Round.Solvers.find algorithm with
+  | None ->
+      ( tel,
+        immediate
+          (fail t ~id P.Unknown_algorithm
+             (Printf.sprintf "unknown round algorithm %S (have: %s)" algorithm
+                (String.concat ", " Round.Solvers.names))) )
+  | Some solver -> (
+      match Round.Instance.create path tasks with
+      | Error m ->
+          (tel, immediate (fail t ~id P.Bad_request ("invalid round instance: " ^ m)))
+      | Ok inst -> (
+          let key =
+            if cache then
+              Some
+                (Fingerprint.solve_key ~problem:"round" ~algorithm ~seed:0 path
+                   tasks)
+            else None
+          in
+          match Option.map (Cache.find t.cache) key |> Option.join with
+          | Some (Round_result rounds) ->
+              ( { tel with cache_state = Some "hit" },
+                immediate (round_solved t ~id ~cached:true ~time_ms:0.0 rounds) )
+          | Some (Sap_result _) | None -> (
+              let tel =
+                {
+                  tel with
+                  cache_state = Some (if key = None then "off" else "miss");
+                }
+              in
+              let job () =
+                let t_deq = Obs.Clock.monotonic_seconds () in
+                Atomic.set tel.queue_s (t_deq -. tel.t_recv);
+                Obs.Metrics.observe h_queue (t_deq -. tel.t_recv);
+                Obs.Trace.with_span "server.round_request"
+                  ~attrs:[ ("algorithm", algorithm); ("id", string_of_int id) ]
+                @@ fun () ->
+                let t0 = Obs.Clock.monotonic_seconds () in
+                match solver.Round.Solvers.solve inst with
+                | exception e ->
+                    fail t ~id P.Internal
+                      (Printf.sprintf "round solver raised: %s"
+                         (Printexc.to_string e))
+                | rounds -> (
+                    let dt = Obs.Clock.monotonic_seconds () -. t0 in
+                    Atomic.set tel.solve_s dt;
+                    Obs.Metrics.observe h_solve dt;
+                    match Round.Checker.check inst rounds with
+                    | Error m ->
+                        fail t ~id P.Infeasible
+                          ("round solver produced infeasible packing: " ^ m)
+                    | Ok () ->
+                        (match key with
+                        | Some k -> Cache.add t.cache k (Round_result rounds)
+                        | None -> ());
+                        round_solved t ~id ~cached:false ~time_ms:(dt *. 1000.0)
+                          rounds)
+              in
+              match Pool.submit t.pool job with
+              | exception Pool.Closed ->
+                  (tel, immediate (fail t ~id P.Shutting_down "server is draining"))
+              | fut ->
+                  ( tel,
+                    {
+                      ready = (fun () -> Pool.completed fut);
+                      force = (fun () -> Pool.await fut);
+                    } ))))
 
 let drain_pool t =
   Atomic.set t.draining_flag true;
@@ -491,6 +590,11 @@ let submit t req =
         if draining t then
           (tel, immediate (fail t ~id P.Shutting_down "server is draining"))
         else submit_solve t tel ~id params path tasks
+    | P.Round_solve { algorithm; cache; path; tasks; _ } ->
+        let tel = telemetry t ~verb:"round-solve" ~alg:algorithm () in
+        if draining t then
+          (tel, immediate (fail t ~id P.Shutting_down "server is draining"))
+        else submit_round_solve t tel ~id ~algorithm ~cache path tasks
     | P.Session_open { seed; path; tasks; _ } ->
         let tel = telemetry t ~verb:"session-open" ~solve_seed:seed () in
         if draining t then

@@ -43,6 +43,74 @@ let first_fit_fills_gap () =
   let placed, _ = Dsa.First_fit.pack_in_order p order in
   Alcotest.(check int) "third at 8" 8 (Core.Solution.sap_height placed (mk 2 0 1 2))
 
+(* ---------- First_fit hardening: insert + edge-case guards ---------- *)
+
+let first_fit_insert_feasible =
+  Helpers.seed_property "insert keeps the packing feasible" (fun seed ->
+      let path, tasks = Helpers.tiny_instance ~max_tasks:12 seed in
+      match tasks with
+      | [] -> true
+      | j :: rest ->
+          let placed, _ = Dsa.First_fit.pack path rest in
+          (match Dsa.First_fit.insert path placed j with
+          | Some h ->
+              Result.is_ok (Core.Checker.sap_feasible path ((j, h) :: placed))
+          | None ->
+              (* insert only refuses when even the candidate heights fail;
+                 at the very least height 0 must then be in conflict or
+                 over the bottleneck. *)
+              Core.Task.demand_of [ j ] > Core.Path.bottleneck_of path j
+              || List.exists
+                   (fun ((i : Core.Task.t), hi) ->
+                     Core.Task.overlaps j i && hi < j.Core.Task.demand
+                     && 0 < hi + i.Core.Task.demand)
+                   placed))
+
+let first_fit_insert_respects_limit =
+  Helpers.seed_property "insert respects the height limit" (fun seed ->
+      let path, tasks = Helpers.tiny_instance ~max_tasks:12 seed in
+      let limit = 1 + (seed mod 8) in
+      match tasks with
+      | [] -> true
+      | j :: rest ->
+          let placed, _ = Dsa.First_fit.pack path ~height_limit:limit rest in
+          (match Dsa.First_fit.insert path ~height_limit:limit placed j with
+          | Some h -> h + j.Core.Task.demand <= limit
+          | None -> true))
+
+let first_fit_demand_equals_capacity () =
+  (* demand == capacity is the boundary the ceiling comparison must get
+     right: the task fits exactly once, at height 0, and nothing stacks. *)
+  let p = Path.uniform ~edges:2 ~capacity:5 in
+  let placed, dropped = Dsa.First_fit.pack p [ mk 0 0 1 5; mk 1 0 1 5 ] in
+  Alcotest.(check int) "one placed" 1 (List.length placed);
+  Alcotest.(check int) "at height 0" 0 (List.assoc (mk 0 0 1 5) placed);
+  Alcotest.(check int) "one dropped" 1 (List.length dropped);
+  (* A single-point span behaves like any interval. *)
+  Alcotest.(check (option int)) "single-point span inserts"
+    (Some 0)
+    (Dsa.First_fit.insert p [] (mk 2 1 1 5))
+
+let first_fit_guards () =
+  (* Task.make already rejects non-positive demands (Task.t is private),
+     so the zero-demand guards inside First_fit/Interval_coloring are
+     unreachable from here — what is reachable is the height-limit
+     validation and the degenerate-limit behaviour. *)
+  let p = Path.uniform ~edges:2 ~capacity:4 in
+  Alcotest.check_raises "zero demand rejected at construction"
+    (Invalid_argument "Task.make: demand must be positive") (fun () ->
+      ignore (mk 0 0 1 0));
+  Alcotest.check_raises "negative height limit (pack)"
+    (Invalid_argument "First_fit: negative height_limit -1") (fun () ->
+      ignore (Dsa.First_fit.pack p ~height_limit:(-1) [ mk 0 0 1 1 ]));
+  Alcotest.check_raises "negative height limit (insert)"
+    (Invalid_argument "First_fit: negative height_limit -3") (fun () ->
+      ignore (Dsa.First_fit.insert p ~height_limit:(-3) [] (mk 0 0 1 1)));
+  (* height_limit 0 is a degenerate but legal request: nothing fits. *)
+  let placed, dropped = Dsa.First_fit.pack p ~height_limit:0 [ mk 0 0 1 1 ] in
+  Alcotest.(check int) "limit 0 places nothing" 0 (List.length placed);
+  Alcotest.(check int) "limit 0 drops all" 1 (List.length dropped)
+
 (* ---------- Interval_coloring ---------- *)
 
 let coloring_optimal_on_unit =
@@ -66,6 +134,27 @@ let coloring_rejects_mixed () =
   Alcotest.check_raises "mixed demands"
     (Invalid_argument "Interval_coloring.color: demands not uniform") (fun () ->
       ignore (Dsa.Interval_coloring.color [ mk 0 0 0 1; mk 1 0 0 2 ]))
+
+let coloring_single_point_spans =
+  Helpers.seed_property "single-point spans color optimally" (fun seed ->
+      (* All intervals are one edge long; max load is just the deepest
+         stack on any single edge and the sweep must hit it exactly
+         (expiry is strict: last < first, so two tasks on the same edge
+         never share a color). *)
+      let g = Util.Prng.create seed in
+      let edges = 2 + Util.Prng.int g 6 in
+      let n = 1 + Util.Prng.int g 20 in
+      let tasks =
+        List.init n (fun id ->
+            let e = Util.Prng.int g edges in
+            mk id e e 1)
+      in
+      let path = Path.uniform ~edges ~capacity:(n + 1) in
+      let colored = Dsa.Interval_coloring.color tasks in
+      Result.is_ok
+        (Core.Checker.sap_feasible path (Dsa.Interval_coloring.to_sap tasks))
+      && Dsa.Interval_coloring.colors_used colored
+         = Core.Instance.max_load path tasks)
 
 let coloring_uniform_demand_d () =
   (* All three tasks share edge 2, so the load there is 9 and the optimal
@@ -146,11 +235,16 @@ let () =
           case "stacks" first_fit_stacks;
           case "drops overflow" first_fit_drops_overflow;
           case "fills gap" first_fit_fills_gap;
+          first_fit_insert_feasible;
+          first_fit_insert_respects_limit;
+          case "demand == capacity boundary" first_fit_demand_equals_capacity;
+          case "edge-case guards" first_fit_guards;
         ] );
       ( "interval_coloring",
         [
           coloring_optimal_on_unit;
           case "rejects mixed" coloring_rejects_mixed;
+          coloring_single_point_spans;
           case "uniform demand d" coloring_uniform_demand_d;
         ] );
       ("buddy", [ case "pow2" buddy_pow2; buddy_feasible ]);

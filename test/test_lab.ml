@@ -189,6 +189,11 @@ let corpus_roundtrip () =
                     (e.Lab.Corpus.file ^ " parses to ring tasks")
                     true
                     (Array.length r.Ring.tasks > 0)
+              | Ok (Lab.Corpus.Round_instance i) ->
+                  Alcotest.(check bool)
+                    (e.Lab.Corpus.file ^ " parses to round tasks")
+                    true
+                    (Round.Instance.task_count i > 0)
               | Error m -> Alcotest.failf "%s: %s" e.Lab.Corpus.file m)
             t'.Lab.Corpus.entries)
 
@@ -295,9 +300,58 @@ let ratio_json_schema () =
             (fun k ->
               Alcotest.(check bool) (k ^ " present") true
                 (List.mem_assoc k fields))
-            [ "corpus"; "config"; "measurements"; "summary"; "violations";
-              "disagreements" ]
+            [ "corpus"; "config"; "measurements"; "summary"; "families";
+              "violations"; "disagreements" ]
       | Ok _ -> Alcotest.fail "report JSON is not an object")
+
+(* The per-family breakdown: every (family, alg) pair seen in the
+   measurements gets exactly one row, the rows partition the
+   measurements, and the JSON rows carry the pinned key set. *)
+let ratio_family_breakdown () =
+  with_tmp_dir (fun dir ->
+      let t = Lab.Corpus.generate ~dir ~seed:3 ~variants:2 () in
+      let report = Lab.Ratio.run t in
+      let fams = report.Lab.Ratio.families in
+      Alcotest.(check bool) "breakdown is non-empty" true (fams <> []);
+      let pairs =
+        List.map (fun f -> (f.Lab.Ratio.f_family, f.Lab.Ratio.f_alg)) fams
+      in
+      Alcotest.(check bool) "no duplicate (family, alg) rows" true
+        (List.length pairs = List.length (List.sort_uniq compare pairs));
+      List.iter
+        (fun m ->
+          Alcotest.(check bool)
+            (Printf.sprintf "row for %s/%s" m.Lab.Ratio.family m.Lab.Ratio.alg)
+            true
+            (List.mem (m.Lab.Ratio.family, m.Lab.Ratio.alg) pairs))
+        report.Lab.Ratio.measurements;
+      Alcotest.(check int) "family counts partition the measurements"
+        (List.length report.Lab.Ratio.measurements)
+        (List.fold_left (fun a f -> a + f.Lab.Ratio.f_count) 0 fams);
+      (* A family with only one generator family must dominate its rows:
+         filter to one family and the breakdown collapses to it. *)
+      (match report.Lab.Ratio.measurements with
+      | m :: _ ->
+          let only =
+            List.filter
+              (fun f -> f.Lab.Ratio.f_family = m.Lab.Ratio.family)
+              fams
+          in
+          Alcotest.(check bool) "first family has rows" true (only <> [])
+      | [] -> Alcotest.fail "no measurements");
+      (* Pin the JSON vocabulary of a family row. *)
+      match Lab.Ratio.report_json report with
+      | Obs.Json.Obj fields -> (
+          match List.assoc_opt "families" fields with
+          | Some (Obs.Json.List (Obs.Json.Obj row :: _)) ->
+              List.iter
+                (fun k ->
+                  Alcotest.(check bool) (k ^ " present in family row") true
+                    (List.mem_assoc k row))
+                [ "family"; "alg"; "count"; "max_ratio"; "mean_ratio";
+                  "exact_opts"; "violations" ]
+          | _ -> Alcotest.fail "families is not a non-empty list of objects")
+      | _ -> Alcotest.fail "report JSON is not an object")
 
 (* ---------- Combine.audit bound_kind ---------- *)
 
@@ -515,7 +569,9 @@ let hunt_hof_certified_and_monotone () =
       (match s.Lab.Hunt.instance with
       | Lab.Corpus.Path_instance (p, ts) ->
           check_path_instance ~what:"hof instance" p ts
-      | Lab.Corpus.Ring_instance r -> check_ring_instance ~what:"hof ring" r);
+      | Lab.Corpus.Ring_instance r -> check_ring_instance ~what:"hof ring" r
+      | Lab.Corpus.Round_instance _ ->
+          Alcotest.fail "hunt produced a round instance");
       Alcotest.(check bool) "hof ratio is opt/alg" true
         (s.Lab.Hunt.alg_weight > 0.0
         && Float.abs
@@ -750,6 +806,7 @@ let run () =
           case "bounds hold on seeded corpus" ratio_run_respects_bounds;
           case "budget degrades to lp" ratio_budget_degrades_to_lp;
           case "sap-ratio v1 schema" ratio_json_schema;
+          case "per-family breakdown" ratio_family_breakdown;
           case "summary excludes lp rows" ratio_summary_excludes_lp_rows;
         ] );
       ( "audit",

@@ -1,0 +1,260 @@
+(* The ROUND-SAP subsystem: carrier validation, the round checker's
+   rejections, serialization round-trips, and the qcheck invariants the
+   lab gate relies on — every solver's output is checker-feasible and
+   never beats the certified lower bound, and the branch-and-bound
+   agrees with the partition brute force wherever both are exact. *)
+
+module Task = Core.Task
+module Path = Core.Path
+
+let mk ?(id = 0) ?(w = 1.0) first last demand =
+  Task.make ~id ~first_edge:first ~last_edge:last ~demand ~weight:w
+
+let inst path tasks = Round.Instance.create_exn path tasks
+
+(* Seed-derived round instances: the shared tiny generator, with tasks
+   that cannot fit alone dropped (mandatory tasks must fit). *)
+let round_instance ?max_tasks seed =
+  let path, tasks = Helpers.tiny_instance ?max_tasks seed in
+  let tasks =
+    List.filter
+      (fun (j : Task.t) -> j.Task.demand <= Path.bottleneck_of path j)
+      tasks
+  in
+  inst path tasks
+
+(* ---------- carrier ---------- *)
+
+let instance_rejects_misfit () =
+  let path = Path.create [| 4; 2; 4 |] in
+  match Round.Instance.create path [ mk 0 2 3 ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "task with demand > bottleneck accepted"
+
+let instance_rejects_duplicate_id () =
+  let path = Path.create [| 4 |] in
+  match Round.Instance.create path [ mk ~id:7 0 0 1; mk ~id:7 0 0 2 ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "duplicate id accepted"
+
+let instance_rejects_off_path () =
+  let path = Path.create [| 4; 4 |] in
+  match Round.Instance.create path [ mk 1 5 1 ] with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "task off the path accepted"
+
+(* ---------- checker rejections ---------- *)
+
+let checker_rejects_unplaced () =
+  let i = inst (Path.create [| 4 |]) [ mk ~id:0 0 0 2; mk ~id:1 0 0 2 ] in
+  match Round.Checker.check i [ [ (mk ~id:0 0 0 2, 0) ] ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "missing task accepted"
+
+let checker_rejects_double_place () =
+  let j = mk ~id:0 0 0 2 in
+  let i = inst (Path.create [| 4 |]) [ j ] in
+  match Round.Checker.check i [ [ (j, 0) ]; [ (j, 0) ] ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "twice-placed task accepted"
+
+let checker_rejects_empty_round () =
+  let j = mk ~id:0 0 0 2 in
+  let i = inst (Path.create [| 4 |]) [ j ] in
+  match Round.Checker.check i [ [ (j, 0) ]; [] ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "empty round accepted"
+
+let checker_rejects_overflow () =
+  let a = mk ~id:0 0 0 3 and b = mk ~id:1 0 0 3 in
+  let i = inst (Path.create [| 4 |]) [ a; b ] in
+  match Round.Checker.check i [ [ (a, 0); (b, 1) ] ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "capacity overflow accepted"
+
+let checker_rejects_mutation () =
+  let j = mk ~id:0 0 0 2 in
+  let i = inst (Path.create [| 4 |]) [ j ] in
+  match Round.Checker.check i [ [ (mk ~id:0 0 0 1, 0) ] ] with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "mutated task accepted"
+
+let checker_accepts_valid () =
+  let a = mk ~id:0 0 1 2 and b = mk ~id:1 1 2 3 in
+  let i = inst (Path.create [| 4; 4; 4 |]) [ a; b ] in
+  Round.Checker.expect_ok (Round.Checker.check i [ [ (a, 0) ]; [ (b, 0) ] ])
+
+(* ---------- lower bounds ---------- *)
+
+let congestion_bound () =
+  let path = Path.create [| 4; 4 |] in
+  let i = inst path [ mk ~id:0 0 1 3; mk ~id:1 0 1 3; mk ~id:2 0 0 3 ] in
+  Alcotest.(check int) "congestion" 3 (Round.Lower_bound.congestion i)
+
+let pairwise_beats_congestion () =
+  (* three tasks of demand 3 on capacity 5: load 9/5 -> congestion 2,
+     but no two can stack, so pairwise certifies 3. *)
+  let path = Path.create [| 5 |] in
+  let i = inst path [ mk ~id:0 0 0 3; mk ~id:1 0 0 3; mk ~id:2 0 0 3 ] in
+  Alcotest.(check int) "congestion" 2 (Round.Lower_bound.congestion i);
+  Alcotest.(check int) "pairwise" 3 (Round.Lower_bound.pairwise i);
+  Alcotest.(check int) "certified" 3 (Round.Lower_bound.certified i)
+
+(* ---------- solvers ---------- *)
+
+let solvers_solve_disjoint_in_one_round () =
+  let path = Path.create [| 4; 4; 4 |] in
+  let i = inst path [ mk ~id:0 0 0 4; mk ~id:1 1 1 4; mk ~id:2 2 2 4 ] in
+  List.iter
+    (fun (s : Round.Solvers.t) ->
+      let rounds = s.Round.Solvers.solve i in
+      Round.Checker.expect_ok (Round.Checker.check i rounds);
+      Alcotest.(check int) (s.Round.Solvers.name ^ " rounds") 1
+        (List.length rounds))
+    Round.Solvers.all
+
+let solvers_hit_forced_round_count () =
+  let path = Path.create [| 6; 6 |] in
+  let tasks = List.init 4 (fun k -> mk ~id:k 0 1 6) in
+  let i = inst path tasks in
+  List.iter
+    (fun (s : Round.Solvers.t) ->
+      let rounds = s.Round.Solvers.solve i in
+      Round.Checker.expect_ok (Round.Checker.check i rounds);
+      Alcotest.(check int) (s.Round.Solvers.name ^ " rounds") 4
+        (List.length rounds))
+    Round.Solvers.all
+
+let empty_instance_zero_rounds () =
+  let i = inst (Path.create [| 4 |]) [] in
+  List.iter
+    (fun (s : Round.Solvers.t) ->
+      Alcotest.(check int) (s.Round.Solvers.name ^ " rounds") 0
+        (List.length (s.Round.Solvers.solve i)))
+    Round.Solvers.all;
+  Alcotest.(check int) "lb" 0 (Round.Lower_bound.certified i)
+
+(* Every solver, every seed: feasible and never below the certified LB
+   (a violation here is by definition a checker or LB bug). *)
+let prop_feasible_and_above_lb seed =
+  let i = round_instance seed in
+  let lb = Round.Lower_bound.certified i in
+  List.for_all
+    (fun (s : Round.Solvers.t) ->
+      let rounds = s.Round.Solvers.solve i in
+      (match Round.Checker.check i rounds with
+      | Ok () -> true
+      | Error m -> QCheck.Test.fail_reportf "%s: %s" s.Round.Solvers.name m)
+      && List.length rounds >= lb)
+    Round.Solvers.all
+
+(* B&B == brute force wherever the brute force is allowed to run. *)
+let prop_bb_agrees_with_brute seed =
+  let i = round_instance ~max_tasks:6 seed in
+  if Round.Instance.task_count i > Round.Exact.task_cap then true
+  else begin
+    let out = Round.Exact.solve i in
+    let brute = Round.Exact.brute_rounds i in
+    if not out.Round.Exact.optimal then
+      QCheck.Test.fail_reportf "budget exhausted on a tiny instance";
+    if out.Round.Exact.value <> brute then
+      QCheck.Test.fail_reportf "bb %d <> brute %d" out.Round.Exact.value brute;
+    Round.Checker.expect_ok (Round.Checker.check i out.Round.Exact.rounds);
+    true
+  end
+
+(* The exact oracle's certified LB is sandwiched correctly even when the
+   node budget truncates the search. *)
+let prop_exact_bounds_sandwich seed =
+  let i = round_instance seed in
+  let out = Round.Exact.solve ~max_nodes:50 i in
+  out.Round.Exact.lower_bound >= Round.Lower_bound.certified i
+  && out.Round.Exact.value >= out.Round.Exact.lower_bound
+  && (not out.Round.Exact.optimal)
+     || out.Round.Exact.value = out.Round.Exact.lower_bound
+
+(* ---------- serialization ---------- *)
+
+let prop_instance_roundtrip seed =
+  let i = round_instance seed in
+  let s =
+    Sap_io.Instance_io.round_instance_to_string i.Round.Instance.path
+      i.Round.Instance.tasks
+  in
+  match Sap_io.Instance_io.round_instance_of_string s with
+  | Error m -> QCheck.Test.fail_reportf "parse: %s" m
+  | Ok (path, tasks) ->
+      Path.capacities path = Path.capacities i.Round.Instance.path
+      && tasks = i.Round.Instance.tasks
+
+let prop_solution_roundtrip seed =
+  let i = round_instance seed in
+  let rounds = Round.Greedy.first_fit i in
+  let s = Sap_io.Instance_io.round_solution_to_string rounds in
+  match
+    Sap_io.Instance_io.round_solution_of_string ~tasks:i.Round.Instance.tasks s
+  with
+  | Error m -> QCheck.Test.fail_reportf "parse: %s" m
+  | Ok rounds' ->
+      List.map Core.Solution.sort_by_id rounds
+      = List.map Core.Solution.sort_by_id rounds'
+
+let solution_rejects_bad_round_index () =
+  let j = mk ~id:0 0 0 2 in
+  let s = "round-solution v1\nrounds 1\nplace 0 3 0\n" in
+  match Sap_io.Instance_io.round_solution_of_string ~tasks:[ j ] s with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "out-of-range round index accepted"
+
+let instance_rejects_sap_header () =
+  match
+    Sap_io.Instance_io.round_instance_of_string "sap-instance v1\ncapacities 4\n"
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "sap-instance header accepted as round-instance"
+
+let () =
+  Alcotest.run "round"
+    [
+      ( "instance",
+        [
+          Helpers.case "rejects misfit" instance_rejects_misfit;
+          Helpers.case "rejects duplicate id" instance_rejects_duplicate_id;
+          Helpers.case "rejects off-path" instance_rejects_off_path;
+        ] );
+      ( "checker",
+        [
+          Helpers.case "rejects unplaced" checker_rejects_unplaced;
+          Helpers.case "rejects double placement" checker_rejects_double_place;
+          Helpers.case "rejects empty round" checker_rejects_empty_round;
+          Helpers.case "rejects overflow" checker_rejects_overflow;
+          Helpers.case "rejects mutation" checker_rejects_mutation;
+          Helpers.case "accepts valid" checker_accepts_valid;
+        ] );
+      ( "lower-bound",
+        [
+          Helpers.case "congestion" congestion_bound;
+          Helpers.case "pairwise beats congestion" pairwise_beats_congestion;
+        ] );
+      ( "solvers",
+        [
+          Helpers.case "disjoint tasks, one round" solvers_solve_disjoint_in_one_round;
+          Helpers.case "forced round count" solvers_hit_forced_round_count;
+          Helpers.case "empty instance" empty_instance_zero_rounds;
+          Helpers.seed_property "feasible and >= certified LB"
+            prop_feasible_and_above_lb;
+          Helpers.seed_property ~count:40 "bb == brute on tiny instances"
+            prop_bb_agrees_with_brute;
+          Helpers.seed_property ~count:40 "exact bounds sandwich"
+            prop_exact_bounds_sandwich;
+        ] );
+      ( "io",
+        [
+          Helpers.seed_property ~count:40 "instance round-trip"
+            prop_instance_roundtrip;
+          Helpers.seed_property ~count:40 "solution round-trip"
+            prop_solution_roundtrip;
+          Helpers.case "rejects bad round index" solution_rejects_bad_round_index;
+          Helpers.case "rejects sap header" instance_rejects_sap_header;
+        ] );
+    ]

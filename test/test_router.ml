@@ -13,8 +13,9 @@ let case name f = Alcotest.test_case name `Quick f
 let default_params = Proto.default_solve_params
 
 let solve_key path tasks =
-  Fingerprint.solve_key ~algorithm:default_params.Proto.algorithm
-    ~seed:default_params.Proto.seed path tasks
+  Fingerprint.solve_key ~problem:"sap"
+    ~algorithm:default_params.Proto.algorithm ~seed:default_params.Proto.seed
+    path tasks
 
 let keys n = List.init n (fun i -> Printf.sprintf "key-%d" (i * 7919))
 

@@ -18,8 +18,8 @@ let case = Helpers.case
 
 (* ---------- fingerprint ---------- *)
 
-let key_of ?(algorithm = "combine") ?(seed = 42) path tasks =
-  Fingerprint.solve_key ~algorithm ~seed path tasks
+let key_of ?(problem = "sap") ?(algorithm = "combine") ?(seed = 42) path tasks =
+  Fingerprint.solve_key ~problem ~algorithm ~seed path tasks
 
 let fingerprint_order_invariant =
   Helpers.seed_property "task order does not change the key" (fun seed ->
@@ -51,7 +51,22 @@ let fingerprint_field_sensitivity () =
     (key_of path [ t ~id:7 ~first:0 ~last:1 ~d:2 ~w:1.5; List.nth tasks 1 ]);
   differs "dropped task" (key_of path [ List.hd tasks ]);
   differs "algorithm change" (key_of ~algorithm:"small" path tasks);
-  differs "seed change" (key_of ~seed:43 path tasks)
+  differs "seed change" (key_of ~seed:43 path tasks);
+  differs "problem change" (key_of ~problem:"round" path tasks)
+
+(* The satellite pin: a [solve] and a [round-solve] for the same
+   instance, algorithm name and seed must key differently, always —
+   otherwise the shared LRU would serve a SAP solution to a ROUND-SAP
+   client (or vice versa). *)
+let fingerprint_problem_kind_separates =
+  Helpers.seed_property "solve and round-solve keys never collide"
+    (fun seed ->
+      let path, tasks = Helpers.tiny_instance seed in
+      List.for_all
+        (fun algorithm ->
+          key_of ~problem:"sap" ~algorithm ~seed:0 path tasks
+          <> key_of ~problem:"round" ~algorithm ~seed:0 path tasks)
+        [ "bands"; "first-fit"; "exact"; "combine" ])
 
 let fnv_reference () =
   (* Published FNV-1a/64 test vectors. *)
@@ -215,6 +230,15 @@ let request_roundtrip =
       let reqs =
         [
           Proto.Solve { id = seed mod 997; params; path; tasks };
+          Proto.Round_solve
+            {
+              id = seed mod 991;
+              algorithm = Util.Prng.choose (Util.Prng.create seed)
+                  [| "bands"; "first-fit"; "next-fit"; "exact" |];
+              cache = seed mod 2 = 0;
+              path;
+              tasks;
+            };
           Proto.Stats { id = 1 };
           Proto.Ping { id = 2 };
           Proto.Shutdown { id = 3 };
@@ -229,6 +253,10 @@ let request_roundtrip =
               | Proto.Solve s, Proto.Solve s' ->
                   check_instance_equal (s.path, s.tasks) (s'.path, s'.tasks);
                   s.id = s'.id && s.params = s'.params
+              | Proto.Round_solve r, Proto.Round_solve r' ->
+                  check_instance_equal (r.path, r.tasks) (r'.path, r'.tasks);
+                  r.id = r'.id && r.algorithm = r'.algorithm
+                  && r.cache = r'.cache
               | _ -> req = req'))
         reqs)
 
@@ -246,8 +274,26 @@ let response_roundtrip =
         List.filteri (fun i _ -> i mod 2 = 0) tasks
         |> List.mapi (fun i j -> (j, 2 * i))
       in
+      let half = (List.length tasks + 1) / 2 in
+      let round_of sel =
+        List.filteri (fun i _ -> sel i) tasks |> List.map (fun j -> (j, 0))
+      in
+      let rounds =
+        [ round_of (fun i -> i < half); round_of (fun i -> i >= half) ]
+      in
       let resps =
         [
+          Proto.Round_solved
+            {
+              id;
+              summary =
+                {
+                  Proto.r_rounds = List.length rounds;
+                  r_cached = seed mod 2 = 1;
+                  r_time_ms = float_of_int (seed mod 31) /. 3.0;
+                };
+              rounds;
+            };
           Proto.Solved
             {
               id;
@@ -296,6 +342,14 @@ let response_roundtrip =
                   a.id = b.id && a.summary = b.summary
                   && Core.Solution.sort_by_id a.solution
                      = Core.Solution.sort_by_id b.solution
+              | Proto.Round_solved a, Proto.Round_solved b ->
+                  a.id = b.id && a.summary = b.summary
+                  && List.length a.rounds = List.length b.rounds
+                  && List.for_all2
+                       (fun r r' ->
+                         Core.Solution.sort_by_id r
+                         = Core.Solution.sort_by_id r')
+                       a.rounds b.rounds
               | _ -> resp = resp'))
         resps)
 
@@ -313,6 +367,12 @@ let protocol_rejects_malformed () =
   expect_error "unknown attribute" "sap-request v1 0 solve wat=1\nsap-instance v1\ncapacities 4\nend\n";
   expect_error "body on ping" "sap-request v1 0 ping\nsap-instance v1\nend\n";
   expect_error "garbage instance" "sap-request v1 0 solve\nnot an instance\nend\n";
+  expect_error "sap body on round-solve"
+    "sap-request v1 0 round-solve\nsap-instance v1\ncapacities 4\nend\n";
+  expect_error "round body on solve"
+    "sap-request v1 0 solve\nround-instance v1\ncapacities 4\nend\n";
+  expect_error "seed attr on round-solve"
+    "sap-request v1 0 round-solve seed=7\nround-instance v1\ncapacities 4\nend\n";
   match Proto.response_of_string ~tasks_for:(fun _ -> None)
           "sap-response v1 3 solved scheduled=1 weight=1 cached=0 time-ms=1\nsap-solution v1\nend\n"
   with
@@ -414,6 +474,74 @@ let e2e_error_responses () =
   with
   | Proto.Timed_out { id = 1 } -> ()
   | _ -> Alcotest.fail "expected timeout"
+
+let e2e_round_solve () =
+  let srv =
+    Server.create
+      ~config:{ Server.default_config with Server.workers = Some 2 } ()
+  in
+  Fun.protect ~finally:(fun () -> Server.drain srv) @@ fun () ->
+  let path = Path.create [| 6; 6; 6 |] in
+  let t ~id ~first ~last ~d =
+    Task.make ~id ~first_edge:first ~last_edge:last ~demand:d ~weight:1.0
+  in
+  let tasks =
+    [
+      t ~id:0 ~first:0 ~last:1 ~d:4;
+      t ~id:1 ~first:1 ~last:2 ~d:4;
+      t ~id:2 ~first:0 ~last:2 ~d:3;
+      t ~id:3 ~first:2 ~last:2 ~d:6;
+    ]
+  in
+  let inst = Round.Instance.create_exn path tasks in
+  let round_solve id =
+    Server.handle srv
+      (Proto.Round_solve { id; algorithm = "bands"; cache = true; path; tasks })
+  in
+  (match round_solve 0 with
+  | Proto.Round_solved { id = 0; summary; rounds } ->
+      Alcotest.(check bool) "fresh" false summary.Proto.r_cached;
+      Alcotest.(check int) "rounds attr matches body" (List.length rounds)
+        summary.Proto.r_rounds;
+      (match Round.Checker.check inst rounds with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "round checker: %s" m)
+  | _ -> Alcotest.fail "expected round-solved");
+  (match round_solve 1 with
+  | Proto.Round_solved { summary; _ } ->
+      Alcotest.(check bool) "repeat is cached" true summary.Proto.r_cached
+  | _ -> Alcotest.fail "expected cached round-solved");
+  (* The same instance under plain [solve] must miss: the problem kind is
+     part of the fingerprint, so the verbs' cache entries are disjoint. *)
+  (match
+     Server.handle srv
+       (Proto.Solve { id = 2; params = default_params; path; tasks })
+   with
+  | Proto.Solved { summary; _ } ->
+      Alcotest.(check bool) "solve not served round entry" false
+        summary.Proto.cached
+  | _ -> Alcotest.fail "expected solved");
+  (match
+     Server.handle srv
+       (Proto.Round_solve
+          { id = 3; algorithm = "nonsense"; cache = true; path; tasks })
+   with
+  | Proto.Failed { code = Proto.Unknown_algorithm; _ } -> ()
+  | _ -> Alcotest.fail "expected unknown-algorithm");
+  (* A task that does not fit any round alone is an invalid instance. *)
+  match
+    Server.handle srv
+      (Proto.Round_solve
+         {
+           id = 4;
+           algorithm = "bands";
+           cache = true;
+           path;
+           tasks = [ t ~id:9 ~first:0 ~last:2 ~d:7 ];
+         })
+  with
+  | Proto.Failed { code = Proto.Bad_request; _ } -> ()
+  | _ -> Alcotest.fail "expected bad-request"
 
 let e2e_shutdown_under_load () =
   (* The acceptance property: requests admitted before the shutdown frame
@@ -760,6 +888,7 @@ let () =
       ( "fingerprint",
         [
           fingerprint_order_invariant;
+          fingerprint_problem_kind_separates;
           case "field sensitivity" fingerprint_field_sensitivity;
           case "fnv1a64 vectors" fnv_reference;
         ] );
@@ -789,6 +918,7 @@ let () =
         [
           case "concurrent solves + cache hits" e2e_concurrent_solves_and_cache;
           case "error + timeout responses" e2e_error_responses;
+          case "round-solve lifecycle + cache separation" e2e_round_solve;
           case "graceful drain under load" e2e_shutdown_under_load;
         ] );
       ( "telemetry",
